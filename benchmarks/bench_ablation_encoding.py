@@ -1,0 +1,22 @@
+"""Ablation (§4.2) — two-dimensions-per-qubit vs one-dimension-per-qubit encoding.
+
+Design-choice check from DESIGN.md: the dual encoding halves the qubit count
+(the paper's motivation) while keeping accuracy in the same band as the
+single-dimension RY encoding.
+"""
+
+from repro.experiments import ablation_encoding
+
+
+def test_ablation_encoding(experiment_runner):
+    result = experiment_runner(ablation_encoding, epochs=15, seed=0)
+    by_encoding = {row["encoding"]: row for row in result.rows}
+
+    dual = by_encoding["dual_angle"]
+    single = by_encoding["single_angle"]
+
+    # The headline resource saving: half the state qubits.
+    assert dual["qubits_per_state"] * 2 == single["qubits_per_state"]
+    assert dual["total_qubits"] < single["total_qubits"]
+    # Accuracy does not collapse from packing two dimensions per qubit.
+    assert dual["test_accuracy"] > single["test_accuracy"] - 0.15

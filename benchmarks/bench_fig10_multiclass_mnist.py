@@ -1,0 +1,36 @@
+"""Fig. 10 — multi-class synthetic-MNIST comparison (3, 4, 5 and 10 classes).
+
+Paper shape: QuClassi stays well above chance as the class count grows and
+its margin over the QF-pNet-like baseline widens with more classes (the
+paper's headline 10-class result); accuracy decreases monotonically-ish with
+the number of classes for every model.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_multiclass_classification
+
+
+def test_fig10_multiclass_classification(experiment_runner):
+    result = experiment_runner(
+        fig10_multiclass_classification,
+        tasks=((0, 3, 6), (1, 3, 6), (0, 3, 6, 9), (0, 1, 3, 6, 9), tuple(range(10))),
+        samples_per_digit=40,
+        epochs=15,
+        dnn_budgets=(306, 1308),
+        seed=0,
+    )
+
+    for row in result.rows:
+        chance = 1.0 / row["num_classes"]
+        assert row["QC-S"] > chance + 0.15, f"task {row['task']} barely beats chance"
+
+    ten_class = next(row for row in result.rows if row["num_classes"] == 10)
+    three_class = [row for row in result.rows if row["num_classes"] == 3]
+    # Accuracy degrades with class count but stays useful (paper: 78.7% at 10 classes).
+    assert ten_class["QC-S"] < max(row["QC-S"] for row in three_class)
+    assert ten_class["QC-S"] > 0.3
+
+    # QuClassi's margin over the QF-pNet-like surrogate does not collapse with class count.
+    margins = [row["QC-S"] - row["QF-pNet-like"] for row in result.rows]
+    assert margins[-1] >= min(margins[:2]) - 0.2

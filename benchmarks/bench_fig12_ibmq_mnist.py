@@ -1,0 +1,35 @@
+"""Fig. 12 — 4-dimensional MNIST binary accuracy on (simulated) IBM-Q Rome.
+
+Paper shape: the three QuClassi depths (QC-S/SD/SDE) perform similarly on the
+low-dimensional data; evaluating the trained QC-S model through the noisy
+device costs a few points of accuracy (more on the harder 2/9 pair); the
+TFQ-like baseline trails QuClassi.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_hardware_mnist_accuracy
+
+
+def test_fig12_hardware_mnist_accuracy(experiment_runner):
+    result = experiment_runner(
+        fig12_hardware_mnist_accuracy,
+        pairs=((3, 4), (6, 9), (2, 9)),
+        architectures=("s", "sd", "sde"),
+        samples_per_digit=40,
+        epochs=12,
+        shots=8192,
+        device="ibmq_rome",
+        seed=0,
+    )
+
+    for row in result.rows:
+        # The simulator architectures all beat chance comfortably.
+        for column in ("QC-S", "QC-SD", "QC-SDE"):
+            assert row[column] > 0.6
+        # Depth adds little on 4-dimensional data (paper's observation).
+        depths = [row["QC-S"], row["QC-SD"], row["QC-SDE"]]
+        assert max(depths) - min(depths) < 0.25
+        # Hardware evaluation degrades gracefully, not catastrophically.
+        assert row["IBM-Q"] > 0.5
+        assert row["IBM-Q"] <= max(depths) + 0.1

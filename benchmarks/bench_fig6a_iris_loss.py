@@ -1,0 +1,18 @@
+"""Fig. 6a — Iris multi-class training loss per class (QC-S, 25 epochs).
+
+Paper shape: every class's loss decreases smoothly over 25 epochs and the
+three curves converge to low values without oscillation (the paper credits
+the epoch-scaled gradient shift for the stability).
+"""
+
+from repro.experiments import fig6a_multiclass_loss
+
+
+def test_fig6a_iris_multiclass_loss(experiment_runner):
+    result = experiment_runner(fig6a_multiclass_loss, epochs=25, learning_rate=0.1, seed=0)
+
+    for series in result.series:
+        # Shape check: each per-class loss curve ends below where it started.
+        assert series.y[-1] < series.y[0]
+    mean_series = result.series_by_name("mean_loss")
+    assert mean_series.y[-1] < 0.6

@@ -1,0 +1,31 @@
+"""Fig. 6b — Iris accuracy: QC-S / QC-SD / QC-SDE vs DNN-12/56/112 baselines.
+
+Paper shape: all QuClassi variants reach high (≈0.95) accuracy and the
+similarly parameterised classical DNNs sit at or below the quantum models;
+the smallest DNN (12 parameters) trails clearly.
+"""
+
+from repro.experiments import fig6b_iris_accuracy
+
+
+def test_fig6b_iris_accuracy(experiment_runner):
+    result = experiment_runner(
+        fig6b_iris_accuracy,
+        architectures=("s", "sd", "sde"),
+        dnn_budgets=(12, 56, 112),
+        epochs=25,
+        seed=0,
+    )
+    by_model = {row["model"]: row for row in result.rows}
+
+    for architecture in ("QC-S", "QC-SD", "QC-SDE"):
+        assert by_model[architecture]["test_accuracy"] > 0.8
+
+    smallest_dnn = min(
+        (row for name, row in by_model.items() if name.startswith("DNN")),
+        key=lambda row: row["parameters"],
+    )
+    best_quantum = max(
+        by_model[name]["test_accuracy"] for name in ("QC-S", "QC-SD", "QC-SDE")
+    )
+    assert best_quantum >= smallest_dnn["test_accuracy"] - 0.05

@@ -1,0 +1,28 @@
+"""Fig. 6c — Iris accuracy vs epoch: QuClassi vs DNNs of 12-112 parameters.
+
+Paper shape: the quantum classifier climbs to high accuracy within a handful
+of epochs, faster than the similarly parameterised classical networks, and
+stays at or above them for most of the run.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6c_learning_curves
+
+
+def test_fig6c_learning_curves(experiment_runner):
+    result = experiment_runner(
+        fig6c_learning_curves, epochs=20, dnn_budgets=(12, 28, 56, 112), seed=0
+    )
+
+    quclassi = next(series for series in result.series if series.name.startswith("QuClassi"))
+    dnn_series = [series for series in result.series if series.name.startswith("DNN")]
+
+    # Shape check: early-epoch accuracy of QuClassi beats the mean DNN curve.
+    early = slice(0, 5)
+    quclassi_early = float(np.nanmean(quclassi.y[early]))
+    dnn_early = float(np.nanmean([np.nanmean(series.y[early]) for series in dnn_series]))
+    assert quclassi_early >= dnn_early - 0.05
+
+    # And it ends at a competitive final accuracy.
+    assert quclassi.final > 0.8

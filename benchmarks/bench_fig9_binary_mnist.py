@@ -1,0 +1,33 @@
+"""Fig. 9 — binary synthetic-MNIST comparison (1/5, 3/6, 3/9, 3/8).
+
+Paper shape: QC-S is competitive with or better than the TFQ-like and
+QF-pNet-like baselines on every pair while using two orders of magnitude
+fewer parameters than the large DNNs; the easy pair (1/5) scores higher than
+the visually similar pair (3/8).
+"""
+
+import numpy as np
+
+from repro.experiments import fig9_binary_classification
+
+
+def test_fig9_binary_classification(experiment_runner):
+    result = experiment_runner(
+        fig9_binary_classification,
+        pairs=((1, 5), (3, 6), (3, 9), (3, 8)),
+        samples_per_digit=50,
+        epochs=25,
+        dnn_budgets=(306, 1218),
+        seed=0,
+    )
+
+    qc_accuracies = [row["QC-S"] for row in result.rows]
+    # Every pair learns far better than chance.
+    assert min(qc_accuracies) > 0.6
+    # QC-S is competitive with the quantum baselines on average.
+    qf_accuracies = [row["QF-pNet-like"] for row in result.rows]
+    tfq_accuracies = [row["TFQ-like"] for row in result.rows]
+    assert np.mean(qc_accuracies) >= np.mean(tfq_accuracies) - 0.1
+    assert np.mean(qc_accuracies) >= np.mean(qf_accuracies) - 0.1
+    # Parameter budget: QC-S uses 32 parameters vs 1218 for the big DNN.
+    assert all(row["QC-S_params"] == 32 for row in result.rows)

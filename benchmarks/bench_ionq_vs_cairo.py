@@ -1,0 +1,31 @@
+"""Section 5.4 text — IonQ (trapped ion) vs IBM-Q Cairo on the (3, 6) task.
+
+Paper shape: the ideal simulator scores highest (97.8 % in the paper); the
+fully connected IonQ machine loses a little accuracy; IBM-Q Cairo loses more
+because its heavy-hexagon topology forces ~21 routed CNOTs into every
+SWAP-test circuit that IonQ executes natively.
+"""
+
+from repro.experiments import ionq_vs_cairo
+
+
+def test_ionq_vs_cairo(experiment_runner):
+    result = experiment_runner(
+        ionq_vs_cairo, pair=(3, 6), samples_per_digit=40, epochs=12, shots=4096, seed=0
+    )
+    by_backend = {row["backend"]: row for row in result.rows}
+
+    ideal = by_backend["ideal_simulator"]
+    ionq = by_backend["ionq_trapped_ion"]
+    cairo = by_backend["ibmq_cairo"]
+
+    # Routing cost: Cairo pays a large CNOT overhead, IonQ pays none.
+    assert ionq["added_cx"] == 0
+    assert cairo["added_cx"] >= 15  # paper reports 21 extra CNOTs
+
+    # Accuracy ordering: ideal >= IonQ >= Cairo, with a tolerance because the
+    # test split is small and noisy argmax decisions flip only occasionally.
+    assert ideal["test_accuracy"] >= ionq["test_accuracy"] - 0.1
+    assert ionq["test_accuracy"] >= cairo["test_accuracy"] - 0.1
+    # All backends remain far above chance.
+    assert min(ideal["test_accuracy"], ionq["test_accuracy"], cairo["test_accuracy"]) > 0.6

@@ -1,0 +1,49 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``rounds=1``): the quantity
+of interest is the reproduced figure/table itself, not the timing statistics,
+although pytest-benchmark still records the wall-clock cost of regenerating
+each figure.
+"""
+
+import os
+import sys
+
+# Make ``src/`` importable when the package is not installed (offline checkouts).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+from repro.experiments.reporting import format_experiment  # noqa: E402
+
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def run_experiment(benchmark, experiment_fn, **kwargs):
+    """Run one figure-reproduction function under pytest-benchmark.
+
+    The paper-style rows/series are printed (visible with ``pytest -s``) and
+    also written to ``benchmarks/results/<experiment_id>.txt`` so a plain
+    ``--benchmark-only`` run still leaves the reproduced tables on disk.
+    """
+    result = benchmark.pedantic(lambda: experiment_fn(**kwargs), rounds=1, iterations=1)
+    text = format_experiment(result)
+    print()
+    print(text)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, f"{result.experiment_id}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return result
+
+
+@pytest.fixture()
+def experiment_runner(benchmark):
+    """Fixture exposing :func:`run_experiment` bound to the current benchmark."""
+
+    def runner(experiment_fn, **kwargs):
+        return run_experiment(benchmark, experiment_fn, **kwargs)
+
+    return runner

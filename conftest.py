@@ -1,0 +1,13 @@
+"""Test-session bootstrap.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. running ``pytest`` straight from a fresh checkout in an offline
+environment where ``pip install -e .`` cannot fetch build requirements).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,74 @@
+"""Running QuClassi on simulated quantum hardware (paper Section 5.4 workflow).
+
+Trains a QC-S model on the simulator for the 4-dimensional (3, 6) task, then
+evaluates the *same trained model* through three execution targets:
+
+* the ideal statevector simulator,
+* the simulated IonQ trapped-ion machine (fully connected — no routing SWAPs),
+* the simulated IBM-Q Cairo machine (heavy-hexagon topology — every SWAP-test
+  circuit needs ~21 extra routed CNOTs).
+
+The printed table shows the accuracy and the per-circuit CNOT counts that
+explain the gap, mirroring the paper's IonQ vs Cairo discussion.
+
+Run with::
+
+    python examples/noisy_hardware.py
+"""
+
+from repro.core import QuClassi, SwapTestFidelityEstimator
+from repro.datasets import generate_synthetic_mnist, prepare_task
+from repro.experiments import format_table
+from repro.hardware import ibmq_cairo, ionq
+
+DIGITS = (3, 6)
+SHOTS = 4096
+
+
+def main() -> None:
+    dataset = generate_synthetic_mnist(digits=DIGITS, samples_per_digit=40, rng=2)
+    data = prepare_task(dataset, classes=DIGITS, n_components=4, rng=2)
+
+    model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=0)
+    model.fit(data.x_train, data.y_train, epochs=12, learning_rate=0.1)
+    analytic_estimator = model.estimator
+
+    rows = [
+        {
+            "backend": "ideal simulator",
+            "test_accuracy": model.score(data.x_test, data.y_test),
+            "cx_per_circuit": 16,   # 2 CSWAPs decompose into 8 CNOTs each
+            "routed_extra_cx": 0,
+        }
+    ]
+
+    for backend in (ionq(seed=0), ibmq_cairo(seed=0)):
+        model.estimator = SwapTestFidelityEstimator(model.builder, backend=backend, shots=SHOTS)
+        accuracy = model.score(data.x_test, data.y_test)
+        stats = backend.last_transpile_stats
+        rows.append(
+            {
+                "backend": backend.name,
+                "test_accuracy": accuracy,
+                "cx_per_circuit": stats["cx_count"],
+                "routed_extra_cx": stats["added_cx"],
+            }
+        )
+        summary = backend.ledger.summary()
+        print(
+            f"{backend.name}: {summary['num_jobs']} circuits, {summary['total_shots']} shots, "
+            f"mean depth {summary['mean_depth']:.1f}"
+        )
+    model.estimator = analytic_estimator
+
+    print("\nHardware comparison on the (3, 6) task (Section 5.4 at example scale)")
+    print(format_table(rows))
+    print(
+        "\nThe fully connected trapped-ion backend needs no routing SWAPs, so it tracks the\n"
+        "ideal accuracy closely; the heavy-hexagon superconducting chip pays for every\n"
+        "routed CNOT with extra two-qubit noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

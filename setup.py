@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (``pip install -e .`` falls back to
+``setup.py develop`` there, and ``python setup.py develop`` works directly).
+"""
+
+from setuptools import setup
+
+setup()

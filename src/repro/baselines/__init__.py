@@ -1,0 +1,24 @@
+"""Comparison models: classical DNNs, TFQ-like and QuantumFlow-like baselines."""
+
+from repro.baselines.dnn import (
+    DNNClassifier,
+    DNNHistory,
+    dnn_for_parameter_budget,
+    hidden_units_for_budget,
+)
+from repro.baselines.optimizers import SGD, Optimizer
+from repro.baselines.quantumflow_like import QFHistory, QFpNetLikeClassifier
+from repro.baselines.tfq_like import TFQHistory, TFQLikeClassifier
+
+__all__ = [
+    "DNNClassifier",
+    "DNNHistory",
+    "dnn_for_parameter_budget",
+    "hidden_units_for_budget",
+    "SGD",
+    "Optimizer",
+    "QFHistory",
+    "QFpNetLikeClassifier",
+    "TFQHistory",
+    "TFQLikeClassifier",
+]

@@ -1,0 +1,78 @@
+"""QuClassi core: layers, circuits, cost, gradients, training, the model."""
+
+from repro.core.callbacks import (
+    Callback,
+    EarlyStopping,
+    EpochRecord,
+    ProgressLogger,
+    TrainingHistory,
+)
+from repro.core.circuit_builder import DiscriminatorCircuitBuilder, DiscriminatorLayout
+from repro.core.cost import FidelityCrossEntropy, NegativeFidelityCost, resolve_cost
+from repro.core.gradient import (
+    EpochScaledShiftRule,
+    FiniteDifferenceRule,
+    GradientRule,
+    ParameterShiftRule,
+    resolve_gradient_rule,
+)
+from repro.core.inference import (
+    accuracy,
+    confusion_matrix,
+    fidelities_to_probabilities,
+    predict_from_fidelities,
+)
+from repro.core.layers import (
+    DualQubitUnitaryLayer,
+    EntanglementLayer,
+    LayerStack,
+    QuantumLayer,
+    SingleQubitUnitaryLayer,
+    layers_from_architecture,
+)
+from repro.core.model import QuClassi
+from repro.core.serialization import load_model, model_from_dict, model_to_dict, save_model
+from repro.core.swap_test import (
+    AnalyticFidelityEstimator,
+    FidelityEstimator,
+    SwapTestFidelityEstimator,
+)
+from repro.core.trainer import Trainer, TrainerConfig
+
+__all__ = [
+    "Callback",
+    "EarlyStopping",
+    "EpochRecord",
+    "ProgressLogger",
+    "TrainingHistory",
+    "DiscriminatorCircuitBuilder",
+    "DiscriminatorLayout",
+    "FidelityCrossEntropy",
+    "NegativeFidelityCost",
+    "resolve_cost",
+    "EpochScaledShiftRule",
+    "FiniteDifferenceRule",
+    "GradientRule",
+    "ParameterShiftRule",
+    "resolve_gradient_rule",
+    "accuracy",
+    "confusion_matrix",
+    "fidelities_to_probabilities",
+    "predict_from_fidelities",
+    "DualQubitUnitaryLayer",
+    "EntanglementLayer",
+    "LayerStack",
+    "QuantumLayer",
+    "SingleQubitUnitaryLayer",
+    "layers_from_architecture",
+    "QuClassi",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "save_model",
+    "AnalyticFidelityEstimator",
+    "FidelityEstimator",
+    "SwapTestFidelityEstimator",
+    "Trainer",
+    "TrainerConfig",
+]

@@ -1,0 +1,198 @@
+"""QuClassi discriminator-circuit construction (paper Fig. 7).
+
+One discriminator circuit compares the learned state of a single class
+against one encoded data point:
+
+* qubit 0 — SWAP-test ancilla (control qubit),
+* qubits ``1 .. n`` — trained-state register prepared by the layer stack,
+* qubits ``n+1 .. 2n`` — data register prepared by the data encoder,
+* classical bit 0 — the ancilla measurement.
+
+The builder produces circuits at three binding levels: fully symbolic
+(trainable parameters *and* data angles), data-bound (used per sample during
+training), and fully bound (ready for a backend).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.layers import LayerStack
+from repro.encoding.base import DataEncoder
+from repro.exceptions import ValidationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Parameter
+from repro.quantum.register import ClassicalRegister, QuantumRegister
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscriminatorLayout:
+    """Qubit layout of a QuClassi discriminator circuit.
+
+    Attributes
+    ----------
+    state_width:
+        Number of qubits in each of the trained-state and data registers.
+    ancilla:
+        Index of the SWAP-test control qubit.
+    trained_qubits, data_qubits:
+        Global indices of the two registers.
+    """
+
+    state_width: int
+
+    @property
+    def ancilla(self) -> int:
+        return 0
+
+    @property
+    def trained_qubits(self) -> tuple:
+        return tuple(range(1, self.state_width + 1))
+
+    @property
+    def data_qubits(self) -> tuple:
+        return tuple(range(self.state_width + 1, 2 * self.state_width + 1))
+
+    @property
+    def total_qubits(self) -> int:
+        return 2 * self.state_width + 1
+
+
+class DiscriminatorCircuitBuilder:
+    """Builds the per-class discriminator circuit.
+
+    Parameters
+    ----------
+    layer_stack:
+        Trained-state layer stack (defines the trainable parameters).
+    encoder:
+        Classical-to-quantum encoder for the data register.
+    num_features:
+        Dimensionality of the (already reduced/normalised) input vectors.
+    """
+
+    def __init__(self, layer_stack: LayerStack, encoder: DataEncoder, num_features: int) -> None:
+        if num_features <= 0:
+            raise ValidationError(f"num_features must be positive, got {num_features}")
+        expected_width = encoder.num_qubits(num_features)
+        if layer_stack.num_qubits != expected_width:
+            raise ValidationError(
+                f"layer stack is configured for {layer_stack.num_qubits} qubits but the "
+                f"encoder needs {expected_width} qubits for {num_features} features"
+            )
+        self.layer_stack = layer_stack
+        self.encoder = encoder
+        self.num_features = int(num_features)
+        self.layout = DiscriminatorLayout(state_width=expected_width)
+        # The symbolic trained-state circuit never changes; cache it so the
+        # trainer's many parameter-shift evaluations only pay for binding.
+        self._symbolic_trained_circuit: Optional[QuantumCircuit] = None
+
+    # ------------------------------------------------------------------ #
+    # Parameter bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def parameters(self) -> list:
+        """Symbolic trainable parameters in flat order."""
+        return self.layer_stack.parameters()
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable parameters per class."""
+        return self.layer_stack.num_parameters
+
+    def parameter_binding(self, values: Sequence[float]) -> Dict[Parameter, float]:
+        """Map a flat value vector onto the symbolic parameters."""
+        params = self.parameters
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(params),):
+            raise ValidationError(
+                f"expected {len(params)} parameter values, got shape {values.shape}"
+            )
+        return dict(zip(params, values.tolist()))
+
+    # ------------------------------------------------------------------ #
+    # Sub-circuits
+    # ------------------------------------------------------------------ #
+    def trained_state_circuit(self, parameter_values: Optional[Sequence[float]] = None) -> QuantumCircuit:
+        """Trained-state preparation on a standalone ``state_width``-qubit register.
+
+        Used by the analytic fidelity path (no ancilla or data register).
+        """
+        if self._symbolic_trained_circuit is None:
+            self._symbolic_trained_circuit = self.layer_stack.build_circuit(
+                qubits=range(self.layout.state_width),
+                total_qubits=self.layout.state_width,
+                name="trained_state",
+            )
+        circuit = self._symbolic_trained_circuit
+        if parameter_values is None:
+            return circuit.copy()
+        return circuit.bind_parameters(self.parameter_binding(parameter_values))
+
+    def _check_features(self, features: Sequence[float]) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.shape != (self.num_features,):
+            raise ValidationError(
+                f"expected {self.num_features} features, got shape {features.shape}"
+            )
+        return features
+
+    def data_state_circuit(self, features: Sequence[float]) -> QuantumCircuit:
+        """Data-state preparation on a standalone ``state_width``-qubit register."""
+        return self.encoder.encoding_circuit(
+            self._check_features(features), offset=0, total_qubits=self.layout.state_width
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full discriminator
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        features: Sequence[float],
+        parameter_values: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QuantumCircuit:
+        """Full SWAP-test discriminator circuit for one data point.
+
+        The returned circuit measures the ancilla into classical bit 0; the
+        probability of reading ``0`` is ``(1 + F) / 2`` where ``F`` is the
+        fidelity between the trained state and the encoded data point.
+        """
+        features = self._check_features(features)
+        layout = self.layout
+        qreg = QuantumRegister(layout.total_qubits, "q")
+        creg = ClassicalRegister(1, "c")
+        circuit = QuantumCircuit(qreg, creg, name=name or "quclassi_discriminator")
+
+        # Ancilla into superposition.
+        circuit.h(layout.ancilla)
+
+        # Trained state on qubits 1..n (symbolic parameters).
+        trained = self.layer_stack.build_circuit(
+            qubits=layout.trained_qubits,
+            total_qubits=layout.total_qubits,
+            name="trained_state",
+        )
+        circuit = circuit.compose(trained)
+
+        # Data point on qubits n+1..2n (bound angles).
+        data = self.encoder.encoding_circuit(
+            features,
+            offset=layout.data_qubits[0],
+            total_qubits=layout.total_qubits,
+        )
+        circuit = circuit.compose(data)
+
+        # SWAP test.
+        for trained_qubit, data_qubit in zip(layout.trained_qubits, layout.data_qubits):
+            circuit.cswap(layout.ancilla, trained_qubit, data_qubit)
+        circuit.h(layout.ancilla)
+        circuit.measure(layout.ancilla, 0)
+
+        if parameter_values is not None:
+            circuit = circuit.bind_parameters(self.parameter_binding(parameter_values))
+        return circuit

@@ -1,0 +1,104 @@
+"""State-fidelity based cost function (paper Section 4.4).
+
+For a class ``c`` with trained state ``|omega_c>``, the per-sample target is
+``y = 1`` when the sample belongs to class ``c`` and ``y = 0`` otherwise.
+The SWAP-test fidelity ``F`` plays the role of the predicted probability in
+the binary cross-entropy of Eq. 14:
+
+``cost = -y * log(F) - (1 - y) * log(1 - F)``
+
+so training pushes the trained state towards its own class's data states and
+away from the others.  A mean-fidelity objective (Eq. 13) is also provided
+for completeness and ablation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.math import clip_probability
+
+
+@dataclasses.dataclass(frozen=True)
+class FidelityCrossEntropy:
+    """Binary cross-entropy on SWAP-test fidelities (paper Eq. 14).
+
+    Attributes
+    ----------
+    epsilon:
+        Probability clipping margin that keeps the logarithms finite when a
+        fidelity saturates at exactly 0 or 1.
+    """
+
+    epsilon: float = 1e-9
+
+    def __call__(self, fidelities: Sequence[float], targets: Sequence[float]) -> float:
+        """Mean loss over a batch of fidelities and 0/1 targets."""
+        fidelities = np.asarray(fidelities, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if fidelities.shape != targets.shape:
+            raise ValidationError(
+                f"fidelities shape {fidelities.shape} does not match targets shape {targets.shape}"
+            )
+        clipped = clip_probability(fidelities, self.epsilon)
+        losses = -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
+        return float(np.mean(losses))
+
+    def per_sample(self, fidelities: Sequence[float], targets: Sequence[float]) -> np.ndarray:
+        """Per-sample losses (useful for stochastic updates and diagnostics)."""
+        fidelities = np.asarray(fidelities, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        clipped = clip_probability(fidelities, self.epsilon)
+        return -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
+
+
+@dataclasses.dataclass(frozen=True)
+class NegativeFidelityCost:
+    """Mean-fidelity objective of Eq. 13, sign-flipped into a minimisation.
+
+    Ignores negative samples entirely: the cost is ``1 - mean(F)`` over the
+    class's own samples.  Provided as an ablation of the cross-entropy
+    formulation; it converges but cannot push the state away from other
+    classes, which is why the paper adopts the cross-entropy form.
+    """
+
+    def __call__(self, fidelities: Sequence[float], targets: Sequence[float]) -> float:
+        fidelities = np.asarray(fidelities, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if fidelities.shape != targets.shape:
+            raise ValidationError(
+                f"fidelities shape {fidelities.shape} does not match targets shape {targets.shape}"
+            )
+        positives = fidelities[targets > 0.5]
+        if positives.size == 0:
+            return 0.0
+        return float(1.0 - np.mean(positives))
+
+    def per_sample(self, fidelities: Sequence[float], targets: Sequence[float]) -> np.ndarray:
+        fidelities = np.asarray(fidelities, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        return np.where(targets > 0.5, 1.0 - fidelities, 0.0)
+
+
+#: Type alias for cost callables: (fidelities, targets) -> float.
+CostFunction = Callable[[Sequence[float], Sequence[float]], float]
+
+
+def resolve_cost(cost: "str | CostFunction") -> CostFunction:
+    """Resolve a cost specification into a callable.
+
+    Accepts the strings ``"cross_entropy"`` (default in the paper) and
+    ``"negative_fidelity"`` or any already-callable cost object.
+    """
+    if callable(cost):
+        return cost
+    name = str(cost).strip().lower()
+    if name in ("cross_entropy", "bce", "fidelity_cross_entropy"):
+        return FidelityCrossEntropy()
+    if name in ("negative_fidelity", "fidelity"):
+        return NegativeFidelityCost()
+    raise ValidationError(f"unknown cost function '{cost}'")

@@ -1,0 +1,72 @@
+"""Multi-class inference from per-class fidelities (paper Section 4.5).
+
+At induction time QuClassi evaluates every class's discriminator against the
+sample and softmaxes the resulting fidelities; the class with the highest
+probability wins.  A temperature parameter is exposed because fidelities live
+in ``[0, 1]`` — a sharper softmax can be useful when many classes produce
+similar fidelities (the 10-class MNIST setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.math import softmax
+
+
+def fidelities_to_probabilities(fidelities: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Softmax per-class fidelities into class probabilities.
+
+    Parameters
+    ----------
+    fidelities:
+        Array of shape ``(n_samples, n_classes)`` (or ``(n_classes,)`` for a
+        single sample) of SWAP-test fidelities.
+    temperature:
+        Softmax temperature; smaller values sharpen the distribution.
+    """
+    if temperature <= 0:
+        raise ValidationError(f"temperature must be positive, got {temperature}")
+    fidelities = np.asarray(fidelities, dtype=float)
+    single = fidelities.ndim == 1
+    matrix = fidelities[None, :] if single else fidelities
+    if matrix.ndim != 2:
+        raise ValidationError(f"fidelities must be 1-D or 2-D, got shape {fidelities.shape}")
+    probabilities = softmax(matrix / temperature, axis=1)
+    return probabilities[0] if single else probabilities
+
+
+def predict_from_fidelities(fidelities: np.ndarray) -> np.ndarray:
+    """Predicted class labels: arg-max over per-class fidelities."""
+    fidelities = np.asarray(fidelities, dtype=float)
+    if fidelities.ndim == 1:
+        return np.array([int(np.argmax(fidelities))])
+    if fidelities.ndim != 2:
+        raise ValidationError(f"fidelities must be 1-D or 2-D, got shape {fidelities.shape}")
+    return np.argmax(fidelities, axis=1)
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValidationError(
+            f"predictions shape {predictions.shape} does not match labels shape {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValidationError("cannot compute accuracy of an empty prediction set")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = samples of true class ``i`` predicted as ``j``."""
+    predictions = np.asarray(predictions, dtype=int)
+    labels = np.asarray(labels, dtype=int)
+    if predictions.shape != labels.shape:
+        raise ValidationError("predictions and labels must have the same shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for true_label, predicted in zip(labels, predictions):
+        matrix[true_label, predicted] += 1
+    return matrix

@@ -1,0 +1,227 @@
+"""QuClassi's trainable quantum layers (paper Section 4.3).
+
+Three layer styles are defined, mirroring Figs. 2-4 of the paper:
+
+* :class:`SingleQubitUnitaryLayer` (``QC-S``) — every trained qubit gets an
+  RY followed by an RZ rotation, each with its own parameter; together the
+  two rotations can move a single qubit anywhere on the Bloch sphere.
+* :class:`DualQubitUnitaryLayer` (``QC-D``) — consecutive qubit pairs share a
+  single RY angle and a single RZ angle, applied equally to both qubits of
+  the pair (one parameter per rotation per pair).
+* :class:`EntanglementLayer` (``QC-E``) — consecutive qubit pairs are
+  entangled with a CRY followed by a CRZ, giving a learnable amount of
+  entanglement.
+
+Layers are *specifications*: they report how many parameters they need and
+emit parameterised instructions onto a circuit when asked.  A
+:class:`LayerStack` composes several layers and owns the flat parameter
+vector layout used by the trainer.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Parameter
+
+
+class QuantumLayer(abc.ABC):
+    """A parameterised block of gates acting on the trained-state qubits."""
+
+    #: Short code used in architecture strings ("s", "d", "e").
+    code: str = "?"
+
+    @abc.abstractmethod
+    def num_parameters(self, num_qubits: int) -> int:
+        """Number of trainable parameters for a register of ``num_qubits``."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        circuit: QuantumCircuit,
+        qubits: Sequence[int],
+        parameters: Sequence[Parameter],
+    ) -> None:
+        """Append the layer's gates to ``circuit`` on ``qubits``.
+
+        ``parameters`` must have exactly ``num_parameters(len(qubits))``
+        entries, consumed in a deterministic order so the flat parameter
+        vector layout is stable across calls.
+        """
+
+    def parameter_names(self, num_qubits: int, prefix: str) -> List[str]:
+        """Deterministic parameter names for documentation and serialisation."""
+        return [f"{prefix}_{self.code}{index}" for index in range(self.num_parameters(num_qubits))]
+
+    @staticmethod
+    def _pairs(qubits: Sequence[int]) -> List[Tuple[int, int]]:
+        """Consecutive qubit pairs ``(q0, q1), (q1, q2), ...`` used by 2-qubit layers.
+
+        A single-qubit register yields no pairs; two qubits yield one pair.
+        """
+        qubits = list(qubits)
+        if len(qubits) < 2:
+            return []
+        return [(qubits[i], qubits[i + 1]) for i in range(len(qubits) - 1)]
+
+
+class SingleQubitUnitaryLayer(QuantumLayer):
+    """QC-S: per-qubit RY + RZ rotations (2 parameters per qubit)."""
+
+    code = "s"
+
+    def num_parameters(self, num_qubits: int) -> int:
+        if num_qubits <= 0:
+            raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+        return 2 * num_qubits
+
+    def apply(self, circuit: QuantumCircuit, qubits: Sequence[int], parameters: Sequence[Parameter]) -> None:
+        expected = self.num_parameters(len(qubits))
+        if len(parameters) != expected:
+            raise ValidationError(f"QC-S layer expects {expected} parameters, got {len(parameters)}")
+        iterator = iter(parameters)
+        for qubit in qubits:
+            circuit.ry(next(iterator), qubit, label="trained")
+            circuit.rz(next(iterator), qubit, label="trained")
+
+
+class DualQubitUnitaryLayer(QuantumLayer):
+    """QC-D: shared RY + RZ rotation applied equally to both qubits of each pair."""
+
+    code = "d"
+
+    def num_parameters(self, num_qubits: int) -> int:
+        if num_qubits <= 0:
+            raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+        return 2 * max(num_qubits - 1, 0)
+
+    def apply(self, circuit: QuantumCircuit, qubits: Sequence[int], parameters: Sequence[Parameter]) -> None:
+        expected = self.num_parameters(len(qubits))
+        if len(parameters) != expected:
+            raise ValidationError(f"QC-D layer expects {expected} parameters, got {len(parameters)}")
+        iterator = iter(parameters)
+        for qubit_a, qubit_b in self._pairs(qubits):
+            theta_y = next(iterator)
+            theta_z = next(iterator)
+            # The same parameter drives the rotation on both qubits of the pair.
+            circuit.ry(theta_y, qubit_a, label="trained")
+            circuit.ry(theta_y, qubit_b, label="trained")
+            circuit.rz(theta_z, qubit_a, label="trained")
+            circuit.rz(theta_z, qubit_b, label="trained")
+
+
+class EntanglementLayer(QuantumLayer):
+    """QC-E: CRY + CRZ between consecutive qubit pairs (learnable entanglement)."""
+
+    code = "e"
+
+    def num_parameters(self, num_qubits: int) -> int:
+        if num_qubits <= 0:
+            raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+        return 2 * max(num_qubits - 1, 0)
+
+    def apply(self, circuit: QuantumCircuit, qubits: Sequence[int], parameters: Sequence[Parameter]) -> None:
+        expected = self.num_parameters(len(qubits))
+        if len(parameters) != expected:
+            raise ValidationError(f"QC-E layer expects {expected} parameters, got {len(parameters)}")
+        iterator = iter(parameters)
+        for qubit_a, qubit_b in self._pairs(qubits):
+            circuit.cry(next(iterator), qubit_a, qubit_b, label="trained")
+            circuit.crz(next(iterator), qubit_a, qubit_b, label="trained")
+
+
+#: Mapping from architecture-code characters to layer classes.
+LAYER_CODES: Dict[str, type] = {
+    "s": SingleQubitUnitaryLayer,
+    "d": DualQubitUnitaryLayer,
+    "e": EntanglementLayer,
+}
+
+
+def layers_from_architecture(architecture: str) -> List[QuantumLayer]:
+    """Build a layer list from an architecture string.
+
+    ``"s"`` gives QC-S, ``"sd"`` QC-SD, ``"sde"`` QC-SDE, matching the names
+    used in the paper's figures.  Characters may repeat (e.g. ``"ss"`` stacks
+    two single-qubit-unitary layers).
+    """
+    architecture = architecture.strip().lower().replace("qc-", "")
+    if not architecture:
+        raise ValidationError("architecture string must not be empty")
+    layers: List[QuantumLayer] = []
+    for code in architecture:
+        if code not in LAYER_CODES:
+            raise ValidationError(
+                f"unknown layer code '{code}'; valid codes are {sorted(LAYER_CODES)}"
+            )
+        layers.append(LAYER_CODES[code]())
+    return layers
+
+
+@dataclasses.dataclass
+class LayerStack:
+    """An ordered stack of layers over a fixed trained-state register width.
+
+    The stack owns the flat parameter layout: parameters of layer ``i`` come
+    before those of layer ``i + 1``, and within a layer they follow the
+    layer's own deterministic ordering.
+    """
+
+    layers: List[QuantumLayer]
+    num_qubits: int
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValidationError(f"num_qubits must be positive, got {self.num_qubits}")
+        if not self.layers:
+            raise ValidationError("a LayerStack needs at least one layer")
+
+    @classmethod
+    def from_architecture(cls, architecture: str, num_qubits: int) -> "LayerStack":
+        """Build a stack from an architecture string such as ``"sde"``."""
+        return cls(layers=layers_from_architecture(architecture), num_qubits=num_qubits)
+
+    @property
+    def architecture(self) -> str:
+        """Architecture string of the stack (e.g. ``"sde"``)."""
+        return "".join(layer.code for layer in self.layers)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable parameters."""
+        return sum(layer.num_parameters(self.num_qubits) for layer in self.layers)
+
+    def parameters(self, prefix: str = "theta") -> List[Parameter]:
+        """Symbolic parameters in flat order."""
+        params: List[Parameter] = []
+        for layer_index, layer in enumerate(self.layers):
+            count = layer.num_parameters(self.num_qubits)
+            for local_index in range(count):
+                params.append(Parameter(f"{prefix}_l{layer_index}_{layer.code}{local_index}"))
+        return params
+
+    def build_circuit(
+        self,
+        qubits: Sequence[int],
+        total_qubits: int,
+        prefix: str = "theta",
+        name: str = "trained_state",
+    ) -> QuantumCircuit:
+        """Parameterised trained-state preparation circuit on ``qubits``."""
+        qubits = list(qubits)
+        if len(qubits) != self.num_qubits:
+            raise ValidationError(
+                f"stack is configured for {self.num_qubits} qubits, got {len(qubits)}"
+            )
+        circuit = QuantumCircuit(total_qubits, 0, name=name)
+        params = self.parameters(prefix)
+        cursor = 0
+        for layer in self.layers:
+            count = layer.num_parameters(self.num_qubits)
+            layer.apply(circuit, qubits, params[cursor : cursor + count])
+            cursor += count
+        return circuit

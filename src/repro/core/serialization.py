@@ -1,0 +1,103 @@
+"""Model persistence.
+
+Stores a trained :class:`~repro.core.model.QuClassi` as a small JSON document
+(architecture, encoder choice, temperature, per-class weights).  JSON keeps
+the artefacts human-readable and diff-able, which matters more here than
+binary compactness — even the largest model in the paper has 160 parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.encoding.amplitude import AmplitudeEncoder
+from repro.encoding.angle import DualAngleEncoder, SingleAngleEncoder
+from repro.encoding.basis import BasisEncoder
+from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import QuClassi
+
+#: Encoder registry used to round-trip the encoder choice through JSON.
+_ENCODER_NAMES = {
+    DualAngleEncoder: "dual_angle",
+    SingleAngleEncoder: "single_angle",
+    AmplitudeEncoder: "amplitude",
+    BasisEncoder: "basis",
+}
+_ENCODER_FACTORIES = {
+    "dual_angle": DualAngleEncoder,
+    "single_angle": SingleAngleEncoder,
+    "amplitude": AmplitudeEncoder,
+    "basis": BasisEncoder,
+}
+
+#: Format version written into every file (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: "QuClassi") -> dict:
+    """Serialisable dictionary form of a model."""
+    encoder_type = type(model.encoder)
+    if encoder_type not in _ENCODER_NAMES:
+        raise ValidationError(
+            f"cannot serialise models using a custom encoder of type {encoder_type.__name__}"
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "model": "QuClassi",
+        "num_features": model.num_features,
+        "num_classes": model.num_classes,
+        "architecture": model.architecture,
+        "encoder": _ENCODER_NAMES[encoder_type],
+        "temperature": model.temperature,
+        "weights": model.parameters_.tolist(),
+    }
+
+
+def model_from_dict(payload: dict) -> "QuClassi":
+    """Rebuild a model from :func:`model_to_dict` output."""
+    from repro.core.model import QuClassi
+
+    required = {"format_version", "model", "num_features", "num_classes", "architecture", "encoder", "weights"}
+    missing = required - payload.keys()
+    if missing:
+        raise ValidationError(f"model payload is missing fields: {sorted(missing)}")
+    if payload["model"] != "QuClassi":
+        raise ValidationError(f"unsupported model type {payload['model']!r}")
+    if payload["format_version"] > FORMAT_VERSION:
+        raise ValidationError(
+            f"model file format {payload['format_version']} is newer than supported ({FORMAT_VERSION})"
+        )
+    encoder_name = payload["encoder"]
+    if encoder_name not in _ENCODER_FACTORIES:
+        raise ValidationError(f"unknown encoder {encoder_name!r} in model file")
+    model = QuClassi(
+        num_features=int(payload["num_features"]),
+        num_classes=int(payload["num_classes"]),
+        architecture=str(payload["architecture"]),
+        encoder=_ENCODER_FACTORIES[encoder_name](),
+        temperature=float(payload.get("temperature", 1.0)),
+        seed=0,
+    )
+    model.set_weights(np.asarray(payload["weights"], dtype=float))
+    return model
+
+
+def save_model(model: "QuClassi", path: str) -> None:
+    """Write a model to ``path`` as JSON (parent directories are created)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(model_to_dict(model), handle, indent=2)
+
+
+def load_model(path: str) -> "QuClassi":
+    """Read a model previously written by :func:`save_model`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return model_from_dict(payload)

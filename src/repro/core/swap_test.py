@@ -1,0 +1,163 @@
+"""Fidelity estimation strategies for QuClassi training and inference.
+
+Two estimators implement the same interface:
+
+* :class:`AnalyticFidelityEstimator` — evolves the trained-state and
+  data-state statevectors separately and computes ``|<omega|phi>|^2`` in
+  closed form.  Exact and fast; this is the default for simulator results.
+* :class:`SwapTestFidelityEstimator` — builds the full SWAP-test
+  discriminator circuit and executes it on any
+  :class:`~repro.quantum.backend.Backend` (ideal, finite-shot, or a noisy
+  simulated device), recovering the fidelity from the ancilla statistics.
+  This is the path used for the hardware experiments and the shots ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.circuit_builder import DiscriminatorCircuitBuilder
+from repro.exceptions import ValidationError
+from repro.quantum.backend import Backend, IdealBackend
+from repro.quantum.fidelity import fidelity_from_swap_test_probability
+from repro.quantum.statevector import Statevector
+
+
+class FidelityEstimator(abc.ABC):
+    """Estimates the fidelity between a class's trained state and a data point."""
+
+    def __init__(self, builder: DiscriminatorCircuitBuilder) -> None:
+        self.builder = builder
+
+    @abc.abstractmethod
+    def fidelity(self, parameter_values: Sequence[float], features: Sequence[float]) -> float:
+        """Fidelity for one data point under the given trained-state parameters."""
+
+    def fidelities(self, parameter_values: Sequence[float], feature_matrix: np.ndarray) -> np.ndarray:
+        """Fidelities for every row of ``feature_matrix`` (default: loop)."""
+        feature_matrix = np.asarray(feature_matrix, dtype=float)
+        return np.array(
+            [self.fidelity(parameter_values, row) for row in feature_matrix], dtype=float
+        )
+
+
+class AnalyticFidelityEstimator(FidelityEstimator):
+    """Closed-form fidelity via statevector overlap.
+
+    Data states depend only on the features, so they are memoised: the
+    trainer sweeps hundreds of parameter shifts against the same samples and
+    the cached encodings turn each sweep into a single matrix-vector product.
+    """
+
+    def __init__(self, builder: DiscriminatorCircuitBuilder) -> None:
+        super().__init__(builder)
+        self._data_state_cache: dict = {}
+        self._program = self._compile_program()
+
+    def _compile_program(self) -> list:
+        """Flatten the symbolic trained-state circuit into a gate program.
+
+        Each entry is ``(gate_name, qubits, param_slots)`` where a slot is
+        either ``("index", i)`` for the ``i``-th trainable parameter or
+        ``("value", v)`` for a fixed angle.  Evaluating the program avoids
+        rebuilding and re-binding circuit objects inside the training loop's
+        thousands of parameter-shift evaluations.
+        """
+        symbolic = self.builder.trained_state_circuit(None)
+        order = {param: index for index, param in enumerate(self.builder.parameters)}
+        program = []
+        for instruction in symbolic.instructions:
+            if instruction.name == "barrier":
+                continue
+            slots = []
+            for param in instruction.params:
+                if hasattr(param, "name"):
+                    slots.append(("index", order[param]))
+                else:
+                    slots.append(("value", float(param)))
+            program.append((instruction.name, instruction.qubits, tuple(slots)))
+        return program
+
+    # ------------------------------------------------------------------ #
+    def trained_statevector(self, parameter_values: Sequence[float]) -> Statevector:
+        """Trained state ``|omega(theta)>`` on the standalone register."""
+        from repro.quantum import gates as gate_library
+
+        values = np.asarray(parameter_values, dtype=float)
+        state = Statevector(self.builder.layout.state_width)
+        for name, qubits, slots in self._program:
+            params = tuple(
+                values[slot_value] if slot_kind == "index" else slot_value
+                for slot_kind, slot_value in slots
+            )
+            state.apply_matrix(gate_library.gate_matrix(name, *params), qubits)
+        return state
+
+    def data_statevector(self, features: Sequence[float]) -> Statevector:
+        """Encoded data state ``|phi(x)>`` (memoised per feature vector)."""
+        key = tuple(np.round(np.asarray(features, dtype=float), 12))
+        cached = self._data_state_cache.get(key)
+        if cached is None:
+            circuit = self.builder.data_state_circuit(features)
+            cached = Statevector(circuit.num_qubits).evolve(circuit)
+            self._data_state_cache[key] = cached
+        return cached
+
+    def data_state_matrix(self, feature_matrix: np.ndarray) -> np.ndarray:
+        """Stacked data-state amplitudes, one row per sample."""
+        feature_matrix = np.asarray(feature_matrix, dtype=float)
+        return np.stack([self.data_statevector(row).data for row in feature_matrix])
+
+    # ------------------------------------------------------------------ #
+    def fidelity(self, parameter_values: Sequence[float], features: Sequence[float]) -> float:
+        omega = self.trained_statevector(parameter_values)
+        phi = self.data_statevector(features)
+        return omega.fidelity(phi)
+
+    def fidelities(self, parameter_values: Sequence[float], feature_matrix: np.ndarray) -> np.ndarray:
+        omega = self.trained_statevector(parameter_values).data
+        data_matrix = self.data_state_matrix(feature_matrix)
+        overlaps = data_matrix.conj() @ omega
+        return np.abs(overlaps) ** 2
+
+    def clear_cache(self) -> None:
+        """Drop memoised data states (e.g. when switching datasets)."""
+        self._data_state_cache.clear()
+
+
+class SwapTestFidelityEstimator(FidelityEstimator):
+    """Fidelity from SWAP-test ancilla statistics on an execution backend.
+
+    Parameters
+    ----------
+    builder:
+        Discriminator circuit builder.
+    backend:
+        Execution backend; defaults to an ideal statevector backend.
+    shots:
+        Number of shots per circuit; ``None`` requests exact probabilities
+        (only meaningful on noiseless backends).
+    """
+
+    def __init__(
+        self,
+        builder: DiscriminatorCircuitBuilder,
+        backend: Optional[Backend] = None,
+        shots: Optional[int] = 1024,
+    ) -> None:
+        super().__init__(builder)
+        self.backend = backend if backend is not None else IdealBackend()
+        if shots is not None and shots <= 0:
+            raise ValidationError(f"shots must be positive or None, got {shots}")
+        self.shots = shots
+        #: Number of circuits executed so far (cost accounting for reports).
+        self.circuits_executed = 0
+
+    def fidelity(self, parameter_values: Sequence[float], features: Sequence[float]) -> float:
+        circuit = self.builder.build(features, parameter_values=parameter_values)
+        probability_zero = self.backend.ancilla_zero_probability(circuit, shots=self.shots)
+        self.circuits_executed += 1
+        return fidelity_from_swap_test_probability(probability_zero)

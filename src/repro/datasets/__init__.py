@@ -1,0 +1,37 @@
+"""Datasets and preprocessing used by the paper's experiments."""
+
+from repro.datasets.iris import (
+    IRIS_CLASS_NAMES,
+    IRIS_FEATURE_NAMES,
+    Dataset,
+    load_iris,
+)
+from repro.datasets.pca import PCA
+from repro.datasets.preprocessing import (
+    PreparedData,
+    prepare_task,
+    select_classes,
+    subsample,
+    train_test_split,
+)
+from repro.datasets.synthetic_mnist import (
+    IMAGE_SIZE,
+    generate_synthetic_mnist,
+    render_digit,
+)
+
+__all__ = [
+    "IRIS_CLASS_NAMES",
+    "IRIS_FEATURE_NAMES",
+    "Dataset",
+    "load_iris",
+    "PCA",
+    "PreparedData",
+    "prepare_task",
+    "select_classes",
+    "subsample",
+    "train_test_split",
+    "IMAGE_SIZE",
+    "generate_synthetic_mnist",
+    "render_digit",
+]

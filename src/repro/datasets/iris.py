@@ -1,0 +1,145 @@
+"""Fisher's Iris dataset, embedded.
+
+The paper's multi-class proof of concept (Section 5.2) uses the classic Iris
+dataset: 150 samples, 4 numeric features (sepal length/width, petal
+length/width in centimetres), 3 classes (Setosa, Versicolour, Virginica).
+The table is public domain and tiny, so it is embedded verbatim rather than
+downloaded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+#: Class names in label order (label ``i`` corresponds to ``IRIS_CLASS_NAMES[i]``).
+IRIS_CLASS_NAMES: Tuple[str, str, str] = ("setosa", "versicolour", "virginica")
+
+#: Feature names in column order.
+IRIS_FEATURE_NAMES: Tuple[str, str, str, str] = (
+    "sepal_length_cm",
+    "sepal_width_cm",
+    "petal_length_cm",
+    "petal_width_cm",
+)
+
+# fmt: off
+_IRIS_SETOSA = [
+    [5.1, 3.5, 1.4, 0.2], [4.9, 3.0, 1.4, 0.2], [4.7, 3.2, 1.3, 0.2], [4.6, 3.1, 1.5, 0.2],
+    [5.0, 3.6, 1.4, 0.2], [5.4, 3.9, 1.7, 0.4], [4.6, 3.4, 1.4, 0.3], [5.0, 3.4, 1.5, 0.2],
+    [4.4, 2.9, 1.4, 0.2], [4.9, 3.1, 1.5, 0.1], [5.4, 3.7, 1.5, 0.2], [4.8, 3.4, 1.6, 0.2],
+    [4.8, 3.0, 1.4, 0.1], [4.3, 3.0, 1.1, 0.1], [5.8, 4.0, 1.2, 0.2], [5.7, 4.4, 1.5, 0.4],
+    [5.4, 3.9, 1.3, 0.4], [5.1, 3.5, 1.4, 0.3], [5.7, 3.8, 1.7, 0.3], [5.1, 3.8, 1.5, 0.3],
+    [5.4, 3.4, 1.7, 0.2], [5.1, 3.7, 1.5, 0.4], [4.6, 3.6, 1.0, 0.2], [5.1, 3.3, 1.7, 0.5],
+    [4.8, 3.4, 1.9, 0.2], [5.0, 3.0, 1.6, 0.2], [5.0, 3.4, 1.6, 0.4], [5.2, 3.5, 1.5, 0.2],
+    [5.2, 3.4, 1.4, 0.2], [4.7, 3.2, 1.6, 0.2], [4.8, 3.1, 1.6, 0.2], [5.4, 3.4, 1.5, 0.4],
+    [5.2, 4.1, 1.5, 0.1], [5.5, 4.2, 1.4, 0.2], [4.9, 3.1, 1.5, 0.2], [5.0, 3.2, 1.2, 0.2],
+    [5.5, 3.5, 1.3, 0.2], [4.9, 3.6, 1.4, 0.1], [4.4, 3.0, 1.3, 0.2], [5.1, 3.4, 1.5, 0.2],
+    [5.0, 3.5, 1.3, 0.3], [4.5, 2.3, 1.3, 0.3], [4.4, 3.2, 1.3, 0.2], [5.0, 3.5, 1.6, 0.6],
+    [5.1, 3.8, 1.9, 0.4], [4.8, 3.0, 1.4, 0.3], [5.1, 3.8, 1.6, 0.2], [4.6, 3.2, 1.4, 0.2],
+    [5.3, 3.7, 1.5, 0.2], [5.0, 3.3, 1.4, 0.2],
+]
+
+_IRIS_VERSICOLOUR = [
+    [7.0, 3.2, 4.7, 1.4], [6.4, 3.2, 4.5, 1.5], [6.9, 3.1, 4.9, 1.5], [5.5, 2.3, 4.0, 1.3],
+    [6.5, 2.8, 4.6, 1.5], [5.7, 2.8, 4.5, 1.3], [6.3, 3.3, 4.7, 1.6], [4.9, 2.4, 3.3, 1.0],
+    [6.6, 2.9, 4.6, 1.3], [5.2, 2.7, 3.9, 1.4], [5.0, 2.0, 3.5, 1.0], [5.9, 3.0, 4.2, 1.5],
+    [6.0, 2.2, 4.0, 1.0], [6.1, 2.9, 4.7, 1.4], [5.6, 2.9, 3.6, 1.3], [6.7, 3.1, 4.4, 1.4],
+    [5.6, 3.0, 4.5, 1.5], [5.8, 2.7, 4.1, 1.0], [6.2, 2.2, 4.5, 1.5], [5.6, 2.5, 3.9, 1.1],
+    [5.9, 3.2, 4.8, 1.8], [6.1, 2.8, 4.0, 1.3], [6.3, 2.5, 4.9, 1.5], [6.1, 2.8, 4.7, 1.2],
+    [6.4, 2.9, 4.3, 1.3], [6.6, 3.0, 4.4, 1.4], [6.8, 2.8, 4.8, 1.4], [6.7, 3.0, 5.0, 1.7],
+    [6.0, 2.9, 4.5, 1.5], [5.7, 2.6, 3.5, 1.0], [5.5, 2.4, 3.8, 1.1], [5.5, 2.4, 3.7, 1.0],
+    [5.8, 2.7, 3.9, 1.2], [6.0, 2.7, 5.1, 1.6], [5.4, 3.0, 4.5, 1.5], [6.0, 3.4, 4.5, 1.6],
+    [6.7, 3.1, 4.7, 1.5], [6.3, 2.3, 4.4, 1.3], [5.6, 3.0, 4.1, 1.3], [5.5, 2.5, 4.0, 1.3],
+    [5.5, 2.6, 4.4, 1.2], [6.1, 3.0, 4.6, 1.4], [5.8, 2.6, 4.0, 1.2], [5.0, 2.3, 3.3, 1.0],
+    [5.6, 2.7, 4.2, 1.3], [5.7, 3.0, 4.2, 1.2], [5.7, 2.9, 4.2, 1.3], [6.2, 2.9, 4.3, 1.3],
+    [5.1, 2.5, 3.0, 1.1], [5.7, 2.8, 4.1, 1.3],
+]
+
+_IRIS_VIRGINICA = [
+    [6.3, 3.3, 6.0, 2.5], [5.8, 2.7, 5.1, 1.9], [7.1, 3.0, 5.9, 2.1], [6.3, 2.9, 5.6, 1.8],
+    [6.5, 3.0, 5.8, 2.2], [7.6, 3.0, 6.6, 2.1], [4.9, 2.5, 4.5, 1.7], [7.3, 2.9, 6.3, 1.8],
+    [6.7, 2.5, 5.8, 1.8], [7.2, 3.6, 6.1, 2.5], [6.5, 3.2, 5.1, 2.0], [6.4, 2.7, 5.3, 1.9],
+    [6.8, 3.0, 5.5, 2.1], [5.7, 2.5, 5.0, 2.0], [5.8, 2.8, 5.1, 2.4], [6.4, 3.2, 5.3, 2.3],
+    [6.5, 3.0, 5.5, 1.8], [7.7, 3.8, 6.7, 2.2], [7.7, 2.6, 6.9, 2.3], [6.0, 2.2, 5.0, 1.5],
+    [6.9, 3.2, 5.7, 2.3], [5.6, 2.8, 4.9, 2.0], [7.7, 2.8, 6.7, 2.0], [6.3, 2.7, 4.9, 1.8],
+    [6.7, 3.3, 5.7, 2.1], [7.2, 3.2, 6.0, 1.8], [6.2, 2.8, 4.8, 1.8], [6.1, 3.0, 4.9, 1.8],
+    [6.4, 2.8, 5.6, 2.1], [7.2, 3.0, 5.8, 1.6], [7.4, 2.8, 6.1, 1.9], [7.9, 3.8, 6.4, 2.0],
+    [6.4, 2.8, 5.6, 2.2], [6.3, 2.8, 5.1, 1.5], [6.1, 2.6, 5.6, 1.4], [7.7, 3.0, 6.1, 2.3],
+    [6.3, 3.4, 5.6, 2.4], [6.4, 3.1, 5.5, 1.8], [6.0, 3.0, 4.8, 1.8], [6.9, 3.1, 5.4, 2.1],
+    [6.7, 3.1, 5.6, 2.4], [6.9, 3.1, 5.1, 2.3], [5.8, 2.7, 5.1, 1.9], [6.8, 3.2, 5.9, 2.3],
+    [6.7, 3.3, 5.7, 2.5], [6.7, 3.0, 5.2, 2.3], [6.3, 2.5, 5.0, 1.9], [6.5, 3.0, 5.2, 2.0],
+    [6.2, 3.4, 5.4, 2.3], [5.9, 3.0, 5.1, 1.8],
+]
+# fmt: on
+
+
+@dataclasses.dataclass(frozen=True)
+class Dataset:
+    """A labelled numeric dataset.
+
+    Attributes
+    ----------
+    features:
+        Array of shape ``(n_samples, n_features)``.
+    labels:
+        Integer labels of shape ``(n_samples,)``.
+    class_names:
+        Human-readable class names indexed by label.
+    feature_names:
+        Names of the feature columns.
+    name:
+        Dataset identifier used in experiment reports.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    class_names: Tuple[str, ...]
+    feature_names: Tuple[str, ...]
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", np.asarray(self.features, dtype=float))
+        object.__setattr__(self, "labels", np.asarray(self.labels, dtype=int))
+        if self.features.ndim < 2:
+            raise ValueError(
+                f"features must have at least 2 dimensions (samples x features), "
+                f"got shape {self.features.shape}"
+            )
+        if self.labels.shape != (self.features.shape[0],):
+            raise ValueError("labels must have one entry per sample")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples."""
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        """Number of feature values per sample (image datasets count pixels)."""
+        return int(np.prod(self.features.shape[1:]))
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes present."""
+        return int(np.unique(self.labels).size)
+
+    def class_counts(self) -> dict:
+        """Histogram of samples per label."""
+        unique, counts = np.unique(self.labels, return_counts=True)
+        return {int(label): int(count) for label, count in zip(unique, counts)}
+
+
+def load_iris() -> Dataset:
+    """Load the embedded Iris dataset (150 samples, 4 features, 3 classes)."""
+    features = np.array(_IRIS_SETOSA + _IRIS_VERSICOLOUR + _IRIS_VIRGINICA, dtype=float)
+    labels = np.array([0] * 50 + [1] * 50 + [2] * 50, dtype=int)
+    return Dataset(
+        features=features,
+        labels=labels,
+        class_names=IRIS_CLASS_NAMES,
+        feature_names=IRIS_FEATURE_NAMES,
+        name="iris",
+    )

@@ -1,0 +1,210 @@
+"""Dataset preprocessing: splits, class selection, subsampling, pipelines.
+
+These helpers reproduce the data path of the paper's experiments:
+select the task's classes → (optionally) PCA → min-max normalise into
+``[0, 1]`` → train/test split → feed to QuClassi and to the baselines
+(the paper stresses that classical baselines receive exactly the same
+normalised, PCA-reduced data).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.iris import Dataset
+from repro.datasets.pca import PCA
+from repro.encoding.normalization import MinMaxNormalizer
+from repro.exceptions import DatasetError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def select_classes(dataset: Dataset, classes: Sequence[int], relabel: bool = True) -> Dataset:
+    """Restrict a dataset to ``classes``.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    classes:
+        Original labels to keep, in the order they should be re-indexed.
+    relabel:
+        When true (default), labels are re-indexed to ``0..len(classes)-1``
+        following the order of ``classes``; class names are carried over.
+    """
+    classes = tuple(int(c) for c in classes)
+    if len(set(classes)) != len(classes) or not classes:
+        raise DatasetError(f"classes must be a non-empty set of distinct labels, got {classes}")
+    mask = np.isin(dataset.labels, classes)
+    if not mask.any():
+        raise DatasetError(f"no samples found for classes {classes}")
+    features = dataset.features[mask]
+    labels = dataset.labels[mask]
+    if relabel:
+        mapping = {original: new for new, original in enumerate(classes)}
+        labels = np.array([mapping[int(label)] for label in labels], dtype=int)
+        class_names = tuple(
+            dataset.class_names[original] if original < len(dataset.class_names) else str(original)
+            for original in classes
+        )
+    else:
+        class_names = dataset.class_names
+    return Dataset(
+        features=features,
+        labels=labels,
+        class_names=class_names,
+        feature_names=dataset.feature_names,
+        name=f"{dataset.name}_{'_'.join(str(c) for c in classes)}",
+    )
+
+
+def subsample(dataset: Dataset, samples_per_class: int, rng: RandomState = None) -> Dataset:
+    """Take a balanced random subsample (the artifact's ``SUBSAMPLE`` knob)."""
+    if samples_per_class <= 0:
+        raise DatasetError(f"samples_per_class must be positive, got {samples_per_class}")
+    generator = ensure_rng(rng)
+    indices = []
+    for label in np.unique(dataset.labels):
+        label_indices = np.flatnonzero(dataset.labels == label)
+        if samples_per_class > label_indices.size:
+            raise DatasetError(
+                f"class {label} has only {label_indices.size} samples, "
+                f"cannot subsample {samples_per_class}"
+            )
+        chosen = generator.choice(label_indices, size=samples_per_class, replace=False)
+        indices.append(chosen)
+    order = np.concatenate(indices)
+    return Dataset(
+        features=dataset.features[order],
+        labels=dataset.labels[order],
+        class_names=dataset.class_names,
+        feature_names=dataset.feature_names,
+        name=f"{dataset.name}_sub{samples_per_class}",
+    )
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.3,
+    rng: RandomState = None,
+    stratify: bool = True,
+) -> Tuple[Dataset, Dataset]:
+    """Split into train and test subsets, stratified by class by default."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    generator = ensure_rng(rng)
+    train_indices = []
+    test_indices = []
+    if stratify:
+        for label in np.unique(dataset.labels):
+            label_indices = np.flatnonzero(dataset.labels == label)
+            permuted = generator.permutation(label_indices)
+            n_test = max(1, int(round(test_fraction * permuted.size)))
+            if n_test >= permuted.size:
+                n_test = permuted.size - 1
+            test_indices.append(permuted[:n_test])
+            train_indices.append(permuted[n_test:])
+        train_order = np.concatenate(train_indices)
+        test_order = np.concatenate(test_indices)
+    else:
+        permuted = generator.permutation(dataset.num_samples)
+        n_test = max(1, int(round(test_fraction * dataset.num_samples)))
+        test_order = permuted[:n_test]
+        train_order = permuted[n_test:]
+    train_order = generator.permutation(train_order)
+    test_order = generator.permutation(test_order)
+
+    def build(split_name: str, order: np.ndarray) -> Dataset:
+        return Dataset(
+            features=dataset.features[order],
+            labels=dataset.labels[order],
+            class_names=dataset.class_names,
+            feature_names=dataset.feature_names,
+            name=f"{dataset.name}_{split_name}",
+        )
+
+    return build("train", train_order), build("test", test_order)
+
+
+@dataclasses.dataclass
+class PreparedData:
+    """A ready-to-train task: normalised train/test splits plus the fitted pipeline.
+
+    Attributes
+    ----------
+    x_train, y_train, x_test, y_test:
+        Normalised features in ``[0, 1]`` and integer labels re-indexed to
+        ``0..n_classes-1``.
+    class_names:
+        Names of the task's classes in label order.
+    pca:
+        Fitted PCA (``None`` when no reduction was applied).
+    normalizer:
+        Fitted min-max normalizer.
+    """
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    class_names: Tuple[str, ...]
+    pca: Optional[PCA]
+    normalizer: MinMaxNormalizer
+
+    @property
+    def num_features(self) -> int:
+        """Number of (reduced) feature dimensions."""
+        return int(self.x_train.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes in the task."""
+        return len(self.class_names)
+
+
+def prepare_task(
+    dataset: Dataset,
+    classes: Optional[Sequence[int]] = None,
+    n_components: Optional[int] = None,
+    test_fraction: float = 0.3,
+    samples_per_class: Optional[int] = None,
+    margin: float = 0.0,
+    rng: RandomState = None,
+) -> PreparedData:
+    """Run the full preprocessing pipeline for one classification task.
+
+    Steps: class selection → balanced subsampling → train/test split →
+    PCA fitted on the training split → min-max normalisation into ``[0, 1]``
+    fitted on the training split.
+    """
+    generator = ensure_rng(rng)
+    task = select_classes(dataset, classes) if classes is not None else dataset
+    if samples_per_class is not None:
+        task = subsample(task, samples_per_class, rng=generator)
+    train, test = train_test_split(task, test_fraction=test_fraction, rng=generator)
+
+    pca: Optional[PCA] = None
+    x_train, x_test = train.features, test.features
+    if n_components is not None and n_components < x_train.shape[1]:
+        # PCA cannot produce more components than training samples; clamp so
+        # heavily subsampled runs (e.g. hardware experiments) still work.
+        effective_components = min(n_components, x_train.shape[0])
+        pca = PCA(effective_components)
+        x_train = pca.fit_transform(x_train)
+        x_test = pca.transform(x_test)
+
+    normalizer = MinMaxNormalizer(margin=margin)
+    x_train = normalizer.fit_transform(x_train)
+    x_test = normalizer.transform(x_test)
+
+    return PreparedData(
+        x_train=x_train,
+        y_train=train.labels,
+        x_test=x_test,
+        y_test=test.labels,
+        class_names=task.class_names,
+        pca=pca,
+        normalizer=normalizer,
+    )

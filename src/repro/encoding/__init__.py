@@ -1,0 +1,17 @@
+"""Classical-to-quantum data encodings (paper Section 4.2)."""
+
+from repro.encoding.amplitude import AmplitudeEncoder
+from repro.encoding.angle import DualAngleEncoder, SingleAngleEncoder, rotation_angle
+from repro.encoding.base import DataEncoder
+from repro.encoding.basis import BasisEncoder
+from repro.encoding.normalization import MinMaxNormalizer
+
+__all__ = [
+    "AmplitudeEncoder",
+    "DualAngleEncoder",
+    "SingleAngleEncoder",
+    "rotation_angle",
+    "DataEncoder",
+    "BasisEncoder",
+    "MinMaxNormalizer",
+]

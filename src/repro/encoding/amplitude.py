@@ -1,0 +1,146 @@
+"""Amplitude (state-vector) encoding.
+
+Encodes ``2**n`` classical values into the amplitudes of an ``n``-qubit state.
+The paper mentions this as the qubit-cheapest but most noise-sensitive end of
+the encoding spectrum; it is provided for the encoding ablation benchmark and
+for users who want maximal data density.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.encoding.base import DataEncoder
+from repro.exceptions import EncodingError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector
+
+
+class AmplitudeEncoder(DataEncoder):
+    """Encode a feature vector as the amplitudes of a quantum state.
+
+    Vectors are padded with zeros up to the next power of two and normalised
+    to unit Euclidean norm.  The state-preparation circuit uses the standard
+    branch-probability construction: at tree depth ``d`` a multiplexed RY
+    rotation conditioned on the first ``d`` qubits splits the remaining norm
+    between the two sub-branches.  Multiplexed rotations are decomposed
+    recursively into RY and CX gates only, so the circuit stays in the native
+    basis of the simulated hardware.
+
+    The encoder only supports non-negative features (as produced by the
+    min-max normalisation used throughout the library); signs would require
+    an extra multiplexed RZ stage that QuClassi never needs.
+    """
+
+    def num_qubits(self, num_features: int) -> int:
+        """Qubits needed: ``ceil(log2(num_features))`` (minimum one)."""
+        if num_features <= 0:
+            raise EncodingError(f"num_features must be positive, got {num_features}")
+        return max(1, math.ceil(math.log2(num_features)))
+
+    def amplitudes(self, features: Sequence[float]) -> np.ndarray:
+        """Zero-padded, unit-norm amplitude vector for ``features``."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 1 or features.size == 0:
+            raise EncodingError("features must be a non-empty 1-D vector")
+        if not np.all(np.isfinite(features)):
+            raise EncodingError("features contain non-finite values")
+        if np.any(features < 0):
+            raise EncodingError("amplitude encoding expects non-negative features; shift them first")
+        width = self.num_qubits(features.size)
+        padded = np.zeros(2**width, dtype=float)
+        padded[: features.size] = features
+        norm = np.linalg.norm(padded)
+        if norm == 0:
+            raise EncodingError("cannot amplitude-encode an all-zero feature vector")
+        return padded / norm
+
+    def encode(self, features: Sequence[float]) -> Statevector:
+        """Return the encoded state directly (no circuit synthesis needed)."""
+        return Statevector(self.amplitudes(features).astype(complex))
+
+    def encoding_circuit(
+        self,
+        features: Sequence[float],
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """Synthesise an RY/CX state-preparation circuit for the amplitude vector."""
+        amplitudes = self.amplitudes(features)
+        width = self.num_qubits(len(np.asarray(features)))
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="amplitude_encoding")
+        qubits = [offset + q for q in range(width)]
+        for depth in range(width):
+            angles = self._branch_angles(amplitudes, depth, width)
+            self._multiplexed_ry(circuit, angles, qubits[:depth], qubits[depth])
+        return circuit
+
+    # ------------------------------------------------------------------ #
+    # Internal synthesis helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _branch_angles(amplitudes: np.ndarray, depth: int, width: int) -> List[float]:
+        """Rotation angles of the multiplexed RY at tree depth ``depth``.
+
+        For each prefix bit-pattern ``p`` of length ``depth``, the angle is
+        ``2 * atan2(||lower branch||, ||upper branch||)`` where the branches
+        split the amplitudes whose index starts with ``p``.
+        """
+        block = 2 ** (width - depth)
+        half = block // 2
+        angles: List[float] = []
+        for prefix in range(2**depth):
+            segment = amplitudes[prefix * block : (prefix + 1) * block]
+            norm_upper = float(np.linalg.norm(segment[:half]))
+            norm_lower = float(np.linalg.norm(segment[half:]))
+            if norm_upper == 0.0 and norm_lower == 0.0:
+                angles.append(0.0)
+            else:
+                angles.append(2.0 * math.atan2(norm_lower, norm_upper))
+        return angles
+
+    @classmethod
+    def _multiplexed_ry(
+        cls,
+        circuit: QuantumCircuit,
+        angles: Sequence[float],
+        controls: Sequence[int],
+        target: int,
+    ) -> None:
+        """Apply RY(angles[p]) on ``target`` for each control pattern ``p``.
+
+        Pattern indices treat ``controls[0]`` as the most significant bit.
+        Decomposed recursively with the identity ``RY(a) ⊕ RY(b) =
+        RY((a+b)/2) · CX · RY((a-b)/2) · CX`` (applied circuit-order
+        left-to-right), which uses only RY and CX gates.
+        """
+        angles = list(angles)
+        if len(angles) != 2 ** len(controls):
+            raise EncodingError(
+                f"multiplexed rotation over {len(controls)} controls needs "
+                f"{2 ** len(controls)} angles, got {len(angles)}"
+            )
+        if not controls:
+            if abs(angles[0]) > 1e-12:
+                circuit.ry(angles[0], target, label="data")
+            return
+        if all(abs(a) < 1e-12 for a in angles):
+            return
+        half = len(angles) // 2
+        upper = np.asarray(angles[:half])   # controls[0] == 0 branch
+        lower = np.asarray(angles[half:])   # controls[0] == 1 branch
+        sums = (upper + lower) / 2.0
+        diffs = (upper - lower) / 2.0
+        head, rest = controls[0], list(controls[1:])
+        cls._multiplexed_ry(circuit, sums, rest, target)
+        circuit.cx(head, target)
+        cls._multiplexed_ry(circuit, diffs, rest, target)
+        circuit.cx(head, target)

@@ -1,0 +1,110 @@
+"""Angle (expectation) encodings — Section 4.2 of the paper.
+
+Two variants are provided:
+
+* :class:`DualAngleEncoder` — the paper's default: **two** data dimensions
+  per qubit.  Dimension ``2i`` sets the qubit's Z-expectation through
+  ``RY(2 * asin(sqrt(x)))`` and dimension ``2i + 1`` rotates around Z by
+  ``RZ(2 * asin(sqrt(x)))`` (paper Eq. 12).  This halves the qubit count,
+  which is what lets QuClassi encode 16 PCA dimensions in 8 qubits.
+* :class:`SingleAngleEncoder` — one dimension per qubit through the RY
+  rotation only; the ablation baseline the paper mentions when discussing
+  extreme feature values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.encoding.base import DataEncoder
+from repro.exceptions import EncodingError
+from repro.quantum.circuit import QuantumCircuit
+
+
+def rotation_angle(value: float) -> float:
+    """The paper's angle map ``theta = 2 * asin(sqrt(x))`` for ``x`` in [0, 1].
+
+    With this choice, measuring the qubit prepared by ``RY(theta)|0>`` yields
+    ``P(|1>) = sin^2(theta / 2) = x``: the classical value becomes the qubit's
+    excited-state probability.
+    """
+    if value < -1e-9 or value > 1.0 + 1e-9:
+        raise EncodingError(f"encoded values must lie in [0, 1], got {value}")
+    clipped = min(max(value, 0.0), 1.0)
+    return 2.0 * math.asin(math.sqrt(clipped))
+
+
+class DualAngleEncoder(DataEncoder):
+    """Two data dimensions per qubit via successive RY and RZ rotations."""
+
+    #: Number of classical dimensions stored per qubit.
+    dims_per_qubit = 2
+
+    def num_qubits(self, num_features: int) -> int:
+        """Qubits needed: ``ceil(num_features / 2)``."""
+        if num_features <= 0:
+            raise EncodingError(f"num_features must be positive, got {num_features}")
+        return (num_features + 1) // 2
+
+    def encoding_circuit(
+        self,
+        features: Sequence[float],
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """RY/RZ state-preparation circuit for one normalised feature vector."""
+        features = self.validate_features(features)
+        width = self.num_qubits(features.size)
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="dual_angle_encoding")
+        for qubit_index in range(width):
+            first = features[2 * qubit_index]
+            circuit.ry(rotation_angle(first), offset + qubit_index, label="data")
+            second_index = 2 * qubit_index + 1
+            if second_index < features.size:
+                second = features[second_index]
+                circuit.rz(rotation_angle(second), offset + qubit_index, label="data")
+        return circuit
+
+    def angles(self, features: Sequence[float]) -> np.ndarray:
+        """Rotation angles (RY, RZ interleaved) used for a feature vector."""
+        features = self.validate_features(features)
+        return np.array([rotation_angle(x) for x in features])
+
+
+class SingleAngleEncoder(DataEncoder):
+    """One data dimension per qubit via an RY rotation only (ablation)."""
+
+    dims_per_qubit = 1
+
+    def num_qubits(self, num_features: int) -> int:
+        """Qubits needed: one per feature."""
+        if num_features <= 0:
+            raise EncodingError(f"num_features must be positive, got {num_features}")
+        return num_features
+
+    def encoding_circuit(
+        self,
+        features: Sequence[float],
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """RY-only state-preparation circuit."""
+        features = self.validate_features(features)
+        width = features.size
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="single_angle_encoding")
+        for qubit_index, value in enumerate(features):
+            circuit.ry(rotation_angle(value), offset + qubit_index, label="data")
+        return circuit

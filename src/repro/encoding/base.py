@@ -1,0 +1,68 @@
+"""Encoder interface.
+
+A data encoder translates a classical feature vector into (a) a state-
+preparation :class:`~repro.quantum.circuit.QuantumCircuit` acting on
+``num_qubits`` qubits initialised to ``|0...0>``, and (b) the corresponding
+:class:`~repro.quantum.statevector.Statevector` for the fast analytic path.
+QuClassi's trainer uses whichever representation the execution backend needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector
+
+
+class DataEncoder(abc.ABC):
+    """Translate classical feature vectors into quantum states."""
+
+    @abc.abstractmethod
+    def num_qubits(self, num_features: int) -> int:
+        """Number of qubits needed to encode ``num_features`` features."""
+
+    @abc.abstractmethod
+    def encoding_circuit(self, features: Sequence[float], offset: int = 0, total_qubits: int | None = None) -> QuantumCircuit:
+        """State-preparation circuit for one feature vector.
+
+        Parameters
+        ----------
+        features:
+            Classical feature vector (already normalised to the encoder's
+            expected range).
+        offset:
+            Index of the first qubit the encoding should act on — the
+            QuClassi builder places data qubits after the learned-state
+            qubits.
+        total_qubits:
+            Total width of the returned circuit; defaults to
+            ``offset + num_qubits(len(features))``.
+        """
+
+    def encode(self, features: Sequence[float]) -> Statevector:
+        """Return the encoded state as a statevector (fast analytic path)."""
+        features = np.asarray(features, dtype=float)
+        circuit = self.encoding_circuit(features)
+        state = Statevector(circuit.num_qubits)
+        return state.evolve(circuit)
+
+    def validate_features(self, features: Sequence[float], low: float = 0.0, high: float = 1.0) -> np.ndarray:
+        """Validate that features are finite and inside ``[low, high]``."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 1:
+            raise EncodingError(f"expected a 1-D feature vector, got shape {features.shape}")
+        if features.size == 0:
+            raise EncodingError("feature vector must not be empty")
+        if not np.all(np.isfinite(features)):
+            raise EncodingError("feature vector contains non-finite values")
+        if np.any(features < low - 1e-9) or np.any(features > high + 1e-9):
+            raise EncodingError(
+                f"features must lie in [{low}, {high}] — normalise the dataset first "
+                f"(got range [{features.min():.4f}, {features.max():.4f}])"
+            )
+        return np.clip(features, low, high)

@@ -1,0 +1,65 @@
+"""Basis (binary) encoding.
+
+Maps a vector of bits onto computational-basis states: feature ``i`` sets
+qubit ``i`` to ``|1>`` via an X gate when the (thresholded) value is one.
+This is the "one data point per qubit, loses a lot of information, but robust
+to noise" end of the encoding spectrum the paper discusses in Section 4.2,
+and it is also what the QuantumFlow-like baseline uses for its circuit
+mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.encoding.base import DataEncoder
+from repro.exceptions import EncodingError
+from repro.quantum.circuit import QuantumCircuit
+
+
+class BasisEncoder(DataEncoder):
+    """Threshold features into bits and load them with X gates.
+
+    Parameters
+    ----------
+    threshold:
+        Values strictly greater than ``threshold`` encode as ``|1>``.
+    """
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise EncodingError(f"threshold must lie in [0, 1], got {threshold}")
+        self.threshold = float(threshold)
+
+    def num_qubits(self, num_features: int) -> int:
+        """Qubits needed: one per feature."""
+        if num_features <= 0:
+            raise EncodingError(f"num_features must be positive, got {num_features}")
+        return num_features
+
+    def bits(self, features: Sequence[float]) -> np.ndarray:
+        """Thresholded bit vector for a feature vector."""
+        features = self.validate_features(features)
+        return (features > self.threshold).astype(int)
+
+    def encoding_circuit(
+        self,
+        features: Sequence[float],
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """X-gate loading circuit for the thresholded bits."""
+        bits = self.bits(features)
+        width = bits.size
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="basis_encoding")
+        for qubit_index, bit in enumerate(bits):
+            if bit:
+                circuit.x(offset + qubit_index)
+        return circuit

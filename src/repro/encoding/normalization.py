@@ -1,0 +1,81 @@
+"""Feature normalisation for quantum encoding.
+
+The angle encodings require every feature in ``[0, 1]`` (a qubit expectation
+value).  :class:`MinMaxNormalizer` implements the fit/transform pattern used
+throughout the experiments: fit the ranges on the training split and apply the
+same affine map to the test split, clipping overshoot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+
+
+class MinMaxNormalizer:
+    """Per-feature min-max scaling into ``[feature_min, feature_max]``.
+
+    Parameters
+    ----------
+    feature_min, feature_max:
+        Target range; defaults to ``[0, 1]`` as required by the angle map
+        ``theta = 2 asin(sqrt(x))``.
+    margin:
+        Optional shrinkage applied to the target range.  The paper notes the
+        dual-dimension encoding can misbehave at extreme values of ``x``; a
+        small margin (e.g. 0.05) keeps encoded values away from exactly 0/1.
+    """
+
+    def __init__(self, feature_min: float = 0.0, feature_max: float = 1.0, margin: float = 0.0) -> None:
+        if feature_max <= feature_min:
+            raise EncodingError("feature_max must exceed feature_min")
+        if not 0.0 <= margin < 0.5:
+            raise EncodingError(f"margin must lie in [0, 0.5), got {margin}")
+        self.feature_min = float(feature_min)
+        self.feature_max = float(feature_max)
+        self.margin = float(margin)
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data: np.ndarray) -> "MinMaxNormalizer":
+        """Learn per-feature minima and maxima from ``data`` (rows = samples)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise EncodingError(f"expected a non-empty 2-D array, got shape {data.shape}")
+        self.data_min_ = data.min(axis=0)
+        self.data_max_ = data.max(axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale ``data`` with the fitted ranges, clipping to the target range."""
+        if self.data_min_ is None or self.data_max_ is None:
+            raise EncodingError("normalizer must be fitted before transform")
+        data = np.asarray(data, dtype=float)
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        unit = (data - self.data_min_) / span
+        low = self.margin
+        high = 1.0 - self.margin
+        scaled_unit = low + unit * (high - low)
+        scaled = self.feature_min + scaled_unit * (self.feature_max - self.feature_min)
+        return np.clip(scaled, self.feature_min, self.feature_max)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return the transformed copy."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original feature ranges."""
+        if self.data_min_ is None or self.data_max_ is None:
+            raise EncodingError("normalizer must be fitted before inverse_transform")
+        data = np.asarray(data, dtype=float)
+        low = self.margin
+        high = 1.0 - self.margin
+        unit_scaled = (data - self.feature_min) / (self.feature_max - self.feature_min)
+        unit = (unit_scaled - low) / (high - low)
+        span = self.data_max_ - self.data_min_
+        return self.data_min_ + unit * span

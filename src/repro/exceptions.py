@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library-specific failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class CircuitError(ReproError):
+    """Raised when a quantum circuit is constructed or mutated incorrectly.
+
+    Examples include referencing a qubit outside the register, appending an
+    instruction with a mismatched qubit count, or composing circuits of
+    incompatible widths.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute a circuit.
+
+    Typical causes: unsupported instructions for the chosen backend,
+    non-normalised initial states, or invalid shot counts.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised when classical data cannot be encoded into a quantum state."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a circuit cannot be mapped onto a device topology."""
+
+
+class BackendError(ReproError):
+    """Raised when a backend (simulated hardware) rejects a job."""
+
+
+class TrainingError(ReproError):
+    """Raised when model training is configured or executed incorrectly."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated, loaded, or split."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied arguments fail validation.
+
+    Inherits from :class:`ValueError` so generic callers that expect standard
+    library semantics still behave correctly.
+    """

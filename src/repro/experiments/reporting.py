@@ -1,0 +1,63 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks print their results through these helpers so the output reads
+like the paper's tables and figure captions (one row per configuration, one
+series per curve) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult, Series
+
+
+def format_table(rows: List[dict], columns: Optional[Sequence[str]] = None, float_format: str = "{:.4f}") -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(column)), *(len(r[i]) for r in rendered_rows)) for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in rendered_rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def format_series(series: Series, float_format: str = "{:.4f}") -> str:
+    """Render one curve as ``name: y1, y2, ...`` with its x range."""
+    values = ", ".join(float_format.format(value) for value in series.y)
+    return f"{series.name} (x={series.x[0]:g}..{series.x[-1]:g}): {values}"
+
+
+def format_experiment(result: ExperimentResult, float_format: str = "{:.4f}") -> str:
+    """Render a full experiment result: title, rows, then series."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        lines.append(format_table(result.rows, float_format=float_format))
+    for series in result.series:
+        lines.append(format_series(series, float_format=float_format))
+    if result.metadata:
+        meta = ", ".join(f"{key}={value}" for key, value in sorted(result.metadata.items()))
+        lines.append(f"[{meta}]")
+    return "\n".join(lines)
+
+
+def print_experiment(result: ExperimentResult) -> None:
+    """Print an experiment result (used by the benchmark harness)."""
+    print(format_experiment(result))

@@ -1,0 +1,35 @@
+"""Simulated quantum hardware: IBM-Q superconducting sites and IonQ."""
+
+from repro.hardware.calibration import (
+    CALIBRATIONS,
+    CalibrationProfile,
+    available_devices,
+    get_calibration,
+)
+from repro.hardware.ibmq import (
+    IBMQBackend,
+    ibmq_cairo,
+    ibmq_london,
+    ibmq_melbourne,
+    ibmq_new_york,
+    ibmq_rome,
+)
+from repro.hardware.ionq import IonQBackend, ionq
+from repro.hardware.job import JobLedger, JobRecord
+
+__all__ = [
+    "CALIBRATIONS",
+    "CalibrationProfile",
+    "available_devices",
+    "get_calibration",
+    "IBMQBackend",
+    "ibmq_cairo",
+    "ibmq_london",
+    "ibmq_melbourne",
+    "ibmq_new_york",
+    "ibmq_rome",
+    "IonQBackend",
+    "ionq",
+    "JobLedger",
+    "JobRecord",
+]

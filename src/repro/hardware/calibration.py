@@ -1,0 +1,178 @@
+"""Calibration profiles of the simulated quantum devices.
+
+Each profile summarises a device the paper ran on — the IBM-Q 5-qubit sites
+used for the Iris and 4-dimensional MNIST experiments (London, New York/
+Yorktown, Melbourne, Rome, the 27-qubit Cairo) and IonQ's trapped-ion machine
+— as the handful of numbers that determine how it degrades a QuClassi
+circuit: single-/two-qubit gate error, readout error, relaxation times, the
+coupling topology and a representative queue latency.
+
+The numbers are representative of publicly reported calibration ranges for
+those machines circa 2021 rather than a specific calibration snapshot; the
+experiments only rely on their *relative* ordering (e.g. Melbourne noisier
+than London, IonQ's two-qubit fidelity high and connectivity full).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.exceptions import BackendError
+from repro.quantum.noise import NoiseModel
+from repro.quantum.topology import CouplingMap
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationProfile:
+    """Summary calibration data for one device.
+
+    Attributes
+    ----------
+    name:
+        Provider-style device name.
+    num_qubits:
+        Number of physical qubits.
+    single_qubit_error:
+        Depolarising probability per single-qubit gate.
+    two_qubit_error:
+        Depolarising probability per two-qubit gate.
+    readout_error:
+        Symmetric measurement assignment error.
+    t1_us, t2_us:
+        Representative relaxation/dephasing times in microseconds.
+    gate_time_us:
+        Representative single-qubit gate duration in microseconds.
+    queue_latency_seconds:
+        Typical public-queue delay per job (only reported in metadata).
+    topology:
+        Name of the coupling-map factory used to build the device graph.
+    """
+
+    name: str
+    num_qubits: int
+    single_qubit_error: float
+    two_qubit_error: float
+    readout_error: float
+    t1_us: float
+    t2_us: float
+    gate_time_us: float
+    queue_latency_seconds: float
+    topology: str
+
+    def coupling_map(self) -> CouplingMap:
+        """Build the device's coupling map."""
+        factories: Dict[str, Callable[[], CouplingMap]] = {
+            "ibmq_5q_t": CouplingMap.ibmq_5q_t,
+            "ibmq_5q_bowtie": CouplingMap.ibmq_5q_bowtie,
+            "melbourne": lambda: CouplingMap.ibmq_melbourne_like(self.num_qubits),
+            "falcon_27q": CouplingMap.ibmq_falcon_27q,
+            "all_to_all": lambda: CouplingMap.all_to_all(self.num_qubits),
+            "linear": lambda: CouplingMap.linear(self.num_qubits),
+        }
+        if self.topology not in factories:
+            raise BackendError(f"unknown topology '{self.topology}' for device {self.name}")
+        return factories[self.topology]()
+
+    def noise_model(self) -> NoiseModel:
+        """Build the device's noise model from the summary error rates."""
+        return NoiseModel.from_error_rates(
+            single_qubit_error=self.single_qubit_error,
+            two_qubit_error=self.two_qubit_error,
+            readout_error=self.readout_error,
+            t1=self.t1_us,
+            t2=self.t2_us,
+            gate_time=self.gate_time_us,
+        )
+
+
+#: Registry of every simulated device, keyed by its lowercase name.
+CALIBRATIONS: Dict[str, CalibrationProfile] = {
+    "ibmq_london": CalibrationProfile(
+        name="ibmq_london",
+        num_qubits=5,
+        single_qubit_error=0.0006,
+        two_qubit_error=0.012,
+        readout_error=0.022,
+        t1_us=60.0,
+        t2_us=70.0,
+        gate_time_us=0.05,
+        queue_latency_seconds=180.0,
+        topology="ibmq_5q_t",
+    ),
+    "ibmq_new_york": CalibrationProfile(
+        name="ibmq_new_york",
+        num_qubits=5,
+        single_qubit_error=0.0010,
+        two_qubit_error=0.018,
+        readout_error=0.035,
+        t1_us=50.0,
+        t2_us=55.0,
+        gate_time_us=0.05,
+        queue_latency_seconds=240.0,
+        topology="ibmq_5q_bowtie",
+    ),
+    "ibmq_melbourne": CalibrationProfile(
+        name="ibmq_melbourne",
+        num_qubits=15,
+        single_qubit_error=0.0015,
+        two_qubit_error=0.028,
+        readout_error=0.045,
+        t1_us=45.0,
+        t2_us=50.0,
+        gate_time_us=0.06,
+        queue_latency_seconds=300.0,
+        topology="melbourne",
+    ),
+    "ibmq_rome": CalibrationProfile(
+        name="ibmq_rome",
+        num_qubits=5,
+        single_qubit_error=0.0005,
+        two_qubit_error=0.010,
+        readout_error=0.020,
+        t1_us=70.0,
+        t2_us=80.0,
+        gate_time_us=0.05,
+        queue_latency_seconds=150.0,
+        topology="ibmq_5q_t",
+    ),
+    "ibmq_cairo": CalibrationProfile(
+        name="ibmq_cairo",
+        num_qubits=27,
+        single_qubit_error=0.0004,
+        two_qubit_error=0.011,
+        readout_error=0.018,
+        t1_us=90.0,
+        t2_us=100.0,
+        gate_time_us=0.04,
+        queue_latency_seconds=200.0,
+        topology="falcon_27q",
+    ),
+    "ionq_trapped_ion": CalibrationProfile(
+        name="ionq_trapped_ion",
+        num_qubits=11,
+        single_qubit_error=0.0004,
+        two_qubit_error=0.006,
+        readout_error=0.004,
+        t1_us=10_000.0,
+        t2_us=1_000.0,
+        gate_time_us=0.1,
+        queue_latency_seconds=600.0,
+        topology="all_to_all",
+    ),
+}
+
+
+def get_calibration(name: str) -> CalibrationProfile:
+    """Look up a device profile by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in CALIBRATIONS:
+        raise BackendError(
+            f"unknown device '{name}'; available devices: {sorted(CALIBRATIONS)}"
+        )
+    return CALIBRATIONS[key]
+
+
+def available_devices() -> list:
+    """Names of every simulated device."""
+    return sorted(CALIBRATIONS)

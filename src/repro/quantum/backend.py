@@ -1,0 +1,166 @@
+"""Execution backends.
+
+A :class:`Backend` is anything that can run a bound circuit and return a
+:class:`~repro.quantum.simulator.SimulationResult`.  Three implementations are
+provided here:
+
+* :class:`IdealBackend` — exact statevector execution (optionally sampled).
+* :class:`SampledBackend` — statevector execution that always samples shots,
+  modelling the statistical noise of a perfect but finite-shot device.
+* :class:`NoisyBackend` — transpiles onto a device topology, then executes on
+  a density-matrix simulator with the device's noise model.  This is the base
+  class of the simulated IBM-Q and IonQ machines in :mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Optional
+
+from repro.exceptions import BackendError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import NoiseModel
+from repro.quantum.simulator import (
+    DensityMatrixSimulator,
+    SimulationResult,
+    StatevectorSimulator,
+)
+from repro.quantum.topology import CouplingMap
+from repro.quantum.transpiler import transpile
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class Backend(abc.ABC):
+    """Abstract execution backend."""
+
+    #: Human-readable backend name (used in experiment reports).
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        """Execute a fully bound circuit."""
+
+    @property
+    def is_noisy(self) -> bool:
+        """Whether execution includes a hardware noise model."""
+        return False
+
+    def ancilla_zero_probability(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> float:
+        """Probability that classical bit 0 reads ``0`` — the SWAP-test readout.
+
+        Every QuClassi discriminator circuit measures exactly one ancilla into
+        classical bit 0, so this helper is the single quantity the training
+        loop needs from a backend.
+        """
+        result = self.run(circuit, shots=shots)
+        return result.marginal_probability(0, value=0)
+
+
+class IdealBackend(Backend):
+    """Noise-free statevector execution with exact probabilities."""
+
+    name = "ideal_simulator"
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._simulator = StatevectorSimulator(seed=seed)
+
+    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        return self._simulator.run(circuit, shots=shots)
+
+
+class SampledBackend(Backend):
+    """Statevector execution that always samples a finite number of shots."""
+
+    name = "sampled_simulator"
+
+    def __init__(self, shots: int = 1024, seed: RandomState = None) -> None:
+        if shots <= 0:
+            raise BackendError(f"shots must be positive, got {shots}")
+        self.shots = int(shots)
+        self._simulator = StatevectorSimulator(seed=seed)
+
+    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        return self._simulator.run(circuit, shots=shots or self.shots)
+
+
+@dataclasses.dataclass
+class DeviceProperties:
+    """Static description of a simulated quantum device.
+
+    Attributes
+    ----------
+    name:
+        Provider-style device name (e.g. ``"ibmq_london"``).
+    num_qubits:
+        Number of physical qubits.
+    coupling_map:
+        Physical connectivity.
+    noise_model:
+        Gate/readout error model calibrated for the device.
+    basis_gates:
+        Native gate set.
+    max_shots:
+        Largest shot count a single job may request.
+    queue_latency_seconds:
+        Simulated average queueing delay per job (reported in job metadata,
+        mirroring the paper's remark about shared public queues).
+    """
+
+    name: str
+    num_qubits: int
+    coupling_map: CouplingMap
+    noise_model: NoiseModel
+    basis_gates: tuple = ("rx", "ry", "rz", "h", "cx", "id", "x", "z")
+    max_shots: int = 8192
+    queue_latency_seconds: float = 0.0
+
+
+class NoisyBackend(Backend):
+    """Device-like backend: transpile, then run under a noise model."""
+
+    def __init__(self, properties: DeviceProperties, seed: RandomState = None) -> None:
+        self.properties = properties
+        self.name = properties.name
+        self._rng = ensure_rng(seed)
+        self._simulator = DensityMatrixSimulator(noise_model=properties.noise_model, seed=self._rng)
+        #: Statistics of the most recent transpilation (CX count, SWAPs, depth).
+        self.last_transpile_stats: Dict[str, int] = {}
+
+    @property
+    def is_noisy(self) -> bool:
+        return True
+
+    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        shots = shots if shots is not None else 1024
+        if shots > self.properties.max_shots:
+            raise BackendError(
+                f"{self.name} supports at most {self.properties.max_shots} shots per job, "
+                f"requested {shots}"
+            )
+        if circuit.num_qubits > self.properties.num_qubits:
+            raise BackendError(
+                f"{self.name} has {self.properties.num_qubits} qubits, circuit needs "
+                f"{circuit.num_qubits}"
+            )
+        # Place the circuit on a connected region of the chip and only simulate
+        # that region; simulating every physical qubit of a 15- or 27-qubit
+        # device as a density matrix would be needlessly intractable.
+        region = self.properties.coupling_map.select_connected_region(circuit.num_qubits)
+        local_map = self.properties.coupling_map.induced_subgraph(region)
+        transpiled = transpile(circuit, local_map)
+        self.last_transpile_stats = {
+            "cx_count": transpiled.cx_count,
+            "inserted_swaps": transpiled.inserted_swaps,
+            "added_cx": transpiled.added_cx,
+            "depth": transpiled.depth,
+        }
+        result = self._simulator.run(transpiled.circuit, shots=shots)
+        result.metadata.update(
+            {
+                "backend": self.name,
+                "transpile": dict(self.last_transpile_stats),
+                "queue_latency_seconds": self.properties.queue_latency_seconds,
+            }
+        )
+        return result

@@ -1,0 +1,102 @@
+"""Bloch-sphere utilities.
+
+The paper's Fig. 8 visualises how the learned per-class state rotates towards
+the training data over epochs.  This module extracts per-qubit Bloch vectors
+from multi-qubit states (via the reduced density matrix) and provides simple
+geometric helpers so the benchmark can report angular movement numerically
+(no plotting dependency is required offline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.quantum import gates
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+
+@dataclasses.dataclass(frozen=True)
+class BlochVector:
+    """Cartesian Bloch-sphere coordinates of a single qubit."""
+
+    x: float
+    y: float
+    z: float
+
+    @property
+    def length(self) -> float:
+        """Vector norm (1.0 for pure single-qubit states, <1 for mixed)."""
+        return math.sqrt(self.x**2 + self.y**2 + self.z**2)
+
+    @property
+    def polar_angle(self) -> float:
+        """Polar angle theta from the +Z axis, in radians."""
+        length = self.length
+        if length == 0:
+            return 0.0
+        return math.acos(max(-1.0, min(1.0, self.z / length)))
+
+    @property
+    def azimuthal_angle(self) -> float:
+        """Azimuthal angle phi in the X-Y plane, in radians."""
+        return math.atan2(self.y, self.x)
+
+    def angle_to(self, other: "BlochVector") -> float:
+        """Angle in radians between two Bloch vectors (directional difference)."""
+        len_a, len_b = self.length, other.length
+        if len_a == 0 or len_b == 0:
+            return 0.0
+        dot = (self.x * other.x + self.y * other.y + self.z * other.z) / (len_a * len_b)
+        return math.acos(max(-1.0, min(1.0, dot)))
+
+    def as_array(self) -> np.ndarray:
+        """Coordinates as a NumPy array ``[x, y, z]``."""
+        return np.array([self.x, self.y, self.z])
+
+
+def bloch_vector_from_density_matrix(rho: np.ndarray) -> BlochVector:
+    """Bloch vector of a single-qubit density matrix."""
+    rho = np.asarray(rho, dtype=complex)
+    if rho.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 density matrix, got shape {rho.shape}")
+    x = float(np.real(np.trace(rho @ gates.PAULI_X)))
+    y = float(np.real(np.trace(rho @ gates.PAULI_Y)))
+    z = float(np.real(np.trace(rho @ gates.PAULI_Z)))
+    return BlochVector(x, y, z)
+
+
+def bloch_vector(state: Statevector | DensityMatrix, qubit: int = 0) -> BlochVector:
+    """Bloch vector of ``qubit`` within a (possibly multi-qubit) state."""
+    if isinstance(state, Statevector):
+        state = DensityMatrix(state)
+    reduced = state.partial_trace([qubit])
+    return bloch_vector_from_density_matrix(reduced.data)
+
+
+def bloch_vectors(state: Statevector | DensityMatrix, qubits: Sequence[int] | None = None) -> List[BlochVector]:
+    """Bloch vectors of every qubit in ``qubits`` (default: all qubits)."""
+    if qubits is None:
+        qubits = range(state.num_qubits)
+    return [bloch_vector(state, q) for q in qubits]
+
+
+def bloch_vector_from_angles(theta: float, phi: float) -> BlochVector:
+    """Bloch vector of the pure state ``RY(theta) RZ(phi) |0>``-style angles.
+
+    ``theta`` is the polar angle from +Z and ``phi`` the azimuthal angle.
+    """
+    return BlochVector(
+        math.sin(theta) * math.cos(phi),
+        math.sin(theta) * math.sin(phi),
+        math.cos(theta),
+    )
+
+
+def expectation_triplet(state: Statevector | DensityMatrix, qubit: int = 0) -> np.ndarray:
+    """Convenience accessor: ``[<X>, <Y>, <Z>]`` for one qubit."""
+    return bloch_vector(state, qubit).as_array()

@@ -1,0 +1,430 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Instruction` objects
+over a fixed number of qubits and classical bits.  It supports symbolic
+parameters, parameter binding, composition, qubit remapping, and inversion —
+everything the QuClassi builder, the transpiler, and the simulators need.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.operations import Instruction, Parameter, ParamValue
+from repro.quantum.register import ClassicalRegister, QuantumRegister
+
+
+class QuantumCircuit:
+    """An ordered sequence of quantum instructions.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit.  May also be one or more
+        :class:`QuantumRegister` objects.
+    num_clbits:
+        Number of classical bits (or :class:`ClassicalRegister` objects).
+    name:
+        Optional circuit name used in reprs and backend job metadata.
+
+    Examples
+    --------
+    >>> qc = QuantumCircuit(2)
+    >>> qc.h(0)
+    >>> qc.cx(0, 1)
+    >>> qc.depth()
+    2
+    """
+
+    def __init__(
+        self,
+        num_qubits: Union[int, QuantumRegister, Sequence[QuantumRegister]],
+        num_clbits: Union[int, ClassicalRegister, Sequence[ClassicalRegister]] = 0,
+        name: str = "circuit",
+    ) -> None:
+        self.name = name
+        self.qregs: List[QuantumRegister] = []
+        self.cregs: List[ClassicalRegister] = []
+        self._instructions: List[Instruction] = []
+
+        if isinstance(num_qubits, QuantumRegister):
+            qregs: Sequence[QuantumRegister] = [num_qubits]
+        elif isinstance(num_qubits, (int, np.integer)):
+            if num_qubits <= 0:
+                raise CircuitError(f"circuit must have at least one qubit, got {num_qubits}")
+            qregs = [QuantumRegister(int(num_qubits), "q")]
+        else:
+            qregs = list(num_qubits)
+        offset = 0
+        for reg in qregs:
+            self.qregs.append(reg.shifted(offset))
+            offset += reg.size
+        self._num_qubits = offset
+
+        if isinstance(num_clbits, ClassicalRegister):
+            cregs: Sequence[ClassicalRegister] = [num_clbits]
+        elif isinstance(num_clbits, (int, np.integer)):
+            cregs = [ClassicalRegister(int(num_clbits), "c")] if num_clbits else []
+        else:
+            cregs = list(num_clbits)
+        offset = 0
+        for reg in cregs:
+            self.cregs.append(reg.shifted(offset))
+            offset += reg.size
+        self._num_clbits = offset
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def num_clbits(self) -> int:
+        """Number of classical bits."""
+        return self._num_clbits
+
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        """The instruction sequence (read-only view)."""
+        return tuple(self._instructions)
+
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """Distinct symbolic parameters in first-appearance order."""
+        seen: Dict[Parameter, None] = {}
+        for inst in self._instructions:
+            for param in inst.free_parameters:
+                seen.setdefault(param, None)
+        return tuple(seen.keys())
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of distinct symbolic parameters."""
+        return len(self.parameters)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"clbits={self.num_clbits}, instructions={len(self)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instruction appending
+    # ------------------------------------------------------------------ #
+    def append(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append an instruction, validating qubit/clbit bounds."""
+        for q in instruction.qubits:
+            if q < 0 or q >= self.num_qubits:
+                raise CircuitError(
+                    f"instruction '{instruction.name}' references qubit {q} but the "
+                    f"circuit has {self.num_qubits} qubits"
+                )
+        for c in instruction.clbits:
+            if c < 0 or c >= self.num_clbits:
+                raise CircuitError(
+                    f"instruction '{instruction.name}' references classical bit {c} but "
+                    f"the circuit has {self.num_clbits} classical bits"
+                )
+        self._instructions.append(instruction)
+        return self
+
+    def _gate(self, name: str, qubits: Sequence[int], *params: ParamValue, label: Optional[str] = None) -> "QuantumCircuit":
+        return self.append(Instruction(name=name, qubits=tuple(qubits), params=tuple(params), label=label))
+
+    # Single-qubit gates -------------------------------------------------
+    def i(self, qubit: int) -> "QuantumCircuit":
+        """Identity gate."""
+        return self._gate("id", (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self._gate("x", (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Y gate."""
+        return self._gate("y", (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Z gate."""
+        return self._gate("z", (qubit,))
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self._gate("h", (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """S (phase) gate."""
+        return self._gate("s", (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self._gate("t", (qubit,))
+
+    def rx(self, theta: ParamValue, qubit: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """X-axis rotation."""
+        return self._gate("rx", (qubit,), theta, label=label)
+
+    def ry(self, theta: ParamValue, qubit: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """Y-axis rotation."""
+        return self._gate("ry", (qubit,), theta, label=label)
+
+    def rz(self, theta: ParamValue, qubit: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """Z-axis rotation."""
+        return self._gate("rz", (qubit,), theta, label=label)
+
+    def r(self, theta: ParamValue, phi: ParamValue, qubit: int) -> "QuantumCircuit":
+        """General single-qubit rotation R(theta, phi)."""
+        return self._gate("r", (qubit,), theta, phi)
+
+    def u3(self, theta: ParamValue, phi: ParamValue, lam: ParamValue, qubit: int) -> "QuantumCircuit":
+        """Generic single-qubit unitary."""
+        return self._gate("u3", (qubit,), theta, phi, lam)
+
+    # Two-qubit gates ----------------------------------------------------
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-X (CNOT)."""
+        return self._gate("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self._gate("cz", (control, target))
+
+    def swap(self, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self._gate("swap", (qubit1, qubit2))
+
+    def rxx(self, theta: ParamValue, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """XX rotation."""
+        return self._gate("rxx", (qubit1, qubit2), theta)
+
+    def ryy(self, theta: ParamValue, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """YY rotation."""
+        return self._gate("ryy", (qubit1, qubit2), theta)
+
+    def rzz(self, theta: ParamValue, qubit1: int, qubit2: int) -> "QuantumCircuit":
+        """ZZ rotation."""
+        return self._gate("rzz", (qubit1, qubit2), theta)
+
+    def crx(self, theta: ParamValue, control: int, target: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """Controlled-RX."""
+        return self._gate("crx", (control, target), theta, label=label)
+
+    def cry(self, theta: ParamValue, control: int, target: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """Controlled-RY (entanglement-layer gate)."""
+        return self._gate("cry", (control, target), theta, label=label)
+
+    def crz(self, theta: ParamValue, control: int, target: int, label: Optional[str] = None) -> "QuantumCircuit":
+        """Controlled-RZ (entanglement-layer gate)."""
+        return self._gate("crz", (control, target), theta, label=label)
+
+    # Three-qubit gates --------------------------------------------------
+    def cswap(self, control: int, target1: int, target2: int) -> "QuantumCircuit":
+        """Controlled-SWAP (Fredkin) gate — the SWAP-test primitive."""
+        return self._gate("cswap", (control, target1, target2))
+
+    # Non-unitary directives ---------------------------------------------
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        """Measure ``qubit`` in the Z basis into classical bit ``clbit``."""
+        return self.append(Instruction(name="measure", qubits=(qubit,), clbits=(clbit,)))
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure every qubit into the classical bit with the same index."""
+        if self.num_clbits < self.num_qubits:
+            raise CircuitError(
+                "measure_all requires at least as many classical bits as qubits"
+            )
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+        return self
+
+    def reset(self, qubit: int) -> "QuantumCircuit":
+        """Reset ``qubit`` to |0>."""
+        return self.append(Instruction(name="reset", qubits=(qubit,)))
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Insert a barrier (prevents the transpiler from fusing across it)."""
+        targets = qubits if qubits else tuple(range(self.num_qubits))
+        return self.append(Instruction(name="barrier", qubits=targets))
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return an independent copy of the circuit.
+
+        Instructions are immutable (frozen dataclasses), so only the
+        instruction list itself needs copying — this keeps the many
+        ``bind_parameters`` calls made per training step cheap.
+        """
+        duplicate = QuantumCircuit.__new__(QuantumCircuit)
+        duplicate.name = name if name is not None else self.name
+        duplicate.qregs = list(self.qregs)
+        duplicate.cregs = list(self.cregs)
+        duplicate._num_qubits = self._num_qubits
+        duplicate._num_clbits = self._num_clbits
+        duplicate._instructions = list(self._instructions)
+        return duplicate
+
+    def bind_parameters(self, binding: Dict[Parameter, float]) -> "QuantumCircuit":
+        """Return a copy with symbolic parameters substituted.
+
+        Parameters missing from ``binding`` remain symbolic, enabling the
+        two-stage binding used by QuClassi (data angles first, trainable
+        angles at evaluation time).
+        """
+        bound = self.copy()
+        bound._instructions = [inst.bind(binding) for inst in self._instructions]
+        return bound
+
+    def assign_parameters(self, values: Union[Dict[Parameter, float], Sequence[float]]) -> "QuantumCircuit":
+        """Bind parameters from a dict or a flat sequence.
+
+        A sequence is matched against :attr:`parameters` in order.
+        """
+        if isinstance(values, dict):
+            return self.bind_parameters(values)
+        params = self.parameters
+        values = list(values)
+        if len(values) != len(params):
+            raise CircuitError(
+                f"expected {len(params)} parameter values, got {len(values)}"
+            )
+        return self.bind_parameters(dict(zip(params, map(float, values))))
+
+    def compose(self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None) -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended.
+
+        Parameters
+        ----------
+        other:
+            Circuit to append.
+        qubits:
+            Global qubit indices that ``other``'s qubits map onto.  Defaults
+            to the identity mapping (``other`` must then be no wider than
+            ``self``).
+        """
+        if qubits is None:
+            qubits = list(range(other.num_qubits))
+        if len(qubits) != other.num_qubits:
+            raise CircuitError(
+                f"mapping must list {other.num_qubits} qubits, got {len(qubits)}"
+            )
+        if any(q < 0 or q >= self.num_qubits for q in qubits):
+            raise CircuitError("composition mapping references qubits outside the circuit")
+        mapping = {local: int(q) for local, q in enumerate(qubits)}
+        combined = self.copy()
+        for inst in other.instructions:
+            combined.append(inst.remap(mapping))
+        return combined
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (gates reversed and conjugated).
+
+        Only defined for circuits made of fully bound unitary gates.
+        """
+        inverse_names = {
+            "id": ("id", 1), "x": ("x", 1), "y": ("y", 1), "z": ("z", 1), "h": ("h", 1),
+            "cx": ("cx", 1), "cz": ("cz", 1), "swap": ("swap", 1), "cswap": ("cswap", 1),
+            "rx": ("rx", -1), "ry": ("ry", -1), "rz": ("rz", -1),
+            "rxx": ("rxx", -1), "ryy": ("ryy", -1), "rzz": ("rzz", -1),
+            "crx": ("crx", -1), "cry": ("cry", -1), "crz": ("crz", -1),
+        }
+        inverted = QuantumCircuit(self.num_qubits, self.num_clbits, name=f"{self.name}_dg")
+        for inst in reversed(self._instructions):
+            if inst.name == "barrier":
+                inverted.append(inst)
+                continue
+            if not inst.is_gate:
+                raise CircuitError(f"cannot invert non-unitary instruction '{inst.name}'")
+            if inst.is_parameterized:
+                raise CircuitError("cannot invert a circuit with unbound parameters")
+            if inst.name in ("s", "t", "r", "u3"):
+                # Fall back to the generic adjoint via u3 decomposition is not
+                # needed for the library; these gates never appear in trained
+                # circuits, so refuse explicitly.
+                raise CircuitError(f"inverse of gate '{inst.name}' is not supported")
+            name, sign = inverse_names[inst.name]
+            params = tuple(sign * float(p) for p in inst.params)
+            inverted.append(Instruction(name=name, qubits=inst.qubits, params=params, label=inst.label))
+        return inverted
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Circuit depth: longest chain of instructions per qubit (barriers excluded)."""
+        frontier = [0] * max(self.num_qubits, 1)
+        for inst in self._instructions:
+            if inst.name == "barrier":
+                continue
+            level = max(frontier[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of instruction names."""
+        counts: Dict[str, int] = {}
+        for inst in self._instructions:
+            counts[inst.name] = counts.get(inst.name, 0) + 1
+        return counts
+
+    def size(self) -> int:
+        """Total number of non-barrier instructions."""
+        return sum(1 for inst in self._instructions if inst.name != "barrier")
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of gates acting on two or more qubits (routing cost proxy)."""
+        return sum(
+            1
+            for inst in self._instructions
+            if inst.is_gate and inst.num_qubits >= 2
+        )
+
+    def measured_qubits(self) -> Tuple[int, ...]:
+        """Qubits that are measured, in order of first measurement."""
+        seen: Dict[int, None] = {}
+        for inst in self._instructions:
+            if inst.is_measurement:
+                for q in inst.qubits:
+                    seen.setdefault(q, None)
+        return tuple(seen.keys())
+
+    def has_measurements(self) -> bool:
+        """Whether the circuit contains any measurement."""
+        return any(inst.is_measurement for inst in self._instructions)
+
+    def remove_final_measurements(self) -> "QuantumCircuit":
+        """Return a copy with all measurement instructions removed."""
+        stripped = self.copy()
+        stripped._instructions = [i for i in self._instructions if not i.is_measurement]
+        return stripped
+
+    def to_text_diagram(self) -> str:
+        """Render a compact one-line-per-instruction text diagram.
+
+        Intended for debugging and documentation, mirroring Fig. 7's sample
+        circuit layout in textual form.
+        """
+        lines = [f"{self.name}: {self.num_qubits} qubits, {self.num_clbits} clbits"]
+        for idx, inst in enumerate(self._instructions):
+            params = ", ".join(
+                p.name if isinstance(p, Parameter) else f"{float(p):.4f}" for p in inst.params
+            )
+            params_str = f"({params})" if params else ""
+            target = ", ".join(f"q{q}" for q in inst.qubits)
+            if inst.clbits:
+                target += " -> " + ", ".join(f"c{c}" for c in inst.clbits)
+            label = f"  [{inst.label}]" if inst.label else ""
+            lines.append(f"  {idx:3d}: {inst.name}{params_str} {target}{label}")
+        return "\n".join(lines)

@@ -1,0 +1,275 @@
+"""Gate matrix library.
+
+Provides the unitary matrices used throughout the simulator.  The definitions
+follow Section 3.2 of the QuClassi paper: the general single-qubit rotation
+``R(theta, phi)`` (Eq. 5), the axis rotations RX/RY/RZ (Eqs. 6-8), the
+two-qubit rotations RXX/RYY/RZZ (Eqs. 9-11), and the controlled operations
+(CNOT, CZ, CRY, CRZ, SWAP, CSWAP) that the architecture's layers and the SWAP
+test rely on.
+
+Qubit-ordering convention
+-------------------------
+All multi-qubit matrices are written in the *little-endian* tensor order used
+by the simulator: for a gate acting on qubits ``(q0, q1, ...)``, basis states
+are ordered with ``q0`` as the most significant bit of the local index.  The
+simulator applies gates by tensor contraction, so only consistency matters;
+tests assert the controlled gates act on the expected basis states.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+#: 2x2 identity.
+I2 = np.eye(2, dtype=complex)
+
+#: Pauli matrices.
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: Hadamard gate.
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+
+#: Phase gates.
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+T_GATE = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+
+#: Two-qubit SWAP.
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+#: CNOT with the first qubit as control (little-endian local ordering).
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+#: Controlled-Z.
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def r_gate(theta: float, phi: float) -> np.ndarray:
+    """General single-qubit rotation ``R(theta, phi)`` (paper Eq. 5)."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -1j * cmath.exp(-1j * phi) * sin],
+            [-1j * cmath.exp(1j * phi) * sin, cos],
+        ],
+        dtype=complex,
+    )
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis (paper Eq. 6); equals ``R(theta, 0)``."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis (paper Eq. 7); equals ``R(theta, pi/2)``."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis (paper Eq. 8)."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary ``U3(theta, phi, lambda)``.
+
+    Used by the transpiler to fuse runs of single-qubit rotations.
+    """
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    return np.array(
+        [
+            [cos, -cmath.exp(1j * lam) * sin],
+            [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation ``exp(-i theta/2 X⊗X)`` (paper Eq. 9)."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    matrix = np.eye(4, dtype=complex) * cos
+    anti = -1j * sin
+    matrix[0, 3] = anti
+    matrix[1, 2] = anti
+    matrix[2, 1] = anti
+    matrix[3, 0] = anti
+    return matrix
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation ``exp(-i theta/2 Y⊗Y)`` (paper Eq. 10)."""
+    cos = math.cos(theta / 2)
+    sin = math.sin(theta / 2)
+    matrix = np.eye(4, dtype=complex) * cos
+    matrix[0, 3] = 1j * sin
+    matrix[1, 2] = -1j * sin
+    matrix[2, 1] = -1j * sin
+    matrix[3, 0] = 1j * sin
+    return matrix
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation ``exp(-i theta/2 Z⊗Z)``.
+
+    The paper's Eq. 11 prints all-equal diagonal phases (a typo); the standard
+    ZZ interaction has phase ``exp(-i theta/2)`` on the even-parity states and
+    ``exp(+i theta/2)`` on the odd-parity states, which is what the rest of
+    the paper's construction (shared-parameter dual-qubit layers) requires.
+    """
+    minus = cmath.exp(-1j * theta / 2)
+    plus = cmath.exp(1j * theta / 2)
+    return np.diag([minus, plus, plus, minus]).astype(complex)
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Promote a single-qubit unitary to a controlled two-qubit gate.
+
+    The first qubit of the returned 4x4 matrix is the control.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 unitary, got shape {unitary.shape}")
+    gate = np.eye(4, dtype=complex)
+    gate[2:, 2:] = unitary
+    return gate
+
+
+def cry(theta: float) -> np.ndarray:
+    """Controlled-RY gate used by the entanglement layer."""
+    return controlled(ry(theta))
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ gate used by the entanglement layer."""
+    return controlled(rz(theta))
+
+
+def crx(theta: float) -> np.ndarray:
+    """Controlled-RX gate."""
+    return controlled(rx(theta))
+
+
+def cswap() -> np.ndarray:
+    """Controlled-SWAP (Fredkin) gate; qubit 0 is the control.
+
+    This is the central operation of the SWAP test (paper Section 3.3).
+    """
+    gate = np.eye(8, dtype=complex)
+    # Swap the target qubits only in the control=1 subspace (indices 4..7).
+    gate[4:, 4:] = np.kron(np.eye(1), SWAP)
+    return gate
+
+
+#: Gate name -> (number of qubits, number of parameters).
+GATE_SIGNATURES: Dict[str, tuple] = {
+    "id": (1, 0),
+    "x": (1, 0),
+    "y": (1, 0),
+    "z": (1, 0),
+    "h": (1, 0),
+    "s": (1, 0),
+    "t": (1, 0),
+    "rx": (1, 1),
+    "ry": (1, 1),
+    "rz": (1, 1),
+    "r": (1, 2),
+    "u3": (1, 3),
+    "cx": (2, 0),
+    "cz": (2, 0),
+    "swap": (2, 0),
+    "rxx": (2, 1),
+    "ryy": (2, 1),
+    "rzz": (2, 1),
+    "crx": (2, 1),
+    "cry": (2, 1),
+    "crz": (2, 1),
+    "cswap": (3, 0),
+}
+
+#: Gate name -> callable returning the matrix (parameters passed positionally).
+_GATE_FACTORIES: Dict[str, Callable[..., np.ndarray]] = {
+    "id": lambda: I2,
+    "x": lambda: PAULI_X,
+    "y": lambda: PAULI_Y,
+    "z": lambda: PAULI_Z,
+    "h": lambda: HADAMARD,
+    "s": lambda: S_GATE,
+    "t": lambda: T_GATE,
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "r": r_gate,
+    "u3": u3,
+    "cx": lambda: CNOT,
+    "cz": lambda: CZ,
+    "swap": lambda: SWAP,
+    "rxx": rxx,
+    "ryy": ryy,
+    "rzz": rzz,
+    "crx": crx,
+    "cry": cry,
+    "crz": crz,
+    "cswap": cswap,
+}
+
+
+def gate_matrix(name: str, *params: float) -> np.ndarray:
+    """Return the unitary matrix for gate ``name`` with ``params``.
+
+    Raises
+    ------
+    KeyError
+        If the gate name is unknown.
+    ValueError
+        If the wrong number of parameters is supplied.
+    """
+    if name not in _GATE_FACTORIES:
+        raise KeyError(f"unknown gate '{name}'")
+    _, num_params = GATE_SIGNATURES[name]
+    if len(params) != num_params:
+        raise ValueError(
+            f"gate '{name}' expects {num_params} parameter(s), got {len(params)}"
+        )
+    return _GATE_FACTORIES[name](*params)
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check whether ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix.conj().T @ matrix
+    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=atol))

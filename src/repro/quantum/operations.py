@@ -1,0 +1,176 @@
+"""Circuit instructions.
+
+An :class:`Instruction` is a named operation bound to concrete qubit indices
+and (for parameterised gates) either concrete float parameters or symbolic
+:class:`Parameter` placeholders.  Symbolic parameters are what QuClassi's
+trainer differentiates: the trained-state rotations carry named parameters
+while the data-encoding rotations are bound per sample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum import gates
+
+
+@dataclasses.dataclass(frozen=True)
+class Parameter:
+    """A named symbolic circuit parameter.
+
+    Parameters are hashable and compared by name, which lets a circuit carry
+    the same parameter in several places (the dual-qubit layer applies an
+    identical rotation to both qubits of a pair).
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Parameter({self.name!r})"
+
+
+ParamValue = Union[float, Parameter]
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """A single operation in a circuit.
+
+    Attributes
+    ----------
+    name:
+        Gate name (see :data:`repro.quantum.gates.GATE_SIGNATURES`) or one of
+        the non-unitary directives ``"measure"``, ``"reset"``, ``"barrier"``.
+    qubits:
+        Target qubit indices, control(s) first for controlled gates.
+    params:
+        Gate parameters; floats or :class:`Parameter` placeholders.
+    clbits:
+        Classical bit indices written by ``measure``.
+    label:
+        Optional human-readable annotation (used by the QuClassi circuit
+        builder to tag the trained-state vs. data-loading sections).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+    clbits: Tuple[int, ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "clbits", tuple(int(c) for c in self.clbits))
+        object.__setattr__(self, "params", tuple(self.params))
+        if self.name in gates.GATE_SIGNATURES:
+            expected_qubits, expected_params = gates.GATE_SIGNATURES[self.name]
+            if len(self.qubits) != expected_qubits:
+                raise CircuitError(
+                    f"gate '{self.name}' acts on {expected_qubits} qubit(s), "
+                    f"got {len(self.qubits)}"
+                )
+            if len(self.params) != expected_params:
+                raise CircuitError(
+                    f"gate '{self.name}' expects {expected_params} parameter(s), "
+                    f"got {len(self.params)}"
+                )
+        elif self.name == "measure":
+            if len(self.qubits) != len(self.clbits):
+                raise CircuitError("measure requires one classical bit per qubit")
+        elif self.name in ("reset", "barrier"):
+            pass
+        else:
+            raise CircuitError(f"unknown instruction '{self.name}'")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits in instruction '{self.name}': {self.qubits}")
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_gate(self) -> bool:
+        """Whether the instruction is a unitary gate."""
+        return self.name in gates.GATE_SIGNATURES
+
+    @property
+    def is_measurement(self) -> bool:
+        """Whether the instruction is a measurement."""
+        return self.name == "measure"
+
+    @property
+    def is_parameterized(self) -> bool:
+        """Whether any parameter is still symbolic."""
+        return any(isinstance(p, Parameter) for p in self.params)
+
+    @property
+    def free_parameters(self) -> Tuple[Parameter, ...]:
+        """Symbolic parameters appearing in this instruction, in order."""
+        return tuple(p for p in self.params if isinstance(p, Parameter))
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the instruction acts on."""
+        return len(self.qubits)
+
+    # ------------------------------------------------------------------ #
+    # Binding and matrices
+    # ------------------------------------------------------------------ #
+    def bind(self, binding: Dict[Parameter, float]) -> "Instruction":
+        """Return a copy with symbolic parameters replaced by values.
+
+        Parameters not present in ``binding`` are left symbolic so partial
+        binding (e.g. bind data angles but keep trainable angles) works.
+        """
+        if not self.is_parameterized:
+            return self
+        new_params = tuple(
+            float(binding[p]) if isinstance(p, Parameter) and p in binding else p
+            for p in self.params
+        )
+        return dataclasses.replace(self, params=new_params)
+
+    def matrix(self) -> np.ndarray:
+        """Return the unitary matrix of a fully bound gate.
+
+        Raises
+        ------
+        CircuitError
+            If the instruction is not a gate or still has symbolic parameters.
+        """
+        if not self.is_gate:
+            raise CircuitError(f"instruction '{self.name}' has no unitary matrix")
+        if self.is_parameterized:
+            unbound = [p.name for p in self.free_parameters]
+            raise CircuitError(
+                f"cannot build matrix for '{self.name}' with unbound parameters {unbound}"
+            )
+        return gates.gate_matrix(self.name, *[float(p) for p in self.params])
+
+    def remap(self, mapping: Dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        new_qubits = tuple(mapping[q] for q in self.qubits)
+        return dataclasses.replace(self, qubits=new_qubits)
+
+
+def gate(name: str, qubits: Sequence[int], *params: ParamValue, label: Optional[str] = None) -> Instruction:
+    """Convenience constructor for a gate instruction."""
+    return Instruction(name=name, qubits=tuple(qubits), params=tuple(params), label=label)
+
+
+def measure(qubit: int, clbit: int) -> Instruction:
+    """Convenience constructor for a single-qubit measurement."""
+    return Instruction(name="measure", qubits=(qubit,), clbits=(clbit,))
+
+
+def reset(qubit: int) -> Instruction:
+    """Convenience constructor for a reset-to-|0> directive."""
+    return Instruction(name="reset", qubits=(qubit,))
+
+
+def barrier(qubits: Sequence[int]) -> Instruction:
+    """Convenience constructor for a barrier (no-op marker for the transpiler)."""
+    return Instruction(name="barrier", qubits=tuple(qubits))

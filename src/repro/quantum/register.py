@@ -1,0 +1,103 @@
+"""Quantum and classical registers.
+
+Registers are lightweight named index ranges.  The QuClassi circuit builder
+uses three quantum registers — the ancilla/control qubit, the trained-state
+qubits and the data qubits — plus one classical bit for the SWAP-test
+measurement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+from repro.exceptions import CircuitError
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantumRegister:
+    """A contiguous block of qubits with a name.
+
+    Attributes
+    ----------
+    size:
+        Number of qubits in the register.
+    name:
+        Human-readable register name.
+    offset:
+        Global index of the register's first qubit; assigned when the
+        register is added to a circuit.
+    """
+
+    size: int
+    name: str = "q"
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CircuitError(f"register '{self.name}' must have positive size, got {self.size}")
+        if self.offset < 0:
+            raise CircuitError(f"register '{self.name}' offset must be non-negative")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.offset, self.offset + self.size))
+
+    def __getitem__(self, index: int) -> int:
+        """Return the global qubit index of the ``index``-th qubit."""
+        if isinstance(index, slice):
+            return tuple(range(self.offset, self.offset + self.size))[index]
+        if index < -self.size or index >= self.size:
+            raise CircuitError(
+                f"register '{self.name}' has {self.size} qubits, index {index} is out of range"
+            )
+        return self.offset + (index % self.size)
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """Global indices of every qubit in the register."""
+        return tuple(range(self.offset, self.offset + self.size))
+
+    def shifted(self, offset: int) -> "QuantumRegister":
+        """Return a copy of the register anchored at ``offset``."""
+        return dataclasses.replace(self, offset=offset)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassicalRegister:
+    """A contiguous block of classical bits with a name."""
+
+    size: int
+    name: str = "c"
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise CircuitError(f"register '{self.name}' must have positive size, got {self.size}")
+        if self.offset < 0:
+            raise CircuitError(f"register '{self.name}' offset must be non-negative")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.offset, self.offset + self.size))
+
+    def __getitem__(self, index: int) -> int:
+        """Return the global classical-bit index of the ``index``-th bit."""
+        if index < -self.size or index >= self.size:
+            raise CircuitError(
+                f"register '{self.name}' has {self.size} bits, index {index} is out of range"
+            )
+        return self.offset + (index % self.size)
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """Global indices of every bit in the register."""
+        return tuple(range(self.offset, self.offset + self.size))
+
+    def shifted(self, offset: int) -> "ClassicalRegister":
+        """Return a copy of the register anchored at ``offset``."""
+        return dataclasses.replace(self, offset=offset)

@@ -1,0 +1,270 @@
+"""Circuit simulators.
+
+Two execution engines are provided:
+
+* :class:`StatevectorSimulator` — pure-state evolution; supports exact
+  probability read-out (``shots=None``) or multinomial shot sampling.  This is
+  the engine behind all "simulator" results in the paper's figures.
+* :class:`DensityMatrixSimulator` — mixed-state evolution with a
+  :class:`~repro.quantum.noise.NoiseModel`; the engine behind the simulated
+  IBM-Q / IonQ hardware backends (Figs 11 and 12).
+
+Both return a :class:`SimulationResult` holding the final state, exact
+probabilities of the measured classical bits, and (when shots are requested)
+a :class:`~repro.quantum.measurement.Counts` histogram.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.measurement import Counts, counts_from_probabilities
+from repro.quantum.noise import NoiseModel
+from repro.quantum.statevector import Statevector
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of simulating one circuit.
+
+    Attributes
+    ----------
+    circuit_name:
+        Name of the executed circuit.
+    probabilities:
+        Exact probabilities over the measured classical bits, indexed by the
+        classical bit string (bit 0 first).  Empty when the circuit has no
+        measurements.
+    counts:
+        Sampled histogram; ``None`` when ``shots`` was ``None``.
+    statevector:
+        Final pure state (statevector engine only, measurement-free circuits).
+    density_matrix:
+        Final mixed state (density-matrix engine only).
+    shots:
+        Number of shots sampled, or ``None`` for exact execution.
+    metadata:
+        Engine- and backend-specific extras (noise model name, queue delay...).
+    """
+
+    circuit_name: str
+    probabilities: Dict[str, float]
+    counts: Optional[Counts] = None
+    statevector: Optional[Statevector] = None
+    density_matrix: Optional[DensityMatrix] = None
+    shots: Optional[int] = None
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def probability_of(self, bitstring: str) -> float:
+        """Probability of a classical outcome, preferring sampled counts."""
+        if self.counts is not None:
+            return self.counts.probability(bitstring)
+        return self.probabilities.get(bitstring, 0.0)
+
+    def marginal_probability(self, clbit: int, value: int = 1) -> float:
+        """Probability that classical bit ``clbit`` reads ``value``."""
+        if self.counts is not None:
+            return self.counts.marginal_probability(clbit, value)
+        total = 0.0
+        for key, prob in self.probabilities.items():
+            if int(key[clbit]) == value:
+                total += prob
+        return total
+
+
+def _exact_clbit_probabilities(
+    probabilities: np.ndarray,
+    measured_qubits: Sequence[int],
+    clbits: Sequence[int],
+    num_clbits: int,
+) -> Dict[str, float]:
+    """Re-index qubit-ordered probabilities into classical-bit-ordered strings."""
+    width = len(measured_qubits)
+    out: Dict[str, float] = {}
+    for index, prob in enumerate(probabilities):
+        if prob <= 0.0:
+            continue
+        bits_by_qubit = format(index, f"0{width}b")
+        clbit_string = ["0"] * num_clbits
+        for position, clbit in enumerate(clbits):
+            clbit_string[clbit] = bits_by_qubit[position]
+        key = "".join(clbit_string)
+        out[key] = out.get(key, 0.0) + float(prob)
+    return out
+
+
+class StatevectorSimulator:
+    """Exact pure-state simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for shot sampling (exact probabilities are deterministic).
+    """
+
+    name = "statevector_simulator"
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._rng = ensure_rng(seed)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> SimulationResult:
+        """Execute ``circuit`` and return a :class:`SimulationResult`.
+
+        Measurements are deferred: the simulator evolves all unitary gates,
+        computes the exact joint distribution of the measured qubits, and
+        (optionally) samples ``shots`` outcomes from it.  Mid-circuit resets
+        of *unmeasured-so-far* qubits are applied by projective sampling.
+        """
+        if circuit.num_parameters:
+            unbound = [p.name for p in circuit.parameters]
+            raise SimulationError(f"circuit has unbound parameters: {unbound}")
+        state = initial_state.copy() if initial_state is not None else Statevector(circuit.num_qubits)
+        if state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"initial state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+
+        measured_qubits: List[int] = []
+        clbits: List[int] = []
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier":
+                continue
+            if instruction.is_measurement:
+                measured_qubits.extend(instruction.qubits)
+                clbits.extend(instruction.clbits)
+                continue
+            if instruction.name == "reset":
+                state.reset(instruction.qubits[0], rng=self._rng)
+                continue
+            state.apply_instruction(instruction)
+
+        probabilities: Dict[str, float] = {}
+        counts: Optional[Counts] = None
+        if measured_qubits:
+            joint = state.probabilities(measured_qubits)
+            probabilities = _exact_clbit_probabilities(
+                joint, measured_qubits, clbits, circuit.num_clbits
+            )
+            if shots is not None:
+                counts = counts_from_probabilities(
+                    probabilities, shots, rng=self._rng, num_bits=circuit.num_clbits
+                )
+        elif shots is not None:
+            raise SimulationError("cannot sample shots from a circuit without measurements")
+
+        return SimulationResult(
+            circuit_name=circuit.name,
+            probabilities=probabilities,
+            counts=counts,
+            statevector=state,
+            shots=shots,
+            metadata={"engine": self.name},
+        )
+
+    def statevector(self, circuit: QuantumCircuit) -> Statevector:
+        """Convenience: final statevector of a measurement-free circuit."""
+        stripped = circuit.remove_final_measurements()
+        return self.run(stripped).statevector
+
+
+class DensityMatrixSimulator:
+    """Mixed-state simulator with optional gate and readout noise."""
+
+    name = "density_matrix_simulator"
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None, seed: RandomState = None) -> None:
+        self.noise_model = noise_model if noise_model is not None else NoiseModel.ideal()
+        self._rng = ensure_rng(seed)
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: Optional[int] = 1024,
+        initial_state: Optional[DensityMatrix] = None,
+    ) -> SimulationResult:
+        """Execute ``circuit`` under the configured noise model."""
+        if circuit.num_parameters:
+            unbound = [p.name for p in circuit.parameters]
+            raise SimulationError(f"circuit has unbound parameters: {unbound}")
+        state = initial_state.copy() if initial_state is not None else DensityMatrix(circuit.num_qubits)
+        if state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"initial state has {state.num_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+
+        measured_qubits: List[int] = []
+        clbits: List[int] = []
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier":
+                continue
+            if instruction.is_measurement:
+                measured_qubits.extend(instruction.qubits)
+                clbits.extend(instruction.clbits)
+                continue
+            if instruction.name == "reset":
+                state.reset(instruction.qubits[0], rng=self._rng)
+                continue
+            state.apply_instruction(instruction)
+            for channel in self.noise_model.gate_channels(instruction.name, instruction.num_qubits):
+                channel_width = int(np.log2(np.asarray(channel[0]).shape[0]))
+                if channel_width == instruction.num_qubits:
+                    state.apply_kraus(channel, instruction.qubits)
+                elif channel_width == 1:
+                    for qubit in instruction.qubits:
+                        state.apply_kraus(channel, (qubit,))
+                else:
+                    raise SimulationError(
+                        f"noise channel width {channel_width} incompatible with gate "
+                        f"'{instruction.name}' on {instruction.num_qubits} qubit(s)"
+                    )
+
+        probabilities: Dict[str, float] = {}
+        counts: Optional[Counts] = None
+        if measured_qubits:
+            joint = state.probabilities(measured_qubits)
+            joint = self._apply_readout_error(joint, measured_qubits)
+            probabilities = _exact_clbit_probabilities(
+                joint, measured_qubits, clbits, circuit.num_clbits
+            )
+            if shots is not None:
+                counts = counts_from_probabilities(
+                    probabilities, shots, rng=self._rng, num_bits=circuit.num_clbits
+                )
+        elif shots is not None:
+            raise SimulationError("cannot sample shots from a circuit without measurements")
+
+        return SimulationResult(
+            circuit_name=circuit.name,
+            probabilities=probabilities,
+            counts=counts,
+            density_matrix=state,
+            shots=shots,
+            metadata={"engine": self.name, "noisy": not self.noise_model.is_ideal},
+        )
+
+    def _apply_readout_error(
+        self, joint: np.ndarray, measured_qubits: Sequence[int]
+    ) -> np.ndarray:
+        """Convolve the joint outcome distribution with per-qubit readout error."""
+        width = len(measured_qubits)
+        tensor = np.asarray(joint, dtype=float).reshape((2,) * width)
+        for axis, qubit in enumerate(measured_qubits):
+            error = self.noise_model.readout_error(qubit)
+            if error is None:
+                continue
+            confusion = error.confusion_matrix()
+            tensor = np.tensordot(confusion, tensor, axes=([1], [axis]))
+            tensor = np.moveaxis(tensor, 0, axis)
+        return tensor.reshape(-1)

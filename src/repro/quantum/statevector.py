@@ -1,0 +1,273 @@
+"""Pure-state simulation.
+
+:class:`Statevector` stores the ``2**n`` complex amplitudes of an ``n``-qubit
+register and applies gates by tensor contraction, which keeps the hot loop in
+vectorised NumPy (no Python loop over amplitudes).  Seventeen qubits — the
+widest circuit in the paper — is a 131,072-amplitude vector, comfortably
+within NumPy's reach.
+
+Bit-ordering convention
+-----------------------
+Qubit ``0`` is the *most significant* bit of the computational-basis index:
+for two qubits, index ``2`` (binary ``10``) means qubit 0 is ``1`` and qubit 1
+is ``0``.  Reshaping the flat vector to ``(2,) * n`` therefore maps axis ``q``
+directly to qubit ``q``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.operations import Instruction
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class Statevector:
+    """State of an ``n``-qubit register as a complex amplitude vector.
+
+    Parameters
+    ----------
+    data:
+        Either an integer qubit count (initialises ``|0...0>``) or an
+        amplitude array of length ``2**n``.
+    normalize:
+        When passing raw amplitudes, renormalise them (default: validate that
+        they are already normalised).
+    """
+
+    def __init__(self, data, normalize: bool = False) -> None:
+        if isinstance(data, (int, np.integer)):
+            num_qubits = int(data)
+            if num_qubits <= 0:
+                raise SimulationError(f"need at least one qubit, got {num_qubits}")
+            amplitudes = np.zeros(2**num_qubits, dtype=complex)
+            amplitudes[0] = 1.0
+        else:
+            amplitudes = np.asarray(data, dtype=complex).ravel().copy()
+            size = amplitudes.shape[0]
+            num_qubits = int(round(math.log2(size))) if size else 0
+            if size == 0 or 2**num_qubits != size:
+                raise SimulationError(f"amplitude vector length {size} is not a power of two")
+            norm = np.linalg.norm(amplitudes)
+            if norm == 0:
+                raise SimulationError("amplitude vector must not be zero")
+            if normalize:
+                amplitudes = amplitudes / norm
+            elif not math.isclose(norm, 1.0, abs_tol=1e-8):
+                raise SimulationError(
+                    f"amplitude vector is not normalised (norm={norm:.6f}); "
+                    "pass normalize=True to renormalise"
+                )
+        self._num_qubits = num_qubits
+        self._amplitudes = amplitudes
+
+    # ------------------------------------------------------------------ #
+    # Constructors and accessors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Build a computational-basis state from a bit-string label.
+
+        ``Statevector.from_label("10")`` prepares qubit 0 in ``|1>`` and qubit
+        1 in ``|0>``.
+        """
+        if not label or any(ch not in "01" for ch in label):
+            raise SimulationError(f"label must be a non-empty bit string, got {label!r}")
+        index = int(label, 2)
+        amplitudes = np.zeros(2 ** len(label), dtype=complex)
+        amplitudes[index] = 1.0
+        return cls(amplitudes)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        """Amplitude vector (a copy, to preserve immutability from outside)."""
+        return self._amplitudes.copy()
+
+    def copy(self) -> "Statevector":
+        """Deep copy."""
+        return Statevector(self._amplitudes.copy())
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector (1.0 for a valid state)."""
+        return float(np.linalg.norm(self._amplitudes))
+
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Measurement probabilities, optionally marginalised onto ``qubits``.
+
+        The returned vector is indexed with the same most-significant-first
+        convention as the full state.
+        """
+        probs = np.abs(self._amplitudes) ** 2
+        if qubits is None:
+            return probs
+        qubits = tuple(int(q) for q in qubits)
+        tensor = probs.reshape((2,) * self._num_qubits)
+        keep = set(qubits)
+        other_axes = tuple(ax for ax in range(self._num_qubits) if ax not in keep)
+        marginal = tensor.sum(axis=other_axes) if other_axes else tensor
+        # ``marginal`` axis i corresponds to sorted(qubits)[i]; permute the
+        # axes into the caller's requested qubit order.
+        if len(qubits) > 1:
+            sorted_qubits = sorted(qubits)
+            perm = [sorted_qubits.index(q) for q in qubits]
+            marginal = np.transpose(marginal, axes=perm)
+        return np.ascontiguousarray(marginal).reshape(-1)
+
+    def expectation_z(self, qubit: int) -> float:
+        """Expectation value of the Pauli-Z operator on ``qubit``."""
+        probs = self.probabilities([qubit])
+        return float(probs[0] - probs[1])
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a ``2**k x 2**k`` matrix to qubits ``qubits`` in place.
+
+        Returns ``self`` to allow chaining.
+        """
+        qubits = tuple(int(q) for q in qubits)
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {matrix.shape} does not match {k} qubit(s)"
+            )
+        for q in qubits:
+            if q < 0 or q >= self._num_qubits:
+                raise SimulationError(f"qubit index {q} out of range for {self._num_qubits} qubits")
+        n = self._num_qubits
+        tensor = self._amplitudes.reshape((2,) * n)
+        gate_tensor = matrix.reshape((2,) * (2 * k))
+        # Contract the gate's input axes (the last k axes of gate_tensor) with
+        # the state's target-qubit axes.
+        moved = np.tensordot(gate_tensor, tensor, axes=(tuple(range(k, 2 * k)), qubits))
+        # tensordot puts the gate's output axes first; move them back to the
+        # target-qubit positions.
+        moved = np.moveaxis(moved, tuple(range(k)), qubits)
+        self._amplitudes = np.ascontiguousarray(moved).reshape(-1)
+        return self
+
+    def apply_instruction(self, instruction: Instruction) -> "Statevector":
+        """Apply a bound gate instruction."""
+        if instruction.name == "barrier":
+            return self
+        if not instruction.is_gate:
+            raise SimulationError(
+                f"Statevector cannot apply non-unitary instruction '{instruction.name}'; "
+                "use StatevectorSimulator for measurement/reset handling"
+            )
+        return self.apply_matrix(instruction.matrix(), instruction.qubits)
+
+    def evolve(self, circuit) -> "Statevector":
+        """Apply every gate of a (measurement-free) circuit."""
+        for instruction in circuit.instructions:
+            if instruction.is_measurement or instruction.name == "reset":
+                raise SimulationError(
+                    "Statevector.evolve only supports unitary circuits; "
+                    "use StatevectorSimulator.run for circuits with measurements"
+                )
+            self.apply_instruction(instruction)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Measurement and collapse
+    # ------------------------------------------------------------------ #
+    def measure(self, qubit: int, rng: RandomState = None) -> Tuple[int, "Statevector"]:
+        """Projectively measure ``qubit`` in the Z basis.
+
+        Returns the outcome (0 or 1) and collapses the state in place.
+        """
+        generator = ensure_rng(rng)
+        probs = self.probabilities([qubit])
+        outcome = int(generator.random() < probs[1])
+        self.collapse(qubit, outcome)
+        return outcome, self
+
+    def collapse(self, qubit: int, outcome: int) -> "Statevector":
+        """Project onto ``qubit == outcome`` and renormalise."""
+        if outcome not in (0, 1):
+            raise SimulationError(f"measurement outcome must be 0 or 1, got {outcome}")
+        n = self._num_qubits
+        tensor = self._amplitudes.reshape((2,) * n)
+        index = [slice(None)] * n
+        index[qubit] = 1 - outcome
+        tensor = tensor.copy()
+        tensor[tuple(index)] = 0.0
+        flat = tensor.reshape(-1)
+        norm = np.linalg.norm(flat)
+        if norm == 0:
+            raise SimulationError(
+                f"cannot collapse qubit {qubit} onto outcome {outcome}: probability is zero"
+            )
+        self._amplitudes = flat / norm
+        return self
+
+    def reset(self, qubit: int, rng: RandomState = None) -> "Statevector":
+        """Reset ``qubit`` to ``|0>`` (measure, then flip if needed)."""
+        outcome, _ = self.measure(qubit, rng=rng)
+        if outcome == 1:
+            from repro.quantum import gates
+
+            self.apply_matrix(gates.PAULI_X, (qubit,))
+        return self
+
+    def sample_counts(
+        self,
+        shots: int,
+        qubits: Optional[Sequence[int]] = None,
+        rng: RandomState = None,
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes without collapsing the state.
+
+        Returns a histogram mapping bit-strings (most significant qubit first)
+        to counts.
+        """
+        if shots <= 0:
+            raise SimulationError(f"shots must be positive, got {shots}")
+        generator = ensure_rng(rng)
+        qubits = tuple(range(self._num_qubits)) if qubits is None else tuple(qubits)
+        probs = self.probabilities(qubits)
+        outcomes = generator.multinomial(shots, probs)
+        width = len(qubits)
+        counts: Dict[str, int] = {}
+        for index, count in enumerate(outcomes):
+            if count:
+                counts[format(index, f"0{width}b")] = int(count)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+    def inner(self, other: "Statevector") -> complex:
+        """Inner product ``<self|other>``."""
+        if other.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"cannot take inner product of {self.num_qubits}- and "
+                f"{other.num_qubits}-qubit states"
+            )
+        return complex(np.vdot(self._amplitudes, other._amplitudes))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """State fidelity ``|<self|other>|**2``."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def tensor(self, other: "Statevector") -> "Statevector":
+        """Tensor product ``self ⊗ other`` (self's qubits come first)."""
+        return Statevector(np.kron(self._amplitudes, other._amplitudes))
+
+    def equiv(self, other: "Statevector", atol: float = 1e-8) -> bool:
+        """Whether two states are equal up to a global phase."""
+        if other.num_qubits != self.num_qubits:
+            return False
+        overlap = abs(self.inner(other))
+        return bool(math.isclose(overlap, 1.0, abs_tol=atol))

@@ -1,0 +1,329 @@
+"""Circuit transpilation: basis decomposition and SWAP routing.
+
+Two passes are provided:
+
+* :func:`decompose_to_basis` rewrites every gate into the native basis set
+  ``{rx, ry, rz, h, cx}`` (plus measurements/resets/barriers).  CSWAP — the
+  SWAP-test workhorse — expands into a CNOT-conjugated Toffoli which itself
+  expands into six CNOTs, matching how real providers compile it.
+* :func:`route_circuit` inserts SWAP chains (each SWAP = three CNOTs) so that
+  every two-qubit gate acts on physically coupled qubits of a
+  :class:`~repro.quantum.topology.CouplingMap`.
+
+:func:`transpile` chains both passes and reports routing statistics — this is
+what reproduces the paper's observation that IBM-Q Cairo needs ~21 extra
+CNOTs for the (3, 6) classifier while the fully connected IonQ needs none.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TranspilerError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Instruction
+from repro.quantum.topology import CouplingMap
+
+#: Gates the simulated hardware executes natively.
+BASIS_GATES = ("rx", "ry", "rz", "h", "cx", "id", "x", "z")
+
+_HALF_PI = math.pi / 2
+
+
+def _require_bound(instruction: Instruction) -> Tuple[float, ...]:
+    """Return float parameters, rejecting symbolic ones."""
+    if instruction.is_parameterized:
+        names = [p.name for p in instruction.free_parameters]
+        raise TranspilerError(
+            f"cannot transpile instruction '{instruction.name}' with unbound parameters {names}"
+        )
+    return tuple(float(p) for p in instruction.params)
+
+
+def _decompose_instruction(instruction: Instruction) -> List[Instruction]:
+    """Rewrite one instruction into the native basis."""
+    name = instruction.name
+    qubits = instruction.qubits
+
+    if name in BASIS_GATES or name in ("measure", "reset", "barrier"):
+        return [instruction]
+
+    def gate(gname: str, gqubits: Tuple[int, ...], *params: float) -> Instruction:
+        return Instruction(name=gname, qubits=gqubits, params=params, label=instruction.label)
+
+    if name == "y":
+        (q,) = qubits
+        # Y = RZ(pi) then X up to global phase.
+        return [gate("rz", (q,), math.pi), gate("x", (q,))]
+    if name == "s":
+        (q,) = qubits
+        return [gate("rz", (q,), _HALF_PI)]
+    if name == "t":
+        (q,) = qubits
+        return [gate("rz", (q,), math.pi / 4)]
+    if name == "r":
+        (q,) = qubits
+        theta, phi = _require_bound(instruction)
+        # R(theta, phi) = RZ(phi) RX(theta) RZ(-phi): conjugating RX by RZ
+        # tilts the rotation axis into the X-Y plane at azimuth phi.
+        return [gate("rz", (q,), -phi), gate("rx", (q,), theta), gate("rz", (q,), phi)]
+    if name == "u3":
+        (q,) = qubits
+        theta, phi, lam = _require_bound(instruction)
+        return [gate("rz", (q,), lam), gate("ry", (q,), theta), gate("rz", (q,), phi)]
+    if name == "cz":
+        control, target = qubits
+        return [gate("h", (target,)), gate("cx", (control, target)), gate("h", (target,))]
+    if name == "swap":
+        a, b = qubits
+        return [gate("cx", (a, b)), gate("cx", (b, a)), gate("cx", (a, b))]
+    if name == "cry":
+        (theta,) = _require_bound(instruction)
+        control, target = qubits
+        return [
+            gate("ry", (target,), theta / 2),
+            gate("cx", (control, target)),
+            gate("ry", (target,), -theta / 2),
+            gate("cx", (control, target)),
+        ]
+    if name == "crz":
+        (theta,) = _require_bound(instruction)
+        control, target = qubits
+        return [
+            gate("rz", (target,), theta / 2),
+            gate("cx", (control, target)),
+            gate("rz", (target,), -theta / 2),
+            gate("cx", (control, target)),
+        ]
+    if name == "crx":
+        (theta,) = _require_bound(instruction)
+        control, target = qubits
+        return [
+            gate("h", (target,)),
+            gate("rz", (target,), theta / 2),
+            gate("cx", (control, target)),
+            gate("rz", (target,), -theta / 2),
+            gate("cx", (control, target)),
+            gate("h", (target,)),
+        ]
+    if name == "rzz":
+        (theta,) = _require_bound(instruction)
+        a, b = qubits
+        return [gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b))]
+    if name == "rxx":
+        (theta,) = _require_bound(instruction)
+        a, b = qubits
+        return [
+            gate("h", (a,)), gate("h", (b,)),
+            gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b)),
+            gate("h", (a,)), gate("h", (b,)),
+        ]
+    if name == "ryy":
+        (theta,) = _require_bound(instruction)
+        a, b = qubits
+        return [
+            gate("rx", (a,), _HALF_PI), gate("rx", (b,), _HALF_PI),
+            gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b)),
+            gate("rx", (a,), -_HALF_PI), gate("rx", (b,), -_HALF_PI),
+        ]
+    if name == "cswap":
+        control, target_a, target_b = qubits
+        # CSWAP = CNOT(b->a) . CCX(control, a, b) . CNOT(b->a)
+        ccx = _toffoli(control, target_a, target_b)
+        return (
+            [gate("cx", (target_b, target_a))]
+            + ccx
+            + [gate("cx", (target_b, target_a))]
+        )
+    raise TranspilerError(f"no decomposition known for gate '{name}'")
+
+
+def _toffoli(control_a: int, control_b: int, target: int) -> List[Instruction]:
+    """Standard 6-CNOT Toffoli decomposition into {h, t, tdg(=rz(-pi/4)), cx}."""
+    t = math.pi / 4
+
+    def g(name: str, qubits: Tuple[int, ...], *params: float) -> Instruction:
+        return Instruction(name=name, qubits=qubits, params=params)
+
+    return [
+        g("h", (target,)),
+        g("cx", (control_b, target)),
+        g("rz", (target,), -t),
+        g("cx", (control_a, target)),
+        g("rz", (target,), t),
+        g("cx", (control_b, target)),
+        g("rz", (target,), -t),
+        g("cx", (control_a, target)),
+        g("rz", (control_b,), t),
+        g("rz", (target,), t),
+        g("h", (target,)),
+        g("cx", (control_a, control_b)),
+        g("rz", (control_a,), t),
+        g("rz", (control_b,), -t),
+        g("cx", (control_a, control_b)),
+    ]
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite every gate of ``circuit`` into the native basis set.
+
+    The decomposition is applied recursively until only basis gates remain.
+    """
+    output = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, name=f"{circuit.name}_basis")
+    pending = list(circuit.instructions)
+    while pending:
+        instruction = pending.pop(0)
+        if instruction.name in BASIS_GATES or instruction.name in ("measure", "reset", "barrier"):
+            output.append(instruction)
+            continue
+        replacement = _decompose_instruction(instruction)
+        pending = replacement + pending
+    return output
+
+
+@dataclasses.dataclass
+class RoutingResult:
+    """Outcome of routing a circuit onto a device topology.
+
+    Attributes
+    ----------
+    circuit:
+        Routed circuit (logical indices already rewritten to physical ones).
+    layout:
+        Final logical-to-physical qubit mapping.
+    inserted_swaps:
+        Number of SWAP operations inserted.
+    added_cx:
+        Extra CNOTs contributed by routing (three per inserted SWAP).
+    """
+
+    circuit: QuantumCircuit
+    layout: Dict[int, int]
+    inserted_swaps: int
+
+    @property
+    def added_cx(self) -> int:
+        return 3 * self.inserted_swaps
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling_map: CouplingMap,
+    initial_layout: Optional[Sequence[int]] = None,
+) -> RoutingResult:
+    """Insert SWAPs so every two-qubit gate respects ``coupling_map``.
+
+    Uses a simple greedy strategy: when a gate's qubits are not adjacent,
+    swap one operand along the shortest physical path until they meet.  The
+    logical-to-physical layout is tracked so later gates see the updated
+    placement.  Three-qubit gates must be decomposed before routing.
+    """
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits but the device has "
+            f"{coupling_map.num_qubits}"
+        )
+    if initial_layout is None:
+        layout = {logical: logical for logical in range(circuit.num_qubits)}
+    else:
+        if len(initial_layout) != circuit.num_qubits:
+            raise TranspilerError("initial_layout must list one physical qubit per logical qubit")
+        layout = {logical: int(physical) for logical, physical in enumerate(initial_layout)}
+
+    routed = QuantumCircuit(coupling_map.num_qubits, circuit.num_clbits or 0, name=f"{circuit.name}_routed")
+    inserted_swaps = 0
+
+    def swap_gates(a: int, b: int) -> None:
+        routed.cx(a, b)
+        routed.cx(b, a)
+        routed.cx(a, b)
+
+    for instruction in circuit.instructions:
+        if instruction.name == "barrier":
+            continue
+        if instruction.num_qubits <= 1 or instruction.is_measurement:
+            physical = tuple(layout[q] for q in instruction.qubits)
+            routed.append(
+                Instruction(
+                    name=instruction.name,
+                    qubits=physical,
+                    params=instruction.params,
+                    clbits=instruction.clbits,
+                    label=instruction.label,
+                )
+            )
+            continue
+        if instruction.num_qubits > 2:
+            raise TranspilerError(
+                f"route_circuit requires gates on at most two qubits; decompose "
+                f"'{instruction.name}' first"
+            )
+        logical_a, logical_b = instruction.qubits
+        physical_a, physical_b = layout[logical_a], layout[logical_b]
+        if not coupling_map.are_coupled(physical_a, physical_b):
+            path = coupling_map.shortest_path(physical_a, physical_b)
+            # Move operand A along the path until adjacent to B.
+            for hop in path[1:-1]:
+                swap_gates(physical_a, hop)
+                inserted_swaps += 1
+                # Update the layout: whichever logical qubit sat on ``hop``
+                # now sits on ``physical_a`` and vice versa.
+                occupant = next((l for l, p in layout.items() if p == hop), None)
+                layout[logical_a] = hop
+                if occupant is not None:
+                    layout[occupant] = physical_a
+                physical_a = hop
+        routed.append(
+            Instruction(
+                name=instruction.name,
+                qubits=(layout[logical_a], layout[logical_b]),
+                params=instruction.params,
+                label=instruction.label,
+            )
+        )
+    return RoutingResult(circuit=routed, layout=layout, inserted_swaps=inserted_swaps)
+
+
+@dataclasses.dataclass
+class TranspileResult:
+    """Combined decomposition + routing outcome with summary statistics."""
+
+    circuit: QuantumCircuit
+    layout: Dict[int, int]
+    inserted_swaps: int
+    cx_count: int
+    depth: int
+
+    @property
+    def added_cx(self) -> int:
+        """CNOTs added purely by routing."""
+        return 3 * self.inserted_swaps
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling_map: Optional[CouplingMap] = None,
+    initial_layout: Optional[Sequence[int]] = None,
+) -> TranspileResult:
+    """Decompose to the native basis and (optionally) route onto a device."""
+    decomposed = decompose_to_basis(circuit)
+    if coupling_map is None:
+        counts = decomposed.count_ops()
+        return TranspileResult(
+            circuit=decomposed,
+            layout={q: q for q in range(decomposed.num_qubits)},
+            inserted_swaps=0,
+            cx_count=counts.get("cx", 0),
+            depth=decomposed.depth(),
+        )
+    routing = route_circuit(decomposed, coupling_map, initial_layout=initial_layout)
+    counts = routing.circuit.count_ops()
+    return TranspileResult(
+        circuit=routing.circuit,
+        layout=routing.layout,
+        inserted_swaps=routing.inserted_swaps,
+        cx_count=counts.get("cx", 0),
+        depth=routing.circuit.depth(),
+    )

@@ -1,0 +1,43 @@
+"""Shared utilities: numerics, random-number management, validation."""
+
+from repro.utils.math import (
+    binary_cross_entropy,
+    clip_probability,
+    cross_entropy,
+    kl_divergence,
+    log_loss,
+    normalize_probabilities,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+)
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_positive_int,
+    check_probability_vector,
+    check_square_matrix,
+)
+
+__all__ = [
+    "binary_cross_entropy",
+    "clip_probability",
+    "cross_entropy",
+    "kl_divergence",
+    "log_loss",
+    "normalize_probabilities",
+    "one_hot",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_array",
+    "check_in_range",
+    "check_positive_int",
+    "check_probability_vector",
+    "check_square_matrix",
+]

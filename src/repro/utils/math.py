@@ -1,0 +1,137 @@
+"""Numerical helpers shared across the library.
+
+These are small, vectorised NumPy routines used by the QuClassi core, the
+classical baselines, and the experiment harness.  They favour numerical
+stability (log-sum-exp softmax, clipped logs) over raw speed because every
+call operates on vectors with at most a few hundred entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Smallest probability used inside logarithms to avoid ``-inf``.
+EPSILON = 1e-12
+
+
+def clip_probability(p: np.ndarray | float, eps: float = EPSILON):
+    """Clip probabilities into the open interval ``(eps, 1 - eps)``.
+
+    Parameters
+    ----------
+    p:
+        Scalar or array of probabilities.
+    eps:
+        Clipping margin.
+
+    Returns
+    -------
+    numpy.ndarray or float
+        Clipped probabilities with the same shape as the input.
+    """
+    return np.clip(p, eps, 1.0 - eps)
+
+
+def sigmoid(x: np.ndarray | float):
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=float)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def relu(x: np.ndarray | float):
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    Uses the log-sum-exp shift so large fidelity values never overflow.
+    """
+    x = np.asarray(x, dtype=float)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int | None = None) -> np.ndarray:
+    """One-hot encode integer labels.
+
+    Parameters
+    ----------
+    labels:
+        Integer array of shape ``(n,)``.
+    num_classes:
+        Total number of classes.  Inferred as ``labels.max() + 1`` when
+        omitted.
+    """
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise ValidationError(f"labels must be 1-D, got shape {labels.shape}")
+    if num_classes is None:
+        num_classes = int(labels.max()) + 1 if labels.size else 0
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValidationError(
+            f"labels must lie in [0, {num_classes - 1}], got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=float)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def binary_cross_entropy(y_true: np.ndarray | float, p: np.ndarray | float) -> float:
+    """Mean binary cross-entropy ``-y log p - (1 - y) log(1 - p)``.
+
+    This is Equation (14) of the paper applied to SWAP-test fidelities.
+    """
+    y_true = np.asarray(y_true, dtype=float)
+    p = clip_probability(np.asarray(p, dtype=float))
+    losses = -(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p))
+    return float(np.mean(losses))
+
+
+def cross_entropy(y_true_one_hot: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean categorical cross-entropy between one-hot targets and predictions."""
+    y_true_one_hot = np.asarray(y_true_one_hot, dtype=float)
+    probabilities = clip_probability(np.asarray(probabilities, dtype=float))
+    if y_true_one_hot.shape != probabilities.shape:
+        raise ValidationError(
+            "shape mismatch between targets "
+            f"{y_true_one_hot.shape} and predictions {probabilities.shape}"
+        )
+    per_sample = -np.sum(y_true_one_hot * np.log(probabilities), axis=-1)
+    return float(np.mean(per_sample))
+
+
+def log_loss(y_true: np.ndarray, p: np.ndarray) -> float:
+    """Alias of :func:`binary_cross_entropy` for familiarity."""
+    return binary_cross_entropy(y_true, p)
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Kullback-Leibler divergence ``KL(p || q)`` between distributions."""
+    p = np.asarray(p, dtype=float)
+    q = clip_probability(np.asarray(q, dtype=float))
+    p_clipped = clip_probability(p)
+    return float(np.sum(p * (np.log(p_clipped) - np.log(q))))
+
+
+def normalize_probabilities(weights: np.ndarray) -> np.ndarray:
+    """Normalise non-negative weights into a probability distribution."""
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValidationError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValidationError("weights must not all be zero")
+    return weights / total

@@ -1,0 +1,68 @@
+"""Random-number management.
+
+Every stochastic component in the library (parameter initialisation, shot
+sampling, noise channels, dataset generation) accepts either an integer seed,
+``None``, or a :class:`numpy.random.Generator`.  :func:`ensure_rng` converts
+any of those into a concrete generator so experiments are reproducible by
+passing a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+#: Accepted seed-like type used across the public API.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an integer for a seeded
+        generator, or an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used when an experiment needs reproducible but independent streams, e.g.
+    one stream per class-discriminator circuit or per backend job.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = ensure_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)] if isinstance(
+        seed, (int, type(None))
+    ) else [np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(count)]
+
+
+def seeds_from(seed: RandomState, count: int) -> List[int]:
+    """Derive ``count`` integer seeds from a root seed."""
+    rng = ensure_rng(seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]
+
+
+def shuffled_indices(n: int, rng: RandomState = None) -> np.ndarray:
+    """Return a random permutation of ``range(n)``."""
+    generator = ensure_rng(rng)
+    return generator.permutation(n)
+
+
+def sample_without_replacement(
+    population: Iterable[int], k: int, rng: RandomState = None
+) -> np.ndarray:
+    """Sample ``k`` distinct items from ``population``."""
+    generator = ensure_rng(rng)
+    population = np.asarray(list(population))
+    if k > population.size:
+        raise ValueError(f"cannot sample {k} items from population of {population.size}")
+    return generator.choice(population, size=k, replace=False)

@@ -1,0 +1,115 @@
+"""Argument validation helpers.
+
+Centralising validation keeps error messages consistent across the public API
+and keeps the numerical code paths free of repetitive checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Validate that a scalar lies within ``[minimum, maximum]``."""
+    value = float(value)
+    if minimum is not None:
+        if inclusive and value < minimum:
+            raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+        if not inclusive and value <= minimum:
+            raise ValidationError(f"{name} must be > {minimum}, got {value}")
+    if maximum is not None:
+        if inclusive and value > maximum:
+            raise ValidationError(f"{name} must be <= {maximum}, got {value}")
+        if not inclusive and value >= maximum:
+            raise ValidationError(f"{name} must be < {maximum}, got {value}")
+    return value
+
+
+def check_array(
+    data,
+    name: str,
+    ndim: Optional[int] = None,
+    shape: Optional[Tuple[Optional[int], ...]] = None,
+    dtype=float,
+) -> np.ndarray:
+    """Convert ``data`` to an array and validate its dimensionality/shape.
+
+    ``shape`` entries set to ``None`` are wildcards.
+    """
+    array = np.asarray(data, dtype=dtype)
+    if ndim is not None and array.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-D, got {array.ndim}-D")
+    if shape is not None:
+        if array.ndim != len(shape):
+            raise ValidationError(
+                f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+            )
+        for axis, expected in enumerate(shape):
+            if expected is not None and array.shape[axis] != expected:
+                raise ValidationError(
+                    f"{name} axis {axis} must have size {expected}, got {array.shape[axis]}"
+                )
+    if not np.all(np.isfinite(array)) and np.issubdtype(array.dtype, np.floating):
+        raise ValidationError(f"{name} contains non-finite values")
+    return array
+
+
+def check_square_matrix(matrix, name: str) -> np.ndarray:
+    """Validate that ``matrix`` is a square 2-D array."""
+    array = np.asarray(matrix)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ValidationError(f"{name} must be a square matrix, got shape {array.shape}")
+    return array
+
+
+def check_probability_vector(vector, name: str, atol: float = 1e-8) -> np.ndarray:
+    """Validate a non-negative vector that sums to one."""
+    array = np.asarray(vector, dtype=float)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got {array.ndim}-D")
+    if np.any(array < -atol):
+        raise ValidationError(f"{name} must be non-negative")
+    if not np.isclose(array.sum(), 1.0, atol=atol):
+        raise ValidationError(f"{name} must sum to 1, sums to {array.sum()}")
+    return array
+
+
+def check_qubit_indices(qubits: Sequence[int], num_qubits: int, name: str = "qubits") -> Tuple[int, ...]:
+    """Validate a sequence of distinct qubit indices for an ``num_qubits`` register."""
+    indices = tuple(int(q) for q in qubits)
+    for q in indices:
+        if q < 0 or q >= num_qubits:
+            raise ValidationError(
+                f"{name} contains index {q}, valid range is [0, {num_qubits - 1}]"
+            )
+    if len(set(indices)) != len(indices):
+        raise ValidationError(f"{name} must be distinct, got {indices}")
+    return indices

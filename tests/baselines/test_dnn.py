@@ -1,0 +1,110 @@
+"""Tests for the classical DNN baseline (DNN-kP)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dnn import DNNClassifier, dnn_for_parameter_budget, hidden_units_for_budget
+from repro.exceptions import TrainingError, ValidationError
+
+
+def blobs(num_classes: int = 2, samples: int = 30, num_features: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0.1, 0.9, size=(num_classes, num_features))
+    features, labels = [], []
+    for label, centre in enumerate(centres):
+        features.append(centre + 0.05 * rng.normal(size=(samples, num_features)))
+        labels.extend([label] * samples)
+    return np.vstack(features), np.array(labels)
+
+
+class TestParameterAccounting:
+    def test_num_parameters_formula(self):
+        model = DNNClassifier(num_features=4, num_classes=3, hidden_units=5)
+        expected = 4 * 5 + 5 + 5 * 3 + 3
+        assert model.num_parameters == expected
+
+    def test_hidden_units_for_budget_close(self):
+        for budget in (12, 56, 112, 306, 1218):
+            hidden = hidden_units_for_budget(4, 3, budget)
+            model = DNNClassifier(4, 3, hidden)
+            assert abs(model.num_parameters - budget) <= (4 + 3 + 1)
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            hidden_units_for_budget(4, 3, 2)
+
+    def test_factory_builds_model(self):
+        model = dnn_for_parameter_budget(16, 2, 306, seed=0)
+        assert isinstance(model, DNNClassifier)
+        assert abs(model.num_parameters - 306) < 20
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            DNNClassifier(0, 2, 4)
+        with pytest.raises(ValidationError):
+            DNNClassifier(4, 1, 4)
+        with pytest.raises(ValidationError):
+            DNNClassifier(4, 2, 0)
+
+    def test_seeded_initialisation_reproducible(self):
+        a = DNNClassifier(4, 2, 8, seed=3)
+        b = DNNClassifier(4, 2, 8, seed=3)
+        np.testing.assert_array_equal(a.weights_hidden, b.weights_hidden)
+
+
+class TestInference:
+    def test_probabilities_sum_to_one(self):
+        model = DNNClassifier(4, 3, 8, seed=0)
+        probs = model.predict_proba(np.random.default_rng(0).uniform(size=(5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_predict_shape(self):
+        model = DNNClassifier(4, 3, 8, seed=0)
+        assert model.predict(np.zeros((6, 4))).shape == (6,)
+
+    def test_wrong_feature_count_rejected(self):
+        with pytest.raises(ValidationError):
+            DNNClassifier(4, 2, 8).predict(np.zeros((3, 5)))
+
+    def test_single_sample_accepted(self):
+        assert DNNClassifier(4, 2, 8, seed=0).predict_proba(np.full(4, 0.5)).shape == (1, 2)
+
+
+class TestTraining:
+    def test_learns_separable_blobs(self):
+        features, labels = blobs(num_classes=2)
+        model = DNNClassifier(4, 2, 8, seed=0)
+        history = model.fit(features, labels, epochs=40, learning_rate=0.5, rng=0)
+        assert history.losses[-1] < history.losses[0]
+        assert model.score(features, labels) > 0.9
+
+    def test_multiclass_training(self):
+        features, labels = blobs(num_classes=3)
+        model = DNNClassifier(4, 3, 16, seed=0)
+        model.fit(features, labels, epochs=60, learning_rate=0.5, rng=0)
+        assert model.score(features, labels) > 0.8
+
+    def test_validation_tracked(self):
+        features, labels = blobs()
+        model = DNNClassifier(4, 2, 8, seed=0)
+        history = model.fit(features, labels, epochs=3, validation_data=(features, labels), rng=0)
+        assert len(history.validation_accuracies) == 3
+        assert all(acc is not None for acc in history.validation_accuracies)
+
+    def test_invalid_labels_rejected(self):
+        features, labels = blobs()
+        with pytest.raises(TrainingError):
+            DNNClassifier(4, 2, 8).fit(features, labels + 7, epochs=1)
+
+    def test_invalid_epochs_rejected(self):
+        features, labels = blobs()
+        with pytest.raises(TrainingError):
+            DNNClassifier(4, 2, 8).fit(features, labels, epochs=0)
+
+    def test_momentum_accepted(self):
+        features, labels = blobs()
+        model = DNNClassifier(4, 2, 8, seed=0)
+        history = model.fit(features, labels, epochs=5, momentum=0.9, rng=0)
+        assert len(history.losses) == 5

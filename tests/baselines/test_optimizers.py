@@ -1,0 +1,52 @@
+"""Tests for the baseline optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.optimizers import SGD
+from repro.exceptions import TrainingError
+
+
+class TestSGD:
+    def test_plain_step(self):
+        params = [np.array([1.0, 2.0])]
+        SGD(learning_rate=0.1).step(params, [np.array([1.0, -1.0])])
+        np.testing.assert_allclose(params[0], [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        params = [np.array([0.0])]
+        grads = [np.array([1.0])]
+        optimizer.step(params, grads)
+        first_move = params[0].copy()
+        optimizer.step(params, grads)
+        second_move = params[0] - first_move
+        assert abs(second_move[0]) > abs(first_move[0])
+
+    def test_decay_reduces_learning_rate(self):
+        optimizer = SGD(learning_rate=1.0, decay=0.5)
+        optimizer.end_epoch()
+        assert optimizer.learning_rate == pytest.approx(0.5)
+
+    def test_minimises_quadratic(self):
+        optimizer = SGD(learning_rate=0.1)
+        params = [np.array([5.0])]
+        for _ in range(100):
+            optimizer.step(params, [2 * params[0]])
+        assert abs(params[0][0]) < 1e-3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD().step([np.zeros(2)], [np.zeros(3)])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD().step([np.zeros(2)], [])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(TrainingError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            SGD(momentum=1.0)
+        with pytest.raises(TrainingError):
+            SGD(decay=0.0)

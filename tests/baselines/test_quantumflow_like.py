@@ -1,0 +1,92 @@
+"""Tests for the QuantumFlow-like (QF-pNet) surrogate baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.quantumflow_like import QFpNetLikeClassifier
+from repro.exceptions import TrainingError, ValidationError
+
+
+def blobs(num_classes: int = 2, samples: int = 25, num_features: int = 8, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0.1, 0.9, size=(num_classes, num_features))
+    features, labels = [], []
+    for label, centre in enumerate(centres):
+        features.append(centre + 0.05 * rng.normal(size=(samples, num_features)))
+        labels.extend([label] * samples)
+    return np.vstack(features), np.array(labels)
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        model = QFpNetLikeClassifier(num_features=8, num_classes=3, hidden_units=4, seed=0)
+        assert model.num_parameters == 4 * 8 + 4 * 3 + 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            QFpNetLikeClassifier(0, 2)
+        with pytest.raises(ValidationError):
+            QFpNetLikeClassifier(4, 1)
+        with pytest.raises(ValidationError):
+            QFpNetLikeClassifier(4, 2, hidden_units=0)
+
+
+class TestPLayerSemantics:
+    def test_activations_are_squared_overlaps_in_unit_interval(self):
+        model = QFpNetLikeClassifier(4, 2, hidden_units=3, seed=0)
+        features = np.random.default_rng(0).uniform(0.1, 0.9, size=(6, 4))
+        _, overlaps, activations, _ = model._forward(features)
+        assert np.all(np.abs(overlaps) <= 1.0 + 1e-9)
+        np.testing.assert_allclose(activations, overlaps**2)
+
+    def test_scale_invariance_of_inputs(self):
+        """Amplitude-encoding semantics: rescaling a sample leaves the prediction unchanged."""
+        model = QFpNetLikeClassifier(4, 2, hidden_units=3, seed=0)
+        sample = np.array([[0.2, 0.4, 0.6, 0.8]])
+        np.testing.assert_allclose(
+            model.predict_proba(sample), model.predict_proba(3.0 * sample), atol=1e-12
+        )
+
+
+class TestInference:
+    def test_probabilities_sum_to_one(self):
+        model = QFpNetLikeClassifier(8, 3, seed=0)
+        probs = model.predict_proba(np.random.default_rng(0).uniform(size=(5, 8)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+
+    def test_wrong_feature_count_rejected(self):
+        with pytest.raises(ValidationError):
+            QFpNetLikeClassifier(8, 2).predict(np.zeros((2, 3)))
+
+
+class TestTraining:
+    def test_learns_binary_blobs(self):
+        features, labels = blobs(num_classes=2)
+        model = QFpNetLikeClassifier(8, 2, hidden_units=8, seed=0)
+        history = model.fit(features, labels, epochs=40, learning_rate=0.1, rng=0)
+        assert history.losses[-1] < history.losses[0]
+        assert model.score(features, labels) > 0.85
+
+    def test_multiclass_training_runs(self):
+        features, labels = blobs(num_classes=4)
+        model = QFpNetLikeClassifier(8, 4, hidden_units=8, seed=0)
+        model.fit(features, labels, epochs=30, learning_rate=0.1, rng=0)
+        assert model.score(features, labels) > 0.5
+
+    def test_weight_norm_constraint_preserved_in_forward(self):
+        """The p-layer always consumes unit-norm weight rows regardless of raw weights."""
+        model = QFpNetLikeClassifier(4, 2, hidden_units=2, seed=0)
+        model.weights_p *= 10.0
+        features = np.random.default_rng(0).uniform(0.1, 0.9, size=(3, 4))
+        _, overlaps, _, _ = model._forward(features)
+        assert np.all(np.abs(overlaps) <= 1.0 + 1e-9)
+
+    def test_invalid_labels_rejected(self):
+        features, labels = blobs()
+        with pytest.raises(TrainingError):
+            QFpNetLikeClassifier(8, 2).fit(features, labels + 3, epochs=1)
+
+    def test_mismatched_lengths_rejected(self):
+        features, labels = blobs()
+        with pytest.raises(TrainingError):
+            QFpNetLikeClassifier(8, 2).fit(features, labels[:-1], epochs=1)

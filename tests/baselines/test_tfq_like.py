@@ -1,0 +1,79 @@
+"""Tests for the TFQ-like variational baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tfq_like import TFQLikeClassifier
+from repro.exceptions import TrainingError, ValidationError
+
+
+def binary_blobs(samples: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    low = rng.uniform(0.05, 0.3, size=(samples, 4))
+    high = rng.uniform(0.7, 0.95, size=(samples, 4))
+    features = np.vstack([low, high])
+    labels = np.array([0] * samples + [1] * samples)
+    return features, labels
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        model = TFQLikeClassifier(num_features=4, num_layers=2, seed=0)
+        assert model.num_parameters == 2 * (4 + 1)
+        assert model.num_qubits == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            TFQLikeClassifier(num_features=0)
+        with pytest.raises(ValidationError):
+            TFQLikeClassifier(num_features=4, num_layers=0)
+
+    def test_seed_reproducibility(self):
+        a = TFQLikeClassifier(4, seed=3)
+        b = TFQLikeClassifier(4, seed=3)
+        np.testing.assert_array_equal(a.parameters_, b.parameters_)
+
+
+class TestInference:
+    def test_decision_function_range(self):
+        model = TFQLikeClassifier(4, num_layers=1, seed=0)
+        values = model.decision_function(np.random.default_rng(0).uniform(0, 1, size=(4, 4)))
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)
+
+    def test_probabilities_in_unit_interval(self):
+        model = TFQLikeClassifier(4, num_layers=1, seed=0)
+        probs = model.predict_proba(np.random.default_rng(0).uniform(0, 1, size=(4, 4)))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predict_is_binary(self):
+        model = TFQLikeClassifier(4, num_layers=1, seed=0)
+        predictions = model.predict(np.random.default_rng(0).uniform(0, 1, size=(5, 4)))
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_wrong_feature_count_rejected(self):
+        with pytest.raises(ValidationError):
+            TFQLikeClassifier(4).predict(np.zeros((2, 3)))
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        features, labels = binary_blobs(samples=6)
+        model = TFQLikeClassifier(4, num_layers=1, seed=0)
+        history = model.fit(features, labels, epochs=5, learning_rate=0.5, rng=0)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_beats_chance_on_separable_data(self):
+        features, labels = binary_blobs(samples=8)
+        model = TFQLikeClassifier(4, num_layers=1, seed=0)
+        model.fit(features, labels, epochs=5, learning_rate=0.5, rng=0)
+        assert model.score(features, labels) > 0.8
+
+    def test_rejects_multiclass_labels(self):
+        features, labels = binary_blobs(samples=4)
+        with pytest.raises(TrainingError):
+            TFQLikeClassifier(4).fit(features, labels + 1, epochs=1)
+
+    def test_rejects_mismatched_lengths(self):
+        features, labels = binary_blobs(samples=4)
+        with pytest.raises(TrainingError):
+            TFQLikeClassifier(4).fit(features, labels[:-1], epochs=1)

@@ -1,0 +1,109 @@
+"""Tests for callbacks and training history."""
+
+import pytest
+
+from repro.core.callbacks import (
+    EarlyStopping,
+    EpochRecord,
+    ProgressLogger,
+    Timer,
+    TrainingHistory,
+)
+
+
+def record(epoch: int, loss: float, accuracy: float = 0.5, validation=None) -> EpochRecord:
+    return EpochRecord(
+        epoch=epoch,
+        loss=loss,
+        per_class_loss=[loss, loss],
+        train_accuracy=accuracy,
+        validation_accuracy=validation,
+        gradient_norm=0.1,
+        elapsed_seconds=0.01,
+    )
+
+
+class TestTrainingHistory:
+    def test_accessors(self):
+        history = TrainingHistory()
+        history.append(record(1, 0.9, 0.5, 0.4))
+        history.append(record(2, 0.7, 0.6, 0.55))
+        assert history.epochs == [1, 2]
+        assert history.losses == [0.9, 0.7]
+        assert history.train_accuracies == [0.5, 0.6]
+        assert history.final_loss == 0.7
+        assert history.best_validation_accuracy == 0.55
+
+    def test_per_class_losses_shape(self):
+        history = TrainingHistory()
+        history.append(record(1, 0.9))
+        assert history.per_class_losses().shape == (1, 2)
+
+    def test_empty_history_final_loss_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().final_loss
+
+    def test_best_validation_none_when_absent(self):
+        history = TrainingHistory()
+        history.append(record(1, 0.9))
+        assert history.best_validation_accuracy is None
+
+    def test_as_dict_keys(self):
+        history = TrainingHistory()
+        history.append(record(1, 0.9))
+        assert set(history.as_dict()) == {"epoch", "loss", "train_accuracy", "validation_accuracy"}
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.on_epoch_end(None, record(1, 1.0))
+        stopper.on_epoch_end(None, record(2, 1.0))
+        stopper.on_epoch_end(None, record(3, 1.0))
+        assert stopper.should_stop()
+
+    def test_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        stopper.on_epoch_end(None, record(1, 1.0))
+        stopper.on_epoch_end(None, record(2, 1.0))
+        stopper.on_epoch_end(None, record(3, 0.5))
+        stopper.on_epoch_end(None, record(4, 0.6))
+        assert not stopper.should_stop()
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestProgressLogger:
+    def test_prints_every_epoch(self, capsys):
+        logger = ProgressLogger(every=1, prefix="[test] ")
+        logger.on_epoch_end(None, record(1, 0.8, 0.7, 0.6))
+        captured = capsys.readouterr().out
+        assert "epoch" in captured
+        assert "[test]" in captured
+        assert "val_acc" in captured
+
+    def test_respects_interval(self, capsys):
+        logger = ProgressLogger(every=2)
+        logger.on_epoch_end(None, record(1, 0.8))
+        assert capsys.readouterr().out == ""
+        logger.on_epoch_end(None, record(2, 0.8))
+        assert "epoch" in capsys.readouterr().out
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ProgressLogger(every=0)
+
+
+class TestTimer:
+    def test_elapsed_increases(self):
+        timer = Timer()
+        first = timer.elapsed()
+        second = timer.elapsed()
+        assert second >= first >= 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        timer.reset()
+        assert timer.elapsed() < 1.0

@@ -1,0 +1,118 @@
+"""Tests for the QuClassi discriminator-circuit builder (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit_builder import DiscriminatorCircuitBuilder, DiscriminatorLayout
+from repro.core.layers import LayerStack
+from repro.encoding import DualAngleEncoder, SingleAngleEncoder
+from repro.exceptions import ValidationError
+from repro.quantum.fidelity import fidelity_from_swap_test_probability
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.statevector import Statevector
+
+
+def make_builder(num_features: int = 4, architecture: str = "s") -> DiscriminatorCircuitBuilder:
+    encoder = DualAngleEncoder()
+    stack = LayerStack.from_architecture(architecture, encoder.num_qubits(num_features))
+    return DiscriminatorCircuitBuilder(stack, encoder, num_features)
+
+
+class TestLayout:
+    def test_paper_iris_layout(self):
+        """4 features -> 2+2 state qubits + 1 ancilla = 5 qubits (paper Fig. 7)."""
+        layout = make_builder(4).layout
+        assert layout.total_qubits == 5
+        assert layout.ancilla == 0
+        assert layout.trained_qubits == (1, 2)
+        assert layout.data_qubits == (3, 4)
+
+    def test_paper_mnist_layout(self):
+        """16 PCA features -> 17 qubits (paper Section 5.3.1)."""
+        assert make_builder(16).layout.total_qubits == 17
+
+    def test_mismatched_stack_and_encoder_rejected(self):
+        encoder = DualAngleEncoder()
+        stack = LayerStack.from_architecture("s", 3)  # wrong width for 4 features
+        with pytest.raises(ValidationError):
+            DiscriminatorCircuitBuilder(stack, encoder, 4)
+
+    def test_single_angle_encoder_doubles_register(self):
+        encoder = SingleAngleEncoder()
+        stack = LayerStack.from_architecture("s", 4)
+        builder = DiscriminatorCircuitBuilder(stack, encoder, 4)
+        assert builder.layout.total_qubits == 9
+
+
+class TestCircuitStructure:
+    def test_full_circuit_op_counts(self):
+        builder = make_builder(4)
+        circuit = builder.build([0.2, 0.4, 0.6, 0.8], parameter_values=[0.1, 0.2, 0.3, 0.4])
+        ops = circuit.count_ops()
+        assert ops["h"] == 2
+        assert ops["cswap"] == 2          # one per trained/data qubit pair
+        assert ops["measure"] == 1
+        assert ops["ry"] == 4             # 2 trained + 2 data
+        assert ops["rz"] == 4
+
+    def test_symbolic_circuit_exposes_trainable_parameters(self):
+        builder = make_builder(4)
+        circuit = builder.build([0.2, 0.4, 0.6, 0.8])
+        assert circuit.num_parameters == builder.num_parameters == 4
+
+    def test_parameter_binding_requires_full_vector(self):
+        builder = make_builder(4)
+        with pytest.raises(ValidationError):
+            builder.parameter_binding([0.1, 0.2])
+
+    def test_trained_and_data_registers_are_disjoint(self):
+        builder = make_builder(6, architecture="sd")
+        circuit = builder.build(np.linspace(0.1, 0.9, 6), parameter_values=np.zeros(builder.num_parameters))
+        layout = builder.layout
+        for inst in circuit.instructions:
+            if inst.label == "trained":
+                assert set(inst.qubits) <= set(layout.trained_qubits)
+            if inst.label == "data":
+                assert set(inst.qubits) <= set(layout.data_qubits)
+
+    def test_rejects_invalid_feature_count(self):
+        with pytest.raises(Exception):
+            make_builder(4).build([0.2, 0.4])  # wrong dimensionality
+
+
+class TestSwapTestSemantics:
+    def test_ancilla_probability_matches_analytic_fidelity(self):
+        """P(ancilla = 0) = (1 + F) / 2 where F is the trained/data state overlap."""
+        builder = make_builder(4)
+        parameters = np.array([0.7, 1.1, 0.3, 2.0])
+        features = np.array([0.15, 0.65, 0.35, 0.85])
+
+        circuit = builder.build(features, parameter_values=parameters)
+        p_zero = StatevectorSimulator().run(circuit).marginal_probability(0, 0)
+
+        trained = Statevector(2).evolve(builder.trained_state_circuit(parameters))
+        data = Statevector(2).evolve(builder.data_state_circuit(features))
+        expected = trained.fidelity(data)
+        assert fidelity_from_swap_test_probability(p_zero) == pytest.approx(expected, abs=1e-9)
+
+    def test_identical_trained_and_data_states_give_unit_fidelity(self):
+        """When the learned state equals the encoded data point, P(0) = 1."""
+        encoder = DualAngleEncoder()
+        stack = LayerStack.from_architecture("s", 2)
+        builder = DiscriminatorCircuitBuilder(stack, encoder, 4)
+        features = np.array([0.3, 0.6, 0.7, 0.2])
+        angles = encoder.angles(features)  # ry/rz angles interleaved per qubit
+        circuit = builder.build(features, parameter_values=angles)
+        p_zero = StatevectorSimulator().run(circuit).marginal_probability(0, 0)
+        assert p_zero == pytest.approx(1.0, abs=1e-9)
+
+    def test_deeper_architectures_still_satisfy_swap_identity(self):
+        builder = make_builder(4, architecture="sde")
+        rng = np.random.default_rng(0)
+        parameters = rng.uniform(0, np.pi, builder.num_parameters)
+        features = np.array([0.4, 0.1, 0.9, 0.5])
+        circuit = builder.build(features, parameter_values=parameters)
+        p_zero = StatevectorSimulator().run(circuit).marginal_probability(0, 0)
+        trained = Statevector(2).evolve(builder.trained_state_circuit(parameters))
+        data = Statevector(2).evolve(builder.data_state_circuit(features))
+        assert 2 * p_zero - 1 == pytest.approx(trained.fidelity(data), abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for the fidelity-based cost functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import FidelityCrossEntropy, NegativeFidelityCost, resolve_cost
+from repro.exceptions import ValidationError
+
+
+class TestFidelityCrossEntropy:
+    def test_perfect_fidelity_for_positive_sample_is_cheap(self):
+        cost = FidelityCrossEntropy()
+        assert cost([1.0], [1.0]) < 1e-6
+
+    def test_zero_fidelity_for_positive_sample_is_expensive(self):
+        cost = FidelityCrossEntropy()
+        assert cost([0.0], [1.0]) > 10.0
+
+    def test_negative_samples_push_fidelity_down(self):
+        cost = FidelityCrossEntropy()
+        assert cost([0.9], [0.0]) > cost([0.1], [0.0])
+
+    def test_matches_paper_equation_14(self):
+        cost = FidelityCrossEntropy()
+        fidelity, target = 0.7, 1.0
+        assert cost([fidelity], [target]) == pytest.approx(-np.log(0.7))
+        fidelity, target = 0.7, 0.0
+        assert cost([fidelity], [target]) == pytest.approx(-np.log(0.3))
+
+    def test_mean_over_batch(self):
+        cost = FidelityCrossEntropy()
+        batch = cost([0.8, 0.2], [1.0, 0.0])
+        expected = np.mean([-np.log(0.8), -np.log(0.8)])
+        assert batch == pytest.approx(expected)
+
+    def test_extreme_fidelities_do_not_produce_infinities(self):
+        cost = FidelityCrossEntropy()
+        assert np.isfinite(cost([0.0, 1.0], [1.0, 0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FidelityCrossEntropy()([0.5, 0.5], [1.0])
+
+    def test_per_sample_matches_mean(self):
+        cost = FidelityCrossEntropy()
+        fidelities = np.array([0.9, 0.4, 0.6])
+        targets = np.array([1.0, 0.0, 1.0])
+        assert np.mean(cost.per_sample(fidelities, targets)) == pytest.approx(
+            cost(fidelities, targets)
+        )
+
+
+class TestNegativeFidelityCost:
+    def test_only_positive_samples_matter(self):
+        cost = NegativeFidelityCost()
+        assert cost([0.9, 0.1], [1.0, 0.0]) == pytest.approx(0.1)
+
+    def test_no_positive_samples_gives_zero(self):
+        assert NegativeFidelityCost()([0.5], [0.0]) == 0.0
+
+    def test_decreases_as_fidelity_increases(self):
+        cost = NegativeFidelityCost()
+        assert cost([0.9], [1.0]) < cost([0.5], [1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            NegativeFidelityCost()([0.5], [1.0, 0.0])
+
+
+class TestResolveCost:
+    def test_resolves_names(self):
+        assert isinstance(resolve_cost("cross_entropy"), FidelityCrossEntropy)
+        assert isinstance(resolve_cost("negative_fidelity"), NegativeFidelityCost)
+
+    def test_passes_through_callables(self):
+        custom = FidelityCrossEntropy(epsilon=1e-6)
+        assert resolve_cost(custom) is custom
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_cost("hinge")

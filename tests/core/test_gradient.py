@@ -1,0 +1,108 @@
+"""Tests for the gradient rules (paper Eq. 15)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gradient import (
+    EpochScaledShiftRule,
+    FiniteDifferenceRule,
+    ParameterShiftRule,
+    resolve_gradient_rule,
+)
+from repro.exceptions import ValidationError
+
+
+def quadratic_loss(parameters: np.ndarray) -> float:
+    """Simple convex loss with known gradient 2 * (theta - 1)."""
+    return float(np.sum((parameters - 1.0) ** 2))
+
+
+class TestShiftSchedules:
+    def test_epoch_scaled_shift_shrinks(self):
+        rule = EpochScaledShiftRule()
+        shifts = [rule.shift(epoch) for epoch in (1, 4, 9, 16)]
+        assert shifts[0] == pytest.approx(math.pi / 2)
+        assert shifts[1] == pytest.approx(math.pi / 4)
+        assert shifts[2] == pytest.approx(math.pi / 6)
+        assert all(b < a for a, b in zip(shifts, shifts[1:]))
+
+    def test_epoch_scaled_shift_has_floor(self):
+        rule = EpochScaledShiftRule(minimum_shift=0.01)
+        assert rule.shift(10**9) == pytest.approx(0.01)
+
+    def test_parameter_shift_is_constant(self):
+        rule = ParameterShiftRule()
+        assert rule.shift(1) == rule.shift(100) == pytest.approx(math.pi / 2)
+
+    def test_invalid_epoch_rejected(self):
+        with pytest.raises(ValidationError):
+            EpochScaledShiftRule().shift(0)
+
+
+class TestGradientEstimates:
+    def test_gradient_sign_points_uphill(self):
+        rule = EpochScaledShiftRule()
+        gradient = rule.gradient(quadratic_loss, np.array([3.0, -1.0]), epoch=1)
+        # Loss increases away from 1, so the gradient is positive at 3 and negative at -1.
+        assert gradient[0] > 0
+        assert gradient[1] < 0
+
+    def test_descent_step_reduces_quadratic_loss(self):
+        rule = EpochScaledShiftRule()
+        parameters = np.array([2.5, 0.0, -1.0])
+        for epoch in range(1, 30):
+            gradient = rule.gradient(quadratic_loss, parameters, epoch=epoch)
+            parameters = parameters - 0.1 * gradient
+        assert quadratic_loss(parameters) < 0.05
+
+    def test_finite_difference_matches_true_gradient(self):
+        rule = FiniteDifferenceRule(step=1e-5)
+        point = np.array([3.0, 0.5])
+        gradient = rule.gradient(quadratic_loss, point, epoch=1)
+        np.testing.assert_allclose(gradient, 2 * (point - 1.0), atol=1e-5)
+
+    def test_gradient_at_minimum_is_zero(self):
+        rule = ParameterShiftRule()
+        gradient = rule.gradient(quadratic_loss, np.array([1.0, 1.0]), epoch=1)
+        np.testing.assert_allclose(gradient, [0.0, 0.0], atol=1e-9)
+
+    def test_two_evaluations_per_parameter(self):
+        calls = []
+
+        def counting_loss(parameters):
+            calls.append(parameters.copy())
+            return quadratic_loss(parameters)
+
+        EpochScaledShiftRule().gradient(counting_loss, np.zeros(3), epoch=1)
+        assert len(calls) == 6
+
+    def test_non_flat_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            EpochScaledShiftRule().gradient(quadratic_loss, np.zeros((2, 2)), epoch=1)
+
+    def test_parameter_shift_is_exact_for_sinusoidal_loss(self):
+        """For losses of the form cos(theta), the pi/2 shift rule is exact."""
+
+        def sinusoidal(parameters):
+            return float(np.cos(parameters[0]))
+
+        theta = 0.7
+        gradient = ParameterShiftRule().gradient(sinusoidal, np.array([theta]), epoch=1)
+        assert gradient[0] == pytest.approx(-math.sin(theta), abs=1e-9)
+
+
+class TestResolveGradientRule:
+    def test_names(self):
+        assert isinstance(resolve_gradient_rule("epoch_scaled"), EpochScaledShiftRule)
+        assert isinstance(resolve_gradient_rule("parameter_shift"), ParameterShiftRule)
+        assert isinstance(resolve_gradient_rule("finite_difference"), FiniteDifferenceRule)
+
+    def test_instance_passthrough(self):
+        rule = ParameterShiftRule()
+        assert resolve_gradient_rule(rule) is rule
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_gradient_rule("adam")

@@ -1,0 +1,69 @@
+"""Tests for softmax inference over per-class fidelities."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import (
+    accuracy,
+    confusion_matrix,
+    fidelities_to_probabilities,
+    predict_from_fidelities,
+)
+from repro.exceptions import ValidationError
+
+
+class TestFidelitiesToProbabilities:
+    def test_rows_sum_to_one(self):
+        fidelities = np.array([[0.9, 0.2, 0.4], [0.1, 0.8, 0.3]])
+        probabilities = fidelities_to_probabilities(fidelities)
+        np.testing.assert_allclose(probabilities.sum(axis=1), [1.0, 1.0])
+
+    def test_highest_fidelity_gets_highest_probability(self):
+        probabilities = fidelities_to_probabilities(np.array([0.9, 0.2, 0.4]))
+        assert np.argmax(probabilities) == 0
+
+    def test_single_sample_returns_1d(self):
+        assert fidelities_to_probabilities(np.array([0.5, 0.5])).ndim == 1
+
+    def test_temperature_sharpens(self):
+        fidelities = np.array([0.8, 0.6])
+        soft = fidelities_to_probabilities(fidelities, temperature=1.0)
+        sharp = fidelities_to_probabilities(fidelities, temperature=0.1)
+        assert sharp[0] > soft[0]
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValidationError):
+            fidelities_to_probabilities(np.array([0.5, 0.5]), temperature=0.0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValidationError):
+            fidelities_to_probabilities(np.zeros((2, 2, 2)))
+
+
+class TestPredictions:
+    def test_argmax_prediction(self):
+        fidelities = np.array([[0.9, 0.1], [0.3, 0.7]])
+        np.testing.assert_array_equal(predict_from_fidelities(fidelities), [0, 1])
+
+    def test_single_sample(self):
+        np.testing.assert_array_equal(predict_from_fidelities(np.array([0.1, 0.9])), [1])
+
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0])) == pytest.approx(0.75)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy(np.array([], dtype=int), np.array([], dtype=int))
+
+    def test_confusion_matrix(self):
+        predictions = np.array([0, 1, 1, 2, 2, 2])
+        labels = np.array([0, 1, 2, 2, 2, 0])
+        matrix = confusion_matrix(predictions, labels, num_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 2] == 2
+        assert matrix[0, 2] == 1
+        assert matrix.sum() == 6

@@ -1,0 +1,143 @@
+"""Tests for the QC-S / QC-D / QC-E layer specifications."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import (
+    DualQubitUnitaryLayer,
+    EntanglementLayer,
+    LayerStack,
+    SingleQubitUnitaryLayer,
+    layers_from_architecture,
+)
+from repro.exceptions import ValidationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Parameter
+from repro.quantum.statevector import Statevector
+
+
+class TestParameterCounts:
+    def test_single_qubit_layer(self):
+        layer = SingleQubitUnitaryLayer()
+        assert layer.num_parameters(1) == 2
+        assert layer.num_parameters(8) == 16
+
+    def test_dual_qubit_layer(self):
+        layer = DualQubitUnitaryLayer()
+        assert layer.num_parameters(2) == 2
+        assert layer.num_parameters(8) == 14
+        assert layer.num_parameters(1) == 0
+
+    def test_entanglement_layer(self):
+        layer = EntanglementLayer()
+        assert layer.num_parameters(2) == 2
+        assert layer.num_parameters(4) == 6
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValidationError):
+            SingleQubitUnitaryLayer().num_parameters(0)
+
+
+class TestLayerApplication:
+    def test_single_layer_gate_types(self):
+        circuit = QuantumCircuit(2)
+        params = [Parameter(f"p{i}") for i in range(4)]
+        SingleQubitUnitaryLayer().apply(circuit, [0, 1], params)
+        assert circuit.count_ops() == {"ry": 2, "rz": 2}
+
+    def test_dual_layer_shares_parameters_across_pair(self):
+        circuit = QuantumCircuit(2)
+        params = [Parameter("a"), Parameter("b")]
+        DualQubitUnitaryLayer().apply(circuit, [0, 1], params)
+        # The same parameter appears on both qubits of the pair.
+        ry_params = [inst.params[0] for inst in circuit.instructions if inst.name == "ry"]
+        assert ry_params == [Parameter("a"), Parameter("a")]
+
+    def test_entanglement_layer_gate_types(self):
+        circuit = QuantumCircuit(3)
+        params = [Parameter(f"p{i}") for i in range(4)]
+        EntanglementLayer().apply(circuit, [0, 1, 2], params)
+        assert circuit.count_ops() == {"cry": 2, "crz": 2}
+
+    def test_wrong_parameter_count_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValidationError):
+            SingleQubitUnitaryLayer().apply(circuit, [0, 1], [Parameter("a")])
+
+    def test_entanglement_layer_creates_entanglement(self):
+        """CRY/CRZ layers can entangle qubits, unlike the single-qubit layer."""
+        circuit = QuantumCircuit(2)
+        SingleQubitUnitaryLayer().apply(circuit, [0, 1], [1.0, 0.5, 0.7, 0.2])
+        EntanglementLayer().apply(circuit, [0, 1], [2.0, 1.5])
+        state = Statevector(2).evolve(circuit)
+        from repro.quantum.density_matrix import DensityMatrix
+
+        reduced = DensityMatrix(state).partial_trace([0])
+        assert reduced.purity() < 1.0 - 1e-6
+
+
+class TestArchitectureParsing:
+    def test_codes(self):
+        layers = layers_from_architecture("sde")
+        assert [type(layer) for layer in layers] == [
+            SingleQubitUnitaryLayer,
+            DualQubitUnitaryLayer,
+            EntanglementLayer,
+        ]
+
+    def test_case_and_prefix_insensitive(self):
+        assert len(layers_from_architecture("QC-SD")) == 2
+
+    def test_repeated_codes(self):
+        assert len(layers_from_architecture("ss")) == 2
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValidationError):
+            layers_from_architecture("sx")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            layers_from_architecture("")
+
+
+class TestLayerStack:
+    def test_parameter_count_sums_layers(self):
+        stack = LayerStack.from_architecture("sde", num_qubits=4)
+        expected = 2 * 4 + 2 * 3 + 2 * 3
+        assert stack.num_parameters == expected
+
+    def test_paper_qc_s_parameter_count(self):
+        """QC-S on 8 trained qubits has 16 parameters per class (paper Section 5.3.1)."""
+        assert LayerStack.from_architecture("s", num_qubits=8).num_parameters == 16
+
+    def test_parameters_are_unique_and_ordered(self):
+        stack = LayerStack.from_architecture("sd", num_qubits=3)
+        params = stack.parameters()
+        assert len(params) == len(set(params)) == stack.num_parameters
+
+    def test_build_circuit_uses_requested_qubits(self):
+        stack = LayerStack.from_architecture("s", num_qubits=2)
+        circuit = stack.build_circuit(qubits=[1, 2], total_qubits=5)
+        used = {q for inst in circuit.instructions for q in inst.qubits}
+        assert used == {1, 2}
+        assert circuit.num_qubits == 5
+
+    def test_build_circuit_wrong_register_width(self):
+        stack = LayerStack.from_architecture("s", num_qubits=2)
+        with pytest.raises(ValidationError):
+            stack.build_circuit(qubits=[0, 1, 2], total_qubits=3)
+
+    def test_architecture_string_round_trip(self):
+        assert LayerStack.from_architecture("sde", 2).architecture == "sde"
+
+    def test_stack_requires_layers(self):
+        with pytest.raises(ValidationError):
+            LayerStack(layers=[], num_qubits=2)
+
+    def test_bound_circuit_prepares_unit_norm_state(self):
+        stack = LayerStack.from_architecture("sde", num_qubits=3)
+        circuit = stack.build_circuit(qubits=range(3), total_qubits=3)
+        values = np.linspace(0.1, 2.0, stack.num_parameters)
+        bound = circuit.assign_parameters(values)
+        state = Statevector(3).evolve(bound)
+        assert state.norm() == pytest.approx(1.0)

@@ -1,0 +1,175 @@
+"""Tests for the QuClassi classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuClassi
+from repro.encoding import SingleAngleEncoder
+from repro.exceptions import TrainingError, ValidationError
+
+
+def tiny_binary_task(seed: int = 0, samples: int = 20):
+    """A linearly separable 4-feature binary task for fast training tests."""
+    rng = np.random.default_rng(seed)
+    low = rng.uniform(0.05, 0.35, size=(samples, 4))
+    high = rng.uniform(0.65, 0.95, size=(samples, 4))
+    features = np.vstack([low, high])
+    labels = np.array([0] * samples + [1] * samples)
+    order = rng.permutation(len(labels))
+    return features[order], labels[order]
+
+
+class TestConstruction:
+    def test_paper_iris_configuration(self):
+        """Iris: 4 features, QC-S -> 5-qubit circuit, 4 parameters per class, 12 total."""
+        model = QuClassi(num_features=4, num_classes=3, architecture="s", seed=0)
+        assert model.num_qubits == 5
+        assert model.parameters_per_class == 4
+        assert model.num_parameters == 12
+
+    def test_paper_mnist_configuration(self):
+        """16-D PCA MNIST, QC-S, binary -> 17 qubits and 32 total parameters (paper §5.3.1)."""
+        model = QuClassi(num_features=16, num_classes=2, architecture="s", seed=0)
+        assert model.num_qubits == 17
+        assert model.num_parameters == 32
+
+    def test_ten_class_parameter_count(self):
+        """10-class, QC-S on 8 trained qubits -> 160 parameters (paper §5.3.2)."""
+        model = QuClassi(num_features=16, num_classes=10, architecture="s", seed=0)
+        assert model.num_parameters == 160
+
+    def test_initial_parameters_in_zero_pi(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        assert model.parameters_.min() >= 0.0
+        assert model.parameters_.max() <= np.pi
+
+    def test_seed_reproducibility(self):
+        a = QuClassi(num_features=4, num_classes=2, seed=7)
+        b = QuClassi(num_features=4, num_classes=2, seed=7)
+        np.testing.assert_array_equal(a.parameters_, b.parameters_)
+
+    def test_custom_encoder(self):
+        model = QuClassi(num_features=4, num_classes=2, encoder=SingleAngleEncoder(), seed=0)
+        assert model.num_qubits == 9  # 4 + 4 + ancilla
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError):
+            QuClassi(num_features=4, num_classes=1)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValidationError):
+            QuClassi(num_features=4, num_classes=2, estimator="magic")
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValidationError):
+            QuClassi(num_features=4, num_classes=2, architecture="xyz")
+
+
+class TestInference:
+    def test_fidelity_matrix_shape_and_range(self):
+        model = QuClassi(num_features=4, num_classes=3, seed=0)
+        features = np.random.default_rng(0).uniform(0.1, 0.9, size=(5, 4))
+        fidelities = model.class_fidelities(features)
+        assert fidelities.shape == (5, 3)
+        assert np.all((fidelities >= 0) & (fidelities <= 1))
+
+    def test_probabilities_sum_to_one(self):
+        model = QuClassi(num_features=4, num_classes=3, seed=0)
+        features = np.random.default_rng(0).uniform(0.1, 0.9, size=(5, 4))
+        np.testing.assert_allclose(model.predict_proba(features).sum(axis=1), np.ones(5))
+
+    def test_predict_shape(self):
+        model = QuClassi(num_features=4, num_classes=3, seed=0)
+        features = np.random.default_rng(0).uniform(0.1, 0.9, size=(5, 4))
+        assert model.predict(features).shape == (5,)
+
+    def test_single_sample_accepted(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        assert model.class_fidelities(np.full(4, 0.5)).shape == (1, 2)
+
+    def test_wrong_feature_count_rejected(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((3, 5)))
+
+    def test_trained_statevector_is_normalised(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        assert model.trained_statevector(0).norm() == pytest.approx(1.0)
+
+    def test_trained_statevector_invalid_class(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(ValidationError):
+            model.trained_statevector(5)
+
+    def test_discriminator_circuit_is_bound(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        circuit = model.discriminator_circuit(1, np.full(4, 0.5))
+        assert circuit.num_parameters == 0
+        assert circuit.has_measurements()
+
+
+class TestTraining:
+    def test_learns_separable_task(self):
+        features, labels = tiny_binary_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        history = model.fit(features, labels, epochs=8, learning_rate=0.1)
+        assert history.losses[-1] < history.losses[0]
+        assert model.score(features, labels) >= 0.9
+
+    def test_loss_decreases_with_training(self):
+        features, labels = tiny_binary_task(seed=1)
+        model = QuClassi(num_features=4, num_classes=2, seed=1)
+        history = model.fit(features, labels, epochs=6, learning_rate=0.1)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_validation_accuracy_recorded(self):
+        features, labels = tiny_binary_task(seed=2)
+        model = QuClassi(num_features=4, num_classes=2, seed=2)
+        history = model.fit(
+            features, labels, epochs=3, learning_rate=0.1, validation_data=(features, labels)
+        )
+        assert all(acc is not None for acc in history.validation_accuracies)
+
+    def test_stochastic_update_mode(self):
+        features, labels = tiny_binary_task(seed=3, samples=8)
+        model = QuClassi(num_features=4, num_classes=2, seed=3)
+        history = model.fit(features, labels, epochs=2, learning_rate=0.05, update="stochastic")
+        assert len(history.losses) == 2
+
+    def test_wrong_label_range_rejected(self):
+        features, labels = tiny_binary_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(TrainingError):
+            model.fit(features, labels + 5, epochs=1)
+
+    def test_wrong_feature_count_rejected(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(TrainingError):
+            model.fit(np.zeros((4, 3)), np.array([0, 1, 0, 1]), epochs=1)
+
+    def test_history_stored_on_model(self):
+        features, labels = tiny_binary_task(samples=6)
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        model.fit(features, labels, epochs=2, learning_rate=0.1)
+        assert model.history_ is not None
+        assert len(model.history_.records) == 2
+
+
+class TestWeights:
+    def test_get_set_round_trip(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        weights = model.get_weights()
+        weights[0, 0] = 9.0
+        model.set_weights(weights)
+        assert model.parameters_[0, 0] == 9.0
+
+    def test_get_weights_returns_copy(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        weights = model.get_weights()
+        weights[:] = 0.0
+        assert not np.allclose(model.parameters_, 0.0)
+
+    def test_set_weights_shape_checked(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(TrainingError):
+            model.set_weights(np.zeros((3, 3)))

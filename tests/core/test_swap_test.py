@@ -1,0 +1,125 @@
+"""Tests for the fidelity estimators used during training."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit_builder import DiscriminatorCircuitBuilder
+from repro.core.layers import LayerStack
+from repro.core.swap_test import AnalyticFidelityEstimator, SwapTestFidelityEstimator
+from repro.encoding import DualAngleEncoder
+from repro.exceptions import ValidationError
+from repro.hardware import ibmq_london
+from repro.quantum.backend import IdealBackend
+
+
+def make_builder(num_features: int = 4, architecture: str = "s") -> DiscriminatorCircuitBuilder:
+    encoder = DualAngleEncoder()
+    stack = LayerStack.from_architecture(architecture, encoder.num_qubits(num_features))
+    return DiscriminatorCircuitBuilder(stack, encoder, num_features)
+
+
+@pytest.fixture()
+def builder():
+    return make_builder()
+
+
+@pytest.fixture()
+def parameters(builder):
+    rng = np.random.default_rng(1)
+    return rng.uniform(0, np.pi, builder.num_parameters)
+
+
+@pytest.fixture()
+def samples():
+    rng = np.random.default_rng(2)
+    return rng.uniform(0.05, 0.95, size=(6, 4))
+
+
+class TestAnalyticEstimator:
+    def test_fidelity_in_unit_interval(self, builder, parameters, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        values = estimator.fidelities(parameters, samples)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_batch_matches_single_sample_calls(self, builder, parameters, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        batch = estimator.fidelities(parameters, samples)
+        singles = [estimator.fidelity(parameters, row) for row in samples]
+        np.testing.assert_allclose(batch, singles, atol=1e-12)
+
+    def test_agrees_with_swap_test_circuit(self, builder, parameters, samples):
+        analytic = AnalyticFidelityEstimator(builder)
+        circuit_based = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        np.testing.assert_allclose(
+            analytic.fidelities(parameters, samples),
+            circuit_based.fidelities(parameters, samples),
+            atol=1e-9,
+        )
+
+    def test_agrees_with_swap_test_for_deeper_architecture(self, samples):
+        builder = make_builder(architecture="sde")
+        rng = np.random.default_rng(5)
+        parameters = rng.uniform(0, np.pi, builder.num_parameters)
+        analytic = AnalyticFidelityEstimator(builder)
+        circuit_based = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        np.testing.assert_allclose(
+            analytic.fidelities(parameters, samples),
+            circuit_based.fidelities(parameters, samples),
+            atol=1e-9,
+        )
+
+    def test_data_state_cache_reused(self, builder, parameters, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        estimator.fidelities(parameters, samples)
+        cache_size = len(estimator._data_state_cache)
+        estimator.fidelities(parameters + 0.1, samples)
+        assert len(estimator._data_state_cache) == cache_size
+
+    def test_clear_cache(self, builder, parameters, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        estimator.fidelities(parameters, samples)
+        estimator.clear_cache()
+        assert len(estimator._data_state_cache) == 0
+
+    def test_perfect_match_gives_unit_fidelity(self, builder):
+        encoder = DualAngleEncoder()
+        features = np.array([0.2, 0.5, 0.8, 0.3])
+        angles = encoder.angles(features)
+        estimator = AnalyticFidelityEstimator(builder)
+        assert estimator.fidelity(angles, features) == pytest.approx(1.0, abs=1e-9)
+
+    def test_compiled_program_matches_circuit_path(self, builder, parameters):
+        estimator = AnalyticFidelityEstimator(builder)
+        from repro.quantum.statevector import Statevector
+
+        fast = estimator.trained_statevector(parameters)
+        slow = Statevector(2).evolve(builder.trained_state_circuit(parameters))
+        assert fast.fidelity(slow) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestSwapTestEstimator:
+    def test_shot_noise_stays_close_to_exact(self, builder, parameters, samples):
+        analytic = AnalyticFidelityEstimator(builder)
+        sampled = SwapTestFidelityEstimator(builder, backend=IdealBackend(seed=0), shots=20000)
+        exact = analytic.fidelities(parameters, samples)
+        estimated = sampled.fidelities(parameters, samples)
+        assert np.max(np.abs(exact - estimated)) < 0.05
+
+    def test_counts_circuits_executed(self, builder, parameters, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(seed=0), shots=128)
+        estimator.fidelities(parameters, samples)
+        assert estimator.circuits_executed == len(samples)
+
+    def test_invalid_shots_rejected(self, builder):
+        with pytest.raises(ValidationError):
+            SwapTestFidelityEstimator(builder, shots=0)
+
+    def test_noisy_backend_biases_fidelity_downwards(self, builder):
+        """Hardware noise dilutes the SWAP-test signal towards 0.5 ancilla probability."""
+        encoder = DualAngleEncoder()
+        features = np.array([0.2, 0.5, 0.8, 0.3])
+        angles = encoder.angles(features)  # perfect match: ideal fidelity 1.0
+        noisy = SwapTestFidelityEstimator(builder, backend=ibmq_london(seed=0), shots=None)
+        value = noisy.fidelity(angles, features)
+        assert value < 0.999
+        assert value > 0.3

@@ -1,0 +1,137 @@
+"""Tests for the trainer and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuClassi
+from repro.core.callbacks import Callback
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.exceptions import TrainingError
+
+
+def separable_task(seed: int = 0, samples: int = 12):
+    rng = np.random.default_rng(seed)
+    low = rng.uniform(0.05, 0.3, size=(samples, 4))
+    high = rng.uniform(0.7, 0.95, size=(samples, 4))
+    features = np.vstack([low, high])
+    labels = np.array([0] * samples + [1] * samples)
+    return features, labels
+
+
+class TestTrainerConfig:
+    def test_defaults_follow_paper(self):
+        config = TrainerConfig()
+        assert config.learning_rate == pytest.approx(0.01)
+        assert config.epochs == 25
+        assert config.gradient_rule == "epoch_scaled"
+        assert config.cost == "cross_entropy"
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(learning_rate=0.0)
+
+    def test_invalid_epochs(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(epochs=0)
+
+    def test_invalid_update_mode(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(update="minibatch")
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(batch_size=-1)
+
+
+class TestTrainerFit:
+    def test_history_length_matches_epochs(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=3, learning_rate=0.1), rng=0)
+        history = trainer.fit(features, labels)
+        assert len(history.records) == 3
+        assert history.epochs == [1, 2, 3]
+
+    def test_per_class_losses_recorded(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=2, learning_rate=0.1), rng=0)
+        history = trainer.fit(features, labels)
+        assert history.per_class_losses().shape == (2, 2)
+
+    def test_gradient_norm_positive_while_learning(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=1, learning_rate=0.1), rng=0)
+        history = trainer.fit(features, labels)
+        assert history.records[0].gradient_norm > 0
+
+    def test_one_vs_rest_disabled_trains_on_own_class_only(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        config = TrainerConfig(epochs=2, learning_rate=0.1, one_vs_rest=False)
+        history = Trainer(model, config, rng=0).fit(features, labels)
+        assert len(history.records) == 2
+
+    def test_parameters_change_during_training(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        before = model.get_weights()
+        Trainer(model, TrainerConfig(epochs=1, learning_rate=0.1), rng=0).fit(features, labels)
+        assert not np.allclose(before, model.parameters_)
+
+    def test_label_validation(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=1), rng=0)
+        with pytest.raises(TrainingError):
+            trainer.fit(features, labels * 3)
+
+    def test_feature_validation(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=1), rng=0)
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((3, 2)), np.array([0, 1, 0]))
+
+    def test_labels_length_validation(self):
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        trainer = Trainer(model, TrainerConfig(epochs=1), rng=0)
+        with pytest.raises(TrainingError):
+            trainer.fit(np.full((3, 4), 0.5), np.array([0, 1]))
+
+    def test_reproducible_given_seeds(self):
+        features, labels = separable_task()
+        runs = []
+        for _ in range(2):
+            model = QuClassi(num_features=4, num_classes=2, seed=5)
+            Trainer(model, TrainerConfig(epochs=2, learning_rate=0.1), rng=11).fit(features, labels)
+            runs.append(model.get_weights())
+        np.testing.assert_allclose(runs[0], runs[1])
+
+    def test_callback_hooks_invoked_and_early_stopping(self):
+        class StopAfterOne(Callback):
+            def __init__(self):
+                self.begun = False
+                self.epochs_seen = 0
+                self.ended = False
+
+            def on_train_begin(self, trainer):
+                self.begun = True
+
+            def on_epoch_end(self, trainer, record):
+                self.epochs_seen += 1
+
+            def on_train_end(self, trainer, history):
+                self.ended = True
+
+            def should_stop(self):
+                return self.epochs_seen >= 1
+
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, seed=0)
+        callback = StopAfterOne()
+        history = Trainer(
+            model, TrainerConfig(epochs=10, learning_rate=0.1), callbacks=[callback], rng=0
+        ).fit(features, labels)
+        assert callback.begun and callback.ended
+        assert len(history.records) == 1

@@ -1,0 +1,69 @@
+"""Tests for the embedded Iris dataset and the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.iris import Dataset, load_iris
+
+
+class TestLoadIris:
+    def test_shape(self):
+        iris = load_iris()
+        assert iris.features.shape == (150, 4)
+        assert iris.labels.shape == (150,)
+
+    def test_three_balanced_classes(self):
+        iris = load_iris()
+        assert iris.num_classes == 3
+        assert iris.class_counts() == {0: 50, 1: 50, 2: 50}
+
+    def test_class_names(self):
+        assert load_iris().class_names == ("setosa", "versicolour", "virginica")
+
+    def test_feature_ranges_are_plausible(self):
+        iris = load_iris()
+        # Sepal length 4.3-7.9 cm, petal width 0.1-2.5 cm in Fisher's data.
+        assert iris.features[:, 0].min() == pytest.approx(4.3)
+        assert iris.features[:, 0].max() == pytest.approx(7.9)
+        assert iris.features[:, 3].min() == pytest.approx(0.1)
+        assert iris.features[:, 3].max() == pytest.approx(2.5)
+
+    def test_setosa_is_linearly_separable_by_petal_length(self):
+        iris = load_iris()
+        setosa_petals = iris.features[iris.labels == 0, 2]
+        others_petals = iris.features[iris.labels != 0, 2]
+        assert setosa_petals.max() < others_petals.min()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(load_iris().features, load_iris().features)
+
+
+class TestDatasetContainer:
+    def test_properties(self):
+        ds = Dataset(
+            features=np.zeros((4, 2)),
+            labels=np.array([0, 1, 0, 1]),
+            class_names=("a", "b"),
+            feature_names=("x", "y"),
+        )
+        assert ds.num_samples == 4
+        assert ds.num_features == 2
+        assert ds.num_classes == 2
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                features=np.zeros((4, 2)),
+                labels=np.array([0, 1]),
+                class_names=("a", "b"),
+                feature_names=("x", "y"),
+            )
+
+    def test_features_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                features=np.zeros(4),
+                labels=np.zeros(4, dtype=int),
+                class_names=("a",),
+                feature_names=("x",),
+            )

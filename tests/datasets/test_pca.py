@@ -1,0 +1,81 @@
+"""Tests for the from-scratch PCA."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pca import PCA
+from repro.exceptions import DatasetError
+
+
+def correlated_data(n: int = 200, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2))
+    mixing = np.array([[1.0, 0.5, 0.2, 0.0], [0.0, 1.0, 0.7, 0.3]])
+    return latent @ mixing + 0.01 * rng.normal(size=(n, 4))
+
+
+class TestFit:
+    def test_components_shape(self):
+        pca = PCA(2).fit(correlated_data())
+        assert pca.components_.shape == (2, 4)
+
+    def test_components_are_orthonormal(self):
+        pca = PCA(3).fit(correlated_data())
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_explained_variance_sorted(self):
+        pca = PCA(3).fit(correlated_data())
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-12)
+
+    def test_explained_variance_ratio_bounded(self):
+        pca = PCA(4).fit(correlated_data())
+        assert pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+        assert np.all(pca.explained_variance_ratio_ >= 0)
+
+    def test_two_latent_dimensions_capture_most_variance(self):
+        pca = PCA(2).fit(correlated_data())
+        assert pca.explained_variance_ratio_.sum() > 0.95
+
+    def test_rejects_too_many_components(self):
+        with pytest.raises(DatasetError):
+            PCA(10).fit(np.zeros((5, 4)))
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(DatasetError):
+            PCA(1).fit(np.zeros(5))
+
+    def test_rejects_non_positive_components(self):
+        with pytest.raises(DatasetError):
+            PCA(0)
+
+
+class TestTransform:
+    def test_projection_shape(self):
+        data = correlated_data()
+        assert PCA(3).fit_transform(data).shape == (data.shape[0], 3)
+
+    def test_projection_is_centred(self):
+        projected = PCA(2).fit_transform(correlated_data())
+        np.testing.assert_allclose(projected.mean(axis=0), [0.0, 0.0], atol=1e-8)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(DatasetError):
+            PCA(2).transform(np.zeros((3, 4)))
+
+    def test_full_rank_reconstruction_is_exact(self):
+        data = correlated_data(n=50)
+        pca = PCA(4).fit(data)
+        np.testing.assert_allclose(pca.inverse_transform(pca.transform(data)), data, atol=1e-8)
+
+    def test_truncated_reconstruction_error_decreases_with_components(self):
+        data = correlated_data()
+        errors = [PCA(k).fit(data).reconstruction_error(data) for k in (1, 2, 3, 4)]
+        assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_projection_preserved_for_new_samples(self):
+        data = correlated_data()
+        pca = PCA(2).fit(data[:150])
+        projected = pca.transform(data[150:])
+        assert projected.shape == (50, 2)
+        assert np.all(np.isfinite(projected))

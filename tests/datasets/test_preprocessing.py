@@ -1,0 +1,123 @@
+"""Tests for dataset preprocessing: class selection, splits, the task pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_iris
+from repro.datasets.preprocessing import (
+    prepare_task,
+    select_classes,
+    subsample,
+    train_test_split,
+)
+from repro.datasets.synthetic_mnist import generate_synthetic_mnist
+from repro.exceptions import DatasetError
+
+
+class TestSelectClasses:
+    def test_relabels_in_given_order(self):
+        iris = load_iris()
+        subset = select_classes(iris, [2, 0])
+        assert set(subset.labels.tolist()) == {0, 1}
+        assert subset.class_names == ("virginica", "setosa")
+        assert subset.num_samples == 100
+
+    def test_without_relabel(self):
+        iris = load_iris()
+        subset = select_classes(iris, [1, 2], relabel=False)
+        assert set(subset.labels.tolist()) == {1, 2}
+
+    def test_missing_class_raises(self):
+        with pytest.raises(DatasetError):
+            select_classes(load_iris(), [7])
+
+    def test_duplicate_class_raises(self):
+        with pytest.raises(DatasetError):
+            select_classes(load_iris(), [0, 0])
+
+    def test_digit_task_selection(self):
+        mnist = generate_synthetic_mnist(digits=(0, 3, 6), samples_per_digit=5, rng=0)
+        subset = select_classes(mnist, [3, 6])
+        assert subset.num_samples == 10
+        assert set(subset.labels.tolist()) == {0, 1}
+
+
+class TestSubsample:
+    def test_balanced_output(self):
+        subset = subsample(load_iris(), samples_per_class=7, rng=0)
+        assert subset.class_counts() == {0: 7, 1: 7, 2: 7}
+
+    def test_too_many_requested(self):
+        with pytest.raises(DatasetError):
+            subsample(load_iris(), samples_per_class=60)
+
+    def test_reproducible(self):
+        a = subsample(load_iris(), 5, rng=3)
+        b = subsample(load_iris(), 5, rng=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(load_iris(), test_fraction=0.2, rng=0)
+        assert train.num_samples + test.num_samples == 150
+        assert test.num_samples == pytest.approx(30, abs=3)
+
+    def test_stratification_keeps_all_classes(self):
+        train, test = train_test_split(load_iris(), test_fraction=0.3, rng=0)
+        assert set(train.labels.tolist()) == {0, 1, 2}
+        assert set(test.labels.tolist()) == {0, 1, 2}
+
+    def test_no_overlap(self):
+        iris = load_iris()
+        train, test = train_test_split(iris, test_fraction=0.3, rng=0)
+        train_rows = {tuple(row) for row in train.features}
+        # Iris has duplicate rows, so check counts instead of strict disjointness.
+        assert train.num_samples + test.num_samples == iris.num_samples
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split(load_iris(), test_fraction=1.5)
+
+    def test_reproducible(self):
+        a_train, _ = train_test_split(load_iris(), rng=9)
+        b_train, _ = train_test_split(load_iris(), rng=9)
+        np.testing.assert_array_equal(a_train.features, b_train.features)
+
+
+class TestPrepareTask:
+    def test_iris_pipeline(self):
+        data = prepare_task(load_iris(), rng=0)
+        assert data.num_features == 4
+        assert data.num_classes == 3
+        assert data.x_train.min() >= 0.0
+        assert data.x_train.max() <= 1.0
+        assert data.x_test.min() >= 0.0
+        assert data.x_test.max() <= 1.0
+
+    def test_mnist_pipeline_with_pca(self):
+        mnist = generate_synthetic_mnist(digits=(3, 6), samples_per_digit=20, rng=0)
+        data = prepare_task(mnist, classes=(3, 6), n_components=16, rng=0)
+        assert data.num_features == 16
+        assert data.num_classes == 2
+        assert data.pca is not None
+        assert set(data.y_train.tolist()) == {0, 1}
+
+    def test_pca_skipped_when_not_needed(self):
+        data = prepare_task(load_iris(), n_components=None, rng=0)
+        assert data.pca is None
+
+    def test_subsampling(self):
+        data = prepare_task(load_iris(), samples_per_class=10, test_fraction=0.2, rng=0)
+        assert data.x_train.shape[0] + data.x_test.shape[0] == 30
+
+    def test_margin_applied(self):
+        data = prepare_task(load_iris(), margin=0.1, rng=0)
+        assert data.x_train.min() >= 0.1 - 1e-9
+        assert data.x_train.max() <= 0.9 + 1e-9
+
+    def test_reproducible(self):
+        a = prepare_task(load_iris(), rng=5)
+        b = prepare_task(load_iris(), rng=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)

@@ -1,0 +1,103 @@
+"""Tests for the synthetic-MNIST generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.pca import PCA
+from repro.datasets.synthetic_mnist import generate_synthetic_mnist, render_digit
+from repro.exceptions import DatasetError
+
+
+class TestRenderDigit:
+    def test_shape_and_range(self):
+        image = render_digit(3, rng=0)
+        assert image.shape == (28, 28)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_contains_ink(self):
+        image = render_digit(8, rng=0, noise_level=0.0)
+        assert image.sum() > 5.0
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(render_digit(5, rng=7), render_digit(5, rng=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(render_digit(5, rng=1), render_digit(5, rng=2))
+
+    def test_all_digits_render(self):
+        for digit in range(10):
+            assert render_digit(digit, rng=0).sum() > 0
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(DatasetError):
+            render_digit(11, rng=0)
+
+    def test_custom_image_size(self):
+        assert render_digit(0, rng=0, image_size=16).shape == (16, 16)
+
+
+class TestGenerateSyntheticMnist:
+    def test_shapes_and_labels(self):
+        ds = generate_synthetic_mnist(digits=(3, 6), samples_per_digit=10, rng=0)
+        assert ds.features.shape == (20, 784)
+        assert set(ds.labels.tolist()) == {3, 6}
+
+    def test_balanced_classes(self):
+        ds = generate_synthetic_mnist(digits=(0, 1, 2), samples_per_digit=5, rng=0)
+        assert ds.class_counts() == {0: 5, 1: 5, 2: 5}
+
+    def test_deterministic_given_seed(self):
+        a = generate_synthetic_mnist(digits=(1, 7), samples_per_digit=4, rng=3)
+        b = generate_synthetic_mnist(digits=(1, 7), samples_per_digit=4, rng=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_unflattened_output(self):
+        ds = generate_synthetic_mnist(digits=(4,), samples_per_digit=3, rng=0, flatten=False)
+        assert ds.features.shape == (3, 28, 28)
+
+    def test_rejects_duplicate_digits(self):
+        with pytest.raises(DatasetError):
+            generate_synthetic_mnist(digits=(3, 3), samples_per_digit=2)
+
+    def test_rejects_empty_digits(self):
+        with pytest.raises(DatasetError):
+            generate_synthetic_mnist(digits=(), samples_per_digit=2)
+
+    def test_rejects_non_positive_samples(self):
+        with pytest.raises(DatasetError):
+            generate_synthetic_mnist(digits=(1,), samples_per_digit=0)
+
+
+class TestClassSeparability:
+    """The substitute dataset must preserve the structure the paper's tasks rely on."""
+
+    def test_classes_separable_in_pca_space(self):
+        """Distinct digits form distinguishable clusters after 16-D PCA."""
+        ds = generate_synthetic_mnist(digits=(1, 5), samples_per_digit=30, rng=0)
+        projected = PCA(16).fit_transform(ds.features)
+        ones = projected[ds.labels == 1]
+        fives = projected[ds.labels == 5]
+        between = np.linalg.norm(ones.mean(axis=0) - fives.mean(axis=0))
+        within = 0.5 * (
+            np.mean(np.linalg.norm(ones - ones.mean(axis=0), axis=1))
+            + np.mean(np.linalg.norm(fives - fives.mean(axis=0), axis=1))
+        )
+        assert between > within  # clusters are farther apart than they are wide
+
+    def test_similar_digits_are_harder_than_dissimilar(self):
+        """3 vs 8 (shared strokes) overlaps more than 1 vs 5, as in real MNIST."""
+
+        def separation(pair):
+            ds = generate_synthetic_mnist(digits=pair, samples_per_digit=30, rng=0)
+            projected = PCA(16).fit_transform(ds.features)
+            first = projected[ds.labels == pair[0]]
+            second = projected[ds.labels == pair[1]]
+            between = np.linalg.norm(first.mean(axis=0) - second.mean(axis=0))
+            within = 0.5 * (
+                np.mean(np.linalg.norm(first - first.mean(axis=0), axis=1))
+                + np.mean(np.linalg.norm(second - second.mean(axis=0), axis=1))
+            )
+            return between / within
+
+        assert separation((1, 5)) > separation((3, 8))

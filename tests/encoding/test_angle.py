@@ -1,0 +1,125 @@
+"""Tests for the angle encoders (the paper's data-qubitisation scheme)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.encoding.angle import DualAngleEncoder, SingleAngleEncoder, rotation_angle
+from repro.exceptions import EncodingError
+from repro.quantum.statevector import Statevector
+
+
+class TestRotationAngle:
+    def test_zero_maps_to_zero(self):
+        assert rotation_angle(0.0) == pytest.approx(0.0)
+
+    def test_one_maps_to_pi(self):
+        assert rotation_angle(1.0) == pytest.approx(math.pi)
+
+    def test_half_maps_to_half_pi(self):
+        assert rotation_angle(0.5) == pytest.approx(math.pi / 2)
+
+    def test_monotone(self):
+        values = [rotation_angle(x) for x in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            rotation_angle(1.5)
+        with pytest.raises(EncodingError):
+            rotation_angle(-0.2)
+
+
+class TestDualAngleEncoder:
+    def test_qubit_count_halves_dimensions(self):
+        encoder = DualAngleEncoder()
+        assert encoder.num_qubits(4) == 2
+        assert encoder.num_qubits(16) == 8
+        assert encoder.num_qubits(5) == 3  # odd dimension rounds up
+
+    def test_first_dimension_sets_excited_probability(self):
+        """Dimension 2i becomes qubit i's P(|1>) — the paper's expectation encoding."""
+        encoder = DualAngleEncoder()
+        features = np.array([0.3, 0.0, 0.8, 0.0])
+        state = encoder.encode(features)
+        probs_q0 = state.probabilities([0])
+        probs_q1 = state.probabilities([1])
+        assert probs_q0[1] == pytest.approx(0.3)
+        assert probs_q1[1] == pytest.approx(0.8)
+
+    def test_second_dimension_does_not_change_z_expectation(self):
+        """The RZ rotation encodes the second dimension without disturbing the first."""
+        encoder = DualAngleEncoder()
+        without_second = encoder.encode(np.array([0.4, 0.0]))
+        with_second = encoder.encode(np.array([0.4, 0.7]))
+        np.testing.assert_allclose(
+            without_second.probabilities([0]), with_second.probabilities([0]), atol=1e-12
+        )
+
+    def test_second_dimension_changes_phase(self):
+        encoder = DualAngleEncoder()
+        a = encoder.encode(np.array([0.4, 0.1]))
+        b = encoder.encode(np.array([0.4, 0.9]))
+        assert a.fidelity(b) < 1.0 - 1e-6
+
+    def test_distinct_points_give_distinct_states(self):
+        encoder = DualAngleEncoder()
+        a = encoder.encode(np.array([0.2, 0.3, 0.4, 0.5]))
+        b = encoder.encode(np.array([0.8, 0.3, 0.4, 0.5]))
+        assert a.fidelity(b) < 0.999
+
+    def test_identical_points_give_identical_states(self):
+        encoder = DualAngleEncoder()
+        features = np.array([0.2, 0.9, 0.6, 0.1])
+        assert encoder.encode(features).fidelity(encoder.encode(features)) == pytest.approx(1.0)
+
+    def test_circuit_offset_places_gates_on_later_qubits(self):
+        encoder = DualAngleEncoder()
+        circuit = encoder.encoding_circuit([0.5, 0.5], offset=3, total_qubits=4)
+        assert circuit.num_qubits == 4
+        assert all(inst.qubits == (3,) for inst in circuit.instructions)
+
+    def test_total_qubits_too_small_rejected(self):
+        with pytest.raises(EncodingError):
+            DualAngleEncoder().encoding_circuit([0.5, 0.5], offset=2, total_qubits=2)
+
+    def test_rejects_out_of_range_features(self):
+        with pytest.raises(EncodingError):
+            DualAngleEncoder().encode(np.array([0.5, 1.4]))
+
+    def test_rejects_empty_features(self):
+        with pytest.raises(EncodingError):
+            DualAngleEncoder().encode(np.array([]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(EncodingError):
+            DualAngleEncoder().encode(np.array([0.5, np.nan]))
+
+    def test_angles_helper(self):
+        angles = DualAngleEncoder().angles([0.0, 1.0])
+        np.testing.assert_allclose(angles, [0.0, math.pi])
+
+    def test_odd_dimension_leaves_last_qubit_ry_only(self):
+        circuit = DualAngleEncoder().encoding_circuit([0.2, 0.4, 0.6])
+        ops = circuit.count_ops()
+        assert ops["ry"] == 2
+        assert ops["rz"] == 1
+
+
+class TestSingleAngleEncoder:
+    def test_one_qubit_per_dimension(self):
+        assert SingleAngleEncoder().num_qubits(4) == 4
+
+    def test_encoding_matches_expectation(self):
+        state = SingleAngleEncoder().encode(np.array([0.25, 0.75]))
+        assert state.probabilities([0])[1] == pytest.approx(0.25)
+        assert state.probabilities([1])[1] == pytest.approx(0.75)
+
+    def test_circuit_uses_only_ry(self):
+        circuit = SingleAngleEncoder().encoding_circuit([0.3, 0.6, 0.9])
+        assert set(circuit.count_ops()) == {"ry"}
+
+    def test_uses_more_qubits_than_dual(self):
+        features = np.linspace(0.1, 0.9, 6)
+        assert SingleAngleEncoder().num_qubits(6) == 2 * DualAngleEncoder().num_qubits(6)

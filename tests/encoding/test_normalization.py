@@ -1,0 +1,59 @@
+"""Tests for min-max feature normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.normalization import MinMaxNormalizer
+from repro.exceptions import EncodingError
+
+
+class TestMinMaxNormalizer:
+    def test_fit_transform_range(self):
+        data = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 30.0]])
+        scaled = MinMaxNormalizer().fit_transform(data)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_transform_uses_training_statistics(self):
+        train = np.array([[0.0], [10.0]])
+        test = np.array([[5.0]])
+        normalizer = MinMaxNormalizer().fit(train)
+        assert normalizer.transform(test)[0, 0] == pytest.approx(0.5)
+
+    def test_out_of_range_test_data_clipped(self):
+        normalizer = MinMaxNormalizer().fit(np.array([[0.0], [1.0]]))
+        assert normalizer.transform(np.array([[2.0]]))[0, 0] == pytest.approx(1.0)
+        assert normalizer.transform(np.array([[-1.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        data = np.array([[3.0, 1.0], [3.0, 2.0]])
+        scaled = MinMaxNormalizer().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_margin_keeps_away_from_extremes(self):
+        data = np.array([[0.0], [1.0]])
+        scaled = MinMaxNormalizer(margin=0.1).fit_transform(data)
+        assert scaled.min() == pytest.approx(0.1)
+        assert scaled.max() == pytest.approx(0.9)
+
+    def test_inverse_transform_round_trip(self):
+        data = np.array([[1.0, -5.0], [2.0, 5.0], [4.0, 0.0]])
+        normalizer = MinMaxNormalizer()
+        scaled = normalizer.fit_transform(data)
+        np.testing.assert_allclose(normalizer.inverse_transform(scaled), data, atol=1e-10)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(EncodingError):
+            MinMaxNormalizer().transform(np.array([[1.0]]))
+
+    def test_invalid_margin(self):
+        with pytest.raises(EncodingError):
+            MinMaxNormalizer(margin=0.6)
+
+    def test_invalid_range(self):
+        with pytest.raises(EncodingError):
+            MinMaxNormalizer(feature_min=1.0, feature_max=0.0)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(EncodingError):
+            MinMaxNormalizer().fit(np.array([1.0, 2.0]))

@@ -1,0 +1,115 @@
+"""Smoke tests for the figure-reproduction functions (small sizes).
+
+The benchmarks run the paper-scale versions; these tests only assert that
+each experiment produces a well-formed result with the expected structure,
+using deliberately tiny workloads so the whole file stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation_encoding,
+    ablation_gradient_rule,
+    ablation_swap_test_shots,
+    fig6a_multiclass_loss,
+    fig6b_iris_accuracy,
+    fig6c_learning_curves,
+    fig8_state_evolution,
+    fig9_binary_classification,
+    fig10_multiclass_classification,
+    fig12_hardware_mnist_accuracy,
+    ionq_vs_cairo,
+    parameter_reduction,
+    prepare_mnist_task,
+)
+
+
+class TestDataPreparation:
+    def test_prepare_mnist_task_shapes(self):
+        data = prepare_mnist_task((3, 6), n_components=8, samples_per_digit=10, seed=0)
+        assert data.num_features == 8
+        assert data.num_classes == 2
+        assert data.x_train.min() >= 0.0 and data.x_train.max() <= 1.0
+
+
+class TestIrisFigures:
+    def test_fig6a_structure(self):
+        result = fig6a_multiclass_loss(epochs=2)
+        assert result.experiment_id == "fig6a"
+        assert len(result.series) == 4  # three classes + mean
+        assert len(result.series[0].y) == 2
+
+    def test_fig6b_rows(self):
+        result = fig6b_iris_accuracy(architectures=("s",), dnn_budgets=(56,), epochs=2)
+        assert len(result.rows) == 2
+        models = result.column("model")
+        assert "QC-S" in models
+        assert any(str(m).startswith("DNN-") for m in models)
+
+    def test_fig6c_series(self):
+        result = fig6c_learning_curves(epochs=2, dnn_budgets=(28,))
+        names = [series.name for series in result.series]
+        assert any(name.startswith("QuClassi") for name in names)
+        assert any(name.startswith("DNN-") for name in names)
+
+
+class TestMnistFigures:
+    def test_fig8_reports_rotation_and_fidelity_gain(self):
+        result = fig8_state_evolution(epochs=3, samples_per_digit=15, seed=0)
+        assert len(result.rows) == 2  # one row per trained qubit
+        assert result.metadata["trained_mean_fidelity"] >= result.metadata["initial_mean_fidelity"] - 0.05
+
+    def test_fig9_single_pair(self):
+        result = fig9_binary_classification(
+            pairs=((3, 6),), samples_per_digit=12, epochs=2, dnn_budgets=(306,)
+        )
+        row = result.rows[0]
+        for column in ("QC-S", "QF-pNet-like", "TFQ-like", "DNN-306"):
+            assert 0.0 <= row[column] <= 1.0
+
+    def test_fig10_single_task(self):
+        result = fig10_multiclass_classification(
+            tasks=((0, 3, 6),), samples_per_digit=10, epochs=2, dnn_budgets=(306,)
+        )
+        assert result.rows[0]["num_classes"] == 3
+        assert 0.0 <= result.rows[0]["QC-S"] <= 1.0
+
+
+class TestHardwareExperiments:
+    def test_fig12_structure(self):
+        result = fig12_hardware_mnist_accuracy(
+            pairs=((3, 4),), architectures=("s",), samples_per_digit=10, epochs=2, shots=256
+        )
+        row = result.rows[0]
+        assert "QC-S" in row and "IBM-Q" in row and "TFQ-like" in row
+
+    def test_ionq_vs_cairo_routing_gap(self):
+        result = ionq_vs_cairo(samples_per_digit=10, epochs=2, shots=256)
+        by_backend = {row["backend"]: row for row in result.rows}
+        assert by_backend["ibmq_cairo"]["added_cx"] > by_backend["ionq_trapped_ion"]["added_cx"]
+        assert by_backend["ideal_simulator"]["test_accuracy"] >= by_backend["ibmq_cairo"]["test_accuracy"] - 0.2
+
+
+class TestAblationsAndTables:
+    def test_parameter_reduction_rows(self):
+        result = parameter_reduction(samples_per_digit=10, epochs=2)
+        assert {row["setting"] for row in result.rows} == {"binary", "multiclass"}
+        for row in result.rows:
+            assert row["quclassi_params"] < row["dnn_params"]
+            assert row["parameter_reduction_percent"] > 50.0
+
+    def test_ablation_encoding_qubit_counts(self):
+        result = ablation_encoding(epochs=2)
+        by_encoding = {row["encoding"]: row for row in result.rows}
+        assert by_encoding["dual_angle"]["qubits_per_state"] * 2 == by_encoding["single_angle"]["qubits_per_state"]
+
+    def test_ablation_gradient_rule_rows(self):
+        result = ablation_gradient_rule(epochs=2)
+        assert {row["gradient_rule"] for row in result.rows} == {"epoch_scaled", "parameter_shift"}
+
+    def test_ablation_shots_error_decreases(self):
+        result = ablation_swap_test_shots(shots_grid=(64, 4096, None), seed=0)
+        errors = [row["mean_absolute_error"] for row in result.rows]
+        assert errors[0] > errors[-1]
+        assert errors[-1] == pytest.approx(0.0, abs=1e-12)

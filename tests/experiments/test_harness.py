@@ -1,0 +1,68 @@
+"""Tests for the experiment harness containers and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_iris, prepare_task
+from repro.experiments.harness import (
+    ExperimentResult,
+    Series,
+    accuracy_summary,
+    timed,
+    train_dnn_with_budget,
+    train_quclassi,
+)
+
+
+class TestSeries:
+    def test_final_value(self):
+        assert Series("loss", [1, 2, 3], [0.9, 0.5, 0.2]).final == 0.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("loss", [1, 2], [0.9])
+
+
+class TestExperimentResult:
+    def test_add_and_lookup_series(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_series("a", [1, 2], [0.1, 0.2])
+        assert result.series_by_name("a").y == [0.1, 0.2]
+        with pytest.raises(KeyError):
+            result.series_by_name("missing")
+
+    def test_rows_and_columns(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(task="1/5", accuracy=0.9)
+        result.add_row(task="3/8", accuracy=0.8)
+        assert result.column("task") == ["1/5", "3/8"]
+        assert result.column("accuracy") == [0.9, 0.8]
+
+    def test_missing_column_values_are_none(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(a=1)
+        assert result.column("b") == [None]
+
+
+class TestTimed:
+    def test_returns_value_and_duration(self):
+        run = timed(sum, [1, 2, 3])
+        assert run.value == 6
+        assert run.seconds >= 0.0
+
+
+class TestTrainingHelpers:
+    @pytest.fixture(scope="class")
+    def iris_data(self):
+        return prepare_task(load_iris(), samples_per_class=15, rng=0)
+
+    def test_train_quclassi_returns_fitted_model(self, iris_data):
+        model = train_quclassi(iris_data, epochs=3, seed=0)
+        assert model.history_ is not None
+        summary = accuracy_summary(model, iris_data)
+        assert 0.0 <= summary["test_accuracy"] <= 1.0
+
+    def test_train_dnn_with_budget(self, iris_data):
+        model = train_dnn_with_budget(iris_data, parameter_budget=56, epochs=10, seed=0)
+        assert abs(model.num_parameters - 56) < 10
+        assert 0.0 <= model.score(iris_data.x_test, iris_data.y_test) <= 1.0

@@ -1,0 +1,55 @@
+"""Tests for plain-text experiment reporting."""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.reporting import (
+    format_experiment,
+    format_series,
+    format_table,
+    print_experiment,
+)
+from repro.experiments.harness import Series
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table([{"model": "QC-S", "accuracy": 0.9123}])
+        assert "model" in text
+        assert "QC-S" in text
+        assert "0.9123" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text and "a" not in text
+
+    def test_alignment_consistent_widths(self):
+        text = format_table([{"name": "x", "v": 1.0}, {"name": "longer-name", "v": 2.0}])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines if line}) == 1
+
+
+class TestFormatSeries:
+    def test_mentions_name_and_values(self):
+        text = format_series(Series("loss", [1, 2, 3], [0.5, 0.25, 0.125]))
+        assert text.startswith("loss")
+        assert "0.1250" in text
+
+
+class TestFormatExperiment:
+    def test_combines_rows_series_and_metadata(self):
+        result = ExperimentResult("fig9", "Binary comparison", metadata={"epochs": 5})
+        result.add_row(task="1/5", accuracy=0.95)
+        result.add_series("loss", [1, 2], [0.4, 0.2])
+        text = format_experiment(result)
+        assert "fig9" in text
+        assert "1/5" in text
+        assert "loss" in text
+        assert "epochs=5" in text
+
+    def test_print_experiment(self, capsys):
+        result = ExperimentResult("figX", "demo")
+        result.add_row(value=1.0)
+        print_experiment(result)
+        assert "figX" in capsys.readouterr().out

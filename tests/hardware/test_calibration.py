@@ -1,0 +1,66 @@
+"""Tests for device calibration profiles."""
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.hardware.calibration import CALIBRATIONS, available_devices, get_calibration
+
+
+class TestRegistry:
+    def test_expected_devices_present(self):
+        devices = available_devices()
+        for name in (
+            "ibmq_london",
+            "ibmq_new_york",
+            "ibmq_melbourne",
+            "ibmq_rome",
+            "ibmq_cairo",
+            "ionq_trapped_ion",
+        ):
+            assert name in devices
+
+    def test_lookup_case_insensitive(self):
+        assert get_calibration("IBMQ_London").name == "ibmq_london"
+
+    def test_unknown_device(self):
+        with pytest.raises(BackendError):
+            get_calibration("ibmq_atlantis")
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(CALIBRATIONS))
+    def test_coupling_map_is_connected_and_sized(self, name):
+        profile = get_calibration(name)
+        coupling = profile.coupling_map()
+        assert coupling.num_qubits == profile.num_qubits
+        assert coupling.is_connected()
+
+    @pytest.mark.parametrize("name", sorted(CALIBRATIONS))
+    def test_noise_model_is_not_ideal(self, name):
+        assert not get_calibration(name).noise_model().is_ideal
+
+    @pytest.mark.parametrize("name", sorted(CALIBRATIONS))
+    def test_error_rates_in_physical_ranges(self, name):
+        profile = get_calibration(name)
+        assert 0 < profile.single_qubit_error < 0.01
+        assert 0 < profile.two_qubit_error < 0.1
+        assert 0 < profile.readout_error < 0.1
+        assert profile.t2_us <= 2 * profile.t1_us
+
+    def test_ionq_is_fully_connected(self):
+        assert get_calibration("ionq_trapped_ion").coupling_map().fully_connected
+
+    def test_ibmq_devices_are_not_fully_connected(self):
+        for name in ("ibmq_london", "ibmq_cairo", "ibmq_melbourne"):
+            assert not get_calibration(name).coupling_map().fully_connected
+
+    def test_ionq_two_qubit_error_lower_than_superconducting(self):
+        ionq = get_calibration("ionq_trapped_ion")
+        for name in ("ibmq_london", "ibmq_new_york", "ibmq_melbourne", "ibmq_rome", "ibmq_cairo"):
+            assert ionq.two_qubit_error < get_calibration(name).two_qubit_error
+
+    def test_melbourne_is_noisiest_iris_site(self):
+        """Fig. 11's ordering relies on Melbourne being the noisiest of the three sites."""
+        melbourne = get_calibration("ibmq_melbourne")
+        for name in ("ibmq_london", "ibmq_new_york"):
+            assert melbourne.two_qubit_error > get_calibration(name).two_qubit_error

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the full pipeline.
+
+These exercise the complete path the paper describes — dataset → PCA →
+normalisation → quantum encoding → SWAP-test training → softmax inference —
+at sizes small enough to stay fast but large enough to demonstrate learning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QFpNetLikeClassifier, dnn_for_parameter_budget
+from repro.core import EarlyStopping, QuClassi
+from repro.datasets import generate_synthetic_mnist, load_iris, prepare_task
+from repro.hardware import ibmq_rome, ionq
+from repro.quantum import IdealBackend
+
+
+class TestIrisEndToEnd:
+    @pytest.fixture(scope="class")
+    def iris_task(self):
+        return prepare_task(load_iris(), rng=0)
+
+    @pytest.fixture(scope="class")
+    def trained_model(self, iris_task):
+        model = QuClassi(num_features=4, num_classes=3, architecture="s", seed=0)
+        model.fit(iris_task.x_train, iris_task.y_train, epochs=15, learning_rate=0.1)
+        return model
+
+    def test_multiclass_accuracy_beats_chance_by_wide_margin(self, iris_task, trained_model):
+        """Three-class Iris: the paper reports ~95%; anything well above 1/3 shows learning."""
+        assert trained_model.score(iris_task.x_test, iris_task.y_test) > 0.80
+
+    def test_loss_decreases_monotonically_on_average(self, trained_model):
+        losses = trained_model.history_.losses
+        assert losses[-1] < losses[0]
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_setosa_is_near_perfectly_separated(self, iris_task, trained_model):
+        """Setosa is linearly separable; its discriminator should isolate it."""
+        predictions = trained_model.predict(iris_task.x_test)
+        setosa_mask = iris_task.y_test == 0
+        assert np.mean(predictions[setosa_mask] == 0) >= 0.9
+
+    def test_model_roundtrip_through_disk(self, iris_task, trained_model, tmp_path):
+        path = tmp_path / "iris_model.json"
+        trained_model.save(str(path))
+        restored = QuClassi.load(str(path))
+        np.testing.assert_array_equal(
+            restored.predict(iris_task.x_test), trained_model.predict(iris_task.x_test)
+        )
+
+    def test_quclassi_uses_far_fewer_parameters_than_comparable_dnn(self, iris_task, trained_model):
+        dnn = dnn_for_parameter_budget(4, 3, 112, seed=0)
+        dnn.fit(iris_task.x_train, iris_task.y_train, epochs=30, learning_rate=0.1)
+        assert trained_model.num_parameters < dnn.num_parameters / 3
+
+
+class TestSyntheticMnistEndToEnd:
+    @pytest.fixture(scope="class")
+    def binary_task(self):
+        dataset = generate_synthetic_mnist(digits=(3, 6), samples_per_digit=60, rng=1)
+        return prepare_task(dataset, classes=(3, 6), n_components=16, rng=1)
+
+    def test_binary_classification_beats_chance(self, binary_task):
+        model = QuClassi(num_features=16, num_classes=2, architecture="s", seed=0)
+        model.fit(binary_task.x_train, binary_task.y_train, epochs=12, learning_rate=0.1)
+        assert model.score(binary_task.x_test, binary_task.y_test) > 0.75
+
+    def test_swap_test_estimator_agrees_with_analytic_on_trained_model(self, binary_task):
+        model = QuClassi(num_features=16, num_classes=2, architecture="s", seed=0)
+        model.fit(binary_task.x_train, binary_task.y_train, epochs=4, learning_rate=0.1)
+        from repro.core import SwapTestFidelityEstimator
+
+        sampled = SwapTestFidelityEstimator(model.builder, backend=IdealBackend(seed=0), shots=None)
+        analytic_fid = model.estimator.fidelities(model.parameters_[0], binary_task.x_test[:5])
+        circuit_fid = sampled.fidelities(model.parameters_[0], binary_task.x_test[:5])
+        np.testing.assert_allclose(analytic_fid, circuit_fid, atol=1e-9)
+
+    def test_quclassi_is_competitive_with_qfpnet_like(self, binary_task):
+        quclassi = QuClassi(num_features=16, num_classes=2, architecture="s", seed=0)
+        quclassi.fit(binary_task.x_train, binary_task.y_train, epochs=10, learning_rate=0.1)
+        qf = QFpNetLikeClassifier(num_features=16, num_classes=2, seed=0)
+        qf.fit(binary_task.x_train, binary_task.y_train, epochs=10)
+        quclassi_accuracy = quclassi.score(binary_task.x_test, binary_task.y_test)
+        qf_accuracy = qf.score(binary_task.x_test, binary_task.y_test)
+        assert quclassi_accuracy >= qf_accuracy - 0.15
+
+    def test_early_stopping_callback_halts_training(self, binary_task):
+        model = QuClassi(num_features=16, num_classes=2, architecture="s", seed=0)
+        history = model.fit(
+            binary_task.x_train,
+            binary_task.y_train,
+            epochs=30,
+            learning_rate=1e-6,  # effectively no progress -> early stop triggers
+            callbacks=[EarlyStopping(patience=2, min_delta=1e-3)],
+        )
+        assert len(history.records) < 30
+
+
+class TestHardwareEndToEnd:
+    def test_noisy_inference_degrades_but_not_to_chance(self):
+        """Trained simulator model evaluated through noisy hardware (Fig. 12 pattern)."""
+        dataset = generate_synthetic_mnist(digits=(3, 4), samples_per_digit=25, rng=2)
+        task = prepare_task(dataset, classes=(3, 4), n_components=4, rng=2)
+        model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=0)
+        model.fit(task.x_train, task.y_train, epochs=10, learning_rate=0.1)
+        ideal_accuracy = model.score(task.x_test, task.y_test)
+
+        from repro.core import SwapTestFidelityEstimator
+
+        model.estimator = SwapTestFidelityEstimator(model.builder, backend=ibmq_rome(seed=0), shots=4096)
+        hardware_accuracy = model.score(task.x_test, task.y_test)
+        assert hardware_accuracy > 0.5
+        assert hardware_accuracy <= ideal_accuracy + 0.1
+
+    def test_training_on_noisy_backend_reduces_loss(self):
+        """Small-scale version of the paper's Fig. 11 hardware training run."""
+        task = prepare_task(load_iris(), samples_per_class=4, test_fraction=0.25, rng=0)
+        model = QuClassi(
+            num_features=4,
+            num_classes=3,
+            architecture="s",
+            estimator="swap_test",
+            backend=ionq(seed=0),
+            shots=2048,
+            seed=0,
+        )
+        history = model.fit(task.x_train, task.y_train, epochs=2, learning_rate=0.1, batch_size=None)
+        assert history.losses[-1] <= history.losses[0] + 0.05

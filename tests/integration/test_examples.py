@@ -1,0 +1,66 @@
+"""Integration tests that exercise the example scripts' core flows.
+
+The examples are plain scripts; rather than spawning subprocesses (slow and
+noisy in CI), these tests import their helper functions or re-run their key
+steps at reduced size to guarantee the documented workflows keep working.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main()``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleFiles:
+    def test_all_examples_present(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart.py", "iris_multiclass.py", "mnist_binary.py", "noisy_hardware.py"} <= names
+
+    def test_examples_import_cleanly(self):
+        for name in ("quickstart.py", "iris_multiclass.py", "mnist_binary.py", "noisy_hardware.py"):
+            module = load_example(name)
+            assert hasattr(module, "main")
+
+
+class TestIrisExampleHelpers:
+    def test_variant_and_baseline_training_helpers(self):
+        from repro.datasets import load_iris, prepare_task
+
+        module = load_example("iris_multiclass.py")
+        data = prepare_task(load_iris(), samples_per_class=10, rng=0)
+        quantum = module.train_quclassi_variants(data, epochs=2)
+        classical = module.train_dnn_baselines(data, budgets=(56,), epochs=5)
+        assert set(quantum) == {"QC-S", "QC-SD", "QC-SDE"}
+        for model in quantum.values():
+            assert 0.0 <= model.score(data.x_test, data.y_test) <= 1.0
+        assert len(classical) == 1
+
+
+class TestQuickstartFlow:
+    def test_quickstart_workflow_small(self):
+        """The quickstart's exact call sequence at reduced size."""
+        from repro.core import QuClassi
+        from repro.datasets import load_iris, prepare_task
+
+        data = prepare_task(load_iris(), samples_per_class=12, rng=0)
+        model = QuClassi(num_features=4, num_classes=3, architecture="s", seed=0)
+        model.fit(data.x_train, data.y_train, epochs=5, learning_rate=0.1)
+        accuracy = model.score(data.x_test, data.y_test)
+        assert accuracy > 0.5
+        probabilities = model.predict_proba(data.x_test[:1])[0]
+        assert probabilities.shape == (3,)
+        assert np.isclose(probabilities.sum(), 1.0)

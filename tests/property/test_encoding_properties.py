@@ -1,0 +1,85 @@
+"""Property-based tests for data encodings and preprocessing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.datasets.pca import PCA
+from repro.encoding import AmplitudeEncoder, BasisEncoder, DualAngleEncoder, MinMaxNormalizer, SingleAngleEncoder
+
+unit_features = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(features=unit_features)
+def test_dual_angle_encoding_preserves_norm(features):
+    state = DualAngleEncoder().encode(np.asarray(features))
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(features=unit_features)
+def test_dual_angle_first_dimension_round_trip(features):
+    """The RY angle stores dimension 2i as qubit i's excited-state probability."""
+    features = np.asarray(features)
+    state = DualAngleEncoder().encode(features)
+    for qubit in range((len(features) + 1) // 2):
+        expected = features[2 * qubit]
+        assert state.probabilities([qubit])[1] == pytest.approx(expected, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(features=unit_features)
+def test_single_angle_encoding_round_trip(features):
+    features = np.asarray(features)
+    state = SingleAngleEncoder().encode(features)
+    for qubit, value in enumerate(features):
+        assert state.probabilities([qubit])[1] == pytest.approx(value, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(features=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8).filter(lambda f: sum(f) > 1e-6))
+def test_amplitude_encoding_normalised(features):
+    amplitudes = AmplitudeEncoder().amplitudes(np.asarray(features))
+    assert np.linalg.norm(amplitudes) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(features=unit_features)
+def test_basis_encoding_is_deterministic_basis_state(features):
+    state = BasisEncoder().encode(np.asarray(features))
+    probs = state.probabilities()
+    assert np.max(probs) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(3, 12), st.integers(1, 5)),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+)
+def test_minmax_normaliser_output_range(data):
+    scaled = MinMaxNormalizer().fit_transform(data)
+    assert scaled.min() >= -1e-12
+    assert scaled.max() <= 1.0 + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(5, 15), st.integers(2, 6)),
+        elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+)
+def test_pca_projection_shape_and_finiteness(data):
+    n_components = min(2, data.shape[1])
+    projected = PCA(n_components).fit_transform(data)
+    assert projected.shape == (data.shape[0], n_components)
+    assert np.all(np.isfinite(projected))

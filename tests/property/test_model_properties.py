@@ -1,0 +1,80 @@
+"""Property-based tests for QuClassi model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuClassi
+from repro.core.inference import fidelities_to_probabilities
+from repro.utils.math import softmax
+
+features_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=4, max_size=4
+)
+
+
+@st.composite
+def parameter_vectors(draw, size: int = 4):
+    return np.asarray(
+        draw(st.lists(st.floats(min_value=0.0, max_value=np.pi), min_size=size, max_size=size))
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(features=features_strategy, params=parameter_vectors())
+def test_class_fidelities_bounded(features, params):
+    model = QuClassi(num_features=4, num_classes=2, seed=0)
+    model.set_weights(np.stack([params, params[::-1]]))
+    fidelities = model.class_fidelities(np.asarray(features))
+    assert np.all(fidelities >= -1e-9)
+    assert np.all(fidelities <= 1.0 + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(features=features_strategy)
+def test_predict_proba_is_distribution(features):
+    model = QuClassi(num_features=4, num_classes=3, seed=1)
+    probabilities = model.predict_proba(np.asarray(features))
+    assert probabilities.shape == (1, 3)
+    assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(probabilities >= 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fidelities=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_softmax_inference_matches_direct_softmax(fidelities):
+    matrix = np.asarray(fidelities)
+    np.testing.assert_allclose(
+        fidelities_to_probabilities(matrix), softmax(matrix, axis=1), atol=1e-12
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=parameter_vectors())
+def test_trained_state_is_always_normalised(params):
+    model = QuClassi(num_features=4, num_classes=2, seed=0)
+    weights = model.get_weights()
+    weights[0] = params
+    model.set_weights(weights)
+    assert model.trained_statevector(0).norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=parameter_vectors())
+def test_prediction_invariant_to_temperature(params):
+    """Softmax temperature rescales probabilities but never changes the arg-max."""
+    features = np.full((3, 4), 0.4)
+    sharp = QuClassi(num_features=4, num_classes=2, temperature=0.2, seed=2)
+    soft = QuClassi(num_features=4, num_classes=2, temperature=5.0, seed=2)
+    weights = sharp.get_weights()
+    weights[0] = params
+    sharp.set_weights(weights)
+    soft.set_weights(weights)
+    np.testing.assert_array_equal(sharp.predict(features), soft.predict(features))

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the quantum substrate invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import gates
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.fidelity import (
+    fidelity_from_swap_test_probability,
+    swap_test_fidelity_exact,
+    swap_test_probability_from_fidelity,
+)
+from repro.quantum.statevector import Statevector
+
+angles = st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False)
+small_angles = st.floats(min_value=0.0, max_value=math.pi, allow_nan=False)
+
+
+def product_state(angle_list) -> Statevector:
+    state = Statevector(len(angle_list))
+    for qubit, (theta, phi) in enumerate(angle_list):
+        state.apply_matrix(gates.ry(theta), (qubit,))
+        state.apply_matrix(gates.rz(phi), (qubit,))
+    return state
+
+
+@settings(max_examples=40, deadline=None)
+@given(theta=angles)
+def test_single_qubit_rotations_are_unitary(theta):
+    for factory in (gates.rx, gates.ry, gates.rz):
+        assert gates.is_unitary(factory(theta))
+
+
+@settings(max_examples=40, deadline=None)
+@given(theta=angles)
+def test_two_qubit_rotations_are_unitary(theta):
+    for factory in (gates.rxx, gates.ryy, gates.rzz, gates.cry, gates.crz, gates.crx):
+        assert gates.is_unitary(factory(theta))
+
+
+@settings(max_examples=30, deadline=None)
+@given(theta=angles, phi=angles)
+def test_general_rotation_unitary(theta, phi):
+    assert gates.is_unitary(gates.r_gate(theta, phi))
+
+
+@settings(max_examples=30, deadline=None)
+@given(theta=angles)
+def test_rotation_additivity(theta):
+    """RY(a) RY(b) = RY(a + b) — rotations about one axis compose additively."""
+    np.testing.assert_allclose(
+        gates.ry(theta) @ gates.ry(0.5), gates.ry(theta + 0.5), atol=1e-10
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(st.tuples(small_angles, angles), min_size=1, max_size=3),
+)
+def test_statevector_norm_preserved(data):
+    state = product_state(data)
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+    probs = state.probabilities()
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(probs >= -1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.lists(st.tuples(small_angles, angles), min_size=2, max_size=2),
+    b=st.lists(st.tuples(small_angles, angles), min_size=2, max_size=2),
+)
+def test_fidelity_symmetry_and_bounds(a, b):
+    state_a = product_state(a)
+    state_b = product_state(b)
+    fidelity_ab = state_a.fidelity(state_b)
+    fidelity_ba = state_b.fidelity(state_a)
+    assert fidelity_ab == pytest.approx(fidelity_ba, abs=1e-9)
+    assert -1e-9 <= fidelity_ab <= 1.0 + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    a=st.lists(st.tuples(small_angles, angles), min_size=1, max_size=2),
+    b=st.lists(st.tuples(small_angles, angles), min_size=1, max_size=2),
+)
+def test_swap_test_identity(a, b):
+    """P(ancilla = 0) = (1 + F) / 2 holds for arbitrary product states."""
+    if len(a) != len(b):
+        b = a
+    state_a = product_state(a)
+    state_b = product_state(b)
+    direct = state_a.fidelity(state_b)
+    via_swap = swap_test_fidelity_exact(state_a, state_b)
+    assert via_swap == pytest.approx(direct, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(fidelity=st.floats(min_value=0.0, max_value=1.0))
+def test_swap_probability_round_trip(fidelity):
+    p_zero = swap_test_probability_from_fidelity(fidelity)
+    assert 0.5 - 1e-12 <= p_zero <= 1.0 + 1e-12
+    assert fidelity_from_swap_test_probability(p_zero) == pytest.approx(fidelity, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    thetas=st.lists(angles, min_size=1, max_size=4),
+    qubit_count=st.integers(min_value=1, max_value=3),
+)
+def test_circuit_inverse_returns_to_ground_state(thetas, qubit_count):
+    circuit = QuantumCircuit(qubit_count)
+    for index, theta in enumerate(thetas):
+        circuit.ry(theta, index % qubit_count)
+        if qubit_count > 1:
+            circuit.cx(index % qubit_count, (index + 1) % qubit_count)
+    roundtrip = circuit.compose(circuit.inverse())
+    state = Statevector(qubit_count).evolve(roundtrip)
+    assert abs(state.data[0]) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(probability=st.floats(min_value=0.0, max_value=1.0))
+def test_depolarizing_channel_trace_preserving(probability):
+    from repro.quantum.density_matrix import DensityMatrix
+    from repro.quantum.noise import depolarizing_kraus
+
+    dm = DensityMatrix(1)
+    dm.apply_matrix(gates.HADAMARD, (0,))
+    dm.apply_kraus(depolarizing_kraus(probability), (0,))
+    assert dm.trace() == pytest.approx(1.0, abs=1e-9)
+    assert dm.purity() <= 1.0 + 1e-9

@@ -1,0 +1,109 @@
+"""Tests for execution backends."""
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.quantum.backend import (
+    DeviceProperties,
+    IdealBackend,
+    NoisyBackend,
+    SampledBackend,
+)
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import NoiseModel
+from repro.quantum.topology import CouplingMap
+
+
+def ghz_circuit(num_qubits: int = 3) -> QuantumCircuit:
+    qc = QuantumCircuit(num_qubits, num_qubits, name="ghz")
+    qc.h(0)
+    for qubit in range(num_qubits - 1):
+        qc.cx(qubit, qubit + 1)
+    qc.measure_all()
+    return qc
+
+
+def make_device(name: str = "test_device", num_qubits: int = 5, noisy: bool = True) -> DeviceProperties:
+    noise = NoiseModel.from_error_rates(0.001, 0.01, 0.02) if noisy else NoiseModel.ideal()
+    return DeviceProperties(
+        name=name,
+        num_qubits=num_qubits,
+        coupling_map=CouplingMap.linear(num_qubits),
+        noise_model=noise,
+        max_shots=4096,
+        queue_latency_seconds=42.0,
+    )
+
+
+class TestIdealBackend:
+    def test_exact_run(self):
+        result = IdealBackend().run(ghz_circuit())
+        assert result.probabilities["000"] == pytest.approx(0.5)
+        assert result.probabilities["111"] == pytest.approx(0.5)
+
+    def test_sampled_run(self):
+        result = IdealBackend(seed=0).run(ghz_circuit(), shots=100)
+        assert result.counts.shots == 100
+
+    def test_not_noisy(self):
+        assert IdealBackend().is_noisy is False
+
+    def test_ancilla_zero_probability(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        assert IdealBackend().ancilla_zero_probability(qc) == pytest.approx(1.0)
+
+
+class TestSampledBackend:
+    def test_always_samples(self):
+        backend = SampledBackend(shots=256, seed=0)
+        result = backend.run(ghz_circuit())
+        assert result.counts.shots == 256
+
+    def test_explicit_shots_override_default(self):
+        backend = SampledBackend(shots=256, seed=0)
+        assert backend.run(ghz_circuit(), shots=64).counts.shots == 64
+
+    def test_invalid_shots(self):
+        with pytest.raises(BackendError):
+            SampledBackend(shots=0)
+
+
+class TestNoisyBackend:
+    def test_runs_and_reports_transpile_stats(self):
+        backend = NoisyBackend(make_device(), seed=0)
+        result = backend.run(ghz_circuit(), shots=512)
+        assert result.counts.shots == 512
+        assert backend.last_transpile_stats["cx_count"] >= 2
+        assert result.metadata["backend"] == "test_device"
+        assert result.metadata["queue_latency_seconds"] == 42.0
+
+    def test_is_noisy(self):
+        assert NoisyBackend(make_device()).is_noisy is True
+
+    def test_noise_degrades_ghz_parity(self):
+        noisy = NoisyBackend(make_device(noisy=True), seed=0).run(ghz_circuit(), shots=None)
+        clean = NoisyBackend(make_device(noisy=False), seed=0).run(ghz_circuit(), shots=None)
+        clean_mass = clean.probabilities.get("000", 0) + clean.probabilities.get("111", 0)
+        noisy_mass = noisy.probabilities.get("000", 0) + noisy.probabilities.get("111", 0)
+        assert clean_mass == pytest.approx(1.0, abs=1e-9)
+        assert noisy_mass < clean_mass
+
+    def test_shot_limit_enforced(self):
+        backend = NoisyBackend(make_device())
+        with pytest.raises(BackendError):
+            backend.run(ghz_circuit(), shots=100000)
+
+    def test_too_wide_circuit_rejected(self):
+        backend = NoisyBackend(make_device(num_qubits=2))
+        with pytest.raises(BackendError):
+            backend.run(ghz_circuit(3))
+
+    def test_small_circuit_on_large_device_uses_small_region(self):
+        """A 2-qubit circuit on a 5-qubit device must not simulate 5 qubits of state."""
+        backend = NoisyBackend(make_device(num_qubits=5), seed=0)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure_all()
+        result = backend.run(qc, shots=None)
+        assert result.density_matrix.num_qubits == 2
+        assert sum(result.probabilities.values()) == pytest.approx(1.0)

@@ -1,0 +1,105 @@
+"""Tests for Bloch-sphere utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+from repro.quantum.bloch import (
+    BlochVector,
+    bloch_vector,
+    bloch_vector_from_angles,
+    bloch_vector_from_density_matrix,
+    bloch_vectors,
+    expectation_triplet,
+)
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.statevector import Statevector
+
+
+class TestBlochVector:
+    def test_ground_state_points_up(self):
+        vec = bloch_vector(Statevector(1))
+        assert vec.z == pytest.approx(1.0)
+        assert vec.length == pytest.approx(1.0)
+
+    def test_excited_state_points_down(self):
+        state = Statevector(1)
+        state.apply_matrix(gates.PAULI_X, (0,))
+        assert bloch_vector(state).z == pytest.approx(-1.0)
+
+    def test_plus_state_points_along_x(self):
+        state = Statevector(1)
+        state.apply_matrix(gates.HADAMARD, (0,))
+        vec = bloch_vector(state)
+        assert vec.x == pytest.approx(1.0)
+        assert vec.z == pytest.approx(0.0, abs=1e-12)
+
+    def test_ry_rotation_angle(self):
+        theta = 0.9
+        state = Statevector(1)
+        state.apply_matrix(gates.ry(theta), (0,))
+        vec = bloch_vector(state)
+        assert vec.polar_angle == pytest.approx(theta)
+
+    def test_rz_sets_azimuth(self):
+        state = Statevector(1)
+        state.apply_matrix(gates.ry(math.pi / 2), (0,))
+        state.apply_matrix(gates.rz(0.7), (0,))
+        assert bloch_vector(state).azimuthal_angle == pytest.approx(0.7)
+
+    def test_angle_to_self_is_zero(self):
+        vec = BlochVector(0.0, 0.0, 1.0)
+        assert vec.angle_to(vec) == pytest.approx(0.0)
+
+    def test_angle_between_orthogonal_axes(self):
+        assert BlochVector(1, 0, 0).angle_to(BlochVector(0, 0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_as_array(self):
+        np.testing.assert_allclose(BlochVector(0.1, 0.2, 0.3).as_array(), [0.1, 0.2, 0.3])
+
+
+class TestMultiQubitReduction:
+    def test_entangled_qubit_has_short_vector(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        state = Statevector(2).evolve(qc)
+        vec = bloch_vector(state, 0)
+        assert vec.length == pytest.approx(0.0, abs=1e-9)
+
+    def test_product_state_qubits_independent(self):
+        qc = QuantumCircuit(2)
+        qc.ry(0.6, 0)
+        state = Statevector(2).evolve(qc)
+        vectors = bloch_vectors(state)
+        assert vectors[0].polar_angle == pytest.approx(0.6)
+        assert vectors[1].z == pytest.approx(1.0)
+
+    def test_density_matrix_input(self):
+        dm = DensityMatrix(1)
+        assert bloch_vector(dm).z == pytest.approx(1.0)
+
+    def test_expectation_triplet(self):
+        triplet = expectation_triplet(Statevector(1))
+        np.testing.assert_allclose(triplet, [0.0, 0.0, 1.0], atol=1e-12)
+
+
+class TestConversions:
+    def test_from_angles_matches_state(self):
+        theta, phi = 1.2, 0.4
+        from_angles = bloch_vector_from_angles(theta, phi)
+        state = Statevector(1)
+        state.apply_matrix(gates.ry(theta), (0,))
+        state.apply_matrix(gates.rz(phi), (0,))
+        from_state = bloch_vector(state)
+        assert from_angles.angle_to(from_state) == pytest.approx(0.0, abs=1e-9)
+
+    def test_from_density_matrix_requires_2x2(self):
+        with pytest.raises(ValueError):
+            bloch_vector_from_density_matrix(np.eye(4) / 4)
+
+    def test_maximally_mixed_has_zero_vector(self):
+        vec = bloch_vector_from_density_matrix(np.eye(2) / 2)
+        assert vec.length == pytest.approx(0.0)

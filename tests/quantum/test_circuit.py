@@ -1,0 +1,200 @@
+"""Tests for the QuantumCircuit IR."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Parameter
+from repro.quantum.register import ClassicalRegister, QuantumRegister
+from repro.quantum.statevector import Statevector
+
+
+class TestConstruction:
+    def test_from_int(self):
+        qc = QuantumCircuit(3, 2)
+        assert qc.num_qubits == 3
+        assert qc.num_clbits == 2
+
+    def test_from_registers(self):
+        ancilla = QuantumRegister(1, "ancilla")
+        data = QuantumRegister(2, "data")
+        qc = QuantumCircuit([ancilla, data], ClassicalRegister(1, "c"))
+        assert qc.num_qubits == 3
+        assert qc.qregs[1].indices == (1, 2)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_no_clbits_allowed(self):
+        assert QuantumCircuit(2).num_clbits == 0
+
+
+class TestAppendingGates:
+    def test_gate_methods_chain(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).ry(0.3, 1)
+        assert len(qc) == 3
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).h(2)
+
+    def test_out_of_range_clbit_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2, 1).measure(0, 1)
+
+    def test_measure_all_requires_enough_clbits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(3, 2).measure_all()
+
+    def test_measure_all(self):
+        qc = QuantumCircuit(2, 2).measure_all()
+        assert qc.count_ops()["measure"] == 2
+
+    def test_every_gate_helper_appends(self):
+        qc = QuantumCircuit(3, 1)
+        qc.i(0); qc.x(0); qc.y(0); qc.z(0); qc.h(0); qc.s(0); qc.t(0)
+        qc.rx(0.1, 0); qc.ry(0.1, 0); qc.rz(0.1, 0); qc.r(0.1, 0.2, 0); qc.u3(0.1, 0.2, 0.3, 0)
+        qc.cx(0, 1); qc.cz(0, 1); qc.swap(0, 1)
+        qc.rxx(0.1, 0, 1); qc.ryy(0.1, 0, 1); qc.rzz(0.1, 0, 1)
+        qc.crx(0.1, 0, 1); qc.cry(0.1, 0, 1); qc.crz(0.1, 0, 1)
+        qc.cswap(0, 1, 2); qc.reset(2); qc.barrier(); qc.measure(0, 0)
+        assert qc.size() == len(qc) - 1  # all but the barrier
+
+
+class TestParameters:
+    def test_parameters_in_first_appearance_order(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(1)
+        qc.ry(b, 0).rz(a, 0).ry(b, 0)
+        assert qc.parameters == (b, a)
+        assert qc.num_parameters == 2
+
+    def test_bind_parameters_partial(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(1)
+        qc.ry(a, 0).rz(b, 0)
+        bound = qc.bind_parameters({a: 0.5})
+        assert bound.parameters == (b,)
+        # The original circuit is untouched.
+        assert qc.parameters == (a, b)
+
+    def test_assign_parameters_from_sequence(self):
+        a, b = Parameter("a"), Parameter("b")
+        qc = QuantumCircuit(1)
+        qc.ry(a, 0).rz(b, 0)
+        bound = qc.assign_parameters([0.1, 0.2])
+        assert bound.num_parameters == 0
+
+    def test_assign_parameters_wrong_length(self):
+        qc = QuantumCircuit(1)
+        qc.ry(Parameter("a"), 0)
+        with pytest.raises(CircuitError):
+            qc.assign_parameters([0.1, 0.2])
+
+
+class TestCompose:
+    def test_compose_identity_mapping(self):
+        base = QuantumCircuit(2)
+        base.h(0)
+        other = QuantumCircuit(2)
+        other.cx(0, 1)
+        combined = base.compose(other)
+        assert [i.name for i in combined.instructions] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        base = QuantumCircuit(3)
+        other = QuantumCircuit(2)
+        other.cx(0, 1)
+        combined = base.compose(other, qubits=[2, 0])
+        assert combined.instructions[0].qubits == (2, 0)
+
+    def test_compose_mapping_length_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(3).compose(QuantumCircuit(2), qubits=[0])
+
+    def test_compose_out_of_range_mapping(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(2), qubits=[0, 5])
+
+
+class TestInverse:
+    def test_inverse_reverses_rotation(self):
+        qc = QuantumCircuit(1)
+        qc.ry(0.4, 0).rz(-0.2, 0)
+        roundtrip = qc.compose(qc.inverse())
+        state = Statevector(1).evolve(roundtrip)
+        assert abs(state.data[0]) == pytest.approx(1.0)
+
+    def test_inverse_of_parameterised_circuit_raises(self):
+        qc = QuantumCircuit(1)
+        qc.ry(Parameter("t"), 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+    def test_inverse_of_measurement_raises(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+
+class TestAnalysis:
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_serial_gates(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_barrier_not_counted_in_depth(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).barrier().h(0)
+        assert qc.depth() == 2
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0).h(1).cx(0, 1).measure(0, 0)
+        assert qc.count_ops() == {"h": 2, "cx": 1, "measure": 1}
+
+    def test_two_qubit_gate_count(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).cswap(0, 1, 2)
+        assert qc.two_qubit_gate_count() == 2
+
+    def test_measured_qubits_order(self):
+        qc = QuantumCircuit(3, 3)
+        qc.measure(2, 0).measure(0, 1)
+        assert qc.measured_qubits() == (2, 0)
+
+    def test_has_measurements(self):
+        assert not QuantumCircuit(1).has_measurements()
+        assert QuantumCircuit(1, 1).measure(0, 0).has_measurements()
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        stripped = qc.remove_final_measurements()
+        assert not stripped.has_measurements()
+        assert qc.has_measurements()  # original untouched
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        duplicate = qc.copy()
+        duplicate.x(0)
+        assert len(qc) == 1
+        assert len(duplicate) == 2
+
+    def test_text_diagram_mentions_gates(self):
+        qc = QuantumCircuit(2, 1, name="demo")
+        qc.h(0).cry(Parameter("theta"), 0, 1).measure(0, 0)
+        text = qc.to_text_diagram()
+        assert "demo" in text
+        assert "cry(theta)" in text
+        assert "measure" in text

@@ -1,0 +1,107 @@
+"""Tests for the SWAP test and fidelity helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum import gates
+from repro.quantum.fidelity import (
+    build_swap_test_circuit,
+    fidelity_from_swap_test_probability,
+    state_fidelity,
+    swap_test_fidelity_exact,
+    swap_test_fidelity_sampled,
+    swap_test_probability_from_fidelity,
+)
+from repro.quantum.statevector import Statevector
+
+
+def random_state(num_qubits: int, seed: int) -> Statevector:
+    rng = np.random.default_rng(seed)
+    state = Statevector(num_qubits)
+    for qubit in range(num_qubits):
+        state.apply_matrix(gates.ry(rng.uniform(0, np.pi)), (qubit,))
+        state.apply_matrix(gates.rz(rng.uniform(0, 2 * np.pi)), (qubit,))
+    if num_qubits > 1:
+        state.apply_matrix(gates.CNOT, (0, 1))
+    return state
+
+
+class TestProbabilityConversion:
+    def test_round_trip(self):
+        for fidelity in (0.0, 0.3, 0.5, 1.0):
+            p_zero = swap_test_probability_from_fidelity(fidelity)
+            assert fidelity_from_swap_test_probability(p_zero) == pytest.approx(fidelity)
+
+    def test_orthogonal_states_give_half(self):
+        assert swap_test_probability_from_fidelity(0.0) == pytest.approx(0.5)
+
+    def test_identical_states_give_one(self):
+        assert swap_test_probability_from_fidelity(1.0) == pytest.approx(1.0)
+
+    def test_noisy_probability_below_half_clipped(self):
+        assert fidelity_from_swap_test_probability(0.45) == 0.0
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(SimulationError):
+            swap_test_probability_from_fidelity(1.5)
+
+
+class TestSwapTestCircuit:
+    def test_default_layout(self):
+        circuit = build_swap_test_circuit(3)
+        assert circuit.num_qubits == 7
+        assert circuit.count_ops()["cswap"] == 3
+        assert circuit.count_ops()["h"] == 2
+        assert circuit.count_ops()["measure"] == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(0)
+
+    def test_custom_registers_must_match_width(self):
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(2, first_state_qubits=[1], second_state_qubits=[2, 3])
+
+
+class TestSwapTestAgreement:
+    @pytest.mark.parametrize("num_qubits", [1, 2, 3])
+    def test_exact_swap_test_matches_direct_fidelity(self, num_qubits):
+        a = random_state(num_qubits, seed=10 + num_qubits)
+        b = random_state(num_qubits, seed=20 + num_qubits)
+        direct = state_fidelity(a, b)
+        via_swap = swap_test_fidelity_exact(a, b)
+        assert via_swap == pytest.approx(direct, abs=1e-9)
+
+    def test_identical_states(self):
+        a = random_state(2, seed=3)
+        assert swap_test_fidelity_exact(a, a.copy()) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = Statevector.from_label("00")
+        b = Statevector.from_label("11")
+        assert swap_test_fidelity_exact(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            swap_test_fidelity_exact(Statevector(1), Statevector(2))
+
+    def test_sampled_estimate_converges(self):
+        a = random_state(2, seed=1)
+        b = random_state(2, seed=2)
+        direct = state_fidelity(a, b)
+        estimate = swap_test_fidelity_sampled(a, b, shots=20000, rng=np.random.default_rng(0))
+        assert estimate == pytest.approx(direct, abs=0.03)
+
+    def test_sampled_requires_positive_shots(self):
+        with pytest.raises(SimulationError):
+            swap_test_fidelity_sampled(Statevector(1), Statevector(1), shots=0)
+
+    def test_single_qubit_overlap_formula(self):
+        theta = 1.1
+        a = Statevector(1)
+        b = Statevector(1)
+        b.apply_matrix(gates.ry(theta), (0,))
+        assert swap_test_fidelity_exact(a, b) == pytest.approx(math.cos(theta / 2) ** 2)

@@ -1,0 +1,167 @@
+"""Tests for the gate matrix library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import gates
+
+
+ALL_PARAMETERISED = ["rx", "ry", "rz", "rxx", "ryy", "rzz", "crx", "cry", "crz"]
+ALL_FIXED = ["id", "x", "y", "z", "h", "s", "t", "cx", "cz", "swap", "cswap"]
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("name", ALL_FIXED)
+    def test_fixed_gates_are_unitary(self, name):
+        assert gates.is_unitary(gates.gate_matrix(name))
+
+    @pytest.mark.parametrize("name", ALL_PARAMETERISED)
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2.5])
+    def test_parameterised_gates_are_unitary(self, name, theta):
+        assert gates.is_unitary(gates.gate_matrix(name, theta))
+
+    def test_r_gate_unitary(self):
+        assert gates.is_unitary(gates.r_gate(1.1, 0.4))
+
+    def test_u3_unitary(self):
+        assert gates.is_unitary(gates.u3(0.3, 1.2, -0.7))
+
+
+class TestSingleQubitGates:
+    def test_hadamard_squares_to_identity(self):
+        np.testing.assert_allclose(gates.HADAMARD @ gates.HADAMARD, np.eye(2), atol=1e-12)
+
+    def test_pauli_anticommutation(self):
+        anticommutator = gates.PAULI_X @ gates.PAULI_Y + gates.PAULI_Y @ gates.PAULI_X
+        np.testing.assert_allclose(anticommutator, np.zeros((2, 2)), atol=1e-12)
+
+    def test_rotation_at_zero_is_identity(self):
+        for rot in (gates.rx, gates.ry, gates.rz):
+            np.testing.assert_allclose(rot(0.0), np.eye(2), atol=1e-12)
+
+    def test_rx_equals_general_rotation_phi_zero(self):
+        np.testing.assert_allclose(gates.rx(0.7), gates.r_gate(0.7, 0.0), atol=1e-12)
+
+    def test_ry_equals_general_rotation_phi_half_pi(self):
+        np.testing.assert_allclose(gates.ry(0.7), gates.r_gate(0.7, math.pi / 2), atol=1e-12)
+
+    def test_ry_pi_maps_zero_to_one(self):
+        state = gates.ry(math.pi) @ np.array([1.0, 0.0])
+        np.testing.assert_allclose(np.abs(state) ** 2, [0.0, 1.0], atol=1e-12)
+
+    def test_ry_angle_encodes_probability(self):
+        # RY(2 asin(sqrt(x))) |0> has P(|1>) = x — the paper's encoding map.
+        x = 0.3
+        theta = 2 * math.asin(math.sqrt(x))
+        state = gates.ry(theta) @ np.array([1.0, 0.0])
+        assert abs(state[1]) ** 2 == pytest.approx(x)
+
+    def test_rz_is_diagonal(self):
+        matrix = gates.rz(1.3)
+        assert matrix[0, 1] == 0 and matrix[1, 0] == 0
+
+    def test_s_squared_is_z(self):
+        np.testing.assert_allclose(gates.S_GATE @ gates.S_GATE, gates.PAULI_Z, atol=1e-12)
+
+    def test_t_squared_is_s(self):
+        np.testing.assert_allclose(gates.T_GATE @ gates.T_GATE, gates.S_GATE, atol=1e-12)
+
+    def test_rotation_composition(self):
+        np.testing.assert_allclose(
+            gates.ry(0.4) @ gates.ry(0.6), gates.ry(1.0), atol=1e-12
+        )
+
+
+class TestTwoQubitGates:
+    def test_cnot_flips_target_when_control_set(self):
+        # |10> (control=1, target=0) -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        out = gates.CNOT @ state
+        np.testing.assert_allclose(np.abs(out) ** 2, [0, 0, 0, 1], atol=1e-12)
+
+    def test_cnot_leaves_target_when_control_clear(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        out = gates.CNOT @ state
+        np.testing.assert_allclose(np.abs(out) ** 2, [0, 1, 0, 0], atol=1e-12)
+
+    def test_swap_exchanges_basis_states(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        out = gates.SWAP @ state
+        np.testing.assert_allclose(np.abs(out) ** 2, [0, 0, 1, 0], atol=1e-12)
+
+    def test_cz_phases_only_eleven(self):
+        np.testing.assert_allclose(np.diag(gates.CZ), [1, 1, 1, -1])
+
+    def test_controlled_promotes_identity_to_identity(self):
+        np.testing.assert_allclose(gates.controlled(gates.I2), np.eye(4), atol=1e-12)
+
+    def test_controlled_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            gates.controlled(np.eye(3))
+
+    def test_cry_acts_only_in_control_one_subspace(self):
+        matrix = gates.cry(0.9)
+        np.testing.assert_allclose(matrix[:2, :2], np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(matrix[2:, 2:], gates.ry(0.9), atol=1e-12)
+
+    def test_rzz_diagonal_phases(self):
+        theta = 0.8
+        matrix = gates.rzz(theta)
+        assert matrix[0, 0] == pytest.approx(np.exp(-1j * theta / 2))
+        assert matrix[1, 1] == pytest.approx(np.exp(1j * theta / 2))
+        assert matrix[3, 3] == pytest.approx(np.exp(-1j * theta / 2))
+
+    def test_rxx_equals_hadamard_conjugated_rzz(self):
+        theta = 0.7
+        h2 = np.kron(gates.HADAMARD, gates.HADAMARD)
+        np.testing.assert_allclose(h2 @ gates.rzz(theta) @ h2, gates.rxx(theta), atol=1e-12)
+
+    def test_two_qubit_rotations_at_zero_are_identity(self):
+        for rot in (gates.rxx, gates.ryy, gates.rzz):
+            np.testing.assert_allclose(rot(0.0), np.eye(4), atol=1e-12)
+
+
+class TestCSwap:
+    def test_identity_when_control_clear(self):
+        matrix = gates.cswap()
+        np.testing.assert_allclose(matrix[:4, :4], np.eye(4), atol=1e-12)
+
+    def test_swaps_targets_when_control_set(self):
+        matrix = gates.cswap()
+        # |1 01> (index 5) should map to |1 10> (index 6).
+        state = np.zeros(8)
+        state[5] = 1.0
+        out = matrix @ state
+        assert abs(out[6]) == pytest.approx(1.0)
+
+    def test_involution(self):
+        matrix = gates.cswap()
+        np.testing.assert_allclose(matrix @ matrix, np.eye(8), atol=1e-12)
+
+
+class TestGateFactory:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gates.gate_matrix("nope")
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(ValueError):
+            gates.gate_matrix("ry")
+        with pytest.raises(ValueError):
+            gates.gate_matrix("x", 0.3)
+
+    def test_signatures_cover_all_factories(self):
+        for name, (num_qubits, num_params) in gates.GATE_SIGNATURES.items():
+            matrix = gates.gate_matrix(name, *([0.5] * num_params))
+            assert matrix.shape == (2**num_qubits, 2**num_qubits)
+
+    def test_is_unitary_rejects_non_square(self):
+        assert not gates.is_unitary(np.zeros((2, 3)))
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not gates.is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))

@@ -1,0 +1,85 @@
+"""Tests for measurement-result containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.measurement import Counts, counts_from_probabilities
+
+
+class TestCounts:
+    def test_shots_and_width(self):
+        counts = Counts({"00": 600, "11": 400})
+        assert counts.shots == 1000
+        assert counts.num_bits == 2
+
+    def test_probability(self):
+        counts = Counts({"0": 750, "1": 250})
+        assert counts.probability("0") == pytest.approx(0.75)
+        assert counts.probability("1") == pytest.approx(0.25)
+
+    def test_probability_of_unseen_outcome_is_zero(self):
+        assert Counts({"0": 10}).probability("1") == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        counts = Counts({"00": 1, "01": 2, "10": 3, "11": 4})
+        assert sum(counts.probabilities().values()) == pytest.approx(1.0)
+
+    def test_marginal_probability(self):
+        counts = Counts({"00": 50, "01": 25, "10": 20, "11": 5})
+        assert counts.marginal_probability(0, 1) == pytest.approx(0.25)
+        assert counts.marginal_probability(1, 1) == pytest.approx(0.30)
+
+    def test_marginal_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Counts({"0": 1}).marginal_probability(1)
+
+    def test_expectation_z(self):
+        counts = Counts({"0": 75, "1": 25})
+        assert counts.expectation_z(0) == pytest.approx(0.5)
+
+    def test_most_frequent(self):
+        assert Counts({"01": 3, "10": 7}).most_frequent() == "10"
+
+    def test_merged_with(self):
+        merged = Counts({"0": 10}).merged_with(Counts({"0": 5, "1": 5}))
+        assert merged.data == {"0": 15, "1": 5}
+
+    def test_merge_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            Counts({"0": 1}).merged_with(Counts({"00": 1}))
+
+    def test_to_array(self):
+        array = Counts({"00": 1, "11": 3}).to_array()
+        np.testing.assert_allclose(array, [0.25, 0, 0, 0.75])
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            Counts({})
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(SimulationError):
+            Counts({"0": 1, "00": 1})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            Counts({"0": -1})
+
+
+class TestCountsFromProbabilities:
+    def test_from_dict(self):
+        counts = counts_from_probabilities({"0": 0.5, "1": 0.5}, shots=1000, rng=np.random.default_rng(0))
+        assert counts.shots == 1000
+
+    def test_from_array(self):
+        counts = counts_from_probabilities(np.array([0.25, 0.75]), shots=400, rng=np.random.default_rng(0))
+        assert counts.num_bits == 1
+        assert counts.shots == 400
+
+    def test_deterministic_distribution(self):
+        counts = counts_from_probabilities(np.array([1.0, 0.0]), shots=100, rng=np.random.default_rng(0))
+        assert counts.data == {"0": 100}
+
+    def test_unnormalised_input_is_renormalised(self):
+        counts = counts_from_probabilities(np.array([2.0, 2.0]), shots=100, rng=np.random.default_rng(0))
+        assert counts.shots == 100

@@ -1,0 +1,111 @@
+"""Tests for noise channels and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_valid_channel,
+    phase_damping_kraus,
+    phase_flip_kraus,
+    thermal_relaxation_kraus,
+)
+
+
+class TestKrausCompleteness:
+    @pytest.mark.parametrize("probability", [0.0, 0.1, 0.5, 1.0])
+    def test_depolarizing_1q(self, probability):
+        assert is_valid_channel(depolarizing_kraus(probability, 1))
+
+    @pytest.mark.parametrize("probability", [0.0, 0.3, 1.0])
+    def test_depolarizing_2q(self, probability):
+        assert is_valid_channel(depolarizing_kraus(probability, 2))
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.2, 0.9, 1.0])
+    def test_amplitude_damping(self, gamma):
+        assert is_valid_channel(amplitude_damping_kraus(gamma))
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.4, 1.0])
+    def test_phase_damping(self, gamma):
+        assert is_valid_channel(phase_damping_kraus(gamma))
+
+    def test_bit_and_phase_flip(self):
+        assert is_valid_channel(bit_flip_kraus(0.25))
+        assert is_valid_channel(phase_flip_kraus(0.25))
+
+    def test_thermal_relaxation(self):
+        assert is_valid_channel(thermal_relaxation_kraus(t1=50.0, t2=60.0, gate_time=0.1))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            depolarizing_kraus(1.5)
+        with pytest.raises(SimulationError):
+            amplitude_damping_kraus(-0.1)
+
+    def test_unphysical_relaxation_rejected(self):
+        with pytest.raises(SimulationError):
+            thermal_relaxation_kraus(t1=10.0, t2=50.0, gate_time=0.1)
+
+    def test_is_valid_channel_rejects_incomplete(self):
+        assert not is_valid_channel([np.eye(2) * 0.5])
+
+    def test_is_valid_channel_rejects_empty(self):
+        assert not is_valid_channel([])
+
+
+class TestReadoutError:
+    def test_confusion_matrix_columns_sum_to_one(self):
+        error = ReadoutError(0.03, 0.07)
+        np.testing.assert_allclose(error.confusion_matrix().sum(axis=0), [1.0, 1.0])
+
+    def test_apply_never_flips_with_zero_probability(self):
+        error = ReadoutError(0.0, 0.0)
+        assert error.apply(0, rng=0) == 0
+        assert error.apply(1, rng=0) == 1
+
+    def test_apply_always_flips_with_unit_probability(self):
+        error = ReadoutError(1.0, 1.0)
+        assert error.apply(0, rng=0) == 1
+        assert error.apply(1, rng=0) == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            ReadoutError(1.5, 0.0)
+
+
+class TestNoiseModel:
+    def test_ideal_model_has_no_errors(self):
+        model = NoiseModel.ideal()
+        assert model.is_ideal
+        assert model.gate_channels("cx", 2) == []
+        assert model.readout_error(0) is None
+
+    def test_from_error_rates_attaches_channels(self):
+        model = NoiseModel.from_error_rates(0.001, 0.01, readout_error=0.02)
+        assert not model.is_ideal
+        assert len(model.gate_channels("ry", 1)) == 1
+        assert len(model.gate_channels("cx", 2)) == 1
+        assert model.readout_error(3) is not None
+
+    def test_gate_specific_error(self):
+        model = NoiseModel()
+        model.add_gate_error("cx", depolarizing_kraus(0.02, 2))
+        assert len(model.gate_channels("cx", 2)) == 1
+        assert model.gate_channels("cz", 2) == []
+
+    def test_per_qubit_readout_error_overrides_default(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.01, 0.01))
+        model.add_readout_error(ReadoutError(0.2, 0.2), qubit=3)
+        assert model.readout_error(0).prob_flip_0_to_1 == pytest.approx(0.01)
+        assert model.readout_error(3).prob_flip_0_to_1 == pytest.approx(0.2)
+
+    def test_invalid_kraus_rejected(self):
+        model = NoiseModel()
+        with pytest.raises(SimulationError):
+            model.add_gate_error("cx", [np.eye(4) * 0.3])

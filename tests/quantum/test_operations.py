@@ -1,0 +1,114 @@
+"""Tests for circuit instructions and symbolic parameters."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.operations import Instruction, Parameter, barrier, gate, measure, reset
+
+
+class TestParameter:
+    def test_equality_by_name(self):
+        assert Parameter("theta") == Parameter("theta")
+        assert Parameter("theta") != Parameter("phi")
+
+    def test_hashable(self):
+        assert len({Parameter("a"), Parameter("a"), Parameter("b")}) == 2
+
+
+class TestInstructionValidation:
+    def test_gate_with_wrong_qubit_count(self):
+        with pytest.raises(CircuitError):
+            Instruction(name="cx", qubits=(0,))
+
+    def test_gate_with_wrong_param_count(self):
+        with pytest.raises(CircuitError):
+            Instruction(name="ry", qubits=(0,), params=())
+
+    def test_unknown_instruction(self):
+        with pytest.raises(CircuitError):
+            Instruction(name="foo", qubits=(0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Instruction(name="cx", qubits=(1, 1))
+
+    def test_measure_requires_matching_clbits(self):
+        with pytest.raises(CircuitError):
+            Instruction(name="measure", qubits=(0, 1), clbits=(0,))
+
+    def test_barrier_accepts_any_qubits(self):
+        Instruction(name="barrier", qubits=(0, 1, 2))
+
+
+class TestInstructionProperties:
+    def test_is_gate(self):
+        assert gate("h", (0,)).is_gate
+        assert not measure(0, 0).is_gate
+
+    def test_is_measurement(self):
+        assert measure(0, 0).is_measurement
+        assert not reset(0).is_measurement
+
+    def test_parameterised_detection(self):
+        inst = gate("ry", (0,), Parameter("t"))
+        assert inst.is_parameterized
+        assert inst.free_parameters == (Parameter("t"),)
+
+    def test_bound_instruction_not_parameterised(self):
+        assert not gate("ry", (0,), 0.4).is_parameterized
+
+    def test_num_qubits(self):
+        assert gate("cswap", (0, 1, 2)).num_qubits == 3
+
+
+class TestBindingAndMatrices:
+    def test_bind_replaces_named_parameter(self):
+        theta = Parameter("theta")
+        inst = gate("ry", (0,), theta)
+        bound = inst.bind({theta: 0.7})
+        assert not bound.is_parameterized
+        assert bound.params == (0.7,)
+
+    def test_partial_binding_keeps_missing_symbols(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        inst = gate("r", (0,), theta, phi)
+        partially = inst.bind({theta: 0.5})
+        assert partially.free_parameters == (phi,)
+
+    def test_bind_on_bound_instruction_is_identity(self):
+        inst = gate("ry", (0,), 0.2)
+        assert inst.bind({}) is inst
+
+    def test_matrix_of_bound_gate(self):
+        from repro.quantum import gates as gate_lib
+
+        np.testing.assert_allclose(gate("ry", (0,), 0.3).matrix(), gate_lib.ry(0.3))
+
+    def test_matrix_of_unbound_gate_raises(self):
+        with pytest.raises(CircuitError):
+            gate("ry", (0,), Parameter("t")).matrix()
+
+    def test_matrix_of_measurement_raises(self):
+        with pytest.raises(CircuitError):
+            measure(0, 0).matrix()
+
+    def test_remap(self):
+        inst = gate("cx", (0, 1)).remap({0: 3, 1: 5})
+        assert inst.qubits == (3, 5)
+
+
+class TestConvenienceConstructors:
+    def test_measure_constructor(self):
+        inst = measure(2, 1)
+        assert inst.qubits == (2,)
+        assert inst.clbits == (1,)
+
+    def test_reset_constructor(self):
+        assert reset(1).name == "reset"
+
+    def test_barrier_constructor(self):
+        assert barrier((0, 1)).qubits == (0, 1)
+
+    def test_gate_label(self):
+        assert gate("ry", (0,), 0.1, label="data").label == "data"

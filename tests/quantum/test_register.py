@@ -1,0 +1,60 @@
+"""Tests for quantum and classical registers."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.register import ClassicalRegister, QuantumRegister
+
+
+class TestQuantumRegister:
+    def test_indices_with_offset(self):
+        reg = QuantumRegister(3, "data", offset=2)
+        assert reg.indices == (2, 3, 4)
+
+    def test_getitem(self):
+        reg = QuantumRegister(3, "q", offset=1)
+        assert reg[0] == 1
+        assert reg[2] == 3
+
+    def test_negative_index(self):
+        reg = QuantumRegister(3, "q", offset=1)
+        assert reg[-1] == 3
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(2, "q")[2]
+
+    def test_len_and_iter(self):
+        reg = QuantumRegister(4, "q", offset=5)
+        assert len(reg) == 4
+        assert list(reg) == [5, 6, 7, 8]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(0, "q")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(2, "q", offset=-1)
+
+    def test_shifted(self):
+        assert QuantumRegister(2, "q").shifted(7).indices == (7, 8)
+
+
+class TestClassicalRegister:
+    def test_indices(self):
+        assert ClassicalRegister(2, "c", offset=1).indices == (1, 2)
+
+    def test_getitem(self):
+        assert ClassicalRegister(3, "c")[1] == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(CircuitError):
+            ClassicalRegister(1, "c")[1]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CircuitError):
+            ClassicalRegister(0, "c")
+
+    def test_shifted(self):
+        assert ClassicalRegister(2, "c").shifted(3).indices == (3, 4)

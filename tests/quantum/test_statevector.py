@@ -1,0 +1,207 @@
+"""Tests for the statevector engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum import gates
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector
+
+
+class TestConstruction:
+    def test_ground_state(self):
+        sv = Statevector(2)
+        np.testing.assert_allclose(sv.data, [1, 0, 0, 0])
+
+    def test_from_amplitudes(self):
+        sv = Statevector(np.array([1, 1]) / math.sqrt(2))
+        assert sv.num_qubits == 1
+
+    def test_rejects_unnormalised_without_flag(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.array([1.0, 1.0]))
+
+    def test_normalize_flag(self):
+        sv = Statevector(np.array([3.0, 4.0]), normalize=True)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.array([1.0, 0.0, 0.0]))
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.zeros(4))
+
+    def test_from_label(self):
+        sv = Statevector.from_label("10")
+        assert sv.probabilities()[2] == pytest.approx(1.0)
+
+    def test_from_label_invalid(self):
+        with pytest.raises(SimulationError):
+            Statevector.from_label("1a")
+
+
+class TestBitOrdering:
+    def test_qubit0_is_most_significant(self):
+        sv = Statevector(2)
+        sv.apply_matrix(gates.PAULI_X, (0,))
+        # Qubit 0 set -> index 2 (binary "10").
+        assert sv.probabilities()[2] == pytest.approx(1.0)
+
+    def test_qubit1_is_least_significant(self):
+        sv = Statevector(2)
+        sv.apply_matrix(gates.PAULI_X, (1,))
+        assert sv.probabilities()[1] == pytest.approx(1.0)
+
+
+class TestEvolution:
+    def test_hadamard_superposition(self):
+        sv = Statevector(1)
+        sv.apply_matrix(gates.HADAMARD, (0,))
+        np.testing.assert_allclose(sv.probabilities(), [0.5, 0.5], atol=1e-12)
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        sv = Statevector(2).evolve(qc)
+        np.testing.assert_allclose(sv.probabilities(), [0.5, 0, 0, 0.5], atol=1e-12)
+
+    def test_norm_preserved_by_long_circuit(self):
+        rng = np.random.default_rng(0)
+        qc = QuantumCircuit(3)
+        for _ in range(30):
+            qubit = int(rng.integers(3))
+            qc.ry(rng.uniform(0, np.pi), qubit)
+            other = int((qubit + 1 + rng.integers(2)) % 3)
+            qc.cx(qubit, other)
+        sv = Statevector(3).evolve(qc)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_gate_on_out_of_range_qubit(self):
+        with pytest.raises(SimulationError):
+            Statevector(1).apply_matrix(gates.PAULI_X, (1,))
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            Statevector(2).apply_matrix(np.eye(4), (0,))
+
+    def test_evolve_rejects_measurement(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(SimulationError):
+            Statevector(1).evolve(qc)
+
+    def test_two_qubit_gate_order_matters(self):
+        # CNOT with control qubit 0 vs control qubit 1 behave differently.
+        sv_a = Statevector(2)
+        sv_a.apply_matrix(gates.PAULI_X, (0,))
+        sv_a.apply_matrix(gates.CNOT, (0, 1))
+        assert sv_a.probabilities()[3] == pytest.approx(1.0)
+
+        sv_b = Statevector(2)
+        sv_b.apply_matrix(gates.PAULI_X, (0,))
+        sv_b.apply_matrix(gates.CNOT, (1, 0))
+        assert sv_b.probabilities()[2] == pytest.approx(1.0)
+
+
+class TestProbabilitiesAndExpectations:
+    def test_marginal_probabilities(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        sv = Statevector(2).evolve(qc)
+        np.testing.assert_allclose(sv.probabilities([0]), [0.5, 0.5], atol=1e-12)
+        np.testing.assert_allclose(sv.probabilities([1]), [1.0, 0.0], atol=1e-12)
+
+    def test_marginal_respects_requested_order(self):
+        sv = Statevector(2)
+        sv.apply_matrix(gates.PAULI_X, (1,))  # state |01>
+        # Order (1, 0): qubit 1 first -> outcome "10" should have probability 1.
+        probs = sv.probabilities([1, 0])
+        assert probs[2] == pytest.approx(1.0)
+
+    def test_expectation_z(self):
+        sv = Statevector(1)
+        assert sv.expectation_z(0) == pytest.approx(1.0)
+        sv.apply_matrix(gates.PAULI_X, (0,))
+        assert sv.expectation_z(0) == pytest.approx(-1.0)
+
+    def test_expectation_z_encoding_map(self):
+        x = 0.42
+        sv = Statevector(1)
+        sv.apply_matrix(gates.ry(2 * math.asin(math.sqrt(x))), (0,))
+        assert sv.probabilities([0])[1] == pytest.approx(x)
+
+
+class TestMeasurementAndCollapse:
+    def test_collapse_renormalises(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        sv = Statevector(2).evolve(qc)
+        sv.collapse(0, 1)
+        assert sv.probabilities()[2] == pytest.approx(1.0)
+
+    def test_collapse_on_impossible_outcome(self):
+        with pytest.raises(SimulationError):
+            Statevector(1).collapse(0, 1)
+
+    def test_measure_is_deterministic_on_basis_state(self):
+        sv = Statevector(1)
+        sv.apply_matrix(gates.PAULI_X, (0,))
+        outcome, _ = sv.measure(0, rng=0)
+        assert outcome == 1
+
+    def test_reset_returns_to_zero(self):
+        sv = Statevector(1)
+        sv.apply_matrix(gates.PAULI_X, (0,))
+        sv.reset(0, rng=0)
+        assert sv.probabilities()[0] == pytest.approx(1.0)
+
+    def test_sample_counts_total(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        sv = Statevector(1).evolve(qc)
+        counts = sv.sample_counts(1000, rng=0)
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {"0", "1"}
+
+    def test_sample_counts_requires_positive_shots(self):
+        with pytest.raises(SimulationError):
+            Statevector(1).sample_counts(0)
+
+
+class TestInnerProductsAndFidelity:
+    def test_fidelity_of_identical_states(self):
+        sv = Statevector(2)
+        assert sv.fidelity(sv.copy()) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("1")
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_fidelity_matches_overlap_formula(self):
+        theta = 0.8
+        a = Statevector(1)
+        b = Statevector(1)
+        b.apply_matrix(gates.ry(theta), (0,))
+        assert a.fidelity(b) == pytest.approx(math.cos(theta / 2) ** 2)
+
+    def test_inner_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            Statevector(1).inner(Statevector(2))
+
+    def test_tensor_product(self):
+        a = Statevector.from_label("1")
+        b = Statevector.from_label("0")
+        joint = a.tensor(b)
+        assert joint.num_qubits == 2
+        assert joint.probabilities()[2] == pytest.approx(1.0)
+
+    def test_equiv_up_to_global_phase(self):
+        a = Statevector(1)
+        b = Statevector(np.array([np.exp(1j * 0.3), 0.0]))
+        assert a.equiv(b)

@@ -1,0 +1,122 @@
+"""Tests for device coupling maps."""
+
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.quantum.topology import CouplingMap
+
+
+class TestConstruction:
+    def test_edges_normalised_and_deduplicated(self):
+        cm = CouplingMap(3, edges=((1, 0), (0, 1), (1, 2)))
+        assert cm.edges == ((0, 1), (1, 2))
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap(2, edges=((0, 0),))
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap(2, edges=((0, 5),))
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap(0)
+
+
+class TestConnectivityQueries:
+    def test_linear_coupling(self):
+        cm = CouplingMap.linear(4)
+        assert cm.are_coupled(0, 1)
+        assert not cm.are_coupled(0, 2)
+        assert cm.neighbors(1) == (0, 2)
+
+    def test_all_to_all(self):
+        cm = CouplingMap.all_to_all(4)
+        assert cm.are_coupled(0, 3)
+        assert cm.distance(0, 3) == 1
+
+    def test_ring_distance(self):
+        cm = CouplingMap.ring(6)
+        assert cm.distance(0, 3) == 3
+        assert cm.distance(0, 5) == 1
+
+    def test_grid_structure(self):
+        cm = CouplingMap.grid(2, 3)
+        assert cm.num_qubits == 6
+        assert cm.are_coupled(0, 1)
+        assert cm.are_coupled(0, 3)
+        assert not cm.are_coupled(0, 4)
+
+    def test_shortest_path_endpoints(self):
+        cm = CouplingMap.linear(5)
+        assert cm.shortest_path(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_disconnected_path_raises(self):
+        cm = CouplingMap(4, edges=((0, 1), (2, 3)))
+        with pytest.raises(TranspilerError):
+            cm.shortest_path(0, 3)
+
+    def test_is_connected(self):
+        assert CouplingMap.linear(3).is_connected()
+        assert not CouplingMap(4, edges=((0, 1), (2, 3))).is_connected()
+
+
+class TestDeviceFactories:
+    def test_ibmq_5q_t_shape(self):
+        cm = CouplingMap.ibmq_5q_t()
+        assert cm.num_qubits == 5
+        assert cm.is_connected()
+        # Qubit 1 is the hub of the T.
+        assert set(cm.neighbors(1)) == {0, 2, 3}
+
+    def test_ibmq_5q_bowtie(self):
+        cm = CouplingMap.ibmq_5q_bowtie()
+        assert cm.num_qubits == 5
+        assert cm.is_connected()
+
+    def test_melbourne_like(self):
+        cm = CouplingMap.ibmq_melbourne_like(15)
+        assert cm.num_qubits == 15
+        assert cm.is_connected()
+
+    def test_falcon_27q(self):
+        cm = CouplingMap.ibmq_falcon_27q()
+        assert cm.num_qubits == 27
+        assert cm.is_connected()
+        # Heavy-hexagon-style devices are sparse: far fewer edges than all-to-all.
+        assert len(cm.edges) < 27 * 26 / 4
+
+
+class TestSubgraphSelection:
+    def test_induced_subgraph_relabels(self):
+        cm = CouplingMap.linear(5)
+        sub = cm.induced_subgraph([2, 3, 4])
+        assert sub.num_qubits == 3
+        assert sub.are_coupled(0, 1)
+        assert sub.are_coupled(1, 2)
+
+    def test_induced_subgraph_of_all_to_all(self):
+        sub = CouplingMap.all_to_all(8).induced_subgraph([1, 5, 7])
+        assert sub.are_coupled(0, 2)
+
+    def test_induced_subgraph_rejects_duplicates(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap.linear(4).induced_subgraph([0, 0])
+
+    def test_select_connected_region_is_connected(self):
+        cm = CouplingMap.ibmq_falcon_27q()
+        region = cm.select_connected_region(5)
+        assert len(region) == 5
+        assert cm.induced_subgraph(region).is_connected()
+
+    def test_select_region_full_device(self):
+        cm = CouplingMap.linear(4)
+        assert sorted(cm.select_connected_region(4)) == [0, 1, 2, 3]
+
+    def test_select_region_too_large(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap.linear(3).select_connected_region(4)
+
+    def test_select_region_on_all_to_all(self):
+        assert CouplingMap.all_to_all(6).select_connected_region(3) == [0, 1, 2]

@@ -1,0 +1,185 @@
+"""Tests for basis decomposition and SWAP routing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operations import Parameter
+from repro.quantum.statevector import Statevector
+from repro.quantum.topology import CouplingMap
+from repro.quantum.transpiler import (
+    BASIS_GATES,
+    decompose_to_basis,
+    route_circuit,
+    transpile,
+)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a (small) measurement-free circuit."""
+    dim = 2**circuit.num_qubits
+    columns = []
+    for index in range(dim):
+        amplitudes = np.zeros(dim, dtype=complex)
+        amplitudes[index] = 1.0
+        state = Statevector(amplitudes)
+        state.evolve(circuit)
+        columns.append(state.data)
+    return np.array(columns).T
+
+
+def assert_equal_up_to_phase(matrix_a: np.ndarray, matrix_b: np.ndarray, atol: float = 1e-9) -> None:
+    index = np.unravel_index(np.argmax(np.abs(matrix_a)), matrix_a.shape)
+    phase = matrix_b[index] / matrix_a[index]
+    assert abs(abs(phase) - 1.0) < 1e-6
+    np.testing.assert_allclose(matrix_a * phase, matrix_b, atol=atol)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda qc: qc.y(0),
+            lambda qc: qc.s(0),
+            lambda qc: qc.t(0),
+            lambda qc: qc.r(0.7, 0.3, 0),
+            lambda qc: qc.u3(0.3, 0.8, -0.4, 0),
+            lambda qc: qc.cz(0, 1),
+            lambda qc: qc.swap(0, 1),
+            lambda qc: qc.cry(0.9, 0, 1),
+            lambda qc: qc.crz(1.3, 0, 1),
+            lambda qc: qc.crx(0.5, 0, 1),
+            lambda qc: qc.rzz(0.8, 0, 1),
+            lambda qc: qc.rxx(0.8, 0, 1),
+            lambda qc: qc.ryy(0.8, 0, 1),
+            lambda qc: qc.cswap(0, 1, 2),
+        ],
+        ids=["y", "s", "t", "r", "u3", "cz", "swap", "cry", "crz", "crx", "rzz", "rxx", "ryy", "cswap"],
+    )
+    def test_decomposition_preserves_unitary(self, build):
+        original = QuantumCircuit(3)
+        build(original)
+        decomposed = decompose_to_basis(original)
+        assert all(
+            inst.name in BASIS_GATES or inst.name in ("measure", "reset", "barrier")
+            for inst in decomposed.instructions
+        )
+        assert_equal_up_to_phase(circuit_unitary(original), circuit_unitary(decomposed))
+
+    def test_basis_gates_pass_through(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0).cx(0, 1).rz(0.3, 1).measure(0, 0)
+        decomposed = decompose_to_basis(qc)
+        assert decomposed.count_ops() == qc.count_ops()
+
+    def test_cswap_expands_to_many_cnots(self):
+        qc = QuantumCircuit(3)
+        qc.cswap(0, 1, 2)
+        decomposed = decompose_to_basis(qc)
+        assert decomposed.count_ops()["cx"] == 8
+
+    def test_parameterised_gate_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.cry(Parameter("t"), 0, 1)
+        with pytest.raises(TranspilerError):
+            decompose_to_basis(qc)
+
+    def test_quclassi_discriminator_decomposes(self):
+        """The paper's full SWAP-test circuit decomposes into the native basis."""
+        qc = QuantumCircuit(5, 1)
+        qc.h(0)
+        qc.ry(0.4, 1).rz(0.2, 1).ry(0.7, 2).rz(0.9, 2)
+        qc.ry(0.1, 3).rz(0.5, 3).ry(0.3, 4).rz(0.8, 4)
+        qc.cswap(0, 1, 3).cswap(0, 2, 4)
+        qc.h(0).measure(0, 0)
+        decomposed = decompose_to_basis(qc)
+        assert decomposed.count_ops()["cx"] == 16
+        assert decomposed.count_ops()["measure"] == 1
+
+
+class TestRouting:
+    def test_no_swaps_when_already_coupled(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cx(1, 2)
+        result = route_circuit(qc, CouplingMap.linear(3))
+        assert result.inserted_swaps == 0
+
+    def test_swaps_inserted_for_distant_pair(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        result = route_circuit(qc, CouplingMap.linear(3))
+        assert result.inserted_swaps == 1
+        assert result.added_cx == 3
+
+    def test_routed_circuit_respects_coupling(self):
+        qc = QuantumCircuit(5)
+        qc.cx(0, 4).cx(1, 3).cx(0, 2)
+        coupling = CouplingMap.linear(5)
+        result = route_circuit(qc, coupling)
+        for inst in result.circuit.instructions:
+            if inst.is_gate and inst.num_qubits == 2:
+                assert coupling.are_coupled(*inst.qubits)
+
+    def test_routing_preserves_measurement_statistics(self):
+        """Routing is semantics-preserving: same outcome distribution, relabelled qubits."""
+        from repro.quantum.simulator import StatevectorSimulator
+
+        qc = QuantumCircuit(4, 1)
+        qc.h(0).cx(0, 3).ry(0.6, 3)
+        qc.measure(3, 0)
+        routed = route_circuit(decompose_to_basis(qc), CouplingMap.linear(4)).circuit
+        original = StatevectorSimulator().run(qc).probabilities
+        after = StatevectorSimulator().run(routed).probabilities
+        for key, value in original.items():
+            assert after.get(key, 0.0) == pytest.approx(value, abs=1e-9)
+
+    def test_three_qubit_gate_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.cswap(0, 1, 2)
+        with pytest.raises(TranspilerError):
+            route_circuit(qc, CouplingMap.linear(3))
+
+    def test_circuit_larger_than_device_rejected(self):
+        with pytest.raises(TranspilerError):
+            route_circuit(QuantumCircuit(4), CouplingMap.linear(3))
+
+    def test_all_to_all_never_adds_swaps(self):
+        qc = QuantumCircuit(5)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                qc.cx(a, b)
+        result = route_circuit(qc, CouplingMap.all_to_all(5))
+        assert result.inserted_swaps == 0
+
+    def test_initial_layout_length_checked(self):
+        with pytest.raises(TranspilerError):
+            route_circuit(QuantumCircuit(2), CouplingMap.linear(3), initial_layout=[0])
+
+
+class TestTranspile:
+    def test_without_coupling_map(self):
+        qc = QuantumCircuit(3)
+        qc.cswap(0, 1, 2)
+        result = transpile(qc)
+        assert result.inserted_swaps == 0
+        assert result.cx_count == 8
+
+    def test_ionq_vs_constrained_topology_cx_gap(self):
+        """The routed-CNOT gap that explains the paper's IonQ vs Cairo result."""
+        qc = QuantumCircuit(5, 1)
+        qc.h(0)
+        for q in range(1, 5):
+            qc.ry(0.3 * q, q)
+        qc.cswap(0, 1, 3).cswap(0, 2, 4)
+        qc.h(0).measure(0, 0)
+        free = transpile(qc, CouplingMap.all_to_all(5))
+        constrained = transpile(qc, CouplingMap.ibmq_5q_t())
+        assert free.inserted_swaps == 0
+        assert constrained.inserted_swaps > 0
+        assert constrained.cx_count > free.cx_count
+
+    def test_depth_reported(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        assert transpile(qc).depth == 2

@@ -1,0 +1,89 @@
+"""Package-level tests: version, lazy exports, exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPackageMetadata:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_top_level_exports(self):
+        assert repro.QuClassi.__name__ == "QuClassi"
+        assert repro.QuantumCircuit.__name__ == "QuantumCircuit"
+        assert repro.Statevector.__name__ == "Statevector"
+        assert repro.IdealBackend.__name__ == "IdealBackend"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.DoesNotExist
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "CircuitError",
+            "SimulationError",
+            "EncodingError",
+            "TranspilerError",
+            "BackendError",
+            "TrainingError",
+            "DatasetError",
+            "ValidationError",
+        ):
+            error_type = getattr(exceptions, name)
+            assert issubclass(error_type, exceptions.ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(exceptions.ValidationError, ValueError)
+
+    def test_catching_base_catches_subclasses(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.CircuitError("boom")
+
+
+class TestPublicApiSurfaces:
+    def test_quantum_all_exports_importable(self):
+        import repro.quantum as quantum
+
+        for name in quantum.__all__:
+            assert hasattr(quantum, name), name
+
+    def test_core_all_exports_importable(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_encoding_all_exports_importable(self):
+        import repro.encoding as encoding
+
+        for name in encoding.__all__:
+            assert hasattr(encoding, name), name
+
+    def test_datasets_all_exports_importable(self):
+        import repro.datasets as datasets
+
+        for name in datasets.__all__:
+            assert hasattr(datasets, name), name
+
+    def test_baselines_all_exports_importable(self):
+        import repro.baselines as baselines
+
+        for name in baselines.__all__:
+            assert hasattr(baselines, name), name
+
+    def test_hardware_all_exports_importable(self):
+        import repro.hardware as hardware
+
+        for name in hardware.__all__:
+            assert hasattr(hardware, name), name
+
+    def test_experiments_all_exports_importable(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            assert hasattr(experiments, name), name

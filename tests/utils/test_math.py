@@ -1,0 +1,140 @@
+"""Tests for repro.utils.math."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.math import (
+    binary_cross_entropy,
+    clip_probability,
+    cross_entropy,
+    kl_divergence,
+    normalize_probabilities,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+)
+
+
+class TestSigmoid:
+    def test_at_zero(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert sigmoid(2.0) + sigmoid(-2.0) == pytest.approx(1.0)
+
+    def test_large_positive_does_not_overflow(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+
+    def test_large_negative_does_not_overflow(self):
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_vectorised(self):
+        values = sigmoid(np.array([-1.0, 0.0, 1.0]))
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestRelu:
+    def test_negative_clipped(self):
+        assert relu(-3.0) == 0.0
+
+    def test_positive_passthrough(self):
+        assert relu(2.5) == 2.5
+
+    def test_array(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invariant_to_shift(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), atol=1e-12)
+
+    def test_handles_large_values(self):
+        probs = softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+    def test_2d_rows_normalised(self):
+        probs = softmax(np.array([[1.0, 2.0], [5.0, 1.0]]), axis=1)
+        np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+
+    def test_monotone_in_input(self):
+        probs = softmax(np.array([0.1, 0.5, 0.9]))
+        assert probs[2] > probs[1] > probs[0]
+
+
+class TestOneHot:
+    def test_basic(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_infers_num_classes(self):
+        assert one_hot(np.array([0, 1, 3])).shape == (3, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([0, 5]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValidationError):
+            one_hot(np.array([[0], [1]]), 2)
+
+
+class TestCrossEntropies:
+    def test_binary_perfect_prediction_is_small(self):
+        assert binary_cross_entropy(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-6
+
+    def test_binary_wrong_prediction_is_large(self):
+        assert binary_cross_entropy(np.array([1.0]), np.array([0.0])) > 10.0
+
+    def test_binary_matches_formula(self):
+        value = binary_cross_entropy(np.array([1.0]), np.array([0.25]))
+        assert value == pytest.approx(-np.log(0.25))
+
+    def test_categorical_matches_binary_for_two_classes(self):
+        y = np.array([[1.0, 0.0], [0.0, 1.0]])
+        p = np.array([[0.7, 0.3], [0.2, 0.8]])
+        expected = np.mean([-np.log(0.7), -np.log(0.8)])
+        assert cross_entropy(y, p) == pytest.approx(expected)
+
+    def test_categorical_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            cross_entropy(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.5, 0.5])) > 0
+
+
+class TestNormalizeProbabilities:
+    def test_normalises(self):
+        np.testing.assert_allclose(normalize_probabilities(np.array([1.0, 3.0])), [0.25, 0.75])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            normalize_probabilities(np.array([-1.0, 2.0]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            normalize_probabilities(np.zeros(3))
+
+
+class TestClipProbability:
+    def test_clips_extremes(self):
+        clipped = clip_probability(np.array([0.0, 1.0]))
+        assert clipped[0] > 0.0
+        assert clipped[1] < 1.0
+
+    def test_leaves_interior_unchanged(self):
+        assert clip_probability(0.5) == 0.5

@@ -1,0 +1,122 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_in_range,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability_vector,
+    check_qubit_indices,
+    check_square_matrix,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "n") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-1, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "n") == 4
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-2, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_below_minimum(self):
+        with pytest.raises(ValidationError):
+            check_in_range(-0.5, "x", minimum=0.0)
+
+    def test_above_maximum(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "x", maximum=1.0)
+
+
+class TestCheckArray:
+    def test_converts_lists(self):
+        array = check_array([[1, 2], [3, 4]], "m", ndim=2)
+        assert array.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            check_array([1, 2, 3], "m", ndim=2)
+
+    def test_shape_wildcards(self):
+        check_array(np.zeros((5, 3)), "m", shape=(None, 3))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((5, 3)), "m", shape=(None, 4))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_array(np.array([1.0, np.nan]), "m")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        check_square_matrix(np.eye(3), "m")
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros((2, 3)), "m")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        check_probability_vector([0.25, 0.75], "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([0.4, 0.4], "p")
+
+
+class TestCheckQubitIndices:
+    def test_accepts_distinct_in_range(self):
+        assert check_qubit_indices((0, 2, 1), 3) == (0, 2, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_qubit_indices((0, 3), 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            check_qubit_indices((1, 1), 3)
