@@ -6,8 +6,10 @@ although pytest-benchmark still records the wall-clock cost of regenerating
 each figure.
 """
 
+import json
 import os
 import sys
+import time
 
 # Make ``src/`` importable when the package is not installed (offline checkouts).
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -47,3 +49,27 @@ def experiment_runner(benchmark):
         return run_experiment(benchmark, experiment_fn, **kwargs)
 
     return runner
+
+
+def record_bench_report(name, payload):
+    """Write a machine-readable ``BENCH_<name>.json`` perf report.
+
+    Used by the performance benchmarks (``bench_gradient_sweep`` onwards) so
+    the perf trajectory of the hot paths is tracked as a JSON series next to
+    the figure-reproduction text reports.  Returns the path written.
+    """
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")
+    enriched = dict(payload)
+    enriched.setdefault("benchmark", name)
+    enriched.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(enriched, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+@pytest.fixture()
+def bench_reporter():
+    """Fixture exposing :func:`record_bench_report` (no pytest-benchmark needed)."""
+    return record_bench_report

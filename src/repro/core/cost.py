@@ -23,6 +23,18 @@ from repro.exceptions import ValidationError
 from repro.utils.math import clip_probability
 
 
+def _check_batched_shapes(fidelity_matrix: np.ndarray, targets: np.ndarray) -> tuple:
+    """Coerce and validate a ``(batch, samples)`` matrix against its targets."""
+    fidelity_matrix = np.asarray(fidelity_matrix, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if fidelity_matrix.ndim != 2 or fidelity_matrix.shape[1] != targets.shape[0]:
+        raise ValidationError(
+            f"fidelity matrix shape {fidelity_matrix.shape} does not match "
+            f"{targets.shape[0]} targets"
+        )
+    return fidelity_matrix, targets
+
+
 @dataclasses.dataclass(frozen=True)
 class FidelityCrossEntropy:
     """Binary cross-entropy on SWAP-test fidelities (paper Eq. 14).
@@ -55,6 +67,17 @@ class FidelityCrossEntropy:
         clipped = clip_probability(fidelities, self.epsilon)
         return -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
 
+    def batched(self, fidelity_matrix: np.ndarray, targets: Sequence[float]) -> np.ndarray:
+        """Mean loss of each row of a ``(batch, samples)`` fidelity matrix.
+
+        Vectorised counterpart of calling the cost once per row; used by the
+        batched gradient sweep so the whole ``2P``-row evaluation stays in
+        NumPy.  ``per_sample`` broadcasts over the batch axis unchanged, so
+        the loss formula lives in one place.
+        """
+        fidelity_matrix, targets = _check_batched_shapes(fidelity_matrix, targets)
+        return np.mean(self.per_sample(fidelity_matrix, targets), axis=1)
+
 
 @dataclasses.dataclass(frozen=True)
 class NegativeFidelityCost:
@@ -82,6 +105,19 @@ class NegativeFidelityCost:
         fidelities = np.asarray(fidelities, dtype=float)
         targets = np.asarray(targets, dtype=float)
         return np.where(targets > 0.5, 1.0 - fidelities, 0.0)
+
+    def batched(self, fidelity_matrix: np.ndarray, targets: Sequence[float]) -> np.ndarray:
+        """Mean loss of each row of a ``(batch, samples)`` fidelity matrix.
+
+        Averaged over the class's own samples only, matching ``__call__``
+        (``per_sample`` cannot be reused here: it zero-fills negatives, which
+        would change the denominator).
+        """
+        fidelity_matrix, targets = _check_batched_shapes(fidelity_matrix, targets)
+        mask = targets > 0.5
+        if not mask.any():
+            return np.zeros(fidelity_matrix.shape[0])
+        return 1.0 - np.mean(fidelity_matrix[:, mask], axis=1)
 
 
 #: Type alias for cost callables: (fidelities, targets) -> float.

@@ -207,6 +207,10 @@ class QuClassi:
             raise ValidationError(
                 f"model expects {self.num_features} features, got {features.shape[1]}"
             )
+        if getattr(self.estimator, "supports_batch", False):
+            # One vectorised pass: the per-class parameter matrix is already
+            # the batch, so inference is a single fidelity-matrix evaluation.
+            return self.estimator.fidelity_matrix(self.parameters_, features).T
         columns = [
             self.estimator.fidelities(self.parameters_[class_index], features)
             for class_index in range(self.num_classes)

@@ -15,6 +15,7 @@ Two estimators implement the same interface:
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 import numpy as np
@@ -22,12 +23,19 @@ import numpy as np
 from repro.core.circuit_builder import DiscriminatorCircuitBuilder
 from repro.exceptions import ValidationError
 from repro.quantum.backend import Backend, IdealBackend
+from repro.quantum.batched import BatchedStatevector
 from repro.quantum.fidelity import fidelity_from_swap_test_probability
 from repro.quantum.statevector import Statevector
 
 
 class FidelityEstimator(abc.ABC):
     """Estimates the fidelity between a class's trained state and a data point."""
+
+    #: Whether :meth:`fidelity_matrix` vectorises over a batch of parameter
+    #: vectors.  The trainer and model check this flag to pick the batched
+    #: gradient/inference path; circuit-executing estimators leave it False
+    #: and fall back to the per-evaluation loop.
+    supports_batch: bool = False
 
     def __init__(self, builder: DiscriminatorCircuitBuilder) -> None:
         self.builder = builder
@@ -43,18 +51,74 @@ class FidelityEstimator(abc.ABC):
             [self.fidelity(parameter_values, row) for row in feature_matrix], dtype=float
         )
 
+    def fidelity_matrix(
+        self, parameter_matrix: np.ndarray, feature_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Fidelities for every (parameter row, sample row) pair.
+
+        Shape ``(batch, samples)``.  The default implementation loops over the
+        parameter rows; :class:`AnalyticFidelityEstimator` overrides it with a
+        fully vectorised statevector pass.
+        """
+        parameter_matrix = np.asarray(parameter_matrix, dtype=float)
+        if parameter_matrix.ndim != 2:
+            raise ValidationError(
+                f"parameter_matrix must be 2-D (batch, params), got shape {parameter_matrix.shape}"
+            )
+        return np.stack(
+            [self.fidelities(row, feature_matrix) for row in parameter_matrix]
+        )
+
 
 class AnalyticFidelityEstimator(FidelityEstimator):
     """Closed-form fidelity via statevector overlap.
 
-    Data states depend only on the features, so they are memoised: the
-    trainer sweeps hundreds of parameter shifts against the same samples and
-    the cached encodings turn each sweep into a single matrix-vector product.
+    Data states depend only on the features, so they are memoised (in an LRU
+    cache bounded by ``data_cache_size`` so multi-dataset sweeps cannot grow
+    memory without limit): the trainer sweeps hundreds of parameter shifts
+    against the same samples and the cached encodings turn each sweep into a
+    single matrix product.
+
+    The estimator is batch-native: :meth:`trained_statevectors` evolves a
+    whole ``(batch, params)`` parameter matrix through the compiled gate
+    program in one :class:`~repro.quantum.batched.BatchedStatevector` pass,
+    and :meth:`fidelity_matrix` reduces an entire parameter-shift sweep to a
+    single ``(batch, 2**n) @ (2**n, samples)`` matmul against the memoised
+    data-state matrix.
     """
 
-    def __init__(self, builder: DiscriminatorCircuitBuilder) -> None:
+    supports_batch = True
+
+    #: Default bound on the memoised per-row data-state cache.
+    DEFAULT_DATA_CACHE_SIZE = 4096
+    #: Default bound on the stacked data-state-matrix cache.  Each entry is a
+    #: full ``(samples, 2**n)`` stack, so only the handful of (mini)batches
+    #: live within an epoch are worth keeping.
+    DEFAULT_DATA_MATRIX_CACHE_SIZE = 8
+
+    def __init__(
+        self,
+        builder: DiscriminatorCircuitBuilder,
+        data_cache_size: int = DEFAULT_DATA_CACHE_SIZE,
+        data_matrix_cache_size: int = DEFAULT_DATA_MATRIX_CACHE_SIZE,
+    ) -> None:
         super().__init__(builder)
-        self._data_state_cache: dict = {}
+        if data_cache_size <= 0:
+            raise ValidationError(
+                f"data_cache_size must be positive, got {data_cache_size}"
+            )
+        if data_matrix_cache_size <= 0:
+            raise ValidationError(
+                f"data_matrix_cache_size must be positive, got {data_matrix_cache_size}"
+            )
+        self._data_state_cache: "OrderedDict[tuple, Statevector]" = OrderedDict()
+        self._data_cache_size = int(data_cache_size)
+        # Stacked data-state matrices, keyed by the raw bytes of the feature
+        # matrix: the trainer feeds the same (mini)batch to every gradient
+        # evaluation, so the whole (samples, 2**n) stack is reused thousands
+        # of times per epoch.
+        self._data_matrix_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._data_matrix_cache_size = int(data_matrix_cache_size)
         self._program = self._compile_program()
 
     def _compile_program(self) -> list:
@@ -97,19 +161,33 @@ class AnalyticFidelityEstimator(FidelityEstimator):
         return state
 
     def data_statevector(self, features: Sequence[float]) -> Statevector:
-        """Encoded data state ``|phi(x)>`` (memoised per feature vector)."""
+        """Encoded data state ``|phi(x)>`` (memoised per feature vector, LRU)."""
         key = tuple(np.round(np.asarray(features, dtype=float), 12))
         cached = self._data_state_cache.get(key)
         if cached is None:
             circuit = self.builder.data_state_circuit(features)
             cached = Statevector(circuit.num_qubits).evolve(circuit)
             self._data_state_cache[key] = cached
+            while len(self._data_state_cache) > self._data_cache_size:
+                self._data_state_cache.popitem(last=False)
+        else:
+            self._data_state_cache.move_to_end(key)
         return cached
 
     def data_state_matrix(self, feature_matrix: np.ndarray) -> np.ndarray:
-        """Stacked data-state amplitudes, one row per sample."""
-        feature_matrix = np.asarray(feature_matrix, dtype=float)
-        return np.stack([self.data_statevector(row).data for row in feature_matrix])
+        """Stacked data-state amplitudes, one row per sample (memoised)."""
+        feature_matrix = np.ascontiguousarray(np.asarray(feature_matrix, dtype=float))
+        key = (feature_matrix.shape, feature_matrix.tobytes())
+        cached = self._data_matrix_cache.get(key)
+        if cached is None:
+            cached = np.stack([self.data_statevector(row).data for row in feature_matrix])
+            cached.flags.writeable = False
+            self._data_matrix_cache[key] = cached
+            while len(self._data_matrix_cache) > self._data_matrix_cache_size:
+                self._data_matrix_cache.popitem(last=False)
+        else:
+            self._data_matrix_cache.move_to_end(key)
+        return cached
 
     # ------------------------------------------------------------------ #
     def fidelity(self, parameter_values: Sequence[float], features: Sequence[float]) -> float:
@@ -123,9 +201,46 @@ class AnalyticFidelityEstimator(FidelityEstimator):
         overlaps = data_matrix.conj() @ omega
         return np.abs(overlaps) ** 2
 
+    # ------------------------------------------------------------------ #
+    # Batched evaluation
+    # ------------------------------------------------------------------ #
+    def trained_statevectors(self, parameter_matrix: np.ndarray) -> BatchedStatevector:
+        """Trained states for every row of a ``(batch, params)`` matrix.
+
+        One vectorised pass through the compiled gate program; equivalent to
+        stacking :meth:`trained_statevector` over the rows but without the
+        per-row Python gate loop.
+        """
+        values = np.asarray(parameter_matrix, dtype=float)
+        if values.ndim != 2:
+            raise ValidationError(
+                f"parameter_matrix must be 2-D (batch, params), got shape {values.shape}"
+            )
+        if values.shape[1] != self.builder.num_parameters:
+            raise ValidationError(
+                f"expected {self.builder.num_parameters} parameters per row, "
+                f"got {values.shape[1]}"
+            )
+        state = BatchedStatevector(values.shape[0], self.builder.layout.state_width)
+        return state.apply_program(self._program, values)
+
+    def fidelity_matrix(
+        self, parameter_matrix: np.ndarray, feature_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``(batch, samples)`` fidelity matrix.
+
+        Evolves all parameter rows at once and overlaps them with the memoised
+        data-state matrix in a single matmul — the core of the batched
+        parameter-shift sweep.
+        """
+        omega = self.trained_statevectors(parameter_matrix)
+        data_matrix = self.data_state_matrix(feature_matrix)
+        return omega.fidelities(data_matrix)
+
     def clear_cache(self) -> None:
         """Drop memoised data states (e.g. when switching datasets)."""
         self._data_state_cache.clear()
+        self._data_matrix_cache.clear()
 
 
 class SwapTestFidelityEstimator(FidelityEstimator):

@@ -15,6 +15,15 @@ Two update granularities are supported:
   circuit evaluations, which is what makes the simulator benchmarks tractable.
 * ``"stochastic"`` — one update per sample, the literal reading of
   Algorithm 1; used by the hardware-style experiments with small subsamples.
+
+When the model's estimator advertises ``supports_batch`` (the analytic
+statevector engine does), each gradient evaluation runs through
+:meth:`GradientRule.gradient_batched`: all ``2P`` shifted parameter vectors
+are stacked into one matrix and evaluated in a single vectorised
+statevector/cost pass, which is numerically equivalent to the loop (same
+shifts, same reduction order) but removes the per-shift Python rebuild of the
+trained state.  Estimators without batch support (e.g. the circuit-executing
+SWAP-test sampler) keep the per-evaluation loop.
 """
 
 from __future__ import annotations
@@ -94,6 +103,29 @@ class Trainer:
     ) -> float:
         fidelities = self.model.estimator.fidelities(parameters, features)
         return self.cost_function(fidelities, targets)
+
+    def _uses_batched_path(self) -> bool:
+        """Whether gradients run through the vectorised multi-loss sweep.
+
+        The estimator must advertise batch support (analytic statevector
+        engine); circuit-executing estimators such as the SWAP-test sampler
+        keep the per-evaluation loop of Algorithm 1.
+        """
+        return bool(getattr(self.model.estimator, "supports_batch", False))
+
+    def _multi_loss(self, features: np.ndarray, targets: np.ndarray):
+        """Vectorised loss over a ``(batch, params)`` parameter matrix."""
+        estimator = self.model.estimator
+        cost = self.cost_function
+        batched_cost = getattr(cost, "batched", None)
+
+        def multi_loss(parameter_matrix: np.ndarray) -> np.ndarray:
+            fidelity_matrix = estimator.fidelity_matrix(parameter_matrix, features)
+            if batched_cost is not None:
+                return batched_cost(fidelity_matrix, targets)
+            return np.array([cost(row, targets) for row in fidelity_matrix], dtype=float)
+
+        return multi_loss
 
     # ------------------------------------------------------------------ #
     # Fit loop
@@ -200,15 +232,21 @@ class Trainer:
                 for start in range(0, features.shape[0], size)
             ]
 
+        use_batched = self._uses_batched_path()
         accumulated_norm_sq = 0.0
         for batch_features, batch_targets in batches:
-
-            def loss(parameter_vector: np.ndarray) -> float:
-                fidelities = self.model.estimator.fidelities(parameter_vector, batch_features)
-                return self.cost_function(fidelities, batch_targets)
-
             parameters = self.model.parameters_[class_index]
-            gradient = self.gradient_rule.gradient(loss, parameters, epoch=epoch)
+            if use_batched:
+                gradient = self.gradient_rule.gradient_batched(
+                    self._multi_loss(batch_features, batch_targets), parameters, epoch=epoch
+                )
+            else:
+
+                def loss(parameter_vector: np.ndarray) -> float:
+                    fidelities = self.model.estimator.fidelities(parameter_vector, batch_features)
+                    return self.cost_function(fidelities, batch_targets)
+
+                gradient = self.gradient_rule.gradient(loss, parameters, epoch=epoch)
             self.model.parameters_[class_index] = parameters - config.learning_rate * gradient
             accumulated_norm_sq += float(np.dot(gradient, gradient))
         return accumulated_norm_sq

@@ -7,6 +7,7 @@ topologies, a transpiler, and execution backends.
 """
 
 from repro.quantum import gates
+from repro.quantum.batched import BatchedStatevector
 from repro.quantum.backend import (
     Backend,
     DeviceProperties,
@@ -56,6 +57,7 @@ from repro.quantum.transpiler import (
 
 __all__ = [
     "gates",
+    "BatchedStatevector",
     "Backend",
     "DeviceProperties",
     "IdealBackend",

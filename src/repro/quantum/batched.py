@@ -1,0 +1,267 @@
+"""Batched pure-state simulation.
+
+:class:`BatchedStatevector` evolves a whole *stack* of ``n``-qubit states at
+once: amplitudes are stored as a ``(batch, 2**n)`` complex array and every
+gate application is a single einsum over the batch axis.  This is the engine
+behind the vectorised parameter-shift sweep — all ``2P`` shifted parameter
+vectors of a gradient evaluation become one batch, so the per-gate Python
+overhead of :class:`~repro.quantum.statevector.Statevector` is paid once per
+gate instead of once per gate *per shifted vector*.
+
+Gates come in two flavours:
+
+* a shared ``(2**k, 2**k)`` matrix applied identically to every batch element
+  (fixed gates such as H or CNOT), and
+* a per-element ``(batch, 2**k, 2**k)`` stack (parameterised rotations whose
+  angle differs across the batch, built by the ``*_batch`` constructors in
+  :mod:`repro.quantum.gates`).
+
+Conventions
+-----------
+Axis 0 is always the batch axis.  Within each batch element the amplitude
+layout matches :class:`~repro.quantum.statevector.Statevector` exactly: qubit
+``0`` is the *most significant* bit of the computational-basis index, so
+reshaping one row to ``(2,) * n`` maps axis ``q`` to qubit ``q`` (and
+reshaping the whole array to ``(batch,) + (2,) * n`` maps axis ``q + 1`` to
+qubit ``q``).
+"""
+
+from __future__ import annotations
+
+import math
+import string
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum import gates as gate_library
+from repro.quantum.statevector import marginal_probabilities
+
+
+class BatchedStatevector:
+    """A stack of ``batch`` pure states on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of independent states in the stack (all initialised to
+        ``|0...0>``).
+    num_qubits:
+        Width of each state.
+    """
+
+    def __init__(self, batch_size: int, num_qubits: int) -> None:
+        batch_size = int(batch_size)
+        num_qubits = int(num_qubits)
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        if num_qubits <= 0:
+            raise SimulationError(f"need at least one qubit, got {num_qubits}")
+        amplitudes = np.zeros((batch_size, 2**num_qubits), dtype=complex)
+        amplitudes[:, 0] = 1.0
+        self._batch_size = batch_size
+        self._num_qubits = num_qubits
+        self._amplitudes = amplitudes
+
+    # ------------------------------------------------------------------ #
+    # Constructors and accessors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_amplitudes(cls, amplitudes: np.ndarray) -> "BatchedStatevector":
+        """Wrap an existing ``(batch, 2**n)`` amplitude array (copied)."""
+        amplitudes = np.asarray(amplitudes, dtype=complex)
+        if amplitudes.ndim != 2:
+            raise SimulationError(
+                f"expected a (batch, 2**n) amplitude array, got shape {amplitudes.shape}"
+            )
+        batch_size, size = amplitudes.shape
+        num_qubits = int(round(math.log2(size))) if size else 0
+        if size == 0 or 2**num_qubits != size:
+            raise SimulationError(f"amplitude row length {size} is not a power of two")
+        state = cls(batch_size, num_qubits)
+        state._amplitudes = amplitudes.copy()
+        return state
+
+    @classmethod
+    def from_statevectors(cls, states: Iterable) -> "BatchedStatevector":
+        """Stack per-sample :class:`~repro.quantum.statevector.Statevector` objects."""
+        rows = [state.data for state in states]
+        if not rows:
+            raise SimulationError("cannot build a batch from zero statevectors")
+        return cls.from_amplitudes(np.stack(rows))
+
+    @property
+    def batch_size(self) -> int:
+        """Number of states in the stack."""
+        return self._batch_size
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of each state."""
+        return self._num_qubits
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """The ``(batch, 2**n)`` amplitude array (a copy)."""
+        return self._amplitudes.copy()
+
+    def statevector(self, index: int):
+        """Extract one batch element as a :class:`Statevector`."""
+        from repro.quantum.statevector import Statevector
+
+        if not 0 <= index < self._batch_size:
+            raise SimulationError(
+                f"batch index {index} out of range for batch of {self._batch_size}"
+            )
+        return Statevector(self._amplitudes[index].copy())
+
+    def norms(self) -> np.ndarray:
+        """Per-element Euclidean norms (1.0 for valid states)."""
+        return np.linalg.norm(self._amplitudes, axis=1)
+
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-element measurement probabilities, shape ``(batch, 2**m)``.
+
+        With ``qubits`` given, marginalises each state onto those (distinct)
+        qubits in the requested order, mirroring
+        :meth:`Statevector.probabilities` row by row.
+        """
+        probs = np.abs(self._amplitudes) ** 2
+        if qubits is None:
+            return probs
+        return marginal_probabilities(probs, qubits, self._num_qubits)
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "BatchedStatevector":
+        """Apply a gate to ``qubits`` of every batch element in place.
+
+        ``matrix`` is either a shared ``(2**k, 2**k)`` unitary (applied to all
+        elements) or a ``(batch, 2**k, 2**k)`` stack with one unitary per
+        element.  Returns ``self`` to allow chaining.
+        """
+        qubits = tuple(int(q) for q in qubits)
+        k = len(qubits)
+        if len(set(qubits)) != k:
+            raise SimulationError(f"duplicate qubit indices in {qubits}")
+        for q in qubits:
+            if q < 0 or q >= self._num_qubits:
+                raise SimulationError(
+                    f"qubit index {q} out of range for {self._num_qubits} qubits"
+                )
+        matrix = np.asarray(matrix, dtype=complex)
+        per_element = matrix.ndim == 3
+        if per_element:
+            if matrix.shape != (self._batch_size, 2**k, 2**k):
+                raise SimulationError(
+                    f"batched matrix shape {matrix.shape} does not match batch "
+                    f"{self._batch_size} on {k} qubit(s)"
+                )
+            gate = matrix.reshape((self._batch_size,) + (2,) * (2 * k))
+        else:
+            if matrix.shape != (2**k, 2**k):
+                raise SimulationError(
+                    f"matrix shape {matrix.shape} does not match {k} qubit(s)"
+                )
+            gate = matrix.reshape((2,) * (2 * k))
+
+        n = self._num_qubits
+        letters = string.ascii_letters
+        if 1 + n + k > len(letters):
+            raise SimulationError(f"cannot label einsum axes for {n} qubits")
+        batch_axis = letters[0]
+        state_axes = letters[1 : 1 + n]
+        out_axes = letters[1 + n : 1 + n + k]
+        gate_sub = (
+            (batch_axis if per_element else "")
+            + "".join(out_axes)
+            + "".join(state_axes[q] for q in qubits)
+        )
+        in_sub = batch_axis + "".join(state_axes)
+        result_axes = list(state_axes)
+        for position, q in enumerate(qubits):
+            result_axes[q] = out_axes[position]
+        out_sub = batch_axis + "".join(result_axes)
+
+        tensor = self._amplitudes.reshape((self._batch_size,) + (2,) * n)
+        moved = np.einsum(f"{gate_sub},{in_sub}->{out_sub}", gate, tensor)
+        self._amplitudes = np.ascontiguousarray(moved).reshape(self._batch_size, -1)
+        return self
+
+    def apply_program(self, program, parameter_matrix: np.ndarray) -> "BatchedStatevector":
+        """Apply a compiled gate program with per-element parameters.
+
+        ``program`` is a sequence of ``(gate_name, qubits, slots)`` entries as
+        produced by
+        :meth:`repro.core.swap_test.AnalyticFidelityEstimator._compile_program`:
+        each slot is ``("index", i)`` for the ``i``-th column of
+        ``parameter_matrix`` or ``("value", v)`` for a fixed angle.  Gates
+        whose slots are all fixed (or that take no parameters) are applied as
+        a single shared matrix; gates with per-element angles are built with
+        :func:`repro.quantum.gates.gate_matrix_batch`.
+        """
+        values = np.asarray(parameter_matrix, dtype=float)
+        if values.ndim != 2:
+            raise SimulationError(
+                f"parameter_matrix must be 2-D (batch, params), got shape {values.shape}"
+            )
+        if values.shape[0] != self._batch_size:
+            raise SimulationError(
+                f"parameter_matrix has {values.shape[0]} rows, batch is {self._batch_size}"
+            )
+        for name, qubits, slots in program:
+            if not slots:
+                self.apply_matrix(gate_library.gate_matrix(name), qubits)
+                continue
+            if all(kind == "value" for kind, _ in slots):
+                fixed = tuple(value for _, value in slots)
+                self.apply_matrix(gate_library.gate_matrix(name, *fixed), qubits)
+                continue
+            columns = tuple(
+                values[:, slot] if kind == "index" else np.full(self._batch_size, slot)
+                for kind, slot in slots
+            )
+            self.apply_matrix(gate_library.gate_matrix_batch(name, *columns), qubits)
+        return self
+
+    def evolve(self, circuit) -> "BatchedStatevector":
+        """Apply every gate of a bound, measurement-free circuit to all elements."""
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier":
+                continue
+            if instruction.is_measurement or instruction.name == "reset":
+                raise SimulationError(
+                    "BatchedStatevector.evolve only supports unitary circuits"
+                )
+            if not instruction.is_gate:
+                raise SimulationError(
+                    f"cannot apply non-unitary instruction '{instruction.name}'"
+                )
+            self.apply_matrix(instruction.matrix(), instruction.qubits)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+    def inner(self, other: np.ndarray) -> np.ndarray:
+        """Inner products ``<self_b|other_s>`` against stacked kets.
+
+        ``other`` is a ``(samples, 2**n)`` array (or a single flat ket);
+        returns the ``(batch, samples)`` (or ``(batch,)``) overlap matrix.
+        """
+        other = np.asarray(other, dtype=complex)
+        single = other.ndim == 1
+        kets = other[None, :] if single else other
+        if kets.ndim != 2 or kets.shape[1] != self._amplitudes.shape[1]:
+            raise SimulationError(
+                f"ket array shape {other.shape} does not match "
+                f"{self._num_qubits}-qubit batch"
+            )
+        overlaps = self._amplitudes.conj() @ kets.T
+        return overlaps[:, 0] if single else overlaps
+
+    def fidelities(self, other: np.ndarray) -> np.ndarray:
+        """Pairwise fidelities ``|<self_b|other_s>|**2``; shape ``(batch, samples)``."""
+        return np.abs(self.inner(other)) ** 2

@@ -7,6 +7,11 @@ two-qubit rotations RXX/RYY/RZZ (Eqs. 9-11), and the controlled operations
 (CNOT, CZ, CRY, CRZ, SWAP, CSWAP) that the architecture's layers and the SWAP
 test rely on.
 
+Alongside the scalar constructors, every parameterised gate has a ``*_batch``
+variant that accepts a 1-D array of angles and returns the stacked unitaries
+``(batch, 2**k, 2**k)``; :func:`gate_matrix_batch` dispatches by name.  These
+feed the batched statevector engine in :mod:`repro.quantum.batched`.
+
 Qubit-ordering convention
 -------------------------
 All multi-qubit matrices are written in the *little-endian* tensor order used
@@ -264,6 +269,216 @@ def gate_matrix(name: str, *params: float) -> np.ndarray:
             f"gate '{name}' expects {num_params} parameter(s), got {len(params)}"
         )
     return _GATE_FACTORIES[name](*params)
+
+
+# --------------------------------------------------------------------------- #
+# Batched gate construction
+#
+# The batched statevector engine (:mod:`repro.quantum.batched`) evaluates one
+# gate for a whole stack of parameter values at once, e.g. all ``2P`` shifted
+# angles of a parameter-shift sweep.  Each ``*_batch`` constructor takes
+# parameter arrays of shape ``(batch,)`` (scalars broadcast) and returns the
+# stacked unitaries of shape ``(batch, 2**k, 2**k)``, built with vectorised
+# NumPy so no Python loop runs over the batch.
+# --------------------------------------------------------------------------- #
+
+
+def _broadcast_params(*params) -> tuple:
+    """Broadcast parameter arrays to a common 1-D batch shape."""
+    arrays = [np.atleast_1d(np.asarray(p, dtype=float)) for p in params]
+    if any(a.ndim != 1 for a in arrays):
+        shapes = [a.shape for a in arrays]
+        raise ValueError(f"batched gate parameters must be 1-D arrays, got shapes {shapes}")
+    broadcast = np.broadcast_arrays(*arrays)
+    return tuple(np.ascontiguousarray(a) for a in broadcast)
+
+
+def r_gate_batch(theta, phi) -> np.ndarray:
+    """Batched ``R(theta, phi)`` (paper Eq. 5); shape ``(batch, 2, 2)``."""
+    theta, phi = _broadcast_params(theta, phi)
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = cos
+    out[..., 0, 1] = -1j * np.exp(-1j * phi) * sin
+    out[..., 1, 0] = -1j * np.exp(1j * phi) * sin
+    out[..., 1, 1] = cos
+    return out
+
+
+def rx_batch(theta) -> np.ndarray:
+    """Batched RX rotation; shape ``(batch, 2, 2)``."""
+    (theta,) = _broadcast_params(theta)
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = cos
+    out[..., 0, 1] = -1j * sin
+    out[..., 1, 0] = -1j * sin
+    out[..., 1, 1] = cos
+    return out
+
+
+def ry_batch(theta) -> np.ndarray:
+    """Batched RY rotation; shape ``(batch, 2, 2)``."""
+    (theta,) = _broadcast_params(theta)
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = cos
+    out[..., 0, 1] = -sin
+    out[..., 1, 0] = sin
+    out[..., 1, 1] = cos
+    return out
+
+
+def rz_batch(theta) -> np.ndarray:
+    """Batched RZ rotation; shape ``(batch, 2, 2)``."""
+    (theta,) = _broadcast_params(theta)
+    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = np.exp(-1j * theta / 2)
+    out[..., 1, 1] = np.exp(1j * theta / 2)
+    return out
+
+
+def u3_batch(theta, phi, lam) -> np.ndarray:
+    """Batched ``U3(theta, phi, lambda)``; shape ``(batch, 2, 2)``."""
+    theta, phi, lam = _broadcast_params(theta, phi, lam)
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out[..., 0, 0] = cos
+    out[..., 0, 1] = -np.exp(1j * lam) * sin
+    out[..., 1, 0] = np.exp(1j * phi) * sin
+    out[..., 1, 1] = np.exp(1j * (phi + lam)) * cos
+    return out
+
+
+def rxx_batch(theta) -> np.ndarray:
+    """Batched XX rotation; shape ``(batch, 4, 4)``."""
+    (theta,) = _broadcast_params(theta)
+    cos = np.cos(theta / 2)
+    anti = -1j * np.sin(theta / 2)
+    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    for diag in range(4):
+        out[..., diag, diag] = cos
+    out[..., 0, 3] = anti
+    out[..., 1, 2] = anti
+    out[..., 2, 1] = anti
+    out[..., 3, 0] = anti
+    return out
+
+
+def ryy_batch(theta) -> np.ndarray:
+    """Batched YY rotation; shape ``(batch, 4, 4)``."""
+    (theta,) = _broadcast_params(theta)
+    cos = np.cos(theta / 2)
+    sin = np.sin(theta / 2)
+    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    for diag in range(4):
+        out[..., diag, diag] = cos
+    out[..., 0, 3] = 1j * sin
+    out[..., 1, 2] = -1j * sin
+    out[..., 2, 1] = -1j * sin
+    out[..., 3, 0] = 1j * sin
+    return out
+
+
+def rzz_batch(theta) -> np.ndarray:
+    """Batched ZZ rotation; shape ``(batch, 4, 4)``."""
+    (theta,) = _broadcast_params(theta)
+    minus = np.exp(-1j * theta / 2)
+    plus = np.exp(1j * theta / 2)
+    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    out[..., 0, 0] = minus
+    out[..., 1, 1] = plus
+    out[..., 2, 2] = plus
+    out[..., 3, 3] = minus
+    return out
+
+
+def controlled_batch(unitaries: np.ndarray) -> np.ndarray:
+    """Promote batched single-qubit unitaries to controlled two-qubit gates."""
+    unitaries = np.asarray(unitaries, dtype=complex)
+    if unitaries.ndim != 3 or unitaries.shape[1:] != (2, 2):
+        raise ValueError(f"expected shape (batch, 2, 2), got {unitaries.shape}")
+    out = np.zeros((unitaries.shape[0], 4, 4), dtype=complex)
+    out[:, 0, 0] = 1.0
+    out[:, 1, 1] = 1.0
+    out[:, 2:, 2:] = unitaries
+    return out
+
+
+def crx_batch(theta) -> np.ndarray:
+    """Batched controlled-RX; shape ``(batch, 4, 4)``."""
+    return controlled_batch(rx_batch(theta))
+
+
+def cry_batch(theta) -> np.ndarray:
+    """Batched controlled-RY; shape ``(batch, 4, 4)``."""
+    return controlled_batch(ry_batch(theta))
+
+
+def crz_batch(theta) -> np.ndarray:
+    """Batched controlled-RZ; shape ``(batch, 4, 4)``."""
+    return controlled_batch(rz_batch(theta))
+
+
+#: Parameterised gate name -> batched factory (same signatures as the scalar
+#: factories, but parameters are arrays and the result gains a batch axis).
+_GATE_BATCH_FACTORIES: Dict[str, Callable[..., np.ndarray]] = {
+    "rx": rx_batch,
+    "ry": ry_batch,
+    "rz": rz_batch,
+    "r": r_gate_batch,
+    "u3": u3_batch,
+    "rxx": rxx_batch,
+    "ryy": ryy_batch,
+    "rzz": rzz_batch,
+    "crx": crx_batch,
+    "cry": cry_batch,
+    "crz": crz_batch,
+}
+
+
+def gate_matrix_batch(name: str, *params) -> np.ndarray:
+    """Stacked unitaries for gate ``name`` over batched parameters.
+
+    Parameters are 1-D arrays (or scalars, which broadcast); the result has
+    shape ``(batch, 2**k, 2**k)``.  Parameter-free gates are rejected — they
+    have no batch axis, so callers should use :func:`gate_matrix` and let the
+    engine broadcast the shared matrix.
+
+    Raises
+    ------
+    KeyError
+        If the gate name is unknown.
+    ValueError
+        If the gate takes no parameters or the wrong number is supplied.
+    """
+    if name not in _GATE_FACTORIES:
+        raise KeyError(f"unknown gate '{name}'")
+    _, num_params = GATE_SIGNATURES[name]
+    if num_params == 0:
+        raise ValueError(
+            f"gate '{name}' takes no parameters; use gate_matrix() for the shared matrix"
+        )
+    if len(params) != num_params:
+        raise ValueError(
+            f"gate '{name}' expects {num_params} parameter(s), got {len(params)}"
+        )
+    factory = _GATE_BATCH_FACTORIES.get(name)
+    if factory is None:
+        # Parameterised gate registered only in the scalar table: stack the
+        # scalar matrices so new gates degrade gracefully instead of KeyError.
+        broadcast = _broadcast_params(*params)
+        return np.stack(
+            [
+                _GATE_FACTORIES[name](*(column[index] for column in broadcast))
+                for index in range(broadcast[0].shape[0])
+            ]
+        )
+    return factory(*params)
 
 
 def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:

@@ -97,16 +97,25 @@ def counts_from_probabilities(
     generator = rng if rng is not None else np.random.default_rng()
     if isinstance(probabilities, np.ndarray):
         probs = np.asarray(probabilities, dtype=float)
+        if probs.size == 0:
+            raise SimulationError("cannot sample counts from an empty probability vector")
         if num_bits is None:
             num_bits = int(np.round(np.log2(probs.size)))
         keys = [format(i, f"0{num_bits}b") for i in range(probs.size)]
     else:
         keys = list(probabilities.keys())
+        if not keys:
+            raise SimulationError("cannot sample counts from an empty probability mapping")
         probs = np.array([probabilities[key] for key in keys], dtype=float)
         if num_bits is None:
             num_bits = len(keys[0])
     probs = np.clip(probs, 0.0, None)
-    probs = probs / probs.sum()
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise SimulationError(
+            "cannot sample counts: probabilities are all zero or not finite"
+        )
+    probs = probs / total
     samples = generator.multinomial(shots, probs)
     data = {key: int(count) for key, count in zip(keys, samples) if count > 0}
     return Counts(data)

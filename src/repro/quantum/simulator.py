@@ -79,6 +79,36 @@ class SimulationResult:
         return total
 
 
+def _check_deferred_measurement(
+    instruction, measured: set, engine_name: str
+) -> None:
+    """Reject circuits the deferred-measurement strategy cannot represent.
+
+    Both engines defer every measurement to the end of the circuit: unitary
+    evolution runs first, then the joint distribution of the measured qubits
+    is read out once.  That is only sound when no operation touches a qubit
+    *after* it has been measured and no qubit is measured twice — either case
+    would silently corrupt the reported joint distribution (duplicate
+    marginal axes, or gates leaking into the pre-measurement state).
+    """
+    if instruction.is_measurement:
+        duplicates = measured.intersection(instruction.qubits)
+        if duplicates:
+            raise SimulationError(
+                f"{engine_name}: qubit(s) {sorted(duplicates)} measured more than "
+                "once; the deferred-measurement strategy supports a single "
+                "measurement per qubit"
+            )
+        return
+    touched = measured.intersection(instruction.qubits)
+    if touched:
+        raise SimulationError(
+            f"{engine_name}: instruction '{instruction.name}' acts on already-"
+            f"measured qubit(s) {sorted(touched)}; the deferred-measurement "
+            "strategy cannot apply operations after a measurement"
+        )
+
+
 def _exact_clbit_probabilities(
     probabilities: np.ndarray,
     measured_qubits: Sequence[int],
@@ -126,6 +156,9 @@ class StatevectorSimulator:
         computes the exact joint distribution of the measured qubits, and
         (optionally) samples ``shots`` outcomes from it.  Mid-circuit resets
         of *unmeasured-so-far* qubits are applied by projective sampling.
+        Circuits that deferral cannot represent — a gate or reset on an
+        already-measured qubit, or measuring the same qubit twice — raise
+        :class:`~repro.exceptions.SimulationError`.
         """
         if circuit.num_parameters:
             unbound = [p.name for p in circuit.parameters]
@@ -137,12 +170,15 @@ class StatevectorSimulator:
             )
 
         measured_qubits: List[int] = []
+        measured_set: set = set()
         clbits: List[int] = []
         for instruction in circuit.instructions:
             if instruction.name == "barrier":
                 continue
+            _check_deferred_measurement(instruction, measured_set, self.name)
             if instruction.is_measurement:
                 measured_qubits.extend(instruction.qubits)
+                measured_set.update(instruction.qubits)
                 clbits.extend(instruction.clbits)
                 continue
             if instruction.name == "reset":
@@ -205,12 +241,15 @@ class DensityMatrixSimulator:
             )
 
         measured_qubits: List[int] = []
+        measured_set: set = set()
         clbits: List[int] = []
         for instruction in circuit.instructions:
             if instruction.name == "barrier":
                 continue
+            _check_deferred_measurement(instruction, measured_set, self.name)
             if instruction.is_measurement:
                 measured_qubits.extend(instruction.qubits)
+                measured_set.update(instruction.qubits)
                 clbits.extend(instruction.clbits)
                 continue
             if instruction.name == "reset":

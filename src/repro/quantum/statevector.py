@@ -11,7 +11,10 @@ Bit-ordering convention
 Qubit ``0`` is the *most significant* bit of the computational-basis index:
 for two qubits, index ``2`` (binary ``10``) means qubit 0 is ``1`` and qubit 1
 is ``0``.  Reshaping the flat vector to ``(2,) * n`` therefore maps axis ``q``
-directly to qubit ``q``.
+directly to qubit ``q``.  The batched engine in :mod:`repro.quantum.batched`
+uses the same per-state layout with a leading batch axis (``(batch, 2**n)``);
+the two evolve identically gate-for-gate, which the batched/loop equivalence
+tests pin down to 1e-12.
 """
 
 from __future__ import annotations
@@ -24,6 +27,44 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.quantum.operations import Instruction
 from repro.utils.rng import RandomState, ensure_rng
+
+
+def marginal_probabilities(
+    probs: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Marginalise ``(batch, 2**n)`` probabilities onto ``qubits`` in order.
+
+    Shared by :class:`Statevector` and
+    :class:`~repro.quantum.batched.BatchedStatevector` so the validation and
+    axis bookkeeping (distinct qubits, range check, caller-order permutation)
+    have a single implementation.  Returns shape ``(batch, 2**len(qubits))``.
+    """
+    qubits = tuple(int(q) for q in qubits)
+    if len(set(qubits)) != len(qubits):
+        # A duplicated qubit collapses two requested axes onto one tensor
+        # axis, so the set-based reduction below and the permutation would
+        # silently disagree and return a wrong-shaped marginal.
+        raise SimulationError(
+            f"duplicate qubit indices in {qubits}; marginal probabilities "
+            "require distinct qubits"
+        )
+    for q in qubits:
+        if q < 0 or q >= num_qubits:
+            raise SimulationError(
+                f"qubit index {q} out of range for {num_qubits} qubits"
+            )
+    batch = probs.shape[0]
+    tensor = probs.reshape((batch,) + (2,) * num_qubits)
+    keep = set(qubits)
+    other_axes = tuple(ax + 1 for ax in range(num_qubits) if ax not in keep)
+    marginal = tensor.sum(axis=other_axes) if other_axes else tensor
+    # ``marginal`` axis 1 + i corresponds to sorted(qubits)[i]; permute the
+    # axes into the caller's requested qubit order.
+    if len(qubits) > 1:
+        sorted_qubits = sorted(qubits)
+        perm = [0] + [1 + sorted_qubits.index(q) for q in qubits]
+        marginal = np.transpose(marginal, axes=perm)
+    return np.ascontiguousarray(marginal).reshape(batch, -1)
 
 
 class Statevector:
@@ -109,18 +150,7 @@ class Statevector:
         probs = np.abs(self._amplitudes) ** 2
         if qubits is None:
             return probs
-        qubits = tuple(int(q) for q in qubits)
-        tensor = probs.reshape((2,) * self._num_qubits)
-        keep = set(qubits)
-        other_axes = tuple(ax for ax in range(self._num_qubits) if ax not in keep)
-        marginal = tensor.sum(axis=other_axes) if other_axes else tensor
-        # ``marginal`` axis i corresponds to sorted(qubits)[i]; permute the
-        # axes into the caller's requested qubit order.
-        if len(qubits) > 1:
-            sorted_qubits = sorted(qubits)
-            perm = [sorted_qubits.index(q) for q in qubits]
-            marginal = np.transpose(marginal, axes=perm)
-        return np.ascontiguousarray(marginal).reshape(-1)
+        return marginal_probabilities(probs[None, :], qubits, self._num_qubits)[0]
 
     def expectation_z(self, qubit: int) -> float:
         """Expectation value of the Pauli-Z operator on ``qubit``."""

@@ -36,13 +36,23 @@ def spawn_rngs(seed: RandomState, count: int) -> List[np.random.Generator]:
 
     Used when an experiment needs reproducible but independent streams, e.g.
     one stream per class-discriminator circuit or per backend job.
+
+    Every seed type goes through ``SeedSequence.spawn``, which is the only
+    construction NumPy guarantees to produce non-overlapping streams; drawing
+    ad-hoc integers from a generator (the old behaviour for ``Generator``
+    seeds) gives children whose streams can collide.  Spawning from an
+    existing generator advances its seed sequence's spawn counter, so
+    repeated calls yield fresh, still-independent children.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     root = ensure_rng(seed)
-    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)] if isinstance(
-        seed, (int, type(None))
-    ) else [np.random.default_rng(root.integers(0, 2**63 - 1)) for _ in range(count)]
+    seed_seq = root.bit_generator.seed_seq
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        # A Generator built directly from entropy-less bit-generator state has
+        # no SeedSequence; derive one from the stream so we can still spawn.
+        seed_seq = np.random.SeedSequence(int(root.integers(0, 2**63 - 1)))
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
 
 
 def seeds_from(seed: RandomState, count: int) -> List[int]:

@@ -79,3 +79,34 @@ class TestResolveCost:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValidationError):
             resolve_cost("hinge")
+
+
+class TestBatchedCosts:
+    def test_cross_entropy_batched_matches_per_row(self):
+        cost = FidelityCrossEntropy()
+        rng = np.random.default_rng(0)
+        fidelity_matrix = rng.uniform(0.01, 0.99, size=(7, 5))
+        targets = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        batched = cost.batched(fidelity_matrix, targets)
+        per_row = [cost(row, targets) for row in fidelity_matrix]
+        np.testing.assert_allclose(batched, per_row, atol=1e-14)
+
+    def test_negative_fidelity_batched_matches_per_row(self):
+        cost = NegativeFidelityCost()
+        rng = np.random.default_rng(1)
+        fidelity_matrix = rng.uniform(0.0, 1.0, size=(4, 6))
+        targets = np.array([1.0, 1.0, 0.0, 0.0, 1.0, 0.0])
+        batched = cost.batched(fidelity_matrix, targets)
+        per_row = [cost(row, targets) for row in fidelity_matrix]
+        np.testing.assert_allclose(batched, per_row, atol=1e-14)
+
+    def test_negative_fidelity_batched_no_positives(self):
+        cost = NegativeFidelityCost()
+        batched = cost.batched(np.ones((3, 2)), np.zeros(2))
+        np.testing.assert_allclose(batched, np.zeros(3))
+
+    def test_batched_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FidelityCrossEntropy().batched(np.ones((2, 3)), np.zeros(4))
+        with pytest.raises(ValidationError):
+            NegativeFidelityCost().batched(np.ones((2, 3)), np.zeros(4))

@@ -106,3 +106,49 @@ class TestResolveGradientRule:
     def test_unknown_rejected(self):
         with pytest.raises(ValidationError):
             resolve_gradient_rule("adam")
+
+
+class TestBatchedGradient:
+    """The batched path must reproduce the loop path exactly."""
+
+    def multi_quadratic(self, parameter_matrix):
+        return np.array([quadratic_loss(row) for row in parameter_matrix])
+
+    def test_shifted_parameter_matrix_layout(self):
+        rule = ParameterShiftRule(fixed_shift=0.5)
+        parameters = np.array([1.0, 2.0, 3.0])
+        stacked = rule.shifted_parameter_matrix(parameters, epoch=1)
+        assert stacked.shape == (6, 3)
+        np.testing.assert_allclose(stacked[0], [1.5, 2.0, 3.0])
+        np.testing.assert_allclose(stacked[3], [0.5, 2.0, 3.0])
+        np.testing.assert_allclose(stacked[5], [1.0, 2.0, 2.5])
+
+    @pytest.mark.parametrize(
+        "rule",
+        [EpochScaledShiftRule(), ParameterShiftRule(), FiniteDifferenceRule(step=1e-5)],
+    )
+    def test_batched_matches_loop(self, rule):
+        parameters = np.array([2.5, -0.3, 0.8])
+        loop = rule.gradient(quadratic_loss, parameters, epoch=3)
+        batched = rule.gradient_batched(self.multi_quadratic, parameters, epoch=3)
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
+
+    def test_single_multi_loss_call(self):
+        calls = []
+
+        def counting_multi_loss(parameter_matrix):
+            calls.append(parameter_matrix.shape)
+            return self.multi_quadratic(parameter_matrix)
+
+        EpochScaledShiftRule().gradient_batched(counting_multi_loss, np.zeros(4), epoch=1)
+        assert calls == [(8, 4)]
+
+    def test_wrong_loss_count_rejected(self):
+        with pytest.raises(ValidationError):
+            EpochScaledShiftRule().gradient_batched(
+                lambda matrix: np.zeros(3), np.zeros(2), epoch=1
+            )
+
+    def test_non_flat_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            EpochScaledShiftRule().gradient_batched(self.multi_quadratic, np.zeros((2, 2)))

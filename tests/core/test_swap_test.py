@@ -123,3 +123,90 @@ class TestSwapTestEstimator:
         value = noisy.fidelity(angles, features)
         assert value < 0.999
         assert value > 0.3
+
+
+class TestAnalyticBatchedPath:
+    def test_trained_statevectors_match_per_row(self, builder, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        rng = np.random.default_rng(9)
+        matrix = rng.uniform(0, np.pi, size=(6, builder.num_parameters))
+        batch = estimator.trained_statevectors(matrix)
+        for index, row in enumerate(matrix):
+            single = estimator.trained_statevector(row)
+            np.testing.assert_allclose(
+                batch.statevector(index).data, single.data, atol=1e-12
+            )
+
+    def test_fidelity_matrix_matches_loop(self, builder, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        rng = np.random.default_rng(10)
+        matrix = rng.uniform(0, np.pi, size=(5, builder.num_parameters))
+        batched = estimator.fidelity_matrix(matrix, samples)
+        loop = np.stack([estimator.fidelities(row, samples) for row in matrix])
+        assert batched.shape == (5, len(samples))
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
+
+    def test_fidelity_matrix_deeper_architecture(self, samples):
+        deep_builder = make_builder(architecture="sde")
+        estimator = AnalyticFidelityEstimator(deep_builder)
+        rng = np.random.default_rng(11)
+        matrix = rng.uniform(0, np.pi, size=(4, deep_builder.num_parameters))
+        np.testing.assert_allclose(
+            estimator.fidelity_matrix(matrix, samples),
+            np.stack([estimator.fidelities(row, samples) for row in matrix]),
+            atol=1e-12,
+        )
+
+    def test_parameter_matrix_validation(self, builder, parameters, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        with pytest.raises(ValidationError):
+            estimator.trained_statevectors(parameters)  # 1-D
+        with pytest.raises(ValidationError):
+            estimator.trained_statevectors(np.zeros((2, builder.num_parameters + 1)))
+
+    def test_base_class_fidelity_matrix_fallback(self, builder, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        assert estimator.supports_batch is False
+        rng = np.random.default_rng(12)
+        matrix = rng.uniform(0, np.pi, size=(2, builder.num_parameters))
+        fallback = estimator.fidelity_matrix(matrix, samples)
+        loop = np.stack([estimator.fidelities(row, samples) for row in matrix])
+        np.testing.assert_allclose(fallback, loop, atol=1e-12)
+
+
+class TestDataStateCacheBound:
+    def test_cache_is_bounded_lru(self, builder, parameters):
+        estimator = AnalyticFidelityEstimator(builder, data_cache_size=2)
+        rng = np.random.default_rng(13)
+        samples = rng.uniform(0.05, 0.95, size=(5, 4))
+        estimator.fidelities(parameters, samples)
+        assert len(estimator._data_state_cache) == 2
+
+    def test_recently_used_entries_survive(self, builder):
+        estimator = AnalyticFidelityEstimator(builder, data_cache_size=2)
+        a = np.array([0.1, 0.2, 0.3, 0.4])
+        b = np.array([0.5, 0.6, 0.7, 0.8])
+        c = np.array([0.9, 0.1, 0.2, 0.3])
+        estimator.data_statevector(a)
+        estimator.data_statevector(b)
+        estimator.data_statevector(a)  # refresh a
+        estimator.data_statevector(c)  # evicts b
+        key_a = tuple(np.round(a, 12))
+        key_b = tuple(np.round(b, 12))
+        assert key_a in estimator._data_state_cache
+        assert key_b not in estimator._data_state_cache
+
+    def test_eviction_does_not_change_values(self, builder, parameters):
+        bounded = AnalyticFidelityEstimator(builder, data_cache_size=1)
+        unbounded = AnalyticFidelityEstimator(builder)
+        rng = np.random.default_rng(14)
+        samples = rng.uniform(0.05, 0.95, size=(4, 4))
+        np.testing.assert_allclose(
+            bounded.fidelities(parameters, samples),
+            unbounded.fidelities(parameters, samples),
+            atol=1e-12,
+        )
+
+    def test_invalid_cache_size_rejected(self, builder):
+        with pytest.raises(ValidationError):
+            AnalyticFidelityEstimator(builder, data_cache_size=0)

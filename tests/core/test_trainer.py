@@ -135,3 +135,62 @@ class TestTrainerFit:
         ).fit(features, labels)
         assert callback.begun and callback.ended
         assert len(history.records) == 1
+
+
+class TestBatchedLoopEquivalence:
+    """The batched gradient path must reproduce the loop path trajectory."""
+
+    def _fit(self, force_loop: bool, **fit_kwargs):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=3)
+        if force_loop:
+            model.estimator.supports_batch = False
+        history = model.fit(
+            features,
+            labels,
+            epochs=3,
+            rng=np.random.default_rng(7),
+            **fit_kwargs,
+        )
+        return model, history
+
+    def test_analytic_estimator_uses_batched_path(self):
+        model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=0)
+        trainer = Trainer(model)
+        assert trainer._uses_batched_path() is True
+        model.estimator.supports_batch = False
+        assert trainer._uses_batched_path() is False
+
+    def test_identical_parameter_trajectories(self):
+        batched_model, batched_history = self._fit(force_loop=False)
+        loop_model, loop_history = self._fit(force_loop=True)
+        np.testing.assert_allclose(
+            batched_model.parameters_, loop_model.parameters_, atol=1e-10
+        )
+        for batched_record, loop_record in zip(batched_history.records, loop_history.records):
+            assert batched_record.loss == pytest.approx(loop_record.loss, abs=1e-10)
+            assert batched_record.gradient_norm == pytest.approx(
+                loop_record.gradient_norm, abs=1e-10
+            )
+
+    def test_identical_trajectories_stochastic_update(self):
+        batched_model, _ = self._fit(force_loop=False, update="stochastic")
+        loop_model, _ = self._fit(force_loop=True, update="stochastic")
+        np.testing.assert_allclose(
+            batched_model.parameters_, loop_model.parameters_, atol=1e-10
+        )
+
+    def test_identical_trajectories_negative_fidelity_cost(self):
+        batched_model, _ = self._fit(force_loop=False, cost="negative_fidelity")
+        loop_model, _ = self._fit(force_loop=True, cost="negative_fidelity")
+        np.testing.assert_allclose(
+            batched_model.parameters_, loop_model.parameters_, atol=1e-10
+        )
+
+    def test_batched_inference_matches_loop(self):
+        features, labels = separable_task()
+        model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=3)
+        batched = model.class_fidelities(features)
+        model.estimator.supports_batch = False
+        loop = model.class_fidelities(features)
+        np.testing.assert_allclose(batched, loop, atol=1e-12)

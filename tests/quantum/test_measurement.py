@@ -83,3 +83,25 @@ class TestCountsFromProbabilities:
     def test_unnormalised_input_is_renormalised(self):
         counts = counts_from_probabilities(np.array([2.0, 2.0]), shots=100, rng=np.random.default_rng(0))
         assert counts.shots == 100
+
+    def test_all_zero_probabilities_rejected(self):
+        """Regression: used to divide by zero and build a NaN histogram."""
+        with pytest.raises(SimulationError, match="all zero"):
+            counts_from_probabilities(np.array([0.0, 0.0]), shots=10, rng=np.random.default_rng(0))
+
+    def test_all_zero_mapping_rejected(self):
+        with pytest.raises(SimulationError, match="all zero"):
+            counts_from_probabilities({"0": 0.0, "1": 0.0}, shots=10, rng=np.random.default_rng(0))
+
+    def test_empty_mapping_rejected(self):
+        """Regression: used to raise an opaque IndexError on keys[0]."""
+        with pytest.raises(SimulationError, match="empty"):
+            counts_from_probabilities({}, shots=10, rng=np.random.default_rng(0))
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            counts_from_probabilities(np.array([]), shots=10, rng=np.random.default_rng(0))
+
+    def test_non_finite_probabilities_rejected(self):
+        with pytest.raises(SimulationError):
+            counts_from_probabilities(np.array([np.nan, 1.0]), shots=10, rng=np.random.default_rng(0))

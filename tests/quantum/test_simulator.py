@@ -120,3 +120,49 @@ class TestDensityMatrixSimulator:
         assert noisy.run(bell_circuit(), shots=16).metadata["noisy"] is True
         ideal = DensityMatrixSimulator()
         assert ideal.run(bell_circuit(), shots=16).metadata["noisy"] is False
+
+
+class TestDeferredMeasurementGuards:
+    """Regression tests: deferred measurement must reject what it cannot model."""
+
+    def test_gate_after_measurement_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        qc.x(0)
+        with pytest.raises(SimulationError, match="already-measured"):
+            StatevectorSimulator().run(qc)
+
+    def test_gate_on_other_qubit_after_measurement_allowed(self):
+        qc = QuantumCircuit(2, 1)
+        qc.h(0).measure(0, 0)
+        qc.x(1)
+        result = StatevectorSimulator().run(qc)
+        assert result.probabilities["0"] == pytest.approx(0.5)
+
+    def test_double_measurement_rejected(self):
+        qc = QuantumCircuit(1, 2)
+        qc.h(0).measure(0, 0)
+        qc.measure(0, 1)
+        with pytest.raises(SimulationError, match="measured more than"):
+            StatevectorSimulator().run(qc)
+
+    def test_reset_after_measurement_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        qc.reset(0)
+        with pytest.raises(SimulationError, match="already-measured"):
+            StatevectorSimulator().run(qc)
+
+    def test_density_matrix_gate_after_measurement_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        qc.x(0)
+        with pytest.raises(SimulationError, match="already-measured"):
+            DensityMatrixSimulator().run(qc, shots=None)
+
+    def test_density_matrix_double_measurement_rejected(self):
+        qc = QuantumCircuit(1, 2)
+        qc.h(0).measure(0, 0)
+        qc.measure(0, 1)
+        with pytest.raises(SimulationError, match="measured more than"):
+            DensityMatrixSimulator().run(qc, shots=None)

@@ -205,3 +205,20 @@ class TestInnerProductsAndFidelity:
         a = Statevector(1)
         b = Statevector(np.array([np.exp(1j * 0.3), 0.0]))
         assert a.equiv(b)
+
+
+class TestMarginalValidation:
+    """Regression: duplicate qubits silently produced wrong-shaped marginals."""
+
+    def test_duplicate_qubits_rejected(self):
+        sv = Statevector(2).evolve(QuantumCircuit(2).h(0))
+        with pytest.raises(SimulationError, match="duplicate"):
+            sv.probabilities([0, 0])
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(SimulationError):
+            Statevector(2).probabilities([2])
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(SimulationError):
+            Statevector(2).probabilities([-1])

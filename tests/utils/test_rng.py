@@ -72,3 +72,22 @@ class TestSampleWithoutReplacement:
     def test_too_many_raises(self):
         with pytest.raises(ValueError):
             sample_without_replacement(range(3), 5, rng=0)
+
+
+class TestSpawnRngsSeedSequenceUnification:
+    """Regression: Generator seeds must spawn from the generator's SeedSequence."""
+
+    def test_generator_seed_matches_int_seed(self):
+        from_int = [g.random() for g in spawn_rngs(123, 3)]
+        from_generator = [g.random() for g in spawn_rngs(np.random.default_rng(123), 3)]
+        assert from_int == from_generator
+
+    def test_generator_children_are_independent(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        assert children[0].random() != children[1].random()
+
+    def test_repeated_spawns_from_same_generator_differ(self):
+        root = np.random.default_rng(9)
+        first = [g.random() for g in spawn_rngs(root, 2)]
+        second = [g.random() for g in spawn_rngs(root, 2)]
+        assert first != second
