@@ -26,6 +26,7 @@ from repro.exceptions import ValidationError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.operations import Parameter
 from repro.quantum.register import ClassicalRegister, QuantumRegister
+from repro.utils.cache import LRUCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,9 +75,22 @@ class DiscriminatorCircuitBuilder:
         Dimensionality of the (already reduced/normalised) input vectors.
     """
 
-    def __init__(self, layer_stack: LayerStack, encoder: DataEncoder, num_features: int) -> None:
+    #: Default bound on the memoised per-sample discriminator-circuit cache.
+    DEFAULT_DATA_CIRCUIT_CACHE_SIZE = 4096
+
+    def __init__(
+        self,
+        layer_stack: LayerStack,
+        encoder: DataEncoder,
+        num_features: int,
+        data_circuit_cache_size: int = DEFAULT_DATA_CIRCUIT_CACHE_SIZE,
+    ) -> None:
         if num_features <= 0:
             raise ValidationError(f"num_features must be positive, got {num_features}")
+        if data_circuit_cache_size <= 0:
+            raise ValidationError(
+                f"data_circuit_cache_size must be positive, got {data_circuit_cache_size}"
+            )
         expected_width = encoder.num_qubits(num_features)
         if layer_stack.num_qubits != expected_width:
             raise ValidationError(
@@ -90,6 +104,12 @@ class DiscriminatorCircuitBuilder:
         # The symbolic trained-state circuit never changes; cache it so the
         # trainer's many parameter-shift evaluations only pay for binding.
         self._symbolic_trained_circuit: Optional[QuantumCircuit] = None
+        # Data-bound (trained-state-symbolic) discriminators depend only on
+        # the feature vector, so they are memoised (bounded LRU): a sweep of
+        # hundreds of parameter shifts over the same samples re-binds the
+        # cached circuits instead of rebuilding layer stack, encoder and
+        # SWAP-test skeleton each time.
+        self._data_bound_cache: LRUCache = LRUCache(data_circuit_cache_size)
 
     # ------------------------------------------------------------------ #
     # Parameter bookkeeping
@@ -150,23 +170,12 @@ class DiscriminatorCircuitBuilder:
     # ------------------------------------------------------------------ #
     # Full discriminator
     # ------------------------------------------------------------------ #
-    def build(
-        self,
-        features: Sequence[float],
-        parameter_values: Optional[Sequence[float]] = None,
-        name: Optional[str] = None,
-    ) -> QuantumCircuit:
-        """Full SWAP-test discriminator circuit for one data point.
-
-        The returned circuit measures the ancilla into classical bit 0; the
-        probability of reading ``0`` is ``(1 + F) / 2`` where ``F`` is the
-        fidelity between the trained state and the encoded data point.
-        """
-        features = self._check_features(features)
+    def _construct_discriminator(self, features: np.ndarray) -> QuantumCircuit:
+        """Assemble the data-bound, trained-state-symbolic discriminator."""
         layout = self.layout
         qreg = QuantumRegister(layout.total_qubits, "q")
         creg = ClassicalRegister(1, "c")
-        circuit = QuantumCircuit(qreg, creg, name=name or "quclassi_discriminator")
+        circuit = QuantumCircuit(qreg, creg, name="quclassi_discriminator")
 
         # Ancilla into superposition.
         circuit.h(layout.ancilla)
@@ -192,7 +201,58 @@ class DiscriminatorCircuitBuilder:
             circuit.cswap(layout.ancilla, trained_qubit, data_qubit)
         circuit.h(layout.ancilla)
         circuit.measure(layout.ancilla, 0)
+        return circuit
 
+    def _cached_data_bound_discriminator(self, features: Sequence[float]) -> QuantumCircuit:
+        """The memoised data-bound discriminator — the *shared* cached instance.
+
+        Internal: callers must not mutate the result (they bind or copy it
+        immediately).  The public :meth:`data_bound_discriminator` returns an
+        independent copy instead.
+        """
+        features = self._check_features(features)
+        key = tuple(np.round(features, 12))
+        cached = self._data_bound_cache.get(key)
+        if cached is None:
+            cached = self._construct_discriminator(features)
+            self._data_bound_cache.put(key, cached)
+        return cached
+
+    def data_bound_discriminator(self, features: Sequence[float]) -> QuantumCircuit:
+        """Discriminator with data angles bound and trained angles symbolic.
+
+        Memoised per feature vector (bounded LRU): the expensive part of a
+        discriminator — layer-stack construction, data encoding, composition —
+        depends only on the sample, so every parameter-shift variant of a
+        sweep re-binds the cached circuit.  Returns an independent copy, so
+        caller mutations cannot poison the cache.
+        """
+        return self._cached_data_bound_discriminator(features).copy()
+
+    def clear_cache(self) -> None:
+        """Drop memoised discriminator circuits (e.g. when switching datasets)."""
+        self._data_bound_cache.clear()
+
+    def build(
+        self,
+        features: Sequence[float],
+        parameter_values: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QuantumCircuit:
+        """Full SWAP-test discriminator circuit for one data point.
+
+        The returned circuit measures the ancilla into classical bit 0; the
+        probability of reading ``0`` is ``(1 + F) / 2`` where ``F`` is the
+        fidelity between the trained state and the encoded data point.
+        Construction is memoised per sample via
+        :meth:`data_bound_discriminator`, so repeated builds (a training
+        sweep) only pay for parameter binding.
+        """
+        circuit = self._cached_data_bound_discriminator(features)
         if parameter_values is not None:
             circuit = circuit.bind_parameters(self.parameter_binding(parameter_values))
+        else:
+            circuit = circuit.copy()
+        if name is not None:
+            circuit.name = name
         return circuit

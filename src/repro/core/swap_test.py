@@ -10,12 +10,16 @@ Two estimators implement the same interface:
   :class:`~repro.quantum.backend.Backend` (ideal, finite-shot, or a noisy
   simulated device), recovering the fidelity from the ancilla statistics.
   This is the path used for the hardware experiments and the shots ablation.
+  On simulator backends it is sweep-batched: a whole parameter-shift sweep of
+  discriminator circuits is stacked into
+  :meth:`~repro.quantum.backend.Backend.run_batch` calls, which the
+  statevector engine vectorises and the noisy backends amortise through a
+  structure-keyed transpile cache.
 """
 
 from __future__ import annotations
 
 import abc
-from collections import OrderedDict
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,8 +28,12 @@ from repro.core.circuit_builder import DiscriminatorCircuitBuilder
 from repro.exceptions import ValidationError
 from repro.quantum.backend import Backend, IdealBackend
 from repro.quantum.batched import BatchedStatevector
-from repro.quantum.fidelity import fidelity_from_swap_test_probability
+from repro.quantum.fidelity import (
+    fidelities_from_swap_test_probabilities,
+    fidelity_from_swap_test_probability,
+)
 from repro.quantum.statevector import Statevector
+from repro.utils.cache import LRUCache
 
 
 class FidelityEstimator(abc.ABC):
@@ -33,8 +41,10 @@ class FidelityEstimator(abc.ABC):
 
     #: Whether :meth:`fidelity_matrix` vectorises over a batch of parameter
     #: vectors.  The trainer and model check this flag to pick the batched
-    #: gradient/inference path; circuit-executing estimators leave it False
-    #: and fall back to the per-evaluation loop.
+    #: gradient/inference path.  The analytic estimator always batches; the
+    #: circuit-executing SWAP-test estimator mirrors its backend's
+    #: ``supports_batch`` (True on the simulator backends) and estimators
+    #: without batch support fall back to the per-evaluation loop.
     supports_batch: bool = False
 
     def __init__(self, builder: DiscriminatorCircuitBuilder) -> None:
@@ -111,14 +121,12 @@ class AnalyticFidelityEstimator(FidelityEstimator):
             raise ValidationError(
                 f"data_matrix_cache_size must be positive, got {data_matrix_cache_size}"
             )
-        self._data_state_cache: "OrderedDict[tuple, Statevector]" = OrderedDict()
-        self._data_cache_size = int(data_cache_size)
+        self._data_state_cache: LRUCache = LRUCache(data_cache_size)
         # Stacked data-state matrices, keyed by the raw bytes of the feature
         # matrix: the trainer feeds the same (mini)batch to every gradient
         # evaluation, so the whole (samples, 2**n) stack is reused thousands
         # of times per epoch.
-        self._data_matrix_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-        self._data_matrix_cache_size = int(data_matrix_cache_size)
+        self._data_matrix_cache: LRUCache = LRUCache(data_matrix_cache_size)
         self._program = self._compile_program()
 
     def _compile_program(self) -> list:
@@ -167,11 +175,7 @@ class AnalyticFidelityEstimator(FidelityEstimator):
         if cached is None:
             circuit = self.builder.data_state_circuit(features)
             cached = Statevector(circuit.num_qubits).evolve(circuit)
-            self._data_state_cache[key] = cached
-            while len(self._data_state_cache) > self._data_cache_size:
-                self._data_state_cache.popitem(last=False)
-        else:
-            self._data_state_cache.move_to_end(key)
+            self._data_state_cache.put(key, cached)
         return cached
 
     def data_state_matrix(self, feature_matrix: np.ndarray) -> np.ndarray:
@@ -182,11 +186,7 @@ class AnalyticFidelityEstimator(FidelityEstimator):
         if cached is None:
             cached = np.stack([self.data_statevector(row).data for row in feature_matrix])
             cached.flags.writeable = False
-            self._data_matrix_cache[key] = cached
-            while len(self._data_matrix_cache) > self._data_matrix_cache_size:
-                self._data_matrix_cache.popitem(last=False)
-        else:
-            self._data_matrix_cache.move_to_end(key)
+            self._data_matrix_cache.put(key, cached)
         return cached
 
     # ------------------------------------------------------------------ #
@@ -246,6 +246,20 @@ class AnalyticFidelityEstimator(FidelityEstimator):
 class SwapTestFidelityEstimator(FidelityEstimator):
     """Fidelity from SWAP-test ancilla statistics on an execution backend.
 
+    The estimator is sweep-batched: :meth:`fidelities` and
+    :meth:`fidelity_matrix` assemble every discriminator circuit of a sweep
+    and hand the whole stack to
+    :meth:`~repro.quantum.backend.Backend.ancilla_zero_probabilities`, so a
+    statevector backend evolves the shared circuit structure once per
+    parameter row and a noisy backend re-binds its cached transpilation.
+    Circuit construction is amortised too — the data-bound (trained-state
+    symbolic) discriminator of each sample is memoised in an LRU cache, so a
+    parameter-shift sweep only pays a flat parameter re-bind per circuit.
+
+    ``supports_batch`` mirrors the backend's flag: on the simulator backends
+    the trainer, :meth:`GradientRule.gradient_batched`, and QuClassi inference
+    route whole sweeps through :meth:`fidelity_matrix` automatically.
+
     Parameters
     ----------
     builder:
@@ -255,24 +269,141 @@ class SwapTestFidelityEstimator(FidelityEstimator):
     shots:
         Number of shots per circuit; ``None`` requests exact probabilities
         (only meaningful on noiseless backends).
+    max_batch_amplitudes:
+        Memory guard for the vectorised statevector path: batches are chunked
+        so that ``chunk_size * 2**num_qubits`` stays below this bound.
     """
+
+    #: Default amplitude budget per vectorised chunk (~128 MiB of complex128).
+    DEFAULT_MAX_BATCH_AMPLITUDES = 2**23
 
     def __init__(
         self,
         builder: DiscriminatorCircuitBuilder,
         backend: Optional[Backend] = None,
         shots: Optional[int] = 1024,
+        max_batch_amplitudes: int = DEFAULT_MAX_BATCH_AMPLITUDES,
     ) -> None:
         super().__init__(builder)
         self.backend = backend if backend is not None else IdealBackend()
         if shots is not None and shots <= 0:
             raise ValidationError(f"shots must be positive or None, got {shots}")
         self.shots = shots
+        if max_batch_amplitudes <= 0:
+            raise ValidationError(
+                f"max_batch_amplitudes must be positive, got {max_batch_amplitudes}"
+            )
+        self._max_batch_amplitudes = int(max_batch_amplitudes)
+        self._supports_batch_override: Optional[bool] = None
         #: Number of circuits executed so far (cost accounting for reports).
         self.circuits_executed = 0
 
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        """Whether sweeps run through the backend batch API.
+
+        Derived from the *current* backend (``backend`` is a public
+        attribute that callers swap, e.g. to re-score a trained model on a
+        noisy device), so the trainer and inference always see the flag of
+        the backend that will actually execute the sweep.  Assigning the
+        attribute (the ``estimator.supports_batch = False`` idiom used to
+        force the per-evaluation loop) pins an explicit override; assign
+        ``None`` to resume tracking the backend.
+        """
+        if self._supports_batch_override is not None:
+            return self._supports_batch_override
+        return bool(getattr(self.backend, "supports_batch", False))
+
+    @supports_batch.setter
+    def supports_batch(self, value: Optional[bool]) -> None:
+        self._supports_batch_override = None if value is None else bool(value)
+
+    # ------------------------------------------------------------------ #
+    # Circuit assembly
+    # ------------------------------------------------------------------ #
+    def _zero_probabilities(self, circuits) -> np.ndarray:
+        """Ancilla readouts for a circuit stream, chunked to bound peak memory.
+
+        ``circuits`` may be any iterable and is consumed lazily — only one
+        chunk's worth of bound circuit objects is alive at a time, so the
+        ``max_batch_amplitudes`` guard bounds the whole working set (circuit
+        objects and simulator amplitudes alike), not just the amplitude
+        array.
+        """
+        iterator = iter(circuits)
+        first = next(iterator, None)
+        if first is None:
+            return np.zeros(0)
+        chunk_size = max(1, self._max_batch_amplitudes // (2**first.num_qubits))
+        parts = []
+        chunk = [first]
+        for circuit in iterator:
+            if len(chunk) == chunk_size:
+                parts.append(
+                    self.backend.ancilla_zero_probabilities(chunk, shots=self.shots)
+                )
+                self.circuits_executed += len(chunk)
+                chunk = []
+            chunk.append(circuit)
+        parts.append(self.backend.ancilla_zero_probabilities(chunk, shots=self.shots))
+        self.circuits_executed += len(chunk)
+        return np.concatenate(parts)
+
+    def clear_cache(self) -> None:
+        """Drop the builder's memoised discriminator circuits."""
+        self.builder.clear_cache()
+
+    # ------------------------------------------------------------------ #
+    # Fidelity evaluation
+    # ------------------------------------------------------------------ #
     def fidelity(self, parameter_values: Sequence[float], features: Sequence[float]) -> float:
         circuit = self.builder.build(features, parameter_values=parameter_values)
         probability_zero = self.backend.ancilla_zero_probability(circuit, shots=self.shots)
         self.circuits_executed += 1
         return fidelity_from_swap_test_probability(probability_zero)
+
+    def fidelities(self, parameter_values: Sequence[float], feature_matrix: np.ndarray) -> np.ndarray:
+        """Fidelities for every sample row, executed as one circuit batch.
+
+        A one-row :meth:`fidelity_matrix` sweep — delegating keeps the two
+        paths order-identical, which the seed-matched RNG guarantees rely on.
+        """
+        parameter_values = np.asarray(parameter_values, dtype=float)
+        return self.fidelity_matrix(parameter_values[None, :], feature_matrix)[0]
+
+    def fidelity_matrix(
+        self, parameter_matrix: np.ndarray, feature_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``(batch, samples)`` fidelity matrix via the batch API.
+
+        Stacks the discriminator circuits of every (parameter row, sample)
+        pair — all sharing one gate structure — into backend batches, so a
+        whole parameter-shift sweep runs in a handful of vectorised calls.
+        """
+        parameter_matrix = np.asarray(parameter_matrix, dtype=float)
+        if parameter_matrix.ndim != 2:
+            raise ValidationError(
+                f"parameter_matrix must be 2-D (batch, params), got shape {parameter_matrix.shape}"
+            )
+        feature_matrix = np.asarray(feature_matrix, dtype=float)
+
+        # One cache lookup per sample (shared references), not one per
+        # (parameter row, sample) pair.  Binding the shared cached instances
+        # is safe: bind_parameters produces fresh circuits without touching
+        # the originals.
+        sample_circuits = [
+            self.builder._cached_data_bound_discriminator(features)
+            for features in feature_matrix
+        ]
+
+        def circuit_stream():
+            # Row-major (parameter row, then sample) order — the same order
+            # as the per-circuit loop, so sampled sweeps stay seed-identical.
+            for row in parameter_matrix:
+                binding = self.builder.parameter_binding(row)
+                for circuit in sample_circuits:
+                    yield circuit.bind_parameters(binding)
+
+        zeros = self._zero_probabilities(circuit_stream())
+        fidelities = fidelities_from_swap_test_probabilities(zeros)
+        return fidelities.reshape(parameter_matrix.shape[0], feature_matrix.shape[0])

@@ -16,14 +16,16 @@ Two update granularities are supported:
 * ``"stochastic"`` — one update per sample, the literal reading of
   Algorithm 1; used by the hardware-style experiments with small subsamples.
 
-When the model's estimator advertises ``supports_batch`` (the analytic
-statevector engine does), each gradient evaluation runs through
-:meth:`GradientRule.gradient_batched`: all ``2P`` shifted parameter vectors
-are stacked into one matrix and evaluated in a single vectorised
-statevector/cost pass, which is numerically equivalent to the loop (same
-shifts, same reduction order) but removes the per-shift Python rebuild of the
-trained state.  Estimators without batch support (e.g. the circuit-executing
-SWAP-test sampler) keep the per-evaluation loop.
+When the model's estimator advertises ``supports_batch``, each gradient
+evaluation runs through :meth:`GradientRule.gradient_batched`: all ``2P``
+shifted parameter vectors are stacked into one matrix and evaluated in a
+single vectorised statevector/cost pass, which is numerically equivalent to
+the loop (same shifts, same reduction order) but removes the per-shift Python
+rebuild of the trained state.  The analytic estimator always batches; the
+circuit-executing SWAP-test estimator batches whenever its backend does
+(every simulator backend — the sweep's discriminator circuits are stacked
+into :meth:`~repro.quantum.backend.Backend.run_batch` calls).  Estimators on
+backends without batch support keep the per-evaluation loop.
 """
 
 from __future__ import annotations
@@ -107,9 +109,11 @@ class Trainer:
     def _uses_batched_path(self) -> bool:
         """Whether gradients run through the vectorised multi-loss sweep.
 
-        The estimator must advertise batch support (analytic statevector
-        engine); circuit-executing estimators such as the SWAP-test sampler
-        keep the per-evaluation loop of Algorithm 1.
+        The estimator must advertise batch support: the analytic statevector
+        engine always does, and the circuit-executing SWAP-test estimator
+        does whenever its backend can execute a sweep as a batch (all
+        simulator backends).  Otherwise the per-evaluation loop of
+        Algorithm 1 is kept.
         """
         return bool(getattr(self.model.estimator, "supports_batch", False))
 

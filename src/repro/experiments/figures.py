@@ -324,6 +324,9 @@ def fig11_hardware_iris_loss(
     Training runs end-to-end on the noisy backend through the SWAP-test
     estimator (8000 shots per circuit, as in the paper); the dataset is
     subsampled because every gradient entry costs two circuit executions.
+    The simulator backends batch: each gradient step executes all ``2P``
+    shifted discriminator sweeps through the backend batch API, with the
+    noisy sites re-binding their cached transpilation per circuit.
     """
     result = ExperimentResult(
         experiment_id="fig11",
@@ -546,15 +549,16 @@ def ablation_swap_test_shots(
 
     Compares the sampled SWAP-test estimate against the analytic fidelity for
     a trained Iris model; ``None`` means exact (infinite-shot) probabilities.
+    Each grid point runs all (class, sample) discriminator circuits as one
+    batched :meth:`~repro.core.swap_test.SwapTestFidelityEstimator.fidelity_matrix`
+    sweep — the workload that ``benchmarks/bench_swap_test_sweep.py`` times
+    against the per-circuit loop.
     """
     data = prepare_iris_task(seed=seed)
     model = train_quclassi(data, architecture="s", epochs=10, seed=seed)
     analytic = model.estimator
     samples = data.x_test[:10]
-    reference = np.stack(
-        [analytic.fidelities(model.parameters_[c], samples) for c in range(model.num_classes)],
-        axis=1,
-    )
+    reference = analytic.fidelity_matrix(model.parameters_, samples).T
     result = ExperimentResult(
         experiment_id="ablation_shots",
         title="SWAP-test fidelity estimation error vs shots",
@@ -562,10 +566,7 @@ def ablation_swap_test_shots(
     )
     for shots in shots_grid:
         estimator = SwapTestFidelityEstimator(model.builder, backend=IdealBackend(seed=seed), shots=shots)
-        estimated = np.stack(
-            [estimator.fidelities(model.parameters_[c], samples) for c in range(model.num_classes)],
-            axis=1,
-        )
+        estimated = estimator.fidelity_matrix(model.parameters_, samples).T
         error = float(np.mean(np.abs(estimated - reference)))
         result.add_row(
             shots="exact" if shots is None else shots,

@@ -14,19 +14,25 @@ from repro.quantum.backend import (
     IdealBackend,
     NoisyBackend,
     SampledBackend,
+    validate_shots,
 )
 from repro.quantum.bloch import BlochVector, bloch_vector, bloch_vectors
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.fidelity import (
     build_swap_test_circuit,
+    fidelities_from_swap_test_probabilities,
     fidelity_from_swap_test_probability,
     state_fidelity,
     swap_test_fidelity_exact,
     swap_test_fidelity_sampled,
     swap_test_probability_from_fidelity,
 )
-from repro.quantum.measurement import Counts, counts_from_probabilities
+from repro.quantum.measurement import (
+    Counts,
+    counts_from_probabilities,
+    normalize_outcome_probabilities,
+)
 from repro.quantum.noise import (
     NoiseModel,
     ReadoutError,
@@ -37,7 +43,7 @@ from repro.quantum.noise import (
     phase_flip_kraus,
     thermal_relaxation_kraus,
 )
-from repro.quantum.operations import Instruction, Parameter
+from repro.quantum.operations import Instruction, Parameter, ScaledParameter
 from repro.quantum.register import ClassicalRegister, QuantumRegister
 from repro.quantum.simulator import (
     DensityMatrixSimulator,
@@ -49,7 +55,9 @@ from repro.quantum.topology import CouplingMap
 from repro.quantum.transpiler import (
     BASIS_GATES,
     RoutingResult,
+    TranspileCache,
     TranspileResult,
+    circuit_structure_key,
     decompose_to_basis,
     route_circuit,
     transpile,
@@ -63,12 +71,14 @@ __all__ = [
     "IdealBackend",
     "NoisyBackend",
     "SampledBackend",
+    "validate_shots",
     "BlochVector",
     "bloch_vector",
     "bloch_vectors",
     "QuantumCircuit",
     "DensityMatrix",
     "build_swap_test_circuit",
+    "fidelities_from_swap_test_probabilities",
     "fidelity_from_swap_test_probability",
     "state_fidelity",
     "swap_test_fidelity_exact",
@@ -76,6 +86,7 @@ __all__ = [
     "swap_test_probability_from_fidelity",
     "Counts",
     "counts_from_probabilities",
+    "normalize_outcome_probabilities",
     "NoiseModel",
     "ReadoutError",
     "amplitude_damping_kraus",
@@ -86,6 +97,7 @@ __all__ = [
     "thermal_relaxation_kraus",
     "Instruction",
     "Parameter",
+    "ScaledParameter",
     "ClassicalRegister",
     "QuantumRegister",
     "DensityMatrixSimulator",
@@ -95,7 +107,9 @@ __all__ = [
     "CouplingMap",
     "BASIS_GATES",
     "RoutingResult",
+    "TranspileCache",
     "TranspileResult",
+    "circuit_structure_key",
     "decompose_to_basis",
     "route_circuit",
     "transpile",

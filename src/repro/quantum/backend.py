@@ -10,13 +10,28 @@ provided here:
 * :class:`NoisyBackend` — transpiles onto a device topology, then executes on
   a density-matrix simulator with the device's noise model.  This is the base
   class of the simulated IBM-Q and IonQ machines in :mod:`repro.hardware`.
+
+Batch execution
+---------------
+Every backend executes whole circuit batches through :meth:`Backend.run_batch`
+and exposes the SWAP-test readout for a sweep via
+:meth:`Backend.ancilla_zero_probabilities`.  The default implementations loop
+:meth:`Backend.run`; the statevector backends delegate to
+:meth:`~repro.quantum.simulator.StatevectorSimulator.run_batch`, which evolves
+a structure-sharing sweep as one vectorised pass, and :class:`NoisyBackend`
+amortises its per-circuit cost through a structure-keyed
+:class:`~repro.quantum.transpiler.TranspileCache` plus a per-width region
+cache.  Backends whose batch path is worth routing sweeps through advertise
+``supports_batch = True``, which the SWAP-test fidelity estimator mirrors.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import BackendError
 from repro.quantum.circuit import QuantumCircuit
@@ -27,8 +42,29 @@ from repro.quantum.simulator import (
     StatevectorSimulator,
 )
 from repro.quantum.topology import CouplingMap
-from repro.quantum.transpiler import transpile
+from repro.quantum.transpiler import TranspileCache
 from repro.utils.rng import RandomState, ensure_rng
+
+
+def validate_shots(shots: Optional[int], backend_name: str) -> Optional[int]:
+    """Validate a shot count: ``None`` (exact) or a positive integer.
+
+    Every backend funnels its ``shots`` argument through here so that invalid
+    requests — most notably ``shots=0``, which previously fell back to a
+    default via a falsy-``or`` — fail loudly with a :class:`BackendError`
+    instead of silently running a different experiment.
+    """
+    if shots is None:
+        return None
+    if isinstance(shots, bool) or not isinstance(shots, (int, np.integer)):
+        raise BackendError(
+            f"{backend_name}: shots must be a positive integer or None, got {shots!r}"
+        )
+    if shots <= 0:
+        raise BackendError(
+            f"{backend_name}: shots must be positive or None, got {shots}"
+        )
+    return int(shots)
 
 
 class Backend(abc.ABC):
@@ -37,9 +73,28 @@ class Backend(abc.ABC):
     #: Human-readable backend name (used in experiment reports).
     name: str = "backend"
 
+    #: Whether :meth:`run_batch` is worth routing whole sweeps through (a
+    #: vectorised engine or cached transpilation rather than a bare loop).
+    #: The SWAP-test fidelity estimator mirrors this flag as its own
+    #: ``supports_batch`` so the trainer and inference pick the batched path.
+    supports_batch: bool = False
+
     @abc.abstractmethod
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
         """Execute a fully bound circuit."""
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> List[SimulationResult]:
+        """Execute a batch of bound circuits.
+
+        The base implementation loops :meth:`run`; subclasses override it
+        with vectorised or cache-amortised paths.  Results are returned in
+        input order and are equivalent to the loop (seed-identical where the
+        backend samples shots).
+        """
+        validate_shots(shots, self.name)
+        return [self.run(circuit, shots=shots) for circuit in circuits]
 
     @property
     def is_noisy(self) -> bool:
@@ -56,32 +111,69 @@ class Backend(abc.ABC):
         result = self.run(circuit, shots=shots)
         return result.marginal_probability(0, value=0)
 
+    def ancilla_zero_probabilities(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> np.ndarray:
+        """SWAP-test readouts for a whole sweep of discriminator circuits.
+
+        Runs the batch through :meth:`run_batch` and returns ``P(bit 0 = 0)``
+        per circuit — the vector the batched fidelity estimator inverts into
+        fidelities.
+        """
+        results = self.run_batch(circuits, shots=shots)
+        return np.array(
+            [result.marginal_probability(0, value=0) for result in results], dtype=float
+        )
+
 
 class IdealBackend(Backend):
     """Noise-free statevector execution with exact probabilities."""
 
     name = "ideal_simulator"
+    supports_batch = True
 
     def __init__(self, seed: RandomState = None) -> None:
         self._simulator = StatevectorSimulator(seed=seed)
 
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        shots = validate_shots(shots, self.name)
         return self._simulator.run(circuit, shots=shots)
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> List[SimulationResult]:
+        """Vectorised batch execution on the statevector engine."""
+        shots = validate_shots(shots, self.name)
+        return self._simulator.run_batch(circuits, shots=shots)
 
 
 class SampledBackend(Backend):
     """Statevector execution that always samples a finite number of shots."""
 
     name = "sampled_simulator"
+    supports_batch = True
 
     def __init__(self, shots: int = 1024, seed: RandomState = None) -> None:
-        if shots <= 0:
-            raise BackendError(f"shots must be positive, got {shots}")
-        self.shots = int(shots)
+        self.shots = validate_shots(shots, self.name)
+        if self.shots is None:
+            raise BackendError(f"{self.name}: a default shot count is required")
         self._simulator = StatevectorSimulator(seed=seed)
 
+    def _resolve_shots(self, shots: Optional[int]) -> int:
+        # ``shots=0`` must raise, not silently fall back to the default the
+        # way the old ``shots or self.shots`` expression did.
+        if shots is None:
+            return self.shots
+        return validate_shots(shots, self.name)
+
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
-        return self._simulator.run(circuit, shots=shots or self.shots)
+        return self._simulator.run(circuit, shots=self._resolve_shots(shots))
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> List[SimulationResult]:
+        """Vectorised batch execution; every circuit is sampled."""
+        return self._simulator.run_batch(circuits, shots=self._resolve_shots(shots))
 
 
 @dataclasses.dataclass
@@ -117,7 +209,17 @@ class DeviceProperties:
 
 
 class NoisyBackend(Backend):
-    """Device-like backend: transpile, then run under a noise model."""
+    """Device-like backend: transpile, then run under a noise model.
+
+    Repeated sweeps over the same circuit structure (every SWAP-test
+    parameter-shift sweep) hit two caches: a per-width cache of the selected
+    chip region, and a structure-keyed
+    :class:`~repro.quantum.transpiler.TranspileCache` that re-binds rotation
+    angles into a previously transpiled template instead of re-running
+    decomposition and routing.
+    """
+
+    supports_batch = True
 
     def __init__(self, properties: DeviceProperties, seed: RandomState = None) -> None:
         self.properties = properties
@@ -126,12 +228,34 @@ class NoisyBackend(Backend):
         self._simulator = DensityMatrixSimulator(noise_model=properties.noise_model, seed=self._rng)
         #: Statistics of the most recent transpilation (CX count, SWAPs, depth).
         self.last_transpile_stats: Dict[str, int] = {}
+        self._transpile_cache = TranspileCache()
+        self._region_cache: Dict[int, CouplingMap] = {}
 
     @property
     def is_noisy(self) -> bool:
         return True
 
+    @property
+    def transpile_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss statistics of the structure-keyed transpile cache."""
+        return self._transpile_cache.stats
+
+    def _local_coupling_map(self, num_qubits: int) -> CouplingMap:
+        """Connected chip region for a circuit width (cached per width).
+
+        Place the circuit on a connected region of the chip and only simulate
+        that region; simulating every physical qubit of a 15- or 27-qubit
+        device as a density matrix would be needlessly intractable.
+        """
+        cached = self._region_cache.get(num_qubits)
+        if cached is None:
+            region = self.properties.coupling_map.select_connected_region(num_qubits)
+            cached = self.properties.coupling_map.induced_subgraph(region)
+            self._region_cache[num_qubits] = cached
+        return cached
+
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        shots = validate_shots(shots, self.name)
         shots = shots if shots is not None else 1024
         if shots > self.properties.max_shots:
             raise BackendError(
@@ -143,12 +267,8 @@ class NoisyBackend(Backend):
                 f"{self.name} has {self.properties.num_qubits} qubits, circuit needs "
                 f"{circuit.num_qubits}"
             )
-        # Place the circuit on a connected region of the chip and only simulate
-        # that region; simulating every physical qubit of a 15- or 27-qubit
-        # device as a density matrix would be needlessly intractable.
-        region = self.properties.coupling_map.select_connected_region(circuit.num_qubits)
-        local_map = self.properties.coupling_map.induced_subgraph(region)
-        transpiled = transpile(circuit, local_map)
+        local_map = self._local_coupling_map(circuit.num_qubits)
+        transpiled = self._transpile_cache.transpile(circuit, local_map)
         self.last_transpile_stats = {
             "cx_count": transpiled.cx_count,
             "inserted_swaps": transpiled.inserted_swaps,

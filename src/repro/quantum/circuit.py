@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.exceptions import CircuitError
-from repro.quantum.operations import Instruction, Parameter, ParamValue
+from repro.quantum.operations import Instruction, Parameter, ParamValue, ScaledParameter
 from repro.quantum.register import ClassicalRegister, QuantumRegister
 
 
@@ -419,7 +419,12 @@ class QuantumCircuit:
         lines = [f"{self.name}: {self.num_qubits} qubits, {self.num_clbits} clbits"]
         for idx, inst in enumerate(self._instructions):
             params = ", ".join(
-                p.name if isinstance(p, Parameter) else f"{float(p):.4f}" for p in inst.params
+                p.name
+                if isinstance(p, Parameter)
+                else f"{p.coefficient:g}*{p.parameter.name}"
+                if isinstance(p, ScaledParameter)
+                else f"{float(p):.4f}"
+                for p in inst.params
             )
             params_str = f"({params})" if params else ""
             target = ", ".join(f"q{q}" for q in inst.qubits)

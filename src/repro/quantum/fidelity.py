@@ -37,13 +37,43 @@ def swap_test_probability_from_fidelity(fidelity: float) -> float:
     return 0.5 + 0.5 * float(np.clip(fidelity, 0.0, 1.0))
 
 
-def fidelity_from_swap_test_probability(p_zero: float) -> float:
+def fidelity_from_swap_test_probability(p_zero: float, eps: float = 1e-9) -> float:
     """Invert the SWAP test: ``F = 2 * P(0) - 1``, clipped into ``[0, 1]``.
 
-    Finite-shot estimates can produce ``P(0)`` slightly below one half; the
-    clip keeps downstream cross-entropy well defined.
+    Finite-shot estimates can legitimately produce ``P(0)`` slightly below one
+    half (a fidelity estimate just under zero), so the result is clipped into
+    ``[0, 1]``.  A ``p_zero`` that is not a probability at all — outside
+    ``[-eps, 1 + eps]`` or non-finite — is *not* shot noise but an upstream
+    bug (mis-normalised counts, wrong classical bit), and clipping it into a
+    plausible fidelity would silently corrupt training, so it raises
+    :class:`~repro.exceptions.SimulationError` instead.
     """
+    p_zero = float(p_zero)
+    if not np.isfinite(p_zero) or p_zero < -eps or p_zero > 1.0 + eps:
+        raise SimulationError(
+            f"SWAP-test P(0) must be a probability in [0, 1], got {p_zero}"
+        )
     return float(np.clip(2.0 * p_zero - 1.0, 0.0, 1.0))
+
+
+def fidelities_from_swap_test_probabilities(
+    p_zero: np.ndarray, eps: float = 1e-9
+) -> np.ndarray:
+    """Vectorised :func:`fidelity_from_swap_test_probability` over an array.
+
+    Used by the batched SWAP-test estimator to invert a whole sweep of
+    ancilla readouts in three array operations instead of one scalar call per
+    circuit.  Same contract: small boundary violations clip (finite-shot
+    noise), non-probabilities raise :class:`~repro.exceptions.SimulationError`.
+    """
+    p = np.asarray(p_zero, dtype=float)
+    valid = np.isfinite(p) & (p >= -eps) & (p <= 1.0 + eps)
+    if not np.all(valid):
+        bad = np.atleast_1d(p)[~np.atleast_1d(valid)]
+        raise SimulationError(
+            f"SWAP-test P(0) must be probabilities in [0, 1], got {bad[:5].tolist()}"
+        )
+    return np.clip(2.0 * p - 1.0, 0.0, 1.0)
 
 
 def build_swap_test_circuit(
@@ -81,6 +111,23 @@ def build_swap_test_circuit(
     )
     if len(first) != state_width or len(second) != state_width:
         raise SimulationError("state register sizes must both equal state_width")
+    if len(set(first)) != len(first) or len(set(second)) != len(second):
+        raise SimulationError(
+            f"state registers must not repeat qubits: first={first}, second={second}"
+        )
+    overlap = set(first).intersection(second)
+    if overlap:
+        raise SimulationError(
+            f"state registers overlap on qubit(s) {sorted(overlap)}; the SWAP test "
+            "compares two disjoint registers"
+        )
+    if ancilla in first or ancilla in second:
+        raise SimulationError(
+            f"ancilla qubit {ancilla} collides with a state register; the control "
+            "qubit must be disjoint from both states"
+        )
+    if ancilla < 0 or any(q < 0 for q in (*first, *second)):
+        raise SimulationError("qubit indices must be non-negative")
     needed = max([ancilla, *first, *second]) + 1
     total_qubits = max(total_qubits, needed)
 

@@ -87,6 +87,24 @@ class Counts:
         return array / self.shots
 
 
+def normalize_outcome_probabilities(probabilities: np.ndarray) -> np.ndarray:
+    """Clip negatives and normalise outcome probabilities along the last axis.
+
+    Shared by the per-circuit sampler (:func:`counts_from_probabilities`) and
+    the batched sampler (:meth:`StatevectorSimulator._sample_batch`) so both
+    feed *identical* probability vectors to the RNG — the draw-for-draw
+    batched-vs-loop equivalence depends on this being a single code path.
+    Rows whose total is zero or non-finite raise :class:`SimulationError`.
+    """
+    probs = np.clip(np.asarray(probabilities, dtype=float), 0.0, None)
+    totals = probs.sum(axis=-1)
+    if not np.all(np.isfinite(totals)) or np.any(totals <= 0.0):
+        raise SimulationError(
+            "cannot sample counts: probabilities are all zero or not finite"
+        )
+    return probs / totals[..., None]
+
+
 def counts_from_probabilities(
     probabilities: Mapping[str, float] | np.ndarray,
     shots: int,
@@ -109,13 +127,7 @@ def counts_from_probabilities(
         probs = np.array([probabilities[key] for key in keys], dtype=float)
         if num_bits is None:
             num_bits = len(keys[0])
-    probs = np.clip(probs, 0.0, None)
-    total = probs.sum()
-    if not np.isfinite(total) or total <= 0.0:
-        raise SimulationError(
-            "cannot sample counts: probabilities are all zero or not finite"
-        )
-    probs = probs / total
+    probs = normalize_outcome_probabilities(probs)
     samples = generator.multinomial(shots, probs)
     data = {key: int(count) for key, count in zip(keys, samples) if count > 0}
     return Counts(data)

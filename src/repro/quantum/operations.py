@@ -5,6 +5,13 @@ and (for parameterised gates) either concrete float parameters or symbolic
 :class:`Parameter` placeholders.  Symbolic parameters are what QuClassi's
 trainer differentiates: the trained-state rotations carry named parameters
 while the data-encoding rotations are bound per sample.
+
+:class:`ScaledParameter` is the one derived symbolic form the library needs:
+a fixed scalar multiple of a parameter (``theta / 2``, ``-phi``, ...).  The
+transpiler's basis decompositions only ever rescale source angles, so with
+this single arithmetic node a circuit can be transpiled *once* with free
+parameters and then re-bound per sweep element — the mechanism behind the
+structure-keyed transpile cache in :mod:`repro.quantum.transpiler`.
 """
 
 from __future__ import annotations
@@ -33,7 +40,36 @@ class Parameter:
         return f"Parameter({self.name!r})"
 
 
-ParamValue = Union[float, Parameter]
+@dataclasses.dataclass(frozen=True)
+class ScaledParameter:
+    """A fixed scalar multiple of a symbolic parameter: ``coefficient * parameter``.
+
+    This is the only symbolic arithmetic the library supports, and the only
+    one it needs: every basis decomposition in the transpiler rewrites
+    rotation angles as scalar multiples of the source angle (``theta / 2`` in
+    the CRY expansion, ``-phi`` in the R-gate expansion, ...).  Binding a
+    :class:`ScaledParameter` evaluates ``coefficient * value``.
+    """
+
+    parameter: Parameter
+    coefficient: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coefficient", float(self.coefficient))
+
+    def scaled(self, factor: float) -> "ScaledParameter":
+        """Return this expression multiplied by a further scalar factor."""
+        return ScaledParameter(self.parameter, self.coefficient * float(factor))
+
+    def evaluate(self, value: float) -> float:
+        """Evaluate the expression at a concrete parameter value."""
+        return self.coefficient * float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ScaledParameter({self.coefficient!r} * {self.parameter.name!r})"
+
+
+ParamValue = Union[float, Parameter, ScaledParameter]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,13 +139,27 @@ class Instruction:
 
     @property
     def is_parameterized(self) -> bool:
-        """Whether any parameter is still symbolic."""
-        return any(isinstance(p, Parameter) for p in self.params)
+        """Whether any parameter is still symbolic (memoised — the instance
+        is frozen, so the answer never changes)."""
+        cached = self.__dict__.get("_parameterized")
+        if cached is None:
+            cached = any(isinstance(p, (Parameter, ScaledParameter)) for p in self.params)
+            object.__setattr__(self, "_parameterized", cached)
+        return cached
 
     @property
     def free_parameters(self) -> Tuple[Parameter, ...]:
-        """Symbolic parameters appearing in this instruction, in order."""
-        return tuple(p for p in self.params if isinstance(p, Parameter))
+        """Symbolic parameters appearing in this instruction, in order.
+
+        Scaled parameters contribute their underlying :class:`Parameter`.
+        """
+        out = []
+        for p in self.params:
+            if isinstance(p, Parameter):
+                out.append(p)
+            elif isinstance(p, ScaledParameter):
+                out.append(p.parameter)
+        return tuple(out)
 
     @property
     def num_qubits(self) -> int:
@@ -127,11 +177,40 @@ class Instruction:
         """
         if not self.is_parameterized:
             return self
-        new_params = tuple(
-            float(binding[p]) if isinstance(p, Parameter) and p in binding else p
-            for p in self.params
-        )
-        return dataclasses.replace(self, params=new_params)
+
+        def substitute(p: ParamValue) -> ParamValue:
+            if isinstance(p, Parameter) and p in binding:
+                return float(binding[p])
+            if isinstance(p, ScaledParameter) and p.parameter in binding:
+                return p.evaluate(binding[p.parameter])
+            return p
+
+        return self.replace_params(tuple(substitute(p) for p in self.params))
+
+    def replace_params(self, params: Tuple[ParamValue, ...]) -> "Instruction":
+        """Copy with ``params`` swapped in, skipping dataclass re-validation.
+
+        Binding substitutes parameters one-for-one, so the qubit/clbit layout
+        and the parameter count are unchanged and every ``__post_init__``
+        check would re-pass.  Skipping them matters on the sweep hot path,
+        where thousands of re-binds run per gradient evaluation.  The one
+        invariant a caller could break — the parameter count — is still
+        enforced.
+        """
+        params = tuple(params)
+        if len(params) != len(self.params):
+            raise CircuitError(
+                f"replace_params must preserve the parameter count of "
+                f"'{self.name}' ({len(self.params)}), got {len(params)}"
+            )
+        clone = object.__new__(Instruction)
+        # Copy the whole instance dict so future Instruction fields survive,
+        # then swap the params and drop the memoised symbolic flag (it
+        # depends on the params being replaced).
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__["params"] = params
+        clone.__dict__.pop("_parameterized", None)
+        return clone
 
     def matrix(self) -> np.ndarray:
         """Return the unitary matrix of a fully bound gate.

@@ -12,6 +12,15 @@ Two execution engines are provided:
 Both return a :class:`SimulationResult` holding the final state, exact
 probabilities of the measured classical bits, and (when shots are requested)
 a :class:`~repro.quantum.measurement.Counts` histogram.
+
+The statevector engine additionally executes whole *batches* of
+structure-sharing circuits in one vectorised pass
+(:meth:`StatevectorSimulator.run_batch`): a parameter-shift sweep of SWAP-test
+discriminators differs only in rotation angles, so the shared gate skeleton is
+evolved once as a :class:`~repro.quantum.batched.BatchedStatevector` and the
+per-circuit ancilla statistics are sampled from a single stacked RNG call.
+The batched results match the per-circuit loop — exactly for probabilities,
+and draw-for-draw for sampled counts under a shared seed.
 """
 
 from __future__ import annotations
@@ -24,7 +33,11 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.density_matrix import DensityMatrix
-from repro.quantum.measurement import Counts, counts_from_probabilities
+from repro.quantum.measurement import (
+    Counts,
+    counts_from_probabilities,
+    normalize_outcome_probabilities,
+)
 from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import Statevector
 from repro.utils.rng import RandomState, ensure_rng
@@ -213,6 +226,166 @@ class StatevectorSimulator:
         """Convenience: final statevector of a measurement-free circuit."""
         stripped = circuit.remove_final_measurements()
         return self.run(stripped).statevector
+
+    # ------------------------------------------------------------------ #
+    # Batched execution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _shares_structure(
+        circuits: Sequence[QuantumCircuit], per_circuit: Sequence[tuple]
+    ) -> bool:
+        """Whether every circuit has the same vectorisable gate skeleton.
+
+        Structure sharing means identical width, identical ordered
+        (name, qubits, clbits) sequences, fully bound parameters, and no
+        resets (projective resets need per-element RNG draws, which the
+        vectorised path does not model).  ``per_circuit`` carries each
+        circuit's instruction tuple, fetched once by the caller.
+        """
+        reference = per_circuit[0]
+        if any(inst.name == "reset" or inst.is_parameterized for inst in reference):
+            return False
+        for circuit, instructions in zip(circuits[1:], per_circuit[1:]):
+            if (
+                circuit.num_qubits != circuits[0].num_qubits
+                or circuit.num_clbits != circuits[0].num_clbits
+            ):
+                return False
+            if len(instructions) != len(reference):
+                return False
+            for inst, ref in zip(instructions, reference):
+                if (
+                    inst.name != ref.name
+                    or inst.qubits != ref.qubits
+                    or inst.clbits != ref.clbits
+                    or inst.is_parameterized
+                ):
+                    return False
+        return True
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> List[SimulationResult]:
+        """Execute a batch of bound circuits, vectorising when they share structure.
+
+        When every circuit has the same gate skeleton (same instruction
+        sequence over the same qubits, angles free to differ — the shape of a
+        parameter-shift sweep), the whole batch evolves as one
+        :class:`~repro.quantum.batched.BatchedStatevector` pass: shared gates
+        apply a single matrix, parameterised gates a ``(batch, 2**k, 2**k)``
+        stack, and shot sampling for every element happens in one stacked
+        multinomial draw.  The results are equivalent to looping
+        :meth:`run` — bit strings, probabilities, and (because a stacked
+        multinomial consumes the generator exactly like per-row draws)
+        seed-identical counts.  The counts guarantee holds whenever the
+        batched evolution reproduces the loop's probabilities bit-for-bit;
+        vectorised einsum evolution can differ at the last ULP, which would
+        only flip a draw if it landed exactly on a sampling boundary.
+
+        Circuits with differing structures, resets, or unbound parameters
+        fall back to the per-circuit loop transparently.
+        """
+        from repro.quantum.batched import BatchedStatevector
+        from repro.quantum import gates as gate_library
+
+        circuits = list(circuits)
+        if not circuits:
+            # Mirror the loop semantics of ``Backend.run_batch``: an empty
+            # sweep yields an empty result list on every backend.
+            return []
+        if shots is not None and shots <= 0:
+            raise SimulationError(f"shots must be positive or None, got {shots}")
+        per_circuit = [circuit.instructions for circuit in circuits]
+        if not self._shares_structure(circuits, per_circuit):
+            return [self.run(circuit, shots=shots) for circuit in circuits]
+
+        reference = circuits[0]
+        batch = len(circuits)
+        state = BatchedStatevector(batch, reference.num_qubits)
+
+        measured_qubits: List[int] = []
+        measured_set: set = set()
+        clbits: List[int] = []
+        for index, instruction in enumerate(per_circuit[0]):
+            if instruction.name == "barrier":
+                continue
+            _check_deferred_measurement(instruction, measured_set, self.name)
+            if instruction.is_measurement:
+                measured_qubits.extend(instruction.qubits)
+                measured_set.update(instruction.qubits)
+                clbits.extend(instruction.clbits)
+                continue
+            if not instruction.params:
+                state.apply_matrix(gate_library.gate_matrix(instruction.name), instruction.qubits)
+                continue
+            rows = [per_circuit[element][index].params for element in range(batch)]
+            if all(row == rows[0] for row in rows[1:]):
+                matrix = gate_library.gate_matrix(
+                    instruction.name, *(float(p) for p in rows[0])
+                )
+            else:
+                columns = np.array(rows, dtype=float)
+                matrix = gate_library.gate_matrix_batch(
+                    instruction.name, *(columns[:, j] for j in range(columns.shape[1]))
+                )
+            state.apply_matrix(matrix, instruction.qubits)
+
+        probabilities_per_element: List[Dict[str, float]] = [{} for _ in range(batch)]
+        counts_per_element: List[Optional[Counts]] = [None] * batch
+        if measured_qubits:
+            joint = state.probabilities(measured_qubits)
+            probabilities_per_element = [
+                _exact_clbit_probabilities(
+                    joint[element], measured_qubits, clbits, reference.num_clbits
+                )
+                for element in range(batch)
+            ]
+            if shots is not None:
+                counts_per_element = self._sample_batch(probabilities_per_element, shots)
+        elif shots is not None:
+            raise SimulationError("cannot sample shots from a circuit without measurements")
+
+        return [
+            SimulationResult(
+                circuit_name=circuits[element].name,
+                probabilities=probabilities_per_element[element],
+                counts=counts_per_element[element],
+                statevector=state.statevector(element),
+                shots=shots,
+                metadata={"engine": self.name, "batched": True, "batch_size": batch},
+            )
+            for element in range(batch)
+        ]
+
+    def _sample_batch(
+        self, probabilities_per_element: Sequence[Dict[str, float]], shots: int
+    ) -> List[Counts]:
+        """Sample counts for every batch element, matching the loop's RNG stream.
+
+        When all elements expose the same outcome keys (the common case — a
+        SWAP-test sweep always yields the ``{"0", "1"}`` pair), all elements
+        are drawn with one stacked multinomial call; NumPy consumes the bit
+        generator row by row, so the draws are identical to sequential
+        :func:`~repro.quantum.measurement.counts_from_probabilities` calls.
+        Heterogeneous key sets (some element has an exactly-zero outcome that
+        the exact read-out dropped) fall back to the sequential path to keep
+        the stream aligned with the per-circuit loop.
+        """
+        key_sets = [tuple(probs.keys()) for probs in probabilities_per_element]
+        if any(key_set != key_sets[0] for key_set in key_sets[1:]):
+            return [
+                counts_from_probabilities(probs, shots, rng=self._rng)
+                for probs in probabilities_per_element
+            ]
+        keys = key_sets[0]
+        pvals = normalize_outcome_probabilities(
+            [[probs[key] for key in keys] for probs in probabilities_per_element]
+        )
+        samples = self._rng.multinomial(shots, pvals)
+        return [
+            Counts({key: int(count) for key, count in zip(keys, row) if count > 0})
+            for row in samples
+        ]
 
 
 class DensityMatrixSimulator:

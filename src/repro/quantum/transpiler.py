@@ -13,6 +13,15 @@ Two passes are provided:
 :func:`transpile` chains both passes and reports routing statistics — this is
 what reproduces the paper's observation that IBM-Q Cairo needs ~21 extra
 CNOTs for the (3, 6) classifier while the fully connected IonQ needs none.
+
+Both passes accept *symbolic* rotation angles: every decomposition rewrites
+angles as scalar multiples of the source angle, which
+:class:`~repro.quantum.operations.ScaledParameter` represents exactly, and
+routing never looks at parameter values at all.  :class:`TranspileCache`
+exploits this to transpile each circuit *structure* once — subsequent circuits
+with the same gate skeleton but different angles only pay a parameter
+re-binding, which is what makes repeated SWAP-test sweeps on the noisy
+backends cheap.
 """
 
 from __future__ import annotations
@@ -23,8 +32,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TranspilerError
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.operations import Instruction
+from repro.quantum.operations import Instruction, Parameter, ParamValue, ScaledParameter
 from repro.quantum.topology import CouplingMap
+from repro.utils.cache import LRUCache
 
 #: Gates the simulated hardware executes natively.
 BASIS_GATES = ("rx", "ry", "rz", "h", "cx", "id", "x", "z")
@@ -32,14 +42,19 @@ BASIS_GATES = ("rx", "ry", "rz", "h", "cx", "id", "x", "z")
 _HALF_PI = math.pi / 2
 
 
-def _require_bound(instruction: Instruction) -> Tuple[float, ...]:
-    """Return float parameters, rejecting symbolic ones."""
-    if instruction.is_parameterized:
-        names = [p.name for p in instruction.free_parameters]
-        raise TranspilerError(
-            f"cannot transpile instruction '{instruction.name}' with unbound parameters {names}"
-        )
-    return tuple(float(p) for p in instruction.params)
+def _scale(param: ParamValue, factor: float) -> ParamValue:
+    """``factor * param`` for concrete or symbolic parameters.
+
+    Floats multiply directly; a :class:`Parameter` becomes a
+    :class:`ScaledParameter` (or passes through unchanged when the factor is
+    one); an existing :class:`ScaledParameter` folds the factor into its
+    coefficient.  This is the only arithmetic the decompositions need.
+    """
+    if isinstance(param, Parameter):
+        return param if factor == 1.0 else ScaledParameter(param, factor)
+    if isinstance(param, ScaledParameter):
+        return param if factor == 1.0 else param.scaled(factor)
+    return float(param) * factor
 
 
 def _decompose_instruction(instruction: Instruction) -> List[Instruction]:
@@ -50,7 +65,7 @@ def _decompose_instruction(instruction: Instruction) -> List[Instruction]:
     if name in BASIS_GATES or name in ("measure", "reset", "barrier"):
         return [instruction]
 
-    def gate(gname: str, gqubits: Tuple[int, ...], *params: float) -> Instruction:
+    def gate(gname: str, gqubits: Tuple[int, ...], *params: ParamValue) -> Instruction:
         return Instruction(name=gname, qubits=gqubits, params=params, label=instruction.label)
 
     if name == "y":
@@ -65,14 +80,22 @@ def _decompose_instruction(instruction: Instruction) -> List[Instruction]:
         return [gate("rz", (q,), math.pi / 4)]
     if name == "r":
         (q,) = qubits
-        theta, phi = _require_bound(instruction)
+        theta, phi = instruction.params
         # R(theta, phi) = RZ(phi) RX(theta) RZ(-phi): conjugating RX by RZ
         # tilts the rotation axis into the X-Y plane at azimuth phi.
-        return [gate("rz", (q,), -phi), gate("rx", (q,), theta), gate("rz", (q,), phi)]
+        return [
+            gate("rz", (q,), _scale(phi, -1.0)),
+            gate("rx", (q,), _scale(theta, 1.0)),
+            gate("rz", (q,), _scale(phi, 1.0)),
+        ]
     if name == "u3":
         (q,) = qubits
-        theta, phi, lam = _require_bound(instruction)
-        return [gate("rz", (q,), lam), gate("ry", (q,), theta), gate("rz", (q,), phi)]
+        theta, phi, lam = instruction.params
+        return [
+            gate("rz", (q,), _scale(lam, 1.0)),
+            gate("ry", (q,), _scale(theta, 1.0)),
+            gate("rz", (q,), _scale(phi, 1.0)),
+        ]
     if name == "cz":
         control, target = qubits
         return [gate("h", (target,)), gate("cx", (control, target)), gate("h", (target,))]
@@ -80,52 +103,52 @@ def _decompose_instruction(instruction: Instruction) -> List[Instruction]:
         a, b = qubits
         return [gate("cx", (a, b)), gate("cx", (b, a)), gate("cx", (a, b))]
     if name == "cry":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         control, target = qubits
         return [
-            gate("ry", (target,), theta / 2),
+            gate("ry", (target,), _scale(theta, 0.5)),
             gate("cx", (control, target)),
-            gate("ry", (target,), -theta / 2),
+            gate("ry", (target,), _scale(theta, -0.5)),
             gate("cx", (control, target)),
         ]
     if name == "crz":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         control, target = qubits
         return [
-            gate("rz", (target,), theta / 2),
+            gate("rz", (target,), _scale(theta, 0.5)),
             gate("cx", (control, target)),
-            gate("rz", (target,), -theta / 2),
+            gate("rz", (target,), _scale(theta, -0.5)),
             gate("cx", (control, target)),
         ]
     if name == "crx":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         control, target = qubits
         return [
             gate("h", (target,)),
-            gate("rz", (target,), theta / 2),
+            gate("rz", (target,), _scale(theta, 0.5)),
             gate("cx", (control, target)),
-            gate("rz", (target,), -theta / 2),
+            gate("rz", (target,), _scale(theta, -0.5)),
             gate("cx", (control, target)),
             gate("h", (target,)),
         ]
     if name == "rzz":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         a, b = qubits
-        return [gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b))]
+        return [gate("cx", (a, b)), gate("rz", (b,), _scale(theta, 1.0)), gate("cx", (a, b))]
     if name == "rxx":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         a, b = qubits
         return [
             gate("h", (a,)), gate("h", (b,)),
-            gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b)),
+            gate("cx", (a, b)), gate("rz", (b,), _scale(theta, 1.0)), gate("cx", (a, b)),
             gate("h", (a,)), gate("h", (b,)),
         ]
     if name == "ryy":
-        (theta,) = _require_bound(instruction)
+        (theta,) = instruction.params
         a, b = qubits
         return [
             gate("rx", (a,), _HALF_PI), gate("rx", (b,), _HALF_PI),
-            gate("cx", (a, b)), gate("rz", (b,), theta), gate("cx", (a, b)),
+            gate("cx", (a, b)), gate("rz", (b,), _scale(theta, 1.0)), gate("cx", (a, b)),
             gate("rx", (a,), -_HALF_PI), gate("rx", (b,), -_HALF_PI),
         ]
     if name == "cswap":
@@ -166,10 +189,14 @@ def _toffoli(control_a: int, control_b: int, target: int) -> List[Instruction]:
     ]
 
 
-def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+def decompose_to_basis(circuit: QuantumCircuit, allow_symbolic: bool = False) -> QuantumCircuit:
     """Rewrite every gate of ``circuit`` into the native basis set.
 
     The decomposition is applied recursively until only basis gates remain.
+    Symbolic parameters on gates that need decomposition are rejected unless
+    ``allow_symbolic`` is set (used by :class:`TranspileCache` to build
+    re-bindable transpile templates; the rewritten angles are then
+    :class:`~repro.quantum.operations.ScaledParameter` expressions).
     """
     output = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, name=f"{circuit.name}_basis")
     pending = list(circuit.instructions)
@@ -178,6 +205,11 @@ def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
         if instruction.name in BASIS_GATES or instruction.name in ("measure", "reset", "barrier"):
             output.append(instruction)
             continue
+        if not allow_symbolic and instruction.is_parameterized:
+            names = [p.name for p in instruction.free_parameters]
+            raise TranspilerError(
+                f"cannot transpile instruction '{instruction.name}' with unbound parameters {names}"
+            )
         replacement = _decompose_instruction(instruction)
         pending = replacement + pending
     return output
@@ -306,9 +338,10 @@ def transpile(
     circuit: QuantumCircuit,
     coupling_map: Optional[CouplingMap] = None,
     initial_layout: Optional[Sequence[int]] = None,
+    allow_symbolic: bool = False,
 ) -> TranspileResult:
     """Decompose to the native basis and (optionally) route onto a device."""
-    decomposed = decompose_to_basis(circuit)
+    decomposed = decompose_to_basis(circuit, allow_symbolic=allow_symbolic)
     if coupling_map is None:
         counts = decomposed.count_ops()
         return TranspileResult(
@@ -327,3 +360,151 @@ def transpile(
         cx_count=counts.get("cx", 0),
         depth=routing.circuit.depth(),
     )
+
+
+# --------------------------------------------------------------------------- #
+# Structure-keyed transpile caching
+# --------------------------------------------------------------------------- #
+
+
+def circuit_structure_key(circuit: QuantumCircuit) -> tuple:
+    """Hashable key identifying a circuit's gate *structure*.
+
+    Two circuits share a key exactly when they have the same width and the
+    same ordered sequence of (instruction name, qubits, clbits) — parameter
+    values are deliberately ignored.  A parameter-shift sweep of discriminator
+    circuits therefore maps to a single key.
+    """
+    return (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        tuple((inst.name, inst.qubits, inst.clbits) for inst in circuit.instructions),
+    )
+
+
+@dataclasses.dataclass
+class _TranspileTemplate:
+    """One cached symbolic transpilation: template circuit + slot parameters."""
+
+    result: TranspileResult
+    slots: Tuple[Parameter, ...]
+
+
+class TranspileCache:
+    """Structure-keyed cache that turns repeat transpilations into re-binds.
+
+    The first circuit of a given structure is transpiled *symbolically*: every
+    bound gate angle is replaced with a fresh slot
+    :class:`~repro.quantum.operations.Parameter`, the decomposition rewrites
+    those slots into :class:`~repro.quantum.operations.ScaledParameter`
+    expressions, and routing is value-independent.  Every later circuit with
+    the same structure — e.g. the hundreds of parameter-shift variants of one
+    SWAP-test discriminator — only pays a flat parameter re-bind of the cached
+    template, skipping decomposition and routing entirely.
+
+    Entries are evicted LRU once ``max_entries`` distinct structures are held.
+    Routing statistics (CX count, inserted SWAPs, depth) are structure
+    properties, so hits report the template's numbers unchanged.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise TranspilerError(f"max_entries must be positive, got {max_entries}")
+        self._entries = LRUCache(max_entries)
+        #: Number of cache hits (re-binds) and misses (full transpilations).
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics: hits, misses and resident entry count."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        """Drop every cached template and reset the statistics."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _map_key(coupling_map: Optional[CouplingMap]) -> tuple:
+        if coupling_map is None:
+            return ()
+        return (coupling_map.num_qubits, tuple(coupling_map.edges))
+
+    @staticmethod
+    def _symbolic_twin(circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Tuple[Parameter, ...]]:
+        """Copy of ``circuit`` with every gate angle replaced by a slot parameter."""
+        twin = circuit.copy()
+        slots: List[Parameter] = []
+        instructions: List[Instruction] = []
+        for inst in circuit.instructions:
+            if inst.is_gate and inst.params:
+                new_params = []
+                for _ in inst.params:
+                    slot = Parameter(f"__transpile_slot_{len(slots)}")
+                    slots.append(slot)
+                    new_params.append(slot)
+                instructions.append(dataclasses.replace(inst, params=tuple(new_params)))
+            else:
+                instructions.append(inst)
+        twin._instructions = instructions
+        return twin, tuple(slots)
+
+    @staticmethod
+    def _parameter_values(circuit: QuantumCircuit) -> List[float]:
+        """Bound gate angles in structure order (the slot-binding vector)."""
+        return [
+            float(p)
+            for inst in circuit.instructions
+            if inst.is_gate and inst.params
+            for p in inst.params
+        ]
+
+    # ------------------------------------------------------------------ #
+    def transpile(
+        self,
+        circuit: QuantumCircuit,
+        coupling_map: Optional[CouplingMap] = None,
+        initial_layout: Optional[Sequence[int]] = None,
+    ) -> TranspileResult:
+        """Transpile ``circuit``, re-binding a cached template when possible.
+
+        The output is identical (instruction for instruction) to calling
+        :func:`transpile` directly.  Circuits that still carry symbolic
+        parameters bypass the cache — their structure key cannot distinguish
+        different bindings — as do calls with an explicit ``initial_layout``.
+        """
+        if initial_layout is not None or any(
+            inst.is_parameterized for inst in circuit.instructions
+        ):
+            return transpile(circuit, coupling_map, initial_layout=initial_layout)
+
+        key = (circuit_structure_key(circuit), self._map_key(coupling_map))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            twin, slots = self._symbolic_twin(circuit)
+            template = transpile(twin, coupling_map, allow_symbolic=True)
+            entry = _TranspileTemplate(result=template, slots=slots)
+            self._entries.put(key, entry)
+        else:
+            self.hits += 1
+
+        binding = dict(zip(entry.slots, self._parameter_values(circuit)))
+        template = entry.result
+        bound = template.circuit.bind_parameters(binding)
+        bound.name = (
+            f"{circuit.name}_basis_routed" if coupling_map is not None else f"{circuit.name}_basis"
+        )
+        return TranspileResult(
+            circuit=bound,
+            layout=dict(template.layout),
+            inserted_swaps=template.inserted_swaps,
+            cx_count=template.cx_count,
+            depth=template.depth,
+        )

@@ -1,5 +1,6 @@
-"""Shared utilities: numerics, random-number management, validation."""
+"""Shared utilities: numerics, random-number management, caching, validation."""
 
+from repro.utils.cache import LRUCache
 from repro.utils.math import (
     binary_cross_entropy,
     clip_probability,
@@ -22,6 +23,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LRUCache",
     "binary_cross_entropy",
     "clip_probability",
     "cross_entropy",

@@ -9,7 +9,7 @@ from repro.core.swap_test import AnalyticFidelityEstimator, SwapTestFidelityEsti
 from repro.encoding import DualAngleEncoder
 from repro.exceptions import ValidationError
 from repro.hardware import ibmq_london
-from repro.quantum.backend import IdealBackend
+from repro.quantum.backend import IdealBackend, SampledBackend
 
 
 def make_builder(num_features: int = 4, architecture: str = "s") -> DiscriminatorCircuitBuilder:
@@ -164,14 +164,14 @@ class TestAnalyticBatchedPath:
         with pytest.raises(ValidationError):
             estimator.trained_statevectors(np.zeros((2, builder.num_parameters + 1)))
 
-    def test_base_class_fidelity_matrix_fallback(self, builder, samples):
+    def test_swap_test_fidelity_matrix_matches_loop(self, builder, samples):
         estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
-        assert estimator.supports_batch is False
+        assert estimator.supports_batch is True
         rng = np.random.default_rng(12)
         matrix = rng.uniform(0, np.pi, size=(2, builder.num_parameters))
-        fallback = estimator.fidelity_matrix(matrix, samples)
+        batched = estimator.fidelity_matrix(matrix, samples)
         loop = np.stack([estimator.fidelities(row, samples) for row in matrix])
-        np.testing.assert_allclose(fallback, loop, atol=1e-12)
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
 
 
 class TestDataStateCacheBound:
@@ -210,3 +210,158 @@ class TestDataStateCacheBound:
     def test_invalid_cache_size_rejected(self, builder):
         with pytest.raises(ValidationError):
             AnalyticFidelityEstimator(builder, data_cache_size=0)
+
+
+class TestSwapTestBatchedPath:
+    """The SWAP-test estimator routes sweeps through the backend batch API."""
+
+    def test_supports_batch_mirrors_the_backend(self, builder):
+        assert SwapTestFidelityEstimator(builder, backend=IdealBackend()).supports_batch is True
+        assert (
+            SwapTestFidelityEstimator(builder, backend=SampledBackend(shots=64)).supports_batch
+            is True
+        )
+        assert SwapTestFidelityEstimator(builder, backend=ibmq_london()).supports_batch is True
+
+        class LoopOnlyBackend(IdealBackend):
+            supports_batch = False
+
+        assert (
+            SwapTestFidelityEstimator(builder, backend=LoopOnlyBackend()).supports_batch is False
+        )
+
+    def test_supports_batch_tracks_backend_swaps(self, builder):
+        """The flag is derived live — swapping the backend must update it."""
+
+        class LoopOnlyBackend(IdealBackend):
+            supports_batch = False
+
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend())
+        assert estimator.supports_batch is True
+        estimator.backend = LoopOnlyBackend()
+        assert estimator.supports_batch is False
+
+    def test_supports_batch_assignment_pins_an_override(self, builder):
+        """``estimator.supports_batch = False`` forces the loop path (trainer idiom)."""
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend())
+        estimator.supports_batch = False
+        assert estimator.supports_batch is False
+        estimator.supports_batch = None  # resume tracking the backend
+        assert estimator.supports_batch is True
+
+    def test_exact_fidelities_match_per_circuit_loop(self, builder, parameters, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        batched = estimator.fidelities(parameters, samples)
+        loop = np.array([estimator.fidelity(parameters, row) for row in samples])
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
+
+    def test_sampled_sweep_seed_matches_per_circuit_loop(self, builder, parameters, samples):
+        batched_estimator = SwapTestFidelityEstimator(
+            builder, backend=SampledBackend(shots=400, seed=21), shots=400
+        )
+        batched = batched_estimator.fidelities(parameters, samples)
+        loop_estimator = SwapTestFidelityEstimator(
+            builder, backend=SampledBackend(shots=400, seed=21), shots=400
+        )
+        loop = np.array([loop_estimator.fidelity(parameters, row) for row in samples])
+        np.testing.assert_array_equal(batched, loop)
+
+    def test_noisy_sweep_seed_matches_per_circuit_loop(self, builder, parameters, samples):
+        batched_estimator = SwapTestFidelityEstimator(
+            builder, backend=ibmq_london(seed=5), shots=256
+        )
+        batched = batched_estimator.fidelities(parameters, samples[:3])
+        loop_estimator = SwapTestFidelityEstimator(
+            builder, backend=ibmq_london(seed=5), shots=256
+        )
+        loop = np.array([loop_estimator.fidelity(parameters, row) for row in samples[:3]])
+        np.testing.assert_array_equal(batched, loop)
+        assert batched_estimator.backend.transpile_cache_stats["hits"] >= 2
+
+    def test_fidelity_matrix_sampled_seed_matches_loop(self, builder, samples):
+        rng = np.random.default_rng(22)
+        matrix = rng.uniform(0, np.pi, size=(4, builder.num_parameters))
+        batched_estimator = SwapTestFidelityEstimator(
+            builder, backend=SampledBackend(shots=300, seed=33), shots=300
+        )
+        batched = batched_estimator.fidelity_matrix(matrix, samples)
+        loop_estimator = SwapTestFidelityEstimator(
+            builder, backend=SampledBackend(shots=300, seed=33), shots=300
+        )
+        loop = np.stack(
+            [[loop_estimator.fidelity(row, s) for s in samples] for row in matrix]
+        )
+        np.testing.assert_array_equal(batched, loop)
+
+    def test_chunked_batches_stay_equivalent(self, builder, parameters, samples):
+        whole = SwapTestFidelityEstimator(
+            builder, backend=SampledBackend(shots=200, seed=8), shots=200
+        )
+        chunked = SwapTestFidelityEstimator(
+            builder,
+            backend=SampledBackend(shots=200, seed=8),
+            shots=200,
+            max_batch_amplitudes=2 ** builder.layout.total_qubits * 2,  # 2 circuits/chunk
+        )
+        np.testing.assert_array_equal(
+            whole.fidelities(parameters, samples), chunked.fidelities(parameters, samples)
+        )
+
+    def test_fidelity_matrix_counts_circuits(self, builder, samples):
+        rng = np.random.default_rng(23)
+        matrix = rng.uniform(0, np.pi, size=(3, builder.num_parameters))
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        estimator.fidelity_matrix(matrix, samples)
+        assert estimator.circuits_executed == 3 * len(samples)
+
+    def test_builder_circuit_cache_is_bounded(self, parameters):
+        encoder = DualAngleEncoder()
+        stack = LayerStack.from_architecture("s", encoder.num_qubits(4))
+        bounded = DiscriminatorCircuitBuilder(stack, encoder, 4, data_circuit_cache_size=2)
+        estimator = SwapTestFidelityEstimator(bounded, backend=IdealBackend(), shots=None)
+        rng = np.random.default_rng(24)
+        estimator.fidelities(parameters, rng.uniform(0.05, 0.95, size=(5, 4)))
+        assert len(bounded._data_bound_cache) == 2
+
+    def test_clear_cache_drops_memoised_circuits(self, builder, parameters, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        estimator.fidelities(parameters, samples)
+        assert len(builder._data_bound_cache) > 0
+        estimator.clear_cache()
+        assert len(builder._data_bound_cache) == 0
+
+    def test_cached_discriminator_reused_across_estimators(self, builder, parameters, samples):
+        first = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        first.fidelities(parameters, samples)
+        cached = len(builder._data_bound_cache)
+        second = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        second.fidelities(parameters, samples)
+        assert len(builder._data_bound_cache) == cached
+
+    def test_invalid_configuration_rejected(self, builder):
+        with pytest.raises(ValidationError):
+            SwapTestFidelityEstimator(builder, max_batch_amplitudes=0)
+        encoder = DualAngleEncoder()
+        stack = LayerStack.from_architecture("s", encoder.num_qubits(4))
+        with pytest.raises(ValidationError):
+            DiscriminatorCircuitBuilder(stack, encoder, 4, data_circuit_cache_size=0)
+
+    def test_parameter_matrix_must_be_2d(self, builder, parameters, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        with pytest.raises(ValidationError):
+            estimator.fidelity_matrix(parameters, samples)
+
+    def test_trainer_selects_batched_path_for_simulator_backends(self):
+        from repro.core.model import QuClassi
+        from repro.core.trainer import Trainer
+
+        model = QuClassi(
+            num_features=4,
+            num_classes=2,
+            architecture="s",
+            estimator="swap_test",
+            backend=SampledBackend(shots=64, seed=0),
+            shots=64,
+            seed=0,
+        )
+        assert Trainer(model)._uses_batched_path() is True

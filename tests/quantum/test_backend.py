@@ -1,13 +1,16 @@
 """Tests for execution backends."""
 
+import numpy as np
 import pytest
 
 from repro.exceptions import BackendError
 from repro.quantum.backend import (
+    Backend,
     DeviceProperties,
     IdealBackend,
     NoisyBackend,
     SampledBackend,
+    validate_shots,
 )
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise import NoiseModel
@@ -107,3 +110,185 @@ class TestNoisyBackend:
         result = backend.run(qc, shots=None)
         assert result.density_matrix.num_qubits == 2
         assert sum(result.probabilities.values()) == pytest.approx(1.0)
+
+
+def rotation_circuit(angles) -> QuantumCircuit:
+    """Two-qubit rotation circuit with a shared structure across angle sets."""
+    qc = QuantumCircuit(2, 1, name="rotations")
+    qc.ry(angles[0], 0).rz(angles[1], 0).ry(angles[2], 1)
+    qc.cx(0, 1)
+    qc.measure(0, 0)
+    return qc
+
+
+class TestShotsValidation:
+    """shots=0 must raise, never silently fall back to a default count."""
+
+    def test_validate_shots_helper(self):
+        assert validate_shots(None, "b") is None
+        assert validate_shots(128, "b") == 128
+        for bad in (0, -1, 1.5, "64", True):
+            with pytest.raises(BackendError):
+                validate_shots(bad, "b")
+
+    def test_ideal_backend_rejects_zero_shots(self):
+        with pytest.raises(BackendError):
+            IdealBackend().run(ghz_circuit(), shots=0)
+
+    def test_sampled_backend_zero_shots_does_not_fall_back_to_default(self):
+        """Regression: ``shots or self.shots`` used to run 256 shots for shots=0."""
+        backend = SampledBackend(shots=256, seed=0)
+        with pytest.raises(BackendError):
+            backend.run(ghz_circuit(), shots=0)
+
+    def test_noisy_backend_rejects_zero_shots(self):
+        with pytest.raises(BackendError):
+            NoisyBackend(make_device(), seed=0).run(ghz_circuit(), shots=0)
+
+    def test_run_batch_rejects_zero_shots(self):
+        for backend in (
+            IdealBackend(),
+            SampledBackend(shots=64, seed=0),
+            NoisyBackend(make_device(), seed=0),
+        ):
+            with pytest.raises(BackendError):
+                backend.run_batch([ghz_circuit()], shots=0)
+
+    def test_negative_shots_rejected_everywhere(self):
+        for backend in (
+            IdealBackend(),
+            SampledBackend(shots=64, seed=0),
+            NoisyBackend(make_device(), seed=0),
+        ):
+            with pytest.raises(BackendError):
+                backend.run(ghz_circuit(), shots=-8)
+
+
+class TestSupportsBatch:
+    def test_simulator_backends_advertise_batch_support(self):
+        assert IdealBackend().supports_batch is True
+        assert SampledBackend(shots=64).supports_batch is True
+        assert NoisyBackend(make_device()).supports_batch is True
+
+    def test_base_backend_defaults_to_no_batch_support(self):
+        class MinimalBackend(Backend):
+            def run(self, circuit, shots=None):
+                return IdealBackend().run(circuit, shots=shots)
+
+        assert MinimalBackend().supports_batch is False
+
+
+class TestRunBatch:
+    def test_exact_batch_matches_per_circuit_runs(self):
+        rng = np.random.default_rng(5)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(7)]
+        backend = IdealBackend()
+        batched = backend.run_batch(circuits, shots=None)
+        for circuit, result in zip(circuits, batched):
+            single = IdealBackend().run(circuit, shots=None)
+            assert set(result.probabilities) == set(single.probabilities)
+            for key, value in single.probabilities.items():
+                assert result.probabilities[key] == pytest.approx(value, abs=1e-12)
+
+    def test_sampled_batch_seed_matches_per_circuit_loop(self):
+        rng = np.random.default_rng(6)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(5)]
+        batched = SampledBackend(shots=300, seed=9).run_batch(circuits)
+        loop_backend = SampledBackend(shots=300, seed=9)
+        looped = [loop_backend.run(circuit) for circuit in circuits]
+        assert [r.counts.data for r in batched] == [r.counts.data for r in looped]
+
+    def test_ancilla_zero_probabilities_matches_scalar_helper(self):
+        rng = np.random.default_rng(7)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(4)]
+        backend = IdealBackend()
+        vector = backend.ancilla_zero_probabilities(circuits, shots=None)
+        scalars = [backend.ancilla_zero_probability(c, shots=None) for c in circuits]
+        np.testing.assert_allclose(vector, scalars, atol=1e-12)
+
+    def test_empty_batch_yields_empty_results_on_every_backend(self):
+        for backend in (
+            IdealBackend(),
+            SampledBackend(shots=64, seed=0),
+            NoisyBackend(make_device(), seed=0),
+        ):
+            assert backend.run_batch([]) == []
+            assert backend.ancilla_zero_probabilities([]).shape == (0,)
+
+    def test_base_class_run_batch_loops_run(self):
+        class CountingBackend(Backend):
+            def __init__(self):
+                self.calls = 0
+                self._inner = IdealBackend()
+
+            def run(self, circuit, shots=None):
+                self.calls += 1
+                return self._inner.run(circuit, shots=shots)
+
+        backend = CountingBackend()
+        circuits = [rotation_circuit([0.1, 0.2, 0.3]), rotation_circuit([0.4, 0.5, 0.6])]
+        results = backend.run_batch(circuits, shots=None)
+        assert backend.calls == 2
+        assert len(results) == 2
+
+    def test_noisy_batch_seed_matches_per_circuit_loop(self):
+        rng = np.random.default_rng(8)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(4)]
+        batched = NoisyBackend(make_device(), seed=3).run_batch(circuits, shots=200)
+        loop_backend = NoisyBackend(make_device(), seed=3)
+        looped = [loop_backend.run(circuit, shots=200) for circuit in circuits]
+        assert [r.counts.data for r in batched] == [r.counts.data for r in looped]
+
+
+class TestNoisyBackendTranspileCache:
+    def test_repeat_structures_hit_the_cache(self):
+        backend = NoisyBackend(make_device(), seed=0)
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            backend.run(rotation_circuit(rng.uniform(0, np.pi, 3)), shots=None)
+        stats = backend.transpile_cache_stats
+        assert stats["misses"] == 1
+        assert stats["hits"] == 4
+
+    def test_distinct_structures_miss_separately(self):
+        backend = NoisyBackend(make_device(), seed=0)
+        backend.run(rotation_circuit([0.1, 0.2, 0.3]), shots=None)
+        backend.run(ghz_circuit(3), shots=None)
+        assert backend.transpile_cache_stats["misses"] == 2
+
+    def test_cache_hit_executes_identical_transpiled_circuit(self):
+        """A cache hit must bind to the exact circuit a fresh transpile yields."""
+        from repro.quantum.transpiler import transpile
+
+        backend = NoisyBackend(make_device(), seed=1)
+        rng = np.random.default_rng(10)
+        first, second = (rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(2))
+        local_map = backend._local_coupling_map(first.num_qubits)
+        backend._transpile_cache.transpile(first, local_map)  # prime (miss)
+        hit = backend._transpile_cache.transpile(second, local_map)
+        direct = transpile(second, local_map)
+        assert backend.transpile_cache_stats["hits"] == 1
+        assert len(hit.circuit.instructions) == len(direct.circuit.instructions)
+        for cached_inst, direct_inst in zip(hit.circuit.instructions, direct.circuit.instructions):
+            assert cached_inst.name == direct_inst.name
+            assert cached_inst.qubits == direct_inst.qubits
+            assert cached_inst.clbits == direct_inst.clbits
+            np.testing.assert_allclose(
+                [float(p) for p in cached_inst.params],
+                [float(p) for p in direct_inst.params],
+                atol=1e-15,
+            )
+        assert (hit.cx_count, hit.inserted_swaps, hit.depth) == (
+            direct.cx_count,
+            direct.inserted_swaps,
+            direct.depth,
+        )
+
+    def test_region_cache_reuses_local_map(self):
+        backend = NoisyBackend(make_device(num_qubits=5), seed=0)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure_all()
+        backend.run(qc, shots=None)
+        first_map = backend._region_cache[2]
+        backend.run(qc, shots=None)
+        assert backend._region_cache[2] is first_map

@@ -48,6 +48,19 @@ class TestProbabilityConversion:
         with pytest.raises(SimulationError):
             swap_test_probability_from_fidelity(1.5)
 
+    def test_grossly_invalid_probability_rejected(self):
+        """Regression: a non-probability P(0) must raise, not clip to a
+        plausible fidelity — clipping would hide upstream normalisation bugs."""
+        for bad in (1.5, -0.2, 2.0, float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(SimulationError):
+                fidelity_from_swap_test_probability(bad)
+
+    def test_small_tolerance_violations_still_clip(self):
+        """Floating-point drift just past the boundaries stays valid."""
+        assert fidelity_from_swap_test_probability(1.0 + 1e-12) == 1.0
+        assert fidelity_from_swap_test_probability(-1e-12) == 0.0
+        assert fidelity_from_swap_test_probability(0.45) == 0.0
+
 
 class TestSwapTestCircuit:
     def test_default_layout(self):
@@ -64,6 +77,40 @@ class TestSwapTestCircuit:
     def test_custom_registers_must_match_width(self):
         with pytest.raises(SimulationError):
             build_swap_test_circuit(2, first_state_qubits=[1], second_state_qubits=[2, 3])
+
+    def test_ancilla_colliding_with_state_register_rejected(self):
+        """Regression: an overlapping ancilla silently built a corrupt circuit."""
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(2, ancilla=1)
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(2, ancilla=3)
+
+    def test_overlapping_state_registers_rejected(self):
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(
+                2, first_state_qubits=[1, 2], second_state_qubits=[2, 3]
+            )
+
+    def test_duplicate_indices_within_a_register_rejected(self):
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(
+                2, first_state_qubits=[1, 1], second_state_qubits=[2, 3]
+            )
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(
+                2, first_state_qubits=[1, 2], second_state_qubits=[3, 3]
+            )
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(SimulationError):
+            build_swap_test_circuit(1, first_state_qubits=[-1], second_state_qubits=[2])
+
+    def test_disjoint_custom_layout_still_allowed(self):
+        circuit = build_swap_test_circuit(
+            2, ancilla=4, first_state_qubits=[0, 1], second_state_qubits=[2, 3]
+        )
+        assert circuit.num_qubits == 5
+        assert circuit.count_ops()["cswap"] == 2
 
 
 class TestSwapTestAgreement:
@@ -105,3 +152,20 @@ class TestSwapTestAgreement:
         b = Statevector(1)
         b.apply_matrix(gates.ry(theta), (0,))
         assert swap_test_fidelity_exact(a, b) == pytest.approx(math.cos(theta / 2) ** 2)
+
+
+class TestVectorisedProbabilityConversion:
+    def test_matches_scalar_conversion(self):
+        from repro.quantum.fidelity import fidelities_from_swap_test_probabilities
+
+        values = np.array([0.5, 0.45, 0.75, 1.0, 1.0 + 1e-12, -1e-12])
+        vectorised = fidelities_from_swap_test_probabilities(values)
+        scalars = [fidelity_from_swap_test_probability(p) for p in values]
+        np.testing.assert_array_equal(vectorised, scalars)
+
+    def test_invalid_entries_rejected(self):
+        from repro.quantum.fidelity import fidelities_from_swap_test_probabilities
+
+        for bad in ([0.5, 1.5], [0.5, -0.2], [0.5, float("nan")]):
+            with pytest.raises(SimulationError):
+                fidelities_from_swap_test_probabilities(bad)

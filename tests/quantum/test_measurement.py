@@ -105,3 +105,24 @@ class TestCountsFromProbabilities:
     def test_non_finite_probabilities_rejected(self):
         with pytest.raises(SimulationError):
             counts_from_probabilities(np.array([np.nan, 1.0]), shots=10, rng=np.random.default_rng(0))
+
+
+class TestNormalizeOutcomeProbabilities:
+    def test_vector_is_clipped_and_normalised(self):
+        from repro.quantum.measurement import normalize_outcome_probabilities
+
+        out = normalize_outcome_probabilities([0.2, -1e-18, 0.2])
+        assert out.sum() == pytest.approx(1.0)
+        assert out[1] == 0.0
+
+    def test_matrix_normalises_each_row(self):
+        from repro.quantum.measurement import normalize_outcome_probabilities
+
+        out = normalize_outcome_probabilities([[0.5, 0.5], [0.2, 0.6]])
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_zero_row_rejected(self):
+        from repro.quantum.measurement import normalize_outcome_probabilities
+
+        with pytest.raises(SimulationError):
+            normalize_outcome_probabilities([[0.5, 0.5], [0.0, 0.0]])

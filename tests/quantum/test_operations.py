@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.exceptions import CircuitError
-from repro.quantum.operations import Instruction, Parameter, barrier, gate, measure, reset
+from repro.quantum.operations import (
+    Instruction,
+    Parameter,
+    ScaledParameter,
+    barrier,
+    gate,
+    measure,
+    reset,
+)
 
 
 class TestParameter:
@@ -112,3 +120,47 @@ class TestConvenienceConstructors:
 
     def test_gate_label(self):
         assert gate("ry", (0,), 0.1, label="data").label == "data"
+
+
+class TestScaledParameter:
+    def test_counts_as_symbolic(self):
+        theta = Parameter("theta")
+        inst = gate("ry", (0,), ScaledParameter(theta, 0.5))
+        assert inst.is_parameterized is True
+        assert inst.free_parameters == (theta,)
+
+    def test_bind_evaluates_the_scale(self):
+        theta = Parameter("theta")
+        inst = gate("ry", (0,), ScaledParameter(theta, -0.5))
+        bound = inst.bind({theta: 1.2})
+        assert bound.is_parameterized is False
+        assert bound.params[0] == pytest.approx(-0.6)
+
+    def test_partial_binding_leaves_scaled_parameter_symbolic(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        inst = gate("r", (0,), ScaledParameter(theta, 2.0), phi)
+        partially = inst.bind({phi: 0.4})
+        assert partially.is_parameterized is True
+        assert partially.free_parameters == (theta,)
+
+    def test_scaled_folds_coefficients(self):
+        theta = Parameter("theta")
+        scaled = ScaledParameter(theta, 0.5).scaled(-2.0)
+        assert scaled.coefficient == pytest.approx(-1.0)
+        assert scaled.evaluate(3.0) == pytest.approx(-3.0)
+
+    def test_matrix_of_scaled_parameter_raises(self):
+        with pytest.raises(CircuitError):
+            gate("ry", (0,), ScaledParameter(Parameter("t"), 0.5)).matrix()
+
+    def test_replace_params_preserves_layout(self):
+        inst = gate("cry", (0, 1), 0.7, label="layer")
+        clone = inst.replace_params((0.9,))
+        assert clone.params == (0.9,)
+        assert clone.qubits == (0, 1)
+        assert clone.label == "layer"
+        assert clone.name == "cry"
+
+    def test_replace_params_rejects_wrong_count(self):
+        with pytest.raises(CircuitError):
+            gate("ry", (0,), 0.1).replace_params((0.1, 0.2))

@@ -8,8 +8,11 @@ from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.operations import Parameter
 from repro.quantum.statevector import Statevector
 from repro.quantum.topology import CouplingMap
+from repro.quantum.operations import ScaledParameter
 from repro.quantum.transpiler import (
     BASIS_GATES,
+    TranspileCache,
+    circuit_structure_key,
     decompose_to_basis,
     route_circuit,
     transpile,
@@ -183,3 +186,141 @@ class TestTranspile:
         qc = QuantumCircuit(2)
         qc.h(0).cx(0, 1)
         assert transpile(qc).depth == 2
+
+
+def _sweep_circuit(angles) -> QuantumCircuit:
+    """Discriminator-shaped circuit whose structure is shared across angles."""
+    qc = QuantumCircuit(5, 1, name="quclassi_discriminator")
+    qc.h(0)
+    qc.ry(angles[0], 1).rz(angles[1], 1).ry(angles[2], 2).rz(angles[3], 2)
+    qc.ry(angles[4], 3).rz(angles[5], 3).ry(angles[6], 4).rz(angles[7], 4)
+    qc.cswap(0, 1, 3).cswap(0, 2, 4)
+    qc.h(0).measure(0, 0)
+    return qc
+
+
+class TestSymbolicDecomposition:
+    def test_symbolic_cry_decomposes_to_scaled_parameters(self):
+        theta = Parameter("theta")
+        qc = QuantumCircuit(2)
+        qc.cry(theta, 0, 1)
+        decomposed = decompose_to_basis(qc, allow_symbolic=True)
+        scaled = [
+            p
+            for inst in decomposed.instructions
+            for p in inst.params
+            if isinstance(p, ScaledParameter)
+        ]
+        assert {p.coefficient for p in scaled} == {0.5, -0.5}
+        assert all(p.parameter == theta for p in scaled)
+
+    def test_symbolic_decomposition_binds_to_the_concrete_one(self):
+        """Bind-after-decompose must equal decompose-after-bind, gate for gate."""
+        theta = Parameter("theta")
+        qc = QuantumCircuit(2)
+        qc.cry(theta, 0, 1).rzz(theta, 0, 1)
+        symbolic = decompose_to_basis(qc, allow_symbolic=True)
+        for value in (0.3, -1.7, 2.9):
+            bound_after = symbolic.bind_parameters({theta: value})
+            bound_before = decompose_to_basis(qc.bind_parameters({theta: value}))
+            assert len(bound_after.instructions) == len(bound_before.instructions)
+            for after, before in zip(bound_after.instructions, bound_before.instructions):
+                assert after.name == before.name and after.qubits == before.qubits
+                np.testing.assert_allclose(
+                    [float(p) for p in after.params],
+                    [float(p) for p in before.params],
+                    atol=1e-15,
+                )
+
+    def test_symbolic_rejected_by_default(self):
+        qc = QuantumCircuit(2)
+        qc.cry(Parameter("t"), 0, 1)
+        with pytest.raises(TranspilerError):
+            transpile(qc)
+
+
+class TestStructureKey:
+    def test_same_structure_different_angles_share_a_key(self):
+        rng = np.random.default_rng(0)
+        a = _sweep_circuit(rng.uniform(0, np.pi, 8))
+        b = _sweep_circuit(rng.uniform(0, np.pi, 8))
+        assert circuit_structure_key(a) == circuit_structure_key(b)
+
+    def test_different_structure_changes_the_key(self):
+        a = _sweep_circuit(np.zeros(8))
+        b = QuantumCircuit(5, 1)
+        b.h(0).measure(0, 0)
+        assert circuit_structure_key(a) != circuit_structure_key(b)
+
+
+class TestTranspileCache:
+    def test_hit_output_identical_to_direct_transpile(self):
+        cache = TranspileCache()
+        cmap = CouplingMap.ibmq_5q_t()
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            circuit = _sweep_circuit(rng.uniform(0, np.pi, 8))
+            cached = cache.transpile(circuit, cmap)
+            direct = transpile(circuit, cmap)
+            assert len(cached.circuit.instructions) == len(direct.circuit.instructions)
+            for a, b in zip(cached.circuit.instructions, direct.circuit.instructions):
+                assert a.name == b.name and a.qubits == b.qubits and a.clbits == b.clbits
+                np.testing.assert_allclose(
+                    [float(p) for p in a.params],
+                    [float(p) for p in b.params],
+                    atol=1e-15,
+                )
+            assert (cached.cx_count, cached.inserted_swaps, cached.depth) == (
+                direct.cx_count,
+                direct.inserted_swaps,
+                direct.depth,
+            )
+        assert cache.stats == {"hits": 2, "misses": 1, "entries": 1}
+
+    def test_cached_circuit_simulates_identically(self):
+        cache = TranspileCache()
+        cmap = CouplingMap.ibmq_5q_t()
+        rng = np.random.default_rng(2)
+        cache.transpile(_sweep_circuit(rng.uniform(0, np.pi, 8)), cmap)  # prime
+        circuit = _sweep_circuit(rng.uniform(0, np.pi, 8))
+        from repro.quantum.simulator import StatevectorSimulator
+
+        cached_probs = StatevectorSimulator().run(cache.transpile(circuit, cmap).circuit).probabilities
+        direct_probs = StatevectorSimulator().run(transpile(circuit, cmap).circuit).probabilities
+        assert set(cached_probs) == set(direct_probs)
+        for key, value in direct_probs.items():
+            assert cached_probs[key] == pytest.approx(value, abs=1e-12)
+
+    def test_distinct_coupling_maps_do_not_collide(self):
+        cache = TranspileCache()
+        circuit = _sweep_circuit(np.linspace(0.1, 0.8, 8))
+        routed = cache.transpile(circuit, CouplingMap.ibmq_5q_t())
+        free = cache.transpile(circuit, CouplingMap.all_to_all(5))
+        assert cache.stats["misses"] == 2
+        assert routed.inserted_swaps > 0
+        assert free.inserted_swaps == 0
+
+    def test_symbolic_circuits_bypass_the_cache(self):
+        cache = TranspileCache()
+        qc = QuantumCircuit(2)
+        qc.ry(Parameter("t"), 0).cx(0, 1)
+        result = cache.transpile(qc.bind_parameters({Parameter("t"): 0.3}), None)
+        assert cache.stats["misses"] == 1
+        symbolic = cache.transpile(qc, None)
+        assert cache.stats == {"hits": 0, "misses": 1, "entries": 1}
+        assert symbolic.circuit.num_parameters == 1
+        assert result.circuit.num_parameters == 0
+
+    def test_lru_eviction_bounds_entries(self):
+        cache = TranspileCache(max_entries=2)
+        for width in (2, 3, 4):
+            qc = QuantumCircuit(width)
+            for q in range(width):
+                qc.ry(0.1 * (q + 1), q)
+            cache.transpile(qc, None)
+        assert len(cache) == 2
+        assert cache.stats["misses"] == 3
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(TranspilerError):
+            TranspileCache(max_entries=0)

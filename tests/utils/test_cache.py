@@ -1,0 +1,57 @@
+"""Tests for the shared bounded LRU cache."""
+
+import pytest
+
+from repro.utils.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_returns_none(self):
+        assert LRUCache(2).get("absent") is None
+
+    def test_put_and_get_round_trip(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh a by overwrite
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_size_bound_enforced(self):
+        cache = LRUCache(3)
+        for index in range(10):
+            cache.put(index, index + 1)
+        assert len(cache) == 3
+        assert cache.max_entries == 3
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_none_values_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(2).put("a", None)
