@@ -13,8 +13,9 @@ Two estimators implement the same interface:
   On simulator backends it is sweep-batched: a whole parameter-shift sweep of
   discriminator circuits is stacked into
   :meth:`~repro.quantum.backend.Backend.run_batch` calls, which the
-  statevector engine vectorises and the noisy backends amortise through a
-  structure-keyed transpile cache.
+  statevector engine vectorises as one batched-statevector pass and the noisy
+  backends execute as cached transpile re-binds feeding one vectorised
+  batched-density-matrix pass under the device noise model.
 """
 
 from __future__ import annotations
@@ -251,7 +252,8 @@ class SwapTestFidelityEstimator(FidelityEstimator):
     and hand the whole stack to
     :meth:`~repro.quantum.backend.Backend.ancilla_zero_probabilities`, so a
     statevector backend evolves the shared circuit structure once per
-    parameter row and a noisy backend re-binds its cached transpilation.
+    parameter row and a noisy backend re-binds its cached transpilation and
+    simulates the whole sweep as one batched density-matrix pass.
     Circuit construction is amortised too — the data-bound (trained-state
     symbolic) discriminator of each sample is memoised in an LRU cache, so a
     parameter-shift sweep only pays a flat parameter re-bind per circuit.
@@ -334,7 +336,14 @@ class SwapTestFidelityEstimator(FidelityEstimator):
         first = next(iterator, None)
         if first is None:
             return np.zeros(0)
-        chunk_size = max(1, self._max_batch_amplitudes // (2**first.num_qubits))
+        # A noisy backend simulates density matrices, whose per-element
+        # footprint is 4**n rather than 2**n — chunk against the true
+        # working-set size so the amplitude budget keeps meaning "complex
+        # entries in flight".
+        per_element = 2 ** (2 * first.num_qubits) if getattr(
+            self.backend, "is_noisy", False
+        ) else 2**first.num_qubits
+        chunk_size = max(1, self._max_batch_amplitudes // per_element)
         parts = []
         chunk = [first]
         for circuit in iterator:

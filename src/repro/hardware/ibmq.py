@@ -11,12 +11,9 @@ calibrated noise model, and read out through per-qubit assignment error.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.hardware.calibration import CalibrationProfile, get_calibration
 from repro.hardware.job import JobLedger
 from repro.quantum.backend import DeviceProperties, NoisyBackend
-from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.simulator import SimulationResult
 from repro.utils.rng import RandomState
 
@@ -50,11 +47,9 @@ class IBMQBackend(NoisyBackend):
         #: Ledger of every job executed on this backend instance.
         self.ledger = JobLedger()
 
-    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
-        """Execute a circuit with the site's topology, noise and readout error."""
-        result = super().run(circuit, shots=shots)
+    def _record_job(self, result: SimulationResult) -> None:
+        """Ledger every executed circuit, single runs and batches alike."""
         self.ledger.record(self.name, result, self.properties.queue_latency_seconds)
-        return result
 
 
 def ibmq_london(seed: RandomState = None) -> IBMQBackend:

@@ -16,12 +16,9 @@ Cairo's ≈72 % accuracy on the (3, 6) task.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.hardware.calibration import CalibrationProfile, get_calibration
 from repro.hardware.job import JobLedger
 from repro.quantum.backend import DeviceProperties, NoisyBackend
-from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.simulator import SimulationResult
 from repro.utils.rng import RandomState
 
@@ -44,11 +41,9 @@ class IonQBackend(NoisyBackend):
         #: Ledger of every job executed on this backend instance.
         self.ledger = JobLedger()
 
-    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
-        """Execute a circuit; no routing SWAPs are ever needed."""
-        result = super().run(circuit, shots=shots)
+    def _record_job(self, result: SimulationResult) -> None:
+        """Ledger every executed circuit, single runs and batches alike."""
         self.ledger.record(self.name, result, self.properties.queue_latency_seconds)
-        return result
 
 
 def ionq(seed: RandomState = None) -> IonQBackend:

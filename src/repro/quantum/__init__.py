@@ -8,6 +8,7 @@ topologies, a transpiler, and execution backends.
 
 from repro.quantum import gates
 from repro.quantum.batched import BatchedStatevector
+from repro.quantum.batched_density import BatchedDensityMatrix
 from repro.quantum.backend import (
     Backend,
     DeviceProperties,
@@ -65,6 +66,7 @@ from repro.quantum.transpiler import (
 
 __all__ = [
     "gates",
+    "BatchedDensityMatrix",
     "BatchedStatevector",
     "Backend",
     "DeviceProperties",

@@ -19,10 +19,15 @@ and exposes the SWAP-test readout for a sweep via
 :meth:`Backend.run`; the statevector backends delegate to
 :meth:`~repro.quantum.simulator.StatevectorSimulator.run_batch`, which evolves
 a structure-sharing sweep as one vectorised pass, and :class:`NoisyBackend`
-amortises its per-circuit cost through a structure-keyed
-:class:`~repro.quantum.transpiler.TranspileCache` plus a per-width region
-cache.  Backends whose batch path is worth routing sweeps through advertise
-``supports_batch = True``, which the SWAP-test fidelity estimator mirrors.
+re-binds each circuit through a structure-keyed
+:class:`~repro.quantum.transpiler.TranspileCache` (plus a per-width region
+cache) and then hands the whole transpiled sweep to
+:meth:`~repro.quantum.simulator.DensityMatrixSimulator.run_batch`, which
+evolves it as one :class:`~repro.quantum.batched_density.BatchedDensityMatrix`
+pass under the device noise model.  Backends whose batch path is worth routing
+sweeps through advertise ``supports_batch = True``, which the SWAP-test
+fidelity estimator mirrors; on every backend the batched results are
+equivalent to the loop (seed-identical counts where shots are sampled).
 """
 
 from __future__ import annotations
@@ -216,7 +221,12 @@ class NoisyBackend(Backend):
     chip region, and a structure-keyed
     :class:`~repro.quantum.transpiler.TranspileCache` that re-binds rotation
     angles into a previously transpiled template instead of re-running
-    decomposition and routing.
+    decomposition and routing.  :meth:`run_batch` then executes the whole
+    re-bound sweep as one vectorised
+    :meth:`~repro.quantum.simulator.DensityMatrixSimulator.run_batch` pass
+    (transpiled circuits of one sweep share their structure by construction),
+    so noisy sweeps batch end to end instead of simulating one density matrix
+    per circuit.
     """
 
     supports_batch = True
@@ -254,7 +264,8 @@ class NoisyBackend(Backend):
             self._region_cache[num_qubits] = cached
         return cached
 
-    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+    def _resolve_shots(self, shots: Optional[int]) -> int:
+        """Validate a shot request against the device's per-job limit."""
         shots = validate_shots(shots, self.name)
         shots = shots if shots is not None else 1024
         if shots > self.properties.max_shots:
@@ -262,6 +273,25 @@ class NoisyBackend(Backend):
                 f"{self.name} supports at most {self.properties.max_shots} shots per job, "
                 f"requested {shots}"
             )
+        return shots
+
+    @staticmethod
+    def _transpile_stats(transpiled) -> Dict[str, int]:
+        """Summary statistics of one transpilation, as reported in metadata."""
+        return {
+            "cx_count": transpiled.cx_count,
+            "inserted_swaps": transpiled.inserted_swaps,
+            "added_cx": transpiled.added_cx,
+            "depth": transpiled.depth,
+        }
+
+    def _transpile(self, circuit: QuantumCircuit):
+        """Transpile one circuit onto the selected chip region (cache-amortised).
+
+        Updates ``last_transpile_stats`` so repeated calls report the most
+        recently transpiled circuit, matching the per-circuit :meth:`run`
+        bookkeeping when a batch loops through here.
+        """
         if circuit.num_qubits > self.properties.num_qubits:
             raise BackendError(
                 f"{self.name} has {self.properties.num_qubits} qubits, circuit needs "
@@ -269,18 +299,55 @@ class NoisyBackend(Backend):
             )
         local_map = self._local_coupling_map(circuit.num_qubits)
         transpiled = self._transpile_cache.transpile(circuit, local_map)
-        self.last_transpile_stats = {
-            "cx_count": transpiled.cx_count,
-            "inserted_swaps": transpiled.inserted_swaps,
-            "added_cx": transpiled.added_cx,
-            "depth": transpiled.depth,
-        }
-        result = self._simulator.run(transpiled.circuit, shots=shots)
+        self.last_transpile_stats = self._transpile_stats(transpiled)
+        return transpiled
+
+    def _attach_metadata(self, result: SimulationResult, transpile_stats: Dict[str, int]) -> None:
         result.metadata.update(
             {
                 "backend": self.name,
-                "transpile": dict(self.last_transpile_stats),
+                "transpile": dict(transpile_stats),
                 "queue_latency_seconds": self.properties.queue_latency_seconds,
             }
         )
+
+    def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
+        shots = self._resolve_shots(shots)
+        transpiled = self._transpile(circuit)
+        result = self._simulator.run(transpiled.circuit, shots=shots)
+        self._attach_metadata(result, self.last_transpile_stats)
+        self._record_job(result)
         return result
+
+    def run_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: Optional[int] = None
+    ) -> List[SimulationResult]:
+        """Execute a batch: cached transpilation, then one vectorised noisy pass.
+
+        Every circuit re-binds through the structure-keyed transpile cache
+        (one symbolic transpilation per structure, flat re-binds after), and
+        the transpiled sweep executes through
+        :meth:`~repro.quantum.simulator.DensityMatrixSimulator.run_batch` —
+        one :class:`~repro.quantum.batched_density.BatchedDensityMatrix`
+        evolution plus one stacked shot draw when the sweep shares structure,
+        a transparent per-circuit fallback otherwise.  Results are
+        seed-identical to looping :meth:`run`.
+        """
+        shots = self._resolve_shots(shots)
+        transpiled = [self._transpile(circuit) for circuit in circuits]
+        results = self._simulator.run_batch(
+            [entry.circuit for entry in transpiled], shots=shots
+        )
+        for entry, result in zip(transpiled, results):
+            self._attach_metadata(result, self._transpile_stats(entry))
+            self._record_job(result)
+        return results
+
+    def _record_job(self, result: SimulationResult) -> None:
+        """Per-job accounting hook, called once per executed circuit.
+
+        The base class keeps no job records; the simulated providers in
+        :mod:`repro.hardware` override this to append to their
+        :class:`~repro.hardware.job.JobLedger`, so single runs and batches
+        share one accounting path.
+        """

@@ -1,0 +1,301 @@
+"""Batched mixed-state simulation.
+
+:class:`BatchedDensityMatrix` evolves a whole *stack* of ``n``-qubit density
+operators at once: states are stored as a ``(batch, 2**n, 2**n)`` complex
+array and every unitary or Kraus channel is folded into one
+``(4**k, 4**k)`` *superoperator* — ``sum_k kron(K_k, K_k.conj())`` — that
+contracts only the affected qubits' (row, column) axis pair in a single BLAS
+matmul over the whole batch.  This is what makes the vectorised noisy sweep
+fast: where :class:`~repro.quantum.density_matrix.DensityMatrix` embeds every
+Kraus operator into the full ``2**n``-dimensional space and pays two full
+matmuls per operator *per circuit*, the batched engine pays one small
+contraction per *channel* for the entire sweep, touching only the ``4**k``
+local dimensions instead of redundantly multiplying identity blocks.
+
+Operators come in two flavours, mirroring
+:class:`~repro.quantum.batched.BatchedStatevector`:
+
+* a shared ``(2**k, 2**k)`` matrix applied identically to every batch element
+  (fixed gates, and every noise channel of a structure-sharing sweep), and
+* a per-element ``(batch, 2**k, 2**k)`` stack (parameterised rotations whose
+  angle differs across the batch, built by the ``*_batch`` constructors in
+  :mod:`repro.quantum.gates`).
+
+Conventions
+-----------
+Axis 0 is always the batch axis.  Within each batch element the layout
+matches :class:`~repro.quantum.density_matrix.DensityMatrix` exactly: qubit 0
+is the most significant bit of the basis index, so reshaping one element to
+``(2,) * (2 * n)`` maps axis ``q`` to qubit ``q``'s row index and axis
+``n + q`` to its column index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.statevector import marginal_probabilities
+
+
+class BatchedDensityMatrix:
+    """A stack of ``batch`` density operators on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of independent states in the stack (all initialised to
+        ``|0...0><0...0|``).
+    num_qubits:
+        Width of each state.
+    """
+
+    def __init__(self, batch_size: int, num_qubits: int) -> None:
+        batch_size = int(batch_size)
+        num_qubits = int(num_qubits)
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        if num_qubits <= 0:
+            raise SimulationError(f"need at least one qubit, got {num_qubits}")
+        dim = 2**num_qubits
+        matrices = np.zeros((batch_size, dim, dim), dtype=complex)
+        matrices[:, 0, 0] = 1.0
+        self._batch_size = batch_size
+        self._num_qubits = num_qubits
+        self._matrices = matrices
+
+    # ------------------------------------------------------------------ #
+    # Constructors and accessors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_matrices(cls, matrices: np.ndarray) -> "BatchedDensityMatrix":
+        """Wrap an existing ``(batch, 2**n, 2**n)`` density stack (copied).
+
+        Every element must be a physical state — unit trace and Hermitian,
+        within the same tolerances as :class:`DensityMatrix` — so that
+        non-physical user input fails here rather than surfacing later as
+        silently wrong probabilities.
+        """
+        matrices = np.asarray(matrices, dtype=complex)
+        if matrices.ndim != 3 or matrices.shape[1] != matrices.shape[2]:
+            raise SimulationError(
+                f"expected a (batch, 2**n, 2**n) density stack, got shape {matrices.shape}"
+            )
+        batch_size, dim = matrices.shape[0], matrices.shape[1]
+        num_qubits = int(round(math.log2(dim))) if dim else 0
+        if batch_size == 0 or dim == 0 or 2**num_qubits != dim:
+            raise SimulationError(
+                f"density stack of shape {matrices.shape} is not a non-empty "
+                "batch of power-of-two matrices"
+            )
+        traces = np.real(np.einsum("bii->b", matrices))
+        if not np.allclose(traces, 1.0, atol=1e-6):
+            raise SimulationError(
+                "every density matrix in the stack must have unit trace"
+            )
+        if not np.allclose(matrices, matrices.conj().transpose(0, 2, 1), atol=1e-8):
+            raise SimulationError(
+                "every density matrix in the stack must be Hermitian"
+            )
+        state = cls(batch_size, num_qubits)
+        state._matrices = matrices.copy()
+        return state
+
+    @classmethod
+    def from_density_matrices(cls, states: Iterable) -> "BatchedDensityMatrix":
+        """Stack per-circuit :class:`~repro.quantum.density_matrix.DensityMatrix` objects."""
+        rows = [state.data for state in states]
+        if not rows:
+            raise SimulationError("cannot build a batch from zero density matrices")
+        return cls.from_matrices(np.stack(rows))
+
+    @property
+    def batch_size(self) -> int:
+        """Number of states in the stack."""
+        return self._batch_size
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of each state."""
+        return self._num_qubits
+
+    @property
+    def matrices(self) -> np.ndarray:
+        """The ``(batch, 2**n, 2**n)`` density stack (a copy)."""
+        return self._matrices.copy()
+
+    def density_matrix(self, index: int):
+        """Extract one batch element as a :class:`DensityMatrix`."""
+        from repro.quantum.density_matrix import DensityMatrix
+
+        if not 0 <= index < self._batch_size:
+            raise SimulationError(
+                f"batch index {index} out of range for batch of {self._batch_size}"
+            )
+        return DensityMatrix._from_trusted(
+            self._matrices[index].copy(), self._num_qubits
+        )
+
+    def traces(self) -> np.ndarray:
+        """Per-element traces (1.0 for valid states)."""
+        return np.real(np.einsum("bii->b", self._matrices))
+
+    def purities(self) -> np.ndarray:
+        """Per-element purities ``Tr(rho^2)``; 1.0 for pure states."""
+        return np.real(np.einsum("bij,bji->b", self._matrices, self._matrices))
+
+    def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-element Z-basis probabilities, shape ``(batch, 2**m)``.
+
+        Clips small negative diagonal entries (numerical noise from Kraus
+        accumulation) and renormalises each element, exactly as
+        :meth:`DensityMatrix.probabilities` does per circuit.  Elements whose
+        diagonal sums to zero or is not finite raise
+        :class:`~repro.exceptions.SimulationError` instead of yielding NaN
+        probabilities.
+        """
+        diagonal = np.clip(np.real(np.einsum("bii->bi", self._matrices)), 0.0, None)
+        totals = diagonal.sum(axis=1)
+        if not np.all(np.isfinite(totals)) or np.any(totals <= 0.0):
+            raise SimulationError(
+                "cannot compute probabilities: a density-matrix diagonal is "
+                "all zero or not finite"
+            )
+        probs = diagonal / totals[:, None]
+        if qubits is None:
+            return probs
+        return marginal_probabilities(probs, qubits, self._num_qubits)
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+    def _check_qubits(self, qubits: Sequence[int]) -> Tuple[int, ...]:
+        qubits = tuple(int(q) for q in qubits)
+        if len(set(qubits)) != len(qubits):
+            raise SimulationError(f"duplicate qubit indices in {qubits}")
+        for q in qubits:
+            if q < 0 or q >= self._num_qubits:
+                raise SimulationError(
+                    f"qubit index {q} out of range for {self._num_qubits} qubits"
+                )
+        return qubits
+
+    def _operator_term(self, operator: np.ndarray, k: int) -> Tuple[np.ndarray, bool]:
+        """One conjugation superoperator ``kron(K, K.conj())`` for ``K``.
+
+        ``K`` is a shared ``(2**k, 2**k)`` matrix (term shape
+        ``(4**k, 4**k)``) or a per-element ``(batch, 2**k, 2**k)`` stack
+        (term shape ``(batch, 4**k, 4**k)``).
+        """
+        operator = np.asarray(operator, dtype=complex)
+        if operator.ndim == 3:
+            if operator.shape != (self._batch_size, 2**k, 2**k):
+                raise SimulationError(
+                    f"batched operator shape {operator.shape} does not match batch "
+                    f"{self._batch_size} on {k} qubit(s)"
+                )
+            conjugate = operator.conj()
+            term = (
+                operator[:, :, None, :, None] * conjugate[:, None, :, None, :]
+            ).reshape(self._batch_size, 4**k, 4**k)
+            return term, True
+        if operator.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"operator shape {operator.shape} does not match {k} qubit(s)"
+            )
+        return np.kron(operator, operator.conj()), False
+
+    def _apply_superop(
+        self, superop: np.ndarray, qubits: Tuple[int, ...], per_element: bool
+    ) -> None:
+        """Contract a channel superoperator with the qubits' axis pairs.
+
+        Each batch element is viewed as a ``(2,) * (2n)`` tensor whose axis
+        ``q`` is qubit ``q``'s row (ket) index and axis ``n + q`` its column
+        (bra) index.  The ``2k`` axes belonging to ``qubits`` are moved to
+        the end and flattened into a length-``4**k`` vectorised index, so the
+        whole channel — every Kraus operator at once — is a single
+        ``(rest, 4**k) @ (4**k, 4**k)`` matmul across the entire batch
+        (batched matmul for a per-element superoperator stack).
+        """
+        n = self._num_qubits
+        k = len(qubits)
+        dim = 2**n
+        tensor = self._matrices.reshape((self._batch_size,) + (2,) * (2 * n))
+        source_axes = tuple(1 + q for q in qubits) + tuple(1 + n + q for q in qubits)
+        ndim = 1 + 2 * n
+        dest_axes = tuple(range(ndim - 2 * k, ndim))
+        moved = np.moveaxis(tensor, source_axes, dest_axes)
+        moved_shape = moved.shape
+        if per_element:
+            flat = np.ascontiguousarray(moved).reshape(self._batch_size, -1, 4**k)
+            out = np.matmul(flat, superop.transpose(0, 2, 1))
+        else:
+            flat = np.ascontiguousarray(moved).reshape(-1, 4**k)
+            out = flat @ superop.T
+        out = np.moveaxis(out.reshape(moved_shape), dest_axes, source_axes)
+        self._matrices = np.ascontiguousarray(out).reshape(self._batch_size, dim, dim)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "BatchedDensityMatrix":
+        """Apply a unitary to ``qubits`` of every batch element in place.
+
+        ``matrix`` is either a shared ``(2**k, 2**k)`` unitary (applied to
+        all elements) or a ``(batch, 2**k, 2**k)`` stack with one unitary per
+        element.  Returns ``self`` to allow chaining.
+        """
+        qubits = self._check_qubits(qubits)
+        superop, per_element = self._operator_term(matrix, len(qubits))
+        self._apply_superop(superop, qubits, per_element)
+        return self
+
+    def apply_kraus(
+        self, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]
+    ) -> "BatchedDensityMatrix":
+        """Apply a quantum channel ``rho -> sum_k K_k rho K_k†`` on ``qubits``.
+
+        Each Kraus operator is a shared ``(2**k, 2**k)`` matrix or a
+        per-element ``(batch, 2**k, 2**k)`` stack; flavours may be mixed
+        within one channel.
+        """
+        qubits = self._check_qubits(qubits)
+        kraus_operators = list(kraus_operators)
+        if not kraus_operators:
+            raise SimulationError("a channel needs at least one Kraus operator")
+        k = len(qubits)
+        superop: Optional[np.ndarray] = None
+        per_element = False
+        for kraus in kraus_operators:
+            term, term_per_element = self._operator_term(kraus, k)
+            if term_per_element and not per_element and superop is not None:
+                superop = superop[None]  # broadcast the shared prefix sum
+            elif per_element and not term_per_element:
+                term = term[None]
+            per_element = per_element or term_per_element
+            superop = term if superop is None else superop + term
+        self._apply_superop(superop, qubits, per_element)
+        return self
+
+    def apply_instruction(self, instruction) -> "BatchedDensityMatrix":
+        """Apply one bound gate instruction to every batch element."""
+        if instruction.name == "barrier":
+            return self
+        if not instruction.is_gate:
+            raise SimulationError(
+                f"BatchedDensityMatrix cannot apply non-unitary instruction "
+                f"'{instruction.name}' directly"
+            )
+        return self.apply_matrix(instruction.matrix(), instruction.qubits)
+
+    def evolve(self, circuit) -> "BatchedDensityMatrix":
+        """Apply every gate of a bound, measurement-free circuit to all elements."""
+        for instruction in circuit.instructions:
+            if instruction.is_measurement or instruction.name == "reset":
+                raise SimulationError(
+                    "BatchedDensityMatrix.evolve only supports unitary circuits; "
+                    "use DensityMatrixSimulator.run_batch for measurements"
+                )
+            self.apply_instruction(instruction)
+        return self

@@ -55,8 +55,30 @@ class DensityMatrix:
             trace = np.trace(matrix).real
             if not math.isclose(trace, 1.0, abs_tol=1e-6):
                 raise SimulationError(f"density matrix must have unit trace, got {trace:.6f}")
+            if not np.allclose(matrix, matrix.conj().T, atol=1e-8):
+                # A non-Hermitian operator is not a physical state: its
+                # diagonal need not be real, so downstream "probabilities"
+                # would silently go negative or complex.  Fail at
+                # construction instead.
+                raise SimulationError("density matrix must be Hermitian")
         self._num_qubits = num_qubits
         self._matrix = matrix
+
+    @classmethod
+    def _from_trusted(cls, matrix: np.ndarray, num_qubits: int) -> "DensityMatrix":
+        """Wrap an engine-produced matrix without copying or re-validating.
+
+        Only for simulation engines handing over states they evolved
+        themselves (e.g. :meth:`BatchedDensityMatrix.density_matrix`): the
+        constructor's trace/Hermiticity checks exist to reject non-physical
+        *user input*, and re-running them here would both duplicate work per
+        batch element and let accumulated rounding raise on the batched path
+        where the in-place-mutating loop path cannot.
+        """
+        state = cls.__new__(cls)
+        state._num_qubits = int(num_qubits)
+        state._matrix = matrix
+        return state
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -84,9 +106,23 @@ class DensityMatrix:
         return float(np.trace(self._matrix @ self._matrix).real)
 
     def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
-        """Z-basis measurement probabilities, optionally marginalised."""
+        """Z-basis measurement probabilities, optionally marginalised.
+
+        Raises
+        ------
+        SimulationError
+            If the diagonal sums to zero or is not finite — dividing through
+            would silently yield NaN "probabilities" (mirrors the zero/empty
+            guard in :func:`~repro.quantum.measurement.counts_from_probabilities`).
+        """
         diagonal = np.clip(np.real(np.diag(self._matrix)), 0.0, None)
-        diagonal = diagonal / diagonal.sum()
+        total = diagonal.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            raise SimulationError(
+                "cannot compute probabilities: density-matrix diagonal is all "
+                "zero or not finite"
+            )
+        diagonal = diagonal / total
         if qubits is None:
             return diagonal
         qubits = tuple(int(q) for q in qubits)
@@ -232,11 +268,14 @@ class DensityMatrix:
         """Sample Z-basis measurement outcomes without collapsing the state."""
         if shots <= 0:
             raise SimulationError(f"shots must be positive, got {shots}")
+        from repro.quantum.measurement import normalize_outcome_probabilities
+
         generator = ensure_rng(rng)
         qubits = tuple(range(self._num_qubits)) if qubits is None else tuple(qubits)
-        probs = self.probabilities(qubits)
-        probs = np.clip(probs, 0, None)
-        probs = probs / probs.sum()
+        # ``normalize_outcome_probabilities`` is the shared clip/renormalise
+        # path of every sampler; it raises instead of dividing by zero when
+        # the marginal collapses to an all-zero vector.
+        probs = normalize_outcome_probabilities(self.probabilities(qubits))
         outcomes = generator.multinomial(shots, probs)
         width = len(qubits)
         counts: Dict[str, int] = {}

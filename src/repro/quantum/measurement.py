@@ -91,8 +91,9 @@ def normalize_outcome_probabilities(probabilities: np.ndarray) -> np.ndarray:
     """Clip negatives and normalise outcome probabilities along the last axis.
 
     Shared by the per-circuit sampler (:func:`counts_from_probabilities`) and
-    the batched sampler (:meth:`StatevectorSimulator._sample_batch`) so both
-    feed *identical* probability vectors to the RNG — the draw-for-draw
+    the batched sampler used by both simulator engines
+    (``repro.quantum.simulator._sample_counts_batch``) so every path feeds
+    *identical* probability vectors to the RNG — the draw-for-draw
     batched-vs-loop equivalence depends on this being a single code path.
     Rows whose total is zero or non-finite raise :class:`SimulationError`.
     """

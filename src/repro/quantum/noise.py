@@ -276,14 +276,44 @@ class NoiseModel:
         t1, t2, gate_time:
             Optional thermal-relaxation parameters (same time units); when
             provided, relaxation is applied after single-qubit gates as well.
+            Either all three are given (with a positive ``gate_time``) or
+            none — a partial specification raises instead of silently
+            producing a relaxation-free model.
+
+        Raises
+        ------
+        SimulationError
+            If any error rate lies outside ``[0, 1]`` (negative rates used to
+            be silently dropped, producing an ideal channel from invalid
+            input) or the relaxation parameters are only partially specified.
         """
+        for name, rate in (
+            ("single_qubit_error", single_qubit_error),
+            ("two_qubit_error", two_qubit_error),
+            ("readout_error", readout_error),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {rate}")
+        if gate_time < 0:
+            raise SimulationError(f"gate_time must be non-negative, got {gate_time}")
+        relaxation = {
+            "t1": t1,
+            "t2": t2,
+            "gate_time": gate_time if gate_time > 0 else None,
+        }
+        missing = [name for name, value in relaxation.items() if value is None]
+        if missing and len(missing) != len(relaxation):
+            raise SimulationError(
+                "thermal relaxation requires t1, t2 and a positive gate_time "
+                f"together; missing {missing} would silently drop relaxation"
+            )
         model = cls()
         if single_qubit_error > 0:
             model.add_all_qubit_error(depolarizing_kraus(single_qubit_error, 1), 1)
         if two_qubit_error > 0:
             model.add_all_qubit_error(depolarizing_kraus(two_qubit_error, 2), 2)
             model.add_all_qubit_error(depolarizing_kraus(two_qubit_error, 3), 3)
-        if t1 is not None and t2 is not None and gate_time > 0:
+        if not missing:
             model.add_all_qubit_error(thermal_relaxation_kraus(t1, t2, gate_time), 1)
         if readout_error > 0:
             model.add_readout_error(ReadoutError(readout_error, readout_error))

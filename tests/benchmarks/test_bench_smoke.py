@@ -1,0 +1,85 @@
+"""Smoke tests keeping the ``benchmarks/bench_*.py`` scripts from rotting.
+
+The benchmark scripts are not collected by the default test run (their file
+names do not match ``test_*.py``), so an API change could silently break
+them.  These tests import every bench module and run the perf-benchmark
+entry points at tiny size; the full-size executions are available behind the
+``slow`` marker (``pytest -m slow tests/benchmarks``), which the default
+suite excludes.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+BENCH_MODULES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+
+def load_bench_module(name: str):
+    """Import one benchmark script by path (benchmarks/ is not a package)."""
+    path = BENCH_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"bench_smoke_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_benchmark_directory_is_populated():
+    assert len(BENCH_MODULES) >= 15
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_bench_module_imports_and_exposes_an_entry_point(name):
+    """Every bench script must import cleanly and define a runnable entry."""
+    module = load_bench_module(name)
+    entry_points = [
+        attr
+        for attr, value in vars(module).items()
+        if callable(value) and (attr.startswith("run_") or attr.startswith("test_"))
+    ]
+    assert entry_points, f"benchmarks/{name}.py defines no runnable entry point"
+
+
+class TestPerfBenchEntryPointsTiny:
+    """Run the perf benchmarks' entry points on shrunken workloads."""
+
+    def test_gradient_sweep(self):
+        module = load_bench_module("bench_gradient_sweep")
+        payload = module.run_gradient_sweep_benchmark(epochs=1)
+        assert payload["workload"]["epochs"] == 1
+        assert payload["max_weight_diff"] < 1e-10
+        assert payload["max_epoch_loss_diff"] < 1e-10
+        assert payload["batched_seconds"] > 0
+
+    def test_swap_test_sweep(self):
+        module = load_bench_module("bench_swap_test_sweep")
+        module.TRAIN_EPOCHS = 1
+        module.SHOTS_GRID = (64, None)
+        module.REPETITIONS = 1
+        payload = module.run_swap_test_sweep_benchmark()
+        assert payload["exact_max_diff"] < 1e-12
+        assert payload["sampled_seed_match"] is True
+        assert payload["noisy_seed_match"] is True
+
+    def test_noisy_sweep(self):
+        module = load_bench_module("bench_noisy_sweep")
+        module.TRAIN_EPOCHS = 1
+        module.REPETITIONS = 1
+        module.SAMPLE_LIMIT = 4
+        payload = module.run_noisy_sweep_benchmark()
+        assert payload["workload"]["num_samples"] == 4
+        assert payload["seed_match"] is True
+        assert payload["transpile_cache"]["hits"] > 0
+
+
+@pytest.mark.slow
+class TestPerfBenchFullSize:
+    """Full-size benchmark runs (opt-in: ``pytest -m slow tests/benchmarks``)."""
+
+    def test_noisy_sweep_meets_speedup_floor(self):
+        module = load_bench_module("bench_noisy_sweep")
+        payload = module.run_noisy_sweep_benchmark()
+        assert payload["seed_match"] is True
+        assert payload["speedup_vs_loop"] >= module.MIN_SPEEDUP

@@ -98,3 +98,26 @@ class TestExecution:
         backend = ibmq_melbourne(seed=0)
         result = backend.run(discriminator_circuit(), shots=None)
         assert result.density_matrix.num_qubits == 5
+
+
+class TestBatchExecution:
+    def test_batch_counts_seed_match_the_run_loop(self):
+        """The vectorised noisy batch draws shot for shot like sequential runs."""
+        model = QuClassi(num_features=4, num_classes=2, architecture="s", seed=0)
+        rng = np.random.default_rng(0)
+        circuits = [
+            model.discriminator_circuit(0, rng.uniform(0, 1, 4)) for _ in range(4)
+        ]
+        batched = ibmq_london(seed=7).run_batch(circuits, shots=300)
+        loop_backend = ibmq_london(seed=7)
+        looped = [loop_backend.run(circuit, shots=300) for circuit in circuits]
+        assert [r.counts.data for r in batched] == [r.counts.data for r in looped]
+
+    @pytest.mark.parametrize("factory", [ibmq_london, ionq])
+    def test_batch_records_every_job_in_the_ledger(self, factory):
+        backend = factory(seed=0)
+        circuit = discriminator_circuit()
+        backend.run_batch([circuit, circuit.copy(), circuit.copy()], shots=128)
+        assert backend.ledger.num_jobs == 3
+        assert backend.ledger.total_shots == 3 * 128
+        assert all(record.cx_count >= 0 for record in backend.ledger.records)

@@ -134,3 +134,52 @@ def test_depolarizing_channel_trace_preserving(probability):
     dm.apply_kraus(depolarizing_kraus(probability), (0,))
     assert dm.trace() == pytest.approx(1.0, abs=1e-9)
     assert dm.purity() <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t1=st.floats(min_value=1.0, max_value=200.0),
+    t2_scale=st.floats(min_value=0.05, max_value=2.0),
+    gate_time=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_thermal_relaxation_kraus_completeness(t1, t2_scale, gate_time):
+    """The composed damping+dephasing channel satisfies sum K†K = I."""
+    from repro.quantum.noise import is_valid_channel, thermal_relaxation_kraus
+
+    t2 = t1 * t2_scale  # always physical: t2 <= 2 * t1
+    assert is_valid_channel(thermal_relaxation_kraus(t1, t2, gate_time))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    single_error=st.floats(min_value=0.0, max_value=0.2),
+    two_error=st.floats(min_value=0.0, max_value=0.2),
+    t1=st.floats(min_value=5.0, max_value=100.0),
+    t2_scale=st.floats(min_value=0.1, max_value=1.5),
+    gate_time=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_stacked_gate_channels_are_each_complete(
+    single_error, two_error, t1, t2_scale, gate_time
+):
+    """Every channel a device model stacks onto a gate is trace preserving.
+
+    ``from_error_rates`` composes depolarising noise with thermal relaxation
+    on single-qubit gates; applying the stack in sequence only preserves the
+    state's trace if each stacked channel is complete on its own.
+    """
+    from repro.quantum.density_matrix import DensityMatrix
+    from repro.quantum.noise import NoiseModel, is_valid_channel
+
+    model = NoiseModel.from_error_rates(
+        single_error, two_error, t1=t1, t2=t1 * t2_scale, gate_time=gate_time
+    )
+    channels = model.gate_channels("ry", 1) + model.gate_channels("cx", 2)
+    assert channels  # relaxation is always attached under these strategies
+    for channel in channels:
+        assert is_valid_channel(channel)
+
+    dm = DensityMatrix(1)
+    dm.apply_matrix(gates.HADAMARD, (0,))
+    for channel in model.gate_channels("ry", 1):
+        dm.apply_kraus(channel, (0,))
+    assert dm.trace() == pytest.approx(1.0, abs=1e-9)

@@ -239,6 +239,50 @@ class TestRunBatch:
         looped = [loop_backend.run(circuit, shots=200) for circuit in circuits]
         assert [r.counts.data for r in batched] == [r.counts.data for r in looped]
 
+    def test_noisy_batch_exact_probabilities_match_loop(self):
+        rng = np.random.default_rng(12)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(5)]
+        batched = NoisyBackend(make_device(), seed=0).run_batch(circuits, shots=None)
+        loop_backend = NoisyBackend(make_device(), seed=0)
+        for circuit, result in zip(circuits, batched):
+            single = loop_backend.run(circuit, shots=None)
+            assert set(result.probabilities) == set(single.probabilities)
+            for key, value in single.probabilities.items():
+                assert result.probabilities[key] == pytest.approx(value, abs=1e-12)
+
+    def test_noisy_batch_is_vectorised_and_reports_metadata(self):
+        """A structure-sharing sweep runs through the batched density engine."""
+        rng = np.random.default_rng(13)
+        circuits = [rotation_circuit(rng.uniform(0, np.pi, 3)) for _ in range(3)]
+        backend = NoisyBackend(make_device(), seed=0)
+        results = backend.run_batch(circuits, shots=100)
+        for result in results:
+            assert result.metadata["batched"] is True
+            assert result.metadata["batch_size"] == 3
+            assert result.metadata["backend"] == backend.name
+            assert result.metadata["transpile"]["cx_count"] >= 0
+            assert result.metadata["queue_latency_seconds"] == pytest.approx(42.0)
+        # One symbolic transpilation, then flat re-binds.
+        assert backend.transpile_cache_stats["misses"] == 1
+        assert backend.transpile_cache_stats["hits"] == 2
+
+    def test_noisy_batch_enforces_shot_limit(self):
+        backend = NoisyBackend(make_device(), seed=0)
+        with pytest.raises(BackendError):
+            backend.run_batch([rotation_circuit([0.1, 0.2, 0.3])], shots=100_000)
+
+    def test_noisy_batch_rejects_too_wide_circuit(self):
+        backend = NoisyBackend(make_device(num_qubits=3), seed=0)
+        with pytest.raises(BackendError):
+            backend.run_batch([ghz_circuit(4)], shots=64)
+
+    def test_noisy_batch_default_shots_match_run_default(self):
+        circuit = rotation_circuit([0.4, 0.8, 1.2])
+        batched = NoisyBackend(make_device(), seed=2).run_batch([circuit])
+        single = NoisyBackend(make_device(), seed=2).run(circuit)
+        assert batched[0].shots == single.shots == 1024
+        assert batched[0].counts.data == single.counts.data
+
 
 class TestNoisyBackendTranspileCache:
     def test_repeat_structures_hit_the_cache(self):

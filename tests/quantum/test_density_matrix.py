@@ -35,6 +35,16 @@ class TestConstruction:
         with pytest.raises(SimulationError):
             DensityMatrix(np.eye(3) / 3)
 
+    def test_rejects_non_hermitian_matrix(self):
+        """Unit trace alone is not physical: non-Hermitian input must fail."""
+        matrix = np.array([[0.5, 0.4], [0.1, 0.5]], dtype=complex)
+        with pytest.raises(SimulationError, match="Hermitian"):
+            DensityMatrix(matrix)
+
+    def test_accepts_hermitian_within_tolerance(self):
+        matrix = np.array([[0.5, 0.25 + 1e-12j], [0.25, 0.5]], dtype=complex)
+        DensityMatrix(matrix)  # must not raise
+
 
 class TestUnitaryEvolution:
     def test_matches_statevector_on_bell_circuit(self):
@@ -150,6 +160,34 @@ class TestMeasurement:
         dm.apply_matrix(gates.HADAMARD, (0,))
         counts = dm.sample_counts(500, rng=1)
         assert sum(counts.values()) == 500
+
+
+class TestZeroDiagonalGuard:
+    """An all-zero diagonal must raise instead of yielding NaN probabilities."""
+
+    @staticmethod
+    def _zeroed() -> DensityMatrix:
+        dm = DensityMatrix(1)
+        dm._matrix = np.zeros_like(dm._matrix)
+        return dm
+
+    def test_probabilities_raise(self):
+        with pytest.raises(SimulationError):
+            self._zeroed().probabilities()
+
+    def test_marginal_probabilities_raise(self):
+        with pytest.raises(SimulationError):
+            self._zeroed().probabilities([0])
+
+    def test_sample_counts_raise(self):
+        with pytest.raises(SimulationError):
+            self._zeroed().sample_counts(100, rng=0)
+
+    def test_non_finite_diagonal_raises(self):
+        dm = DensityMatrix(1)
+        dm._matrix = np.full_like(dm._matrix, np.nan)
+        with pytest.raises(SimulationError):
+            dm.probabilities()
 
 
 class TestFidelity:

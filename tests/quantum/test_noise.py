@@ -109,3 +109,48 @@ class TestNoiseModel:
         model = NoiseModel()
         with pytest.raises(SimulationError):
             model.add_gate_error("cx", [np.eye(4) * 0.3])
+
+
+class TestFromErrorRatesValidation:
+    """Invalid summary rates must raise, not silently build an ideal model."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"single_qubit_error": -0.001, "two_qubit_error": 0.01},
+            {"single_qubit_error": 0.001, "two_qubit_error": -0.01},
+            {"single_qubit_error": 0.001, "two_qubit_error": 0.01, "readout_error": -0.02},
+            {"single_qubit_error": 1.5, "two_qubit_error": 0.01},
+            {"single_qubit_error": 0.001, "two_qubit_error": 0.01, "readout_error": 2.0},
+        ],
+    )
+    def test_out_of_range_rates_raise(self, kwargs):
+        with pytest.raises(SimulationError):
+            NoiseModel.from_error_rates(**kwargs)
+
+    @pytest.mark.parametrize(
+        "relaxation",
+        [
+            {"t1": 50.0},
+            {"t2": 60.0},
+            {"t1": 50.0, "t2": 60.0},  # relaxation times but no duration
+            {"gate_time": 0.1},
+            {"t1": 50.0, "gate_time": 0.1},
+        ],
+    )
+    def test_partial_relaxation_raises(self, relaxation):
+        with pytest.raises(SimulationError):
+            NoiseModel.from_error_rates(0.001, 0.01, **relaxation)
+
+    def test_negative_gate_time_raises(self):
+        with pytest.raises(SimulationError):
+            NoiseModel.from_error_rates(0.001, 0.01, t1=50.0, t2=60.0, gate_time=-0.1)
+
+    def test_full_relaxation_attaches_a_second_single_qubit_channel(self):
+        model = NoiseModel.from_error_rates(
+            0.001, 0.01, t1=50.0, t2=60.0, gate_time=0.1
+        )
+        assert len(model.gate_channels("ry", 1)) == 2
+
+    def test_zero_rates_without_relaxation_build_an_ideal_model(self):
+        assert NoiseModel.from_error_rates(0.0, 0.0).is_ideal
