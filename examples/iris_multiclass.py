@@ -10,17 +10,23 @@ Reproduces the workflow behind the paper's Fig. 6 at example scale:
 Run with::
 
     python examples/iris_multiclass.py
+
+Pass ``--workers N`` to shard each model's per-class training across a
+worker pool (``--strategy`` picks thread or process workers); the trained
+models are bit-identical to the serial run.
 """
 
+import argparse
 import tempfile
 
 from repro.baselines import dnn_for_parameter_budget
 from repro.core import QuClassi
 from repro.datasets import load_iris, prepare_task
 from repro.experiments import format_table
+from repro.parallel import ShardExecutor
 
 
-def train_quclassi_variants(data, epochs: int = 20):
+def train_quclassi_variants(data, epochs: int = 20, executor=None):
     """Train one model per layer architecture and return {name: model}."""
     models = {}
     for architecture in ("s", "sd", "sde"):
@@ -30,7 +36,10 @@ def train_quclassi_variants(data, epochs: int = 20):
             architecture=architecture,
             seed=0,
         )
-        model.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.1)
+        model.fit(
+            data.x_train, data.y_train, epochs=epochs, learning_rate=0.1,
+            executor=executor,
+        )
         models[f"QC-{architecture.upper()}"] = model
     return models
 
@@ -46,9 +55,25 @@ def train_dnn_baselines(data, budgets=(12, 56, 112), epochs: int = 30):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="shard per-class training across N workers (0 = serial)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("thread", "process"), default="thread",
+        help="worker-pool strategy used with --workers",
+    )
+    args = parser.parse_args()
+    executor = (
+        ShardExecutor(args.strategy, max_workers=args.workers)
+        if args.workers > 0
+        else None
+    )
+
     data = prepare_task(load_iris(), test_fraction=0.3, rng=0)
 
-    quantum_models = train_quclassi_variants(data)
+    quantum_models = train_quclassi_variants(data, executor=executor)
     classical_models = train_dnn_baselines(data)
 
     rows = []

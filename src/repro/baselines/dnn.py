@@ -62,7 +62,8 @@ class DNNClassifier:
         self.num_features = int(num_features)
         self.num_classes = int(num_classes)
         self.hidden_units = int(hidden_units)
-        rng = ensure_rng(seed)
+        self._rng = ensure_rng(seed)
+        rng = self._rng
         scale_hidden = 1.0 / np.sqrt(num_features)
         scale_output = 1.0 / np.sqrt(hidden_units)
         self.weights_hidden = rng.normal(0.0, scale_hidden, size=(num_features, hidden_units))
@@ -137,7 +138,10 @@ class DNNClassifier:
             raise TrainingError("epochs and batch_size must be positive")
         targets = one_hot(labels, self.num_classes)
         optimizer = SGD(learning_rate=learning_rate, momentum=momentum)
-        generator = ensure_rng(rng)
+        # Default to the constructor-seeded stream: a bare ``fit()`` must be
+        # deterministic given the model seed, or figure sweeps (and their
+        # sharded equivalents) cannot be reproduced bit-for-bit.
+        generator = ensure_rng(rng) if rng is not None else self._rng
         history = DNNHistory()
 
         for _ in range(epochs):

@@ -72,7 +72,8 @@ class QFpNetLikeClassifier:
         self.num_features = int(num_features)
         self.num_classes = int(num_classes)
         self.hidden_units = int(hidden_units)
-        rng = ensure_rng(seed)
+        self._rng = ensure_rng(seed)
+        rng = self._rng
         self.weights_p = rng.normal(0.0, 1.0, size=(hidden_units, num_features))
         self.weights_output = rng.normal(0.0, 1.0 / np.sqrt(hidden_units), size=(hidden_units, num_classes))
         self.bias_output = np.zeros(num_classes)
@@ -145,7 +146,8 @@ class QFpNetLikeClassifier:
                 f"[{labels.min()}, {labels.max()}]"
             )
         targets = one_hot(labels, self.num_classes)
-        generator = ensure_rng(rng)
+        # Constructor-seeded default stream (see DNNClassifier.fit).
+        generator = ensure_rng(rng) if rng is not None else self._rng
         history = QFHistory()
 
         for _ in range(epochs):

@@ -65,7 +65,8 @@ class TFQLikeClassifier:
             raise ValidationError(f"num_layers must be positive, got {num_layers}")
         self.num_features = int(num_features)
         self.num_layers = int(num_layers)
-        rng = ensure_rng(seed)
+        self._rng = ensure_rng(seed)
+        rng = self._rng
         #: Flat parameter vector: per layer, one CRX angle per data qubit plus
         #: one free RX angle on the readout qubit.
         self.parameters_ = rng.uniform(0.0, np.pi, size=num_layers * (num_features + 1))
@@ -158,7 +159,8 @@ class TFQLikeClassifier:
             )
         if labels.shape != (features.shape[0],):
             raise TrainingError("labels must have one entry per sample")
-        generator = ensure_rng(rng)
+        # Constructor-seeded default stream (see DNNClassifier.fit).
+        generator = ensure_rng(rng) if rng is not None else self._rng
         history = TFQHistory()
         shift = math.pi / 2.0
 

@@ -6,6 +6,14 @@ ablations called out in DESIGN.md.  Every function accepts size knobs
 laptop; pass larger values to approach the paper's full runs.  All functions
 return an :class:`~repro.experiments.harness.ExperimentResult`.
 
+The multi-cell sweeps (fig6b, fig9–12 and the ablations) additionally accept
+an ``executor`` — a :class:`~repro.parallel.ShardExecutor` or strategy string
+— that fans their independent (backend, class, setting) cells out across a
+worker pool via :func:`~repro.experiments.harness.run_cells`.  Each cell is a
+module-level function (picklable for process pools) that constructs its own
+models and backends from seeds, so sharded sweeps are bit-identical to the
+serial ones.
+
 The index of experiment id → paper anchor → bench target lives in DESIGN.md;
 EXPERIMENTS.md records paper-vs-measured values for each.
 """
@@ -28,6 +36,7 @@ from repro.encoding import DualAngleEncoder, SingleAngleEncoder
 from repro.experiments.harness import (
     ExperimentResult,
     accuracy_summary,
+    run_cells,
     train_dnn_with_budget,
     train_quclassi,
 )
@@ -87,31 +96,54 @@ def fig6a_multiclass_loss(epochs: int = 25, learning_rate: float = 0.1, seed: Ra
     return result
 
 
+def _fig6b_cell(payload) -> Dict[str, object]:
+    """One fig6b bar: train a QuClassi architecture or a DNN budget cell."""
+    kind, setting, data, epochs, seed = payload
+    if kind == "quclassi":
+        model = train_quclassi(data, architecture=setting, epochs=epochs, seed=seed)
+        return {
+            "model": f"QC-{setting.upper()}",
+            "parameters": model.num_parameters,
+            **accuracy_summary(model, data),
+        }
+    dnn = train_dnn_with_budget(
+        data, parameter_budget=setting, epochs=max(epochs, 25), seed=seed
+    )
+    return {
+        "model": f"DNN-{dnn.num_parameters}P",
+        "parameters": dnn.num_parameters,
+        **accuracy_summary(dnn, data),
+    }
+
+
 def fig6b_iris_accuracy(
     architectures: Sequence[str] = ("s", "sd", "sde"),
     dnn_budgets: Sequence[int] = (12, 56, 112),
     epochs: int = 20,
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
-    """Fig. 6b: Iris test accuracy of QC-S/QC-SD/QC-SDE vs DNN-kP baselines."""
+    """Fig. 6b: Iris test accuracy of QC-S/QC-SD/QC-SDE vs DNN-kP baselines.
+
+    Every bar is one independent sweep cell, so ``executor`` fans the whole
+    figure out across workers.
+    """
     data = prepare_iris_task(seed=seed)
     result = ExperimentResult(
         experiment_id="fig6b",
         title="Iris accuracy by architecture",
         metadata={"epochs": epochs},
     )
-    for architecture in architectures:
-        model = train_quclassi(data, architecture=architecture, epochs=epochs, seed=seed)
-        summary = accuracy_summary(model, data)
-        result.add_row(
-            model=f"QC-{architecture.upper()}",
-            parameters=model.num_parameters,
-            **summary,
-        )
-    for budget in dnn_budgets:
-        dnn = train_dnn_with_budget(data, parameter_budget=budget, epochs=max(epochs, 25), seed=seed)
-        summary = accuracy_summary(dnn, data)
-        result.add_row(model=f"DNN-{dnn.num_parameters}P", parameters=dnn.num_parameters, **summary)
+    cells = [("quclassi", architecture, data, epochs, seed) for architecture in architectures]
+    cells += [("dnn", budget, data, epochs, seed) for budget in dnn_budgets]
+    rows = run_cells(
+        _fig6b_cell,
+        cells,
+        keys=[(kind, setting) for kind, setting, *_ in cells],
+        executor=executor,
+    )
+    for row in rows:
+        result.add_row(**row)
     return result
 
 
@@ -229,39 +261,76 @@ def _train_tfq_baseline(
     return model, data
 
 
+def _fig9_cell(payload) -> Dict[str, object]:
+    """One fig9 task column: all models trained on one digit pair."""
+    pair, samples_per_digit, epochs, dnn_budgets, seed = payload
+    data = prepare_mnist_task(pair, n_components=16, samples_per_digit=samples_per_digit, seed=seed)
+    row: Dict[str, object] = {"task": f"{pair[0]}/{pair[1]}"}
+
+    quclassi = train_quclassi(data, architecture="s", epochs=epochs, seed=seed)
+    row["QC-S"] = accuracy_summary(quclassi, data)["test_accuracy"]
+    row["QC-S_params"] = quclassi.num_parameters
+
+    qf = QFpNetLikeClassifier(num_features=16, num_classes=2, hidden_units=8, seed=seed)
+    qf.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.05)
+    row["QF-pNet-like"] = qf.score(data.x_test, data.y_test)
+
+    tfq, tfq_data = _train_tfq_baseline(pair, samples_per_digit, epochs=max(4, epochs // 2), seed=seed)
+    row["TFQ-like"] = tfq.score(tfq_data.x_test, tfq_data.y_test)
+
+    for budget in dnn_budgets:
+        dnn = train_dnn_with_budget(data, parameter_budget=budget, epochs=25, seed=seed)
+        row[f"DNN-{budget}"] = accuracy_summary(dnn, data)["test_accuracy"]
+    return row
+
+
 def fig9_binary_classification(
     pairs: Sequence[Tuple[int, int]] = ((1, 5), (3, 6), (3, 9), (3, 8)),
     samples_per_digit: int = 50,
     epochs: int = 25,
     dnn_budgets: Sequence[int] = (306, 1218),
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
-    """Fig. 9: binary synthetic-MNIST accuracy — QC-S vs QF-pNet-like vs TFQ-like vs DNNs."""
+    """Fig. 9: binary synthetic-MNIST accuracy — QC-S vs QF-pNet-like vs TFQ-like vs DNNs.
+
+    One sweep cell per digit pair; ``executor`` fans the pairs out.
+    """
     result = ExperimentResult(
         experiment_id="fig9",
         title="Binary classification comparison (synthetic MNIST, 16-D PCA)",
         metadata={"samples_per_digit": samples_per_digit, "epochs": epochs},
     )
-    for pair in pairs:
-        data = prepare_mnist_task(pair, n_components=16, samples_per_digit=samples_per_digit, seed=seed)
-        row: Dict[str, object] = {"task": f"{pair[0]}/{pair[1]}"}
-
-        quclassi = train_quclassi(data, architecture="s", epochs=epochs, seed=seed)
-        row["QC-S"] = accuracy_summary(quclassi, data)["test_accuracy"]
-        row["QC-S_params"] = quclassi.num_parameters
-
-        qf = QFpNetLikeClassifier(num_features=16, num_classes=2, hidden_units=8, seed=seed)
-        qf.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.05)
-        row["QF-pNet-like"] = qf.score(data.x_test, data.y_test)
-
-        tfq, tfq_data = _train_tfq_baseline(pair, samples_per_digit, epochs=max(4, epochs // 2), seed=seed)
-        row["TFQ-like"] = tfq.score(tfq_data.x_test, tfq_data.y_test)
-
-        for budget in dnn_budgets:
-            dnn = train_dnn_with_budget(data, parameter_budget=budget, epochs=25, seed=seed)
-            row[f"DNN-{budget}"] = accuracy_summary(dnn, data)["test_accuracy"]
+    rows = run_cells(
+        _fig9_cell,
+        [(pair, samples_per_digit, epochs, tuple(dnn_budgets), seed) for pair in pairs],
+        keys=[("pair", f"{pair[0]}/{pair[1]}") for pair in pairs],
+        executor=executor,
+    )
+    for row in rows:
         result.add_row(**row)
     return result
+
+
+def _fig10_cell(payload) -> Dict[str, object]:
+    """One fig10 task column: all models trained on one digit set."""
+    task, samples_per_digit, epochs, dnn_budgets, seed = payload
+    data = prepare_mnist_task(task, n_components=16, samples_per_digit=samples_per_digit, seed=seed)
+    task_name = "10 Class" if len(task) == 10 else "/".join(str(d) for d in task)
+    row: Dict[str, object] = {"task": task_name, "num_classes": len(task)}
+
+    quclassi = train_quclassi(data, architecture="s", epochs=epochs, seed=seed)
+    row["QC-S"] = accuracy_summary(quclassi, data)["test_accuracy"]
+    row["QC-S_params"] = quclassi.num_parameters
+
+    qf = QFpNetLikeClassifier(num_features=16, num_classes=len(task), hidden_units=8, seed=seed)
+    qf.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.05)
+    row["QF-pNet-like"] = qf.score(data.x_test, data.y_test)
+
+    for budget in dnn_budgets:
+        dnn = train_dnn_with_budget(data, parameter_budget=budget, epochs=25, seed=seed)
+        row[f"DNN-{budget}"] = accuracy_summary(dnn, data)["test_accuracy"]
+    return row
 
 
 def fig10_multiclass_classification(
@@ -276,33 +345,26 @@ def fig10_multiclass_classification(
     epochs: int = 15,
     dnn_budgets: Sequence[int] = (306, 1308),
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Fig. 10: multi-class synthetic-MNIST accuracy — QC-S vs QF-pNet-like vs DNNs.
 
     TensorFlow-Quantum is absent, exactly as in the paper, because its
-    published classifier is binary-only.
+    published classifier is binary-only.  One sweep cell per task;
+    ``executor`` fans the tasks out.
     """
     result = ExperimentResult(
         experiment_id="fig10",
         title="Multi-class classification comparison (synthetic MNIST, 16-D PCA)",
         metadata={"samples_per_digit": samples_per_digit, "epochs": epochs},
     )
-    for task in tasks:
-        data = prepare_mnist_task(task, n_components=16, samples_per_digit=samples_per_digit, seed=seed)
-        task_name = "10 Class" if len(task) == 10 else "/".join(str(d) for d in task)
-        row: Dict[str, object] = {"task": task_name, "num_classes": len(task)}
-
-        quclassi = train_quclassi(data, architecture="s", epochs=epochs, seed=seed)
-        row["QC-S"] = accuracy_summary(quclassi, data)["test_accuracy"]
-        row["QC-S_params"] = quclassi.num_parameters
-
-        qf = QFpNetLikeClassifier(num_features=16, num_classes=len(task), hidden_units=8, seed=seed)
-        qf.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.05)
-        row["QF-pNet-like"] = qf.score(data.x_test, data.y_test)
-
-        for budget in dnn_budgets:
-            dnn = train_dnn_with_budget(data, parameter_budget=budget, epochs=25, seed=seed)
-            row[f"DNN-{budget}"] = accuracy_summary(dnn, data)["test_accuracy"]
+    rows = run_cells(
+        _fig10_cell,
+        [(task, samples_per_digit, epochs, tuple(dnn_budgets), seed) for task in tasks],
+        keys=[("task", "/".join(str(d) for d in task)) for task in tasks],
+        executor=executor,
+    )
+    for row in rows:
         result.add_row(**row)
     return result
 
@@ -312,12 +374,46 @@ def fig10_multiclass_classification(
 # --------------------------------------------------------------------------- #
 
 
+def _fig11_cell(payload):
+    """One fig11 curve: Iris training on one (simulated) backend.
+
+    The backend is constructed *inside* the cell from its site name — the
+    backend-factory idiom that keeps each shard's job ledger and sampling
+    stream isolated under concurrent execution.
+    """
+    site, data, epochs, shots, seed = payload
+    backend = None if site == "simulator" else IBMQBackend(site, seed=seed)
+    model = QuClassi(
+        num_features=4,
+        num_classes=3,
+        architecture="s",
+        estimator="swap_test" if backend is not None else "analytic",
+        backend=backend,
+        shots=shots if backend is not None else None,
+        seed=seed,
+    )
+    model.fit(
+        data.x_train,
+        data.y_train,
+        epochs=epochs,
+        learning_rate=0.1,
+        batch_size=None,
+    )
+    row = {
+        "backend": site,
+        "final_loss": model.history_.final_loss,
+        "train_accuracy": model.history_.train_accuracies[-1],
+    }
+    return site, model.history_.epochs, model.history_.losses, row
+
+
 def fig11_hardware_iris_loss(
     sites: Sequence[str] = ("ibmq_london", "ibmq_new_york", "ibmq_melbourne"),
     epochs: int = 4,
     samples_per_class: int = 4,
     shots: int = 8000,
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Fig. 11: Iris training-loss curves on simulated IBM-Q sites vs the simulator.
 
@@ -326,7 +422,8 @@ def fig11_hardware_iris_loss(
     subsampled because every gradient entry costs two circuit executions.
     The simulator backends batch: each gradient step executes all ``2P``
     shifted discriminator sweeps through the backend batch API, with the
-    noisy sites re-binding their cached transpilation per circuit.
+    noisy sites re-binding their cached transpilation per circuit.  One
+    sweep cell per backend; ``executor`` fans the sites out.
     """
     result = ExperimentResult(
         experiment_id="fig11",
@@ -336,35 +433,45 @@ def fig11_hardware_iris_loss(
     data = prepare_task(
         load_iris(), samples_per_class=samples_per_class, test_fraction=0.25, rng=seed
     )
-
-    def run_on(backend_name: str, backend) -> None:
-        model = QuClassi(
-            num_features=4,
-            num_classes=3,
-            architecture="s",
-            estimator="swap_test" if backend is not None else "analytic",
-            backend=backend,
-            shots=shots if backend is not None else None,
-            seed=seed,
-        )
-        model.fit(
-            data.x_train,
-            data.y_train,
-            epochs=epochs,
-            learning_rate=0.1,
-            batch_size=None,
-        )
-        result.add_series(backend_name, model.history_.epochs, model.history_.losses)
-        result.add_row(
-            backend=backend_name,
-            final_loss=model.history_.final_loss,
-            train_accuracy=model.history_.train_accuracies[-1],
-        )
-
-    run_on("simulator", None)
-    for site in sites:
-        run_on(site, IBMQBackend(site, seed=seed))
+    cells = ["simulator"] + list(sites)
+    outcomes = run_cells(
+        _fig11_cell,
+        [(site, data, epochs, shots, seed) for site in cells],
+        keys=[("backend", site) for site in cells],
+        executor=executor,
+    )
+    for site, epochs_axis, losses, row in outcomes:
+        result.add_series(site, epochs_axis, losses)
+        result.add_row(**row)
     return result
+
+
+def _fig12_cell(payload) -> Dict[str, object]:
+    """One fig12 task column: simulator architectures + noisy-device evaluation."""
+    pair, architectures, samples_per_digit, epochs, shots, device, seed = payload
+    data = prepare_mnist_task(pair, n_components=4, samples_per_digit=samples_per_digit, seed=seed)
+    row: Dict[str, object] = {"task": f"{pair[0]}/{pair[1]}"}
+    trained_models: Dict[str, QuClassi] = {}
+    for architecture in architectures:
+        model = train_quclassi(data, architecture=architecture, epochs=epochs, seed=seed)
+        trained_models[architecture] = model
+        row[f"QC-{architecture.upper()}"] = accuracy_summary(model, data)["test_accuracy"]
+
+    # Evaluate the QC-S model through the noisy device.
+    hardware_model = trained_models[architectures[0]]
+    backend = IBMQBackend(device, seed=seed)
+    hardware_estimator = SwapTestFidelityEstimator(
+        hardware_model.builder, backend=backend, shots=shots
+    )
+    original_estimator = hardware_model.estimator
+    hardware_model.estimator = hardware_estimator
+    row["IBM-Q"] = hardware_model.score(data.x_test, data.y_test)
+    hardware_model.estimator = original_estimator
+
+    tfq = TFQLikeClassifier(num_features=4, num_layers=1, seed=seed)
+    tfq.fit(data.x_train, data.y_train, epochs=max(4, epochs // 2), learning_rate=0.2)
+    row["TFQ-like"] = tfq.score(data.x_test, data.y_test)
+    return row
 
 
 def fig12_hardware_mnist_accuracy(
@@ -375,42 +482,31 @@ def fig12_hardware_mnist_accuracy(
     shots: int = 8192,
     device: str = "ibmq_rome",
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Fig. 12: 4-dimensional MNIST binary accuracy — simulator architectures vs IBM-Q Rome vs TFQ.
 
     As in the paper's setup, the model is trained with the simulator and the
     hardware column reports the trained QC-S model *evaluated* through the
     noisy IBM-Q Rome backend (noise corrupts the SWAP-test fidelities at
-    inference time).
+    inference time).  One sweep cell per digit pair (each cell builds its
+    own device backend); ``executor`` fans the pairs out.
     """
     result = ExperimentResult(
         experiment_id="fig12",
         title="Binary classification on (simulated) quantum hardware, 4-D PCA",
         metadata={"device": device, "shots": shots, "epochs": epochs},
     )
-    for pair in pairs:
-        data = prepare_mnist_task(pair, n_components=4, samples_per_digit=samples_per_digit, seed=seed)
-        row: Dict[str, object] = {"task": f"{pair[0]}/{pair[1]}"}
-        trained_models: Dict[str, QuClassi] = {}
-        for architecture in architectures:
-            model = train_quclassi(data, architecture=architecture, epochs=epochs, seed=seed)
-            trained_models[architecture] = model
-            row[f"QC-{architecture.upper()}"] = accuracy_summary(model, data)["test_accuracy"]
-
-        # Evaluate the QC-S model through the noisy device.
-        hardware_model = trained_models[architectures[0]]
-        backend = IBMQBackend(device, seed=seed)
-        hardware_estimator = SwapTestFidelityEstimator(
-            hardware_model.builder, backend=backend, shots=shots
-        )
-        original_estimator = hardware_model.estimator
-        hardware_model.estimator = hardware_estimator
-        row["IBM-Q"] = hardware_model.score(data.x_test, data.y_test)
-        hardware_model.estimator = original_estimator
-
-        tfq = TFQLikeClassifier(num_features=4, num_layers=1, seed=seed)
-        tfq.fit(data.x_train, data.y_train, epochs=max(4, epochs // 2), learning_rate=0.2)
-        row["TFQ-like"] = tfq.score(data.x_test, data.y_test)
+    rows = run_cells(
+        _fig12_cell,
+        [
+            (pair, tuple(architectures), samples_per_digit, epochs, shots, device, seed)
+            for pair in pairs
+        ],
+        keys=[("pair", f"{pair[0]}/{pair[1]}") for pair in pairs],
+        executor=executor,
+    )
+    for row in rows:
         result.add_row(**row)
     return result
 
@@ -492,9 +588,26 @@ def parameter_reduction(
     return result
 
 
+def _ablation_encoding_cell(payload) -> Dict[str, object]:
+    """One encoding-ablation row: train with one data encoder."""
+    encoder, label, data, epochs, seed = payload
+    model = QuClassi(
+        num_features=4, num_classes=3, architecture="s", encoder=encoder, seed=seed
+    )
+    model.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.1)
+    return {
+        "encoding": label,
+        "qubits_per_state": model.builder.layout.state_width,
+        "total_qubits": model.num_qubits,
+        "parameters": model.num_parameters,
+        "test_accuracy": model.score(data.x_test, data.y_test),
+    }
+
+
 def ablation_encoding(
     epochs: int = 15,
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Ablation (§4.2): dual-dimension-per-qubit vs one-dimension-per-qubit encoding on Iris."""
     data = prepare_iris_task(seed=seed)
@@ -503,24 +616,35 @@ def ablation_encoding(
         title="Data-encoding ablation: 2 dims/qubit (RY+RZ) vs 1 dim/qubit (RY)",
         metadata={"epochs": epochs},
     )
-    for encoder, label in ((DualAngleEncoder(), "dual_angle"), (SingleAngleEncoder(), "single_angle")):
-        model = QuClassi(
-            num_features=4, num_classes=3, architecture="s", encoder=encoder, seed=seed
-        )
-        model.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.1)
-        result.add_row(
-            encoding=label,
-            qubits_per_state=model.builder.layout.state_width,
-            total_qubits=model.num_qubits,
-            parameters=model.num_parameters,
-            test_accuracy=model.score(data.x_test, data.y_test),
-        )
+    settings = [(DualAngleEncoder(), "dual_angle"), (SingleAngleEncoder(), "single_angle")]
+    rows = run_cells(
+        _ablation_encoding_cell,
+        [(encoder, label, data, epochs, seed) for encoder, label in settings],
+        keys=[("encoding", label) for _, label in settings],
+        executor=executor,
+    )
+    for row in rows:
+        result.add_row(**row)
     return result
+
+
+def _ablation_gradient_cell(payload):
+    """One gradient-rule-ablation curve: train with one shift rule."""
+    rule, data, epochs, seed = payload
+    model = QuClassi(num_features=4, num_classes=3, architecture="s", seed=seed)
+    model.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.1, gradient_rule=rule)
+    row = {
+        "gradient_rule": rule,
+        "final_loss": model.history_.final_loss,
+        "test_accuracy": model.score(data.x_test, data.y_test),
+    }
+    return rule, model.history_.epochs, model.history_.losses, row
 
 
 def ablation_gradient_rule(
     epochs: int = 15,
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Ablation (§4.4): the paper's epoch-scaled shift vs the fixed parameter-shift rule."""
     data = prepare_iris_task(seed=seed)
@@ -529,21 +653,35 @@ def ablation_gradient_rule(
         title="Gradient-rule ablation on Iris (QC-S)",
         metadata={"epochs": epochs},
     )
-    for rule in ("epoch_scaled", "parameter_shift"):
-        model = QuClassi(num_features=4, num_classes=3, architecture="s", seed=seed)
-        model.fit(data.x_train, data.y_train, epochs=epochs, learning_rate=0.1, gradient_rule=rule)
-        result.add_series(rule, model.history_.epochs, model.history_.losses)
-        result.add_row(
-            gradient_rule=rule,
-            final_loss=model.history_.final_loss,
-            test_accuracy=model.score(data.x_test, data.y_test),
-        )
+    rules = ("epoch_scaled", "parameter_shift")
+    outcomes = run_cells(
+        _ablation_gradient_cell,
+        [(rule, data, epochs, seed) for rule in rules],
+        keys=[("gradient_rule", rule) for rule in rules],
+        executor=executor,
+    )
+    for rule, epochs_axis, losses, row in outcomes:
+        result.add_series(rule, epochs_axis, losses)
+        result.add_row(**row)
     return result
+
+
+def _ablation_shots_cell(payload) -> Dict[str, object]:
+    """One shots-ablation grid point: sampled sweep at one shot count."""
+    shots, builder, parameters, samples, reference, seed = payload
+    estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(seed=seed), shots=shots)
+    estimated = estimator.fidelity_matrix(parameters, samples).T
+    return {
+        "shots": "exact" if shots is None else shots,
+        "mean_absolute_error": float(np.mean(np.abs(estimated - reference))),
+        "max_absolute_error": float(np.max(np.abs(estimated - reference))),
+    }
 
 
 def ablation_swap_test_shots(
     shots_grid: Sequence[Optional[int]] = (128, 512, 2048, 8192, None),
     seed: RandomState = 0,
+    executor=None,
 ) -> ExperimentResult:
     """Ablation: SWAP-test fidelity estimation error vs shot count.
 
@@ -552,7 +690,9 @@ def ablation_swap_test_shots(
     Each grid point runs all (class, sample) discriminator circuits as one
     batched :meth:`~repro.core.swap_test.SwapTestFidelityEstimator.fidelity_matrix`
     sweep — the workload that ``benchmarks/bench_swap_test_sweep.py`` times
-    against the per-circuit loop.
+    against the per-circuit loop.  The model is trained once; each grid point
+    is one sweep cell (own freshly seeded backend), so ``executor`` fans the
+    grid out.
     """
     data = prepare_iris_task(seed=seed)
     model = train_quclassi(data, architecture="s", epochs=10, seed=seed)
@@ -564,13 +704,15 @@ def ablation_swap_test_shots(
         title="SWAP-test fidelity estimation error vs shots",
         metadata={"num_samples": len(samples)},
     )
-    for shots in shots_grid:
-        estimator = SwapTestFidelityEstimator(model.builder, backend=IdealBackend(seed=seed), shots=shots)
-        estimated = estimator.fidelity_matrix(model.parameters_, samples).T
-        error = float(np.mean(np.abs(estimated - reference)))
-        result.add_row(
-            shots="exact" if shots is None else shots,
-            mean_absolute_error=error,
-            max_absolute_error=float(np.max(np.abs(estimated - reference))),
-        )
+    rows = run_cells(
+        _ablation_shots_cell,
+        [
+            (shots, model.builder, model.parameters_, samples, reference, seed)
+            for shots in shots_grid
+        ],
+        keys=[("shots", "exact" if shots is None else shots) for shots in shots_grid],
+        executor=executor,
+    )
+    for row in rows:
+        result.add_row(**row)
     return result

@@ -89,10 +89,70 @@ class TimedRun:
 
 
 def timed(func, *args, **kwargs) -> TimedRun:
-    """Call ``func`` and measure its wall-clock duration."""
+    """Call ``func`` and measure its wall-clock duration.
+
+    Failures propagate with their full context intact: the original
+    exception (and its ``__cause__`` chain — e.g. a
+    :class:`~repro.parallel.ShardError` naming the failing (class index,
+    cell key) of an executor submission) is re-raised as-is, annotated with
+    how long the call ran before dying.  An earlier version re-raised
+    through a bare wrapper that dropped the worker exception's context,
+    which made sharded sweep failures unattributable.
+    """
     start = time.perf_counter()
-    value = func(*args, **kwargs)
+    try:
+        value = func(*args, **kwargs)
+    except Exception as error:
+        seconds = time.perf_counter() - start
+        name = getattr(func, "__name__", repr(func))
+        error.add_note(f"timed: {name} failed after {seconds:.3f}s")
+        raise
     return TimedRun(value=value, seconds=time.perf_counter() - start)
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-cell execution
+# --------------------------------------------------------------------------- #
+
+
+def _run_sweep_cell(shard):
+    """Module-level shard trampoline (picklable for process executors)."""
+    cell_fn, payload = shard.payload
+    return cell_fn(payload)
+
+
+def run_cells(
+    cell_fn,
+    payloads: Sequence[object],
+    keys: Optional[Sequence[tuple]] = None,
+    executor=None,
+) -> List[object]:
+    """Run one sweep-cell function over every payload, optionally sharded.
+
+    The unit the figure sweeps fan out over: ``cell_fn(payload)`` computes
+    one (backend, class, setting) cell — one site's training run, one
+    (digit-pair, architecture) column, one shots grid point.  ``executor``
+    is a :class:`~repro.parallel.ShardExecutor` (or a strategy string);
+    ``None`` runs the cells serially in plan order.  Results always come
+    back in payload order, and every cell must construct its own backends
+    from specs/seeds inside the cell so results cannot depend on the
+    strategy (this is what keeps sharded figure sweeps bit-identical to
+    serial ones).  For the ``process`` strategy ``cell_fn`` must be a
+    module-level function and the payloads picklable.
+
+    A failing cell aborts the sweep fast, raising a
+    :class:`~repro.parallel.ShardError` that names the cell's key.
+    """
+    from repro.parallel import ShardExecutor, ShardPlan
+
+    plan = ShardPlan.from_items(
+        [(cell_fn, payload) for payload in payloads], keys=keys
+    )
+    if executor is None:
+        executor = ShardExecutor("serial")
+    elif not isinstance(executor, ShardExecutor):
+        executor = ShardExecutor(executor)
+    return executor.map(_run_sweep_cell, plan)
 
 
 # --------------------------------------------------------------------------- #

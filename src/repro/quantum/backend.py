@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -231,9 +232,22 @@ class NoisyBackend(Backend):
 
     supports_batch = True
 
-    def __init__(self, properties: DeviceProperties, seed: RandomState = None) -> None:
+    def __init__(
+        self,
+        properties: DeviceProperties,
+        seed: RandomState = None,
+        simulate_queue_latency: bool = False,
+    ) -> None:
         self.properties = properties
         self.name = properties.name
+        #: When True, every job *submission* (one :meth:`run` call, or one
+        #: whole :meth:`run_batch` — a batch is a single provider job) sleeps
+        #: for the device's ``queue_latency_seconds``, modelling the shared
+        #: public queue the paper remarks on.  Off by default: figure
+        #: reproduction only book-keeps latency.  Sharded sweeps overlap
+        #: these waits across backends, which is where multi-backend
+        #: scale-out wins on real hardware.
+        self.simulate_queue_latency = bool(simulate_queue_latency)
         self._rng = ensure_rng(seed)
         self._simulator = DensityMatrixSimulator(noise_model=properties.noise_model, seed=self._rng)
         #: Statistics of the most recent transpilation (CX count, SWAPs, depth).
@@ -311,8 +325,14 @@ class NoisyBackend(Backend):
             }
         )
 
+    def _queue_wait(self) -> None:
+        """Sleep out the simulated queue for one job submission (opt-in)."""
+        if self.simulate_queue_latency and self.properties.queue_latency_seconds > 0:
+            time.sleep(self.properties.queue_latency_seconds)
+
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
         shots = self._resolve_shots(shots)
+        self._queue_wait()
         transpiled = self._transpile(circuit)
         result = self._simulator.run(transpiled.circuit, shots=shots)
         self._attach_metadata(result, self.last_transpile_stats)
@@ -334,6 +354,7 @@ class NoisyBackend(Backend):
         seed-identical to looping :meth:`run`.
         """
         shots = self._resolve_shots(shots)
+        self._queue_wait()
         transpiled = [self._transpile(circuit) for circuit in circuits]
         results = self._simulator.run_batch(
             [entry.circuit for entry in transpiled], shots=shots

@@ -10,6 +10,7 @@ cache evicts identically.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -19,6 +20,10 @@ class LRUCache:
 
     ``None`` is reserved as the miss sentinel: values stored in the cache
     must not be ``None`` (none of the memoised objects are).
+
+    Thread-safe: thread-strategy shard executors share builder/estimator
+    caches across workers, and the lookup's get-then-``move_to_end`` pair
+    would otherwise race a concurrent eviction into a ``KeyError``.
 
     Parameters
     ----------
@@ -32,6 +37,16 @@ class LRUCache:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self._max_entries = int(max_entries)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks cannot pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def max_entries(self) -> int:
@@ -40,26 +55,31 @@ class LRUCache:
 
     def get(self, key: Hashable) -> Any:
         """Return the cached value (refreshing recency) or ``None`` on a miss."""
-        value = self._entries.get(key)
-        if value is not None:
-            self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value`` under ``key``, evicting the stalest entries."""
         if value is None:
             raise ValueError("LRUCache values must not be None (miss sentinel)")
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

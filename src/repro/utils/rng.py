@@ -31,18 +31,14 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: RandomState, count: int) -> List[np.random.Generator]:
-    """Create ``count`` statistically independent child generators.
+def spawn_seed_sequences(seed: RandomState, count: int) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent ``SeedSequence`` children from any seed type.
 
-    Used when an experiment needs reproducible but independent streams, e.g.
-    one stream per class-discriminator circuit or per backend job.
-
-    Every seed type goes through ``SeedSequence.spawn``, which is the only
-    construction NumPy guarantees to produce non-overlapping streams; drawing
-    ad-hoc integers from a generator (the old behaviour for ``Generator``
-    seeds) gives children whose streams can collide.  Spawning from an
-    existing generator advances its seed sequence's spawn counter, so
-    repeated calls yield fresh, still-independent children.
+    ``SeedSequence.spawn`` is the only construction NumPy guarantees to
+    produce non-overlapping streams; drawing ad-hoc integers from a generator
+    gives children whose streams can collide.  Spawning from an existing
+    generator advances its seed sequence's spawn counter, so repeated calls
+    yield fresh, still-independent children.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
@@ -52,7 +48,17 @@ def spawn_rngs(seed: RandomState, count: int) -> List[np.random.Generator]:
         # A Generator built directly from entropy-less bit-generator state has
         # no SeedSequence; derive one from the stream so we can still spawn.
         seed_seq = np.random.SeedSequence(int(root.integers(0, 2**63 - 1)))
-    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
+    return list(seed_seq.spawn(count))
+
+
+def spawn_rngs(seed: RandomState, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used when an experiment needs reproducible but independent streams, e.g.
+    one stream per class-discriminator circuit or per backend job; see
+    :func:`spawn_seed_sequences` for the spawning guarantees.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, count)]
 
 
 def seeds_from(seed: RandomState, count: int) -> List[int]:

@@ -137,6 +137,50 @@ class TestTrainerFit:
         assert len(history.records) == 1
 
 
+class TestPerClassRngStreams:
+    """Per-class training draws from spawned child streams, not a shared rng."""
+
+    def test_class_streams_are_independent_of_training_order(self):
+        """Exhausting one class's stream must not perturb another's.
+
+        Under the old shared-``self.rng`` threading, every draw any class
+        made shifted the stream every later class saw; with per-class
+        ``SeedSequence.spawn`` children the streams are disjoint by
+        construction.
+        """
+        from repro.utils.rng import spawn_rngs
+
+        streams_a = spawn_rngs(11, 3)
+        streams_b = spawn_rngs(11, 3)
+        # Drain class 0's stream heavily in one run only.
+        streams_a[0].permutation(1000)
+        np.testing.assert_array_equal(
+            streams_a[2].permutation(24), streams_b[2].permutation(24)
+        )
+
+    def test_shuffled_fit_reproducible_and_shuffle_matters(self):
+        features, labels = separable_task()
+
+        def run(shuffle):
+            model = QuClassi(num_features=4, num_classes=2, seed=5)
+            config = TrainerConfig(epochs=2, learning_rate=0.1, shuffle=shuffle, batch_size=4)
+            Trainer(model, config, rng=11).fit(features, labels)
+            return model.get_weights()
+
+        np.testing.assert_array_equal(run(True), run(True))
+        assert not np.array_equal(run(True), run(False))
+
+    def test_fit_level_rng_controls_shuffles_not_initialisation(self):
+        features, labels = separable_task()
+        weights = []
+        for fit_seed in (1, 2):
+            model = QuClassi(num_features=4, num_classes=2, seed=5)
+            config = TrainerConfig(epochs=2, learning_rate=0.1, batch_size=4)
+            Trainer(model, config, rng=fit_seed).fit(features, labels)
+            weights.append(model.get_weights())
+        assert not np.array_equal(weights[0], weights[1])
+
+
 class TestBatchedLoopEquivalence:
     """The batched gradient path must reproduce the loop path trajectory."""
 

@@ -14,6 +14,16 @@ from repro.experiments.harness import (
 )
 
 
+def _square_cell(payload):
+    return payload * payload
+
+
+def _failing_cell(payload):
+    if payload == 1:
+        raise ValueError("bad cell")
+    return payload
+
+
 class TestSeries:
     def test_final_value(self):
         assert Series("loss", [1, 2, 3], [0.9, 0.5, 0.2]).final == 0.2
@@ -49,6 +59,53 @@ class TestTimed:
         run = timed(sum, [1, 2, 3])
         assert run.value == 6
         assert run.seconds >= 0.0
+
+    def test_failure_preserves_exception_and_context(self):
+        """A worker-raised error must re-raise intact, with its cause chain."""
+
+        def explode():
+            try:
+                raise KeyError("inner")
+            except KeyError as error:
+                raise RuntimeError("outer") from error
+
+        with pytest.raises(RuntimeError) as excinfo:
+            timed(explode)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+        assert any("explode" in note for note in excinfo.value.__notes__)
+
+    def test_shard_error_keeps_cell_attribution(self):
+        """Shard failures inside timed() still name the (class, cell) key."""
+        from repro.experiments.harness import run_cells
+        from repro.parallel import ShardError
+
+        def bad_cell(payload):
+            raise ValueError(f"bad payload {payload}")
+
+        with pytest.raises(ShardError) as excinfo:
+            timed(run_cells, bad_cell, ["x"], keys=[("cell", "x")])
+        assert excinfo.value.shard_key == ("cell", "x")
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestRunCells:
+    def test_results_in_payload_order(self):
+        from repro.experiments.harness import run_cells
+
+        assert run_cells(_square_cell, [3, 1, 2]) == [9, 1, 4]
+
+    def test_executor_strategy_string(self):
+        from repro.experiments.harness import run_cells
+
+        assert run_cells(_square_cell, [3, 1, 2], executor="thread") == [9, 1, 4]
+
+    def test_failing_cell_names_its_key(self):
+        from repro.experiments.harness import run_cells
+        from repro.parallel import ShardError
+
+        with pytest.raises(ShardError) as excinfo:
+            run_cells(_failing_cell, [0, 1], keys=[("site", "a"), ("site", "b")])
+        assert excinfo.value.shard_key == ("site", "b")
 
 
 class TestTrainingHelpers:

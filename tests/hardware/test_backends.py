@@ -121,3 +121,49 @@ class TestBatchExecution:
         assert backend.ledger.num_jobs == 3
         assert backend.ledger.total_shots == 3 * 128
         assert all(record.cx_count >= 0 for record in backend.ledger.records)
+
+
+class TestQueueLatencySimulation:
+    """Opt-in queue waits: one sleep per job submission, none by default."""
+
+    def _sleep_recorder(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(
+            "repro.quantum.backend.time.sleep", lambda seconds: slept.append(seconds)
+        )
+        return slept
+
+    def test_disabled_by_default(self, monkeypatch):
+        slept = self._sleep_recorder(monkeypatch)
+        backend = ibmq_london(seed=0)
+        backend.run(discriminator_circuit(), shots=32)
+        assert slept == []
+
+    def test_run_sleeps_once_per_submission(self, monkeypatch):
+        slept = self._sleep_recorder(monkeypatch)
+        backend = IBMQBackend("ibmq_london", seed=0, simulate_queue_latency=True)
+        backend.run(discriminator_circuit(), shots=32)
+        assert slept == [backend.properties.queue_latency_seconds]
+
+    def test_batch_is_one_job_submission(self, monkeypatch):
+        slept = self._sleep_recorder(monkeypatch)
+        backend = IBMQBackend("ibmq_london", seed=0, simulate_queue_latency=True)
+        backend.run_batch([discriminator_circuit()] * 3, shots=32)
+        assert slept == [backend.properties.queue_latency_seconds]
+
+    def test_latency_does_not_change_sampled_counts(self, monkeypatch):
+        self._sleep_recorder(monkeypatch)
+        circuit = discriminator_circuit()
+        plain = IBMQBackend("ibmq_london", seed=5).run(circuit, shots=64).counts
+        simulated = (
+            IBMQBackend("ibmq_london", seed=5, simulate_queue_latency=True)
+            .run(circuit, shots=64)
+            .counts
+        )
+        assert plain == simulated
+
+    def test_ionq_accepts_flag(self, monkeypatch):
+        slept = self._sleep_recorder(monkeypatch)
+        backend = IonQBackend(seed=0, simulate_queue_latency=True)
+        backend.run(discriminator_circuit(), shots=32)
+        assert slept == [backend.properties.queue_latency_seconds]

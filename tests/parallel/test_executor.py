@@ -1,0 +1,135 @@
+"""Unit tests for the shard executor strategies and their failure semantics."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.parallel import ShardError, ShardExecutor, ShardPlan
+
+
+def _double(shard):
+    return shard.payload * 2
+
+
+def _fail_on_two(shard):
+    if shard.payload == 2:
+        raise RuntimeError("cell exploded")
+    return shard.payload
+
+
+def _kill_worker_process(shard):  # pragma: no cover - dies before returning
+    os._exit(13)
+
+
+class TestShardErrorPickling:
+    def test_round_trip_keeps_shard_attribution(self):
+        import pickle
+
+        error = pickle.loads(pickle.dumps(ShardError("boom", 1, ("class", 1))))
+        assert error.shard_index == 1
+        assert error.shard_key == ("class", 1)
+        assert "boom" in str(error)
+
+
+class TestConstruction:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardExecutor("fleet")
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardExecutor("thread", max_workers=0)
+
+
+class TestMapSemantics:
+    @pytest.mark.parametrize("strategy", ["serial", "thread"])
+    def test_results_in_shard_order(self, strategy):
+        plan = ShardPlan.from_items(list(range(8)))
+        results = ShardExecutor(strategy, max_workers=3).map(_double, plan)
+        assert results == [i * 2 for i in range(8)]
+
+    def test_empty_plan(self):
+        assert ShardExecutor("thread").map(_double, ShardPlan.from_items([])) == []
+
+    def test_accepts_plain_shard_sequences(self):
+        plan = ShardPlan.from_items([5])
+        assert ShardExecutor("serial").map(_double, list(plan)) == [10]
+
+    def test_thread_order_independent_of_completion_order(self):
+        plan = ShardPlan.from_items([0.03, 0.0, 0.01])
+
+        def sleepy(shard):
+            time.sleep(shard.payload)
+            return shard.payload
+
+        results = ShardExecutor("thread", max_workers=3).map(sleepy, plan)
+        assert results == [0.03, 0.0, 0.01]
+
+    def test_thread_actually_overlaps_workers(self):
+        plan = ShardPlan.from_items([0.1] * 4)
+        seen = set()
+
+        def record_thread(shard):
+            seen.add(threading.get_ident())
+            time.sleep(shard.payload)
+            return shard.index
+
+        start = time.perf_counter()
+        ShardExecutor("thread", max_workers=4).map(record_thread, plan)
+        elapsed = time.perf_counter() - start
+        assert len(seen) > 1
+        assert elapsed < 0.35  # 4 x 0.1s serially; overlapped well under that
+
+
+class TestFailureSemantics:
+    @pytest.mark.parametrize("strategy", ["serial", "thread"])
+    def test_failure_attributes_shard_and_chains_cause(self, strategy):
+        plan = ShardPlan.from_items([1, 2, 3], keys=[("cell", i) for i in (1, 2, 3)])
+        with pytest.raises(ShardError) as excinfo:
+            ShardExecutor(strategy, max_workers=2).map(_fail_on_two, plan)
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.shard_key == ("cell", 2)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_thread_failure_cancels_pending_shards(self):
+        plan = ShardPlan.from_items(list(range(64)))
+        executed = []
+
+        def fail_fast(shard):
+            if shard.index == 0:
+                raise RuntimeError("boom")
+            time.sleep(0.005)
+            executed.append(shard.index)
+            return shard.index
+
+        with pytest.raises(ShardError):
+            ShardExecutor("thread", max_workers=2).map(fail_fast, plan)
+        # Fail-fast: the queue of 64 shards must not have drained fully.
+        assert len(executed) < 64
+
+
+@pytest.mark.slow
+class TestProcessStrategy:
+    """Process-pool executions (opt-in via ``pytest -m slow``)."""
+
+    def test_results_in_shard_order(self):
+        plan = ShardPlan.from_items(list(range(5)))
+        results = ShardExecutor("process", max_workers=2).map(_double, plan)
+        assert results == [i * 2 for i in range(5)]
+
+    def test_worker_exception_is_attributed(self):
+        plan = ShardPlan.from_items([1, 2], keys=["ok", "bad"])
+        with pytest.raises(ShardError) as excinfo:
+            ShardExecutor("process", max_workers=2).map(_fail_on_two, plan)
+        assert excinfo.value.shard_key == ("bad",)
+
+    def test_dead_worker_fails_fast_instead_of_hanging(self):
+        plan = ShardPlan.from_items([0, 1, 2])
+        start = time.perf_counter()
+        with pytest.raises(ShardError) as excinfo:
+            ShardExecutor("process", max_workers=2).map(_kill_worker_process, plan)
+        assert time.perf_counter() - start < 30.0
+        assert "died" in str(excinfo.value) or "pool" in str(excinfo.value)
