@@ -4,9 +4,15 @@ Every benchmark runs its experiment exactly once (``rounds=1``): the quantity
 of interest is the reproduced figure/table itself, not the timing statistics,
 although pytest-benchmark still records the wall-clock cost of regenerating
 each figure.
+
+Every figure run also leaves a machine-readable perf point: the experiment's
+rows/series plus its wall-clock seconds are written to
+``benchmarks/results/BENCH_<experiment_id>.json`` through the shared
+:mod:`repro.experiments.reporting` writer — the same writer the hot-path perf
+benches use — so fig6/9/10/11/12 and every ablation leave a JSON row per run,
+not just a text report.
 """
 
-import json
 import os
 import sys
 import time
@@ -18,7 +24,11 @@ if _SRC not in sys.path:
 
 import pytest  # noqa: E402
 
-from repro.experiments.reporting import format_experiment  # noqa: E402
+from repro.experiments.reporting import (  # noqa: E402
+    experiment_perf_payload,
+    format_experiment,
+    write_perf_point,
+)
 
 
 _RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
@@ -29,15 +39,30 @@ def run_experiment(benchmark, experiment_fn, **kwargs):
 
     The paper-style rows/series are printed (visible with ``pytest -s``) and
     also written to ``benchmarks/results/<experiment_id>.txt`` so a plain
-    ``--benchmark-only`` run still leaves the reproduced tables on disk.
+    ``--benchmark-only`` run still leaves the reproduced tables on disk, plus
+    a ``BENCH_<experiment_id>.json`` perf point recording the figure and its
+    wall-clock cost.
     """
-    result = benchmark.pedantic(lambda: experiment_fn(**kwargs), rounds=1, iterations=1)
+    timing = {}
+
+    def timed_run():
+        start = time.perf_counter()
+        value = experiment_fn(**kwargs)
+        timing["seconds"] = time.perf_counter() - start
+        return value
+
+    result = benchmark.pedantic(timed_run, rounds=1, iterations=1)
     text = format_experiment(result)
     print()
     print(text)
     os.makedirs(_RESULTS_DIR, exist_ok=True)
     with open(os.path.join(_RESULTS_DIR, f"{result.experiment_id}.txt"), "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+    write_perf_point(
+        _RESULTS_DIR,
+        result.experiment_id,
+        experiment_perf_payload(result, seconds=timing.get("seconds")),
+    )
     return result
 
 
@@ -54,19 +79,11 @@ def experiment_runner(benchmark):
 def record_bench_report(name, payload):
     """Write a machine-readable ``BENCH_<name>.json`` perf report.
 
-    Used by the performance benchmarks (``bench_gradient_sweep`` onwards) so
-    the perf trajectory of the hot paths is tracked as a JSON series next to
-    the figure-reproduction text reports.  Returns the path written.
+    Thin wrapper over :func:`repro.experiments.reporting.write_perf_point`
+    (the shared writer) kept for the perf benches' existing call sites.
+    Returns the path written.
     """
-    os.makedirs(_RESULTS_DIR, exist_ok=True)
-    path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")
-    enriched = dict(payload)
-    enriched.setdefault("benchmark", name)
-    enriched.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(enriched, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return write_perf_point(_RESULTS_DIR, name, payload)
 
 
 @pytest.fixture()

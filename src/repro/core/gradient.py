@@ -81,10 +81,12 @@ class GradientRule(abc.ABC):
         Builds the ``2P`` shifted vectors at once, evaluates them with a
         single call to ``multi_loss``, and combines forward/backward halves
         exactly like the loop path — same estimator, one vectorised pass.
-        Both fidelity estimators feed this: the analytic engine evolves the
-        whole shift matrix in one batched-statevector pass, and the SWAP-test
-        estimator stacks the sweep's discriminator circuits into backend
-        ``run_batch`` calls.
+        Both fidelity estimators feed this through one tiled compile-once
+        sweep: the analytic engine evolves the whole shift matrix through
+        its compiled :class:`~repro.quantum.program.SweepProgram`, and the
+        SWAP-test estimator hands the full (shift-row x sample) grid to its
+        backend's program-sweep path, tiled under the estimator's amplitude
+        budget.
         """
         parameters = np.asarray(parameters, dtype=float)
         stacked = self.shifted_parameter_matrix(parameters, epoch)

@@ -220,7 +220,8 @@ class QuClassi:
             )
         if getattr(self.estimator, "supports_batch", False):
             # One vectorised pass: the per-class parameter matrix is already
-            # the batch, so inference is a single fidelity-matrix evaluation.
+            # the batch, so inference is a single (class-row x sample) tiled
+            # fidelity-matrix evaluation through the compiled sweep program.
             return self.estimator.fidelity_matrix(self.parameters_, features).T
         columns = [
             self.estimator.fidelities(self.parameters_[class_index], features)

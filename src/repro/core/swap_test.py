@@ -33,6 +33,7 @@ from repro.quantum.fidelity import (
     fidelities_from_swap_test_probabilities,
     fidelity_from_swap_test_probability,
 )
+from repro.quantum.program import StatevectorEngine, SweepProgram, TilePlan
 from repro.quantum.statevector import Statevector
 from repro.utils.cache import LRUCache
 
@@ -106,12 +107,17 @@ class AnalyticFidelityEstimator(FidelityEstimator):
     #: full ``(samples, 2**n)`` stack, so only the handful of (mini)batches
     #: live within an epoch are worth keeping.
     DEFAULT_DATA_MATRIX_CACHE_SIZE = 8
+    #: Default amplitude budget of one :meth:`fidelity_matrix` evaluation
+    #: (complex entries held at once across *both* matmul operands — trained
+    #: rows and data columns; ~128 MiB of complex128).
+    DEFAULT_MAX_BATCH_AMPLITUDES = 2**23
 
     def __init__(
         self,
         builder: DiscriminatorCircuitBuilder,
         data_cache_size: int = DEFAULT_DATA_CACHE_SIZE,
         data_matrix_cache_size: int = DEFAULT_DATA_MATRIX_CACHE_SIZE,
+        max_batch_amplitudes: int = DEFAULT_MAX_BATCH_AMPLITUDES,
     ) -> None:
         super().__init__(builder)
         if data_cache_size <= 0:
@@ -122,37 +128,26 @@ class AnalyticFidelityEstimator(FidelityEstimator):
             raise ValidationError(
                 f"data_matrix_cache_size must be positive, got {data_matrix_cache_size}"
             )
+        if max_batch_amplitudes <= 0:
+            raise ValidationError(
+                f"max_batch_amplitudes must be positive, got {max_batch_amplitudes}"
+            )
         self._data_state_cache: LRUCache = LRUCache(data_cache_size)
         # Stacked data-state matrices, keyed by the raw bytes of the feature
         # matrix: the trainer feeds the same (mini)batch to every gradient
         # evaluation, so the whole (samples, 2**n) stack is reused thousands
         # of times per epoch.
         self._data_matrix_cache: LRUCache = LRUCache(data_matrix_cache_size)
-        self._program = self._compile_program()
-
-    def _compile_program(self) -> list:
-        """Flatten the symbolic trained-state circuit into a gate program.
-
-        Each entry is ``(gate_name, qubits, param_slots)`` where a slot is
-        either ``("index", i)`` for the ``i``-th trainable parameter or
-        ``("value", v)`` for a fixed angle.  Evaluating the program avoids
-        rebuilding and re-binding circuit objects inside the training loop's
-        thousands of parameter-shift evaluations.
-        """
-        symbolic = self.builder.trained_state_circuit(None)
-        order = {param: index for index, param in enumerate(self.builder.parameters)}
-        program = []
-        for instruction in symbolic.instructions:
-            if instruction.name == "barrier":
-                continue
-            slots = []
-            for param in instruction.params:
-                if hasattr(param, "name"):
-                    slots.append(("index", order[param]))
-                else:
-                    slots.append(("value", float(param)))
-            program.append((instruction.name, instruction.qubits, tuple(slots)))
-        return program
+        self._max_batch_amplitudes = int(max_batch_amplitudes)
+        # Compile-once: the symbolic trained-state circuit never changes, so
+        # its SweepProgram is derived a single time and every parameter-shift
+        # evaluation only feeds bindings into it.
+        self._program = SweepProgram.compile(
+            self.builder.trained_state_circuit(None),
+            bind_floats=False,
+            parameters=self.builder.parameters,
+            name="trained_state",
+        )
 
     # ------------------------------------------------------------------ #
     def trained_statevector(self, parameter_values: Sequence[float]) -> Statevector:
@@ -161,12 +156,15 @@ class AnalyticFidelityEstimator(FidelityEstimator):
 
         values = np.asarray(parameter_values, dtype=float)
         state = Statevector(self.builder.layout.state_width)
-        for name, qubits, slots in self._program:
+        for step in self._program.steps:
+            if step.is_fixed:
+                state.apply_matrix(step.matrix, step.qubits)
+                continue
             params = tuple(
-                values[slot_value] if slot_kind == "index" else slot_value
-                for slot_kind, slot_value in slots
+                slot[1] if slot[0] == "value" else slot[2] * values[slot[1]]
+                for slot in step.slots
             )
-            state.apply_matrix(gate_library.gate_matrix(name, *params), qubits)
+            state.apply_matrix(gate_library.gate_matrix(step.name, *params), step.qubits)
         return state
 
     def data_statevector(self, features: Sequence[float]) -> Statevector:
@@ -222,21 +220,54 @@ class AnalyticFidelityEstimator(FidelityEstimator):
                 f"expected {self.builder.num_parameters} parameters per row, "
                 f"got {values.shape[1]}"
             )
-        state = BatchedStatevector(values.shape[0], self.builder.layout.state_width)
-        return state.apply_program(self._program, values)
+        return self._program.evolve(values, StatevectorEngine())
 
     def fidelity_matrix(
         self, parameter_matrix: np.ndarray, feature_matrix: np.ndarray
     ) -> np.ndarray:
-        """Vectorised ``(batch, samples)`` fidelity matrix.
+        """Vectorised ``(batch, samples)`` fidelity matrix, memory-bounded.
 
-        Evolves all parameter rows at once and overlaps them with the memoised
-        data-state matrix in a single matmul — the core of the batched
-        parameter-shift sweep.
+        When both matmul operands — the ``(batch, 2**n)`` trained-state rows
+        *and* the ``(samples, 2**n)`` data-state columns — fit the
+        ``max_batch_amplitudes`` budget together, the whole sweep is one
+        program evolution plus one matmul against the memoised data-state
+        matrix (the fast path every repeat sweep hits).  Larger workloads
+        tile along **both** axes under a
+        :class:`~repro.quantum.program.TilePlan`: trained-state row tiles
+        evolve through the compiled program, data-state column tiles stack
+        from the per-row LRU cache, and each output block is one small
+        matmul, so neither operand is ever fully materialised.
         """
-        omega = self.trained_statevectors(parameter_matrix)
-        data_matrix = self.data_state_matrix(feature_matrix)
-        return omega.fidelities(data_matrix)
+        parameter_matrix = np.asarray(parameter_matrix, dtype=float)
+        if parameter_matrix.ndim != 2:
+            raise ValidationError(
+                f"parameter_matrix must be 2-D (batch, params), got shape {parameter_matrix.shape}"
+            )
+        feature_matrix = np.asarray(feature_matrix, dtype=float)
+        rows, samples = parameter_matrix.shape[0], feature_matrix.shape[0]
+        state_amplitudes = 2**self.builder.layout.state_width
+        if (rows + samples) * state_amplitudes <= self._max_batch_amplitudes:
+            omega = self.trained_statevectors(parameter_matrix)
+            data_matrix = self.data_state_matrix(feature_matrix)
+            return omega.fidelities(data_matrix)
+        plan = TilePlan.for_state_overlap(
+            rows, samples, state_amplitudes, self._max_batch_amplitudes
+        )
+        out = np.empty((rows, samples), dtype=float)
+        for row_start, row_stop in plan.row_tiles():
+            omega = self.trained_statevectors(parameter_matrix[row_start:row_stop])
+            for sample_start, sample_stop in plan.sample_tiles():
+                # Per-tile stacks go through the memoised helper, so the
+                # inner row-tile loop (and every repeat sweep over the same
+                # minibatch) reuses cached tile stacks instead of re-stacking
+                # — and the per-row LRU keeps even evicted tiles cheap.
+                data_tile = self.data_state_matrix(
+                    feature_matrix[sample_start:sample_stop]
+                )
+                out[row_start:row_stop, sample_start:sample_stop] = omega.fidelities(
+                    data_tile
+                )
+        return out
 
     def clear_cache(self) -> None:
         """Drop memoised data states (e.g. when switching datasets)."""
@@ -247,16 +278,21 @@ class AnalyticFidelityEstimator(FidelityEstimator):
 class SwapTestFidelityEstimator(FidelityEstimator):
     """Fidelity from SWAP-test ancilla statistics on an execution backend.
 
-    The estimator is sweep-batched: :meth:`fidelities` and
-    :meth:`fidelity_matrix` assemble every discriminator circuit of a sweep
-    and hand the whole stack to
-    :meth:`~repro.quantum.backend.Backend.ancilla_zero_probabilities`, so a
-    statevector backend evolves the shared circuit structure once per
-    parameter row and a noisy backend re-binds its cached transpilation and
-    simulates the whole sweep as one batched density-matrix pass.
-    Circuit construction is amortised too — the data-bound (trained-state
-    symbolic) discriminator of each sample is memoised in an LRU cache, so a
-    parameter-shift sweep only pays a flat parameter re-bind per circuit.
+    The estimator is sweep-batched and memory-bounded: :meth:`fidelities`
+    and :meth:`fidelity_matrix` hand the whole (parameter row x sample)
+    workload to
+    :meth:`~repro.quantum.backend.Backend.sweep_zero_probabilities` on
+    backends that execute compiled sweep programs — the backend compiles the
+    shared discriminator structure once (statevector program cache, or the
+    noisy transpile template's precomposed-superoperator program), consumes
+    the circuits only for their binding rows, and streams the grid tile by
+    tile under a :class:`~repro.quantum.program.TilePlan` derived from
+    ``max_batch_amplitudes``.  Backends without program support fall back to
+    chunked :meth:`~repro.quantum.backend.Backend.ancilla_zero_probabilities`
+    calls.  Circuit construction is amortised too — the data-bound
+    (trained-state symbolic) discriminator of each sample is memoised in an
+    LRU cache, so a parameter-shift sweep only pays a flat parameter re-bind
+    per circuit.
 
     ``supports_batch`` mirrors the backend's flag: on the simulator backends
     the trainer, :meth:`GradientRule.gradient_batched`, and QuClassi inference
@@ -272,8 +308,12 @@ class SwapTestFidelityEstimator(FidelityEstimator):
         Number of shots per circuit; ``None`` requests exact probabilities
         (only meaningful on noiseless backends).
     max_batch_amplitudes:
-        Memory guard for the vectorised statevector path: batches are chunked
-        so that ``chunk_size * 2**num_qubits`` stays below this bound.
+        Amplitude budget of one sweep evaluation, counting **both** workload
+        axes: every in-flight (parameter row, data sample) pair costs its
+        full discriminator state — ``2**num_qubits`` complex entries on the
+        statevector backends, ``4**num_qubits`` on density backends — and
+        the two-axis :class:`~repro.quantum.program.TilePlan` (or, on
+        non-program backends, the chunk size) is derived from this bound.
     """
 
     #: Default amplitude budget per vectorised chunk (~128 MiB of complex128).
@@ -323,26 +363,49 @@ class SwapTestFidelityEstimator(FidelityEstimator):
     # ------------------------------------------------------------------ #
     # Circuit assembly
     # ------------------------------------------------------------------ #
-    def _zero_probabilities(self, circuits) -> np.ndarray:
-        """Ancilla readouts for a circuit stream, chunked to bound peak memory.
+    def _per_element_amplitudes(self) -> int:
+        """Complex entries one in-flight discriminator state costs.
 
-        ``circuits`` may be any iterable and is consumed lazily — only one
-        chunk's worth of bound circuit objects is alive at a time, so the
-        ``max_batch_amplitudes`` guard bounds the whole working set (circuit
-        objects and simulator amplitudes alike), not just the amplitude
-        array.
+        A noisy backend simulates density matrices, whose per-element
+        footprint is ``4**n`` rather than ``2**n`` — budgeting against the
+        true working-set size keeps ``max_batch_amplitudes`` meaning
+        "complex entries in flight" on every backend.
         """
+        num_qubits = self.builder.layout.total_qubits
+        if getattr(self.backend, "is_noisy", False):
+            return 2 ** (2 * num_qubits)
+        return 2**num_qubits
+
+    def _zero_probabilities(self, circuits, rows: int, samples: int) -> np.ndarray:
+        """Ancilla readouts for one (rows x samples) sweep, memory-bounded.
+
+        On backends that execute compiled sweep programs
+        (``supports_programs``), the whole two-axis workload goes through one
+        :meth:`~repro.quantum.backend.Backend.sweep_zero_probabilities` call
+        under a :class:`~repro.quantum.program.TilePlan` derived from
+        ``max_batch_amplitudes`` — the budget counts every (shift row, data
+        sample) pair's full state, so both axes are accounted, and the
+        backend streams tiles without materialising per-element results.
+        Other backends fall back to chunked
+        :meth:`~repro.quantum.backend.Backend.ancilla_zero_probabilities`
+        calls over the lazily consumed circuit stream (only one chunk's
+        circuits are alive at a time).  Both paths are draw-for-draw
+        identical under a shared seed.
+        """
+        per_element = self._per_element_amplitudes()
+        if getattr(self.backend, "supports_programs", False):
+            plan = TilePlan.for_circuit_sweep(
+                rows, samples, per_element, self._max_batch_amplitudes
+            )
+            zeros = self.backend.sweep_zero_probabilities(
+                circuits, shots=self.shots, tile_plan=plan
+            )
+            self.circuits_executed += int(zeros.shape[0])
+            return zeros
         iterator = iter(circuits)
         first = next(iterator, None)
         if first is None:
             return np.zeros(0)
-        # A noisy backend simulates density matrices, whose per-element
-        # footprint is 4**n rather than 2**n — chunk against the true
-        # working-set size so the amplitude budget keeps meaning "complex
-        # entries in flight".
-        per_element = 2 ** (2 * first.num_qubits) if getattr(
-            self.backend, "is_noisy", False
-        ) else 2**first.num_qubits
         chunk_size = max(1, self._max_batch_amplitudes // per_element)
         parts = []
         chunk = [first]
@@ -413,6 +476,8 @@ class SwapTestFidelityEstimator(FidelityEstimator):
                 for circuit in sample_circuits:
                     yield circuit.bind_parameters(binding)
 
-        zeros = self._zero_probabilities(circuit_stream())
+        zeros = self._zero_probabilities(
+            circuit_stream(), parameter_matrix.shape[0], feature_matrix.shape[0]
+        )
         fidelities = fidelities_from_swap_test_probabilities(zeros)
         return fidelities.reshape(parameter_matrix.shape[0], feature_matrix.shape[0])

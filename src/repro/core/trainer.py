@@ -23,9 +23,15 @@ single vectorised statevector/cost pass, which is numerically equivalent to
 the loop (same shifts, same reduction order) but removes the per-shift Python
 rebuild of the trained state.  The analytic estimator always batches; the
 circuit-executing SWAP-test estimator batches whenever its backend does
-(every simulator backend — the sweep's discriminator circuits are stacked
-into :meth:`~repro.quantum.backend.Backend.run_batch` calls).  Estimators on
-backends without batch support keep the per-evaluation loop.
+(every simulator backend).  Under the hood the full (shift-row x sample)
+workload of one gradient evaluation executes as a *single tiled
+compile-once sweep*: the estimator's ``fidelity_matrix`` compiles the
+discriminator structure once into a
+:class:`~repro.quantum.program.SweepProgram` (cached across epochs) and
+streams the grid through memory-bounded
+:class:`~repro.quantum.program.TilePlan` tiles — see
+``docs/compile_once_programs.md``.  Estimators on backends without batch
+support keep the per-evaluation loop.
 
 Per-class random streams (order independence)
 ---------------------------------------------

@@ -1,12 +1,25 @@
-"""Plain-text reporting of experiment results.
+"""Reporting of experiment results: paper-style text and perf-point JSON.
 
 The benchmarks print their results through these helpers so the output reads
 like the paper's tables and figure captions (one row per configuration, one
 series per curve) without any plotting dependency.
+
+Machine-readable perf points share one writer too: every benchmark —
+hot-path perf benches and figure reproductions alike — emits a
+``BENCH_<name>.json`` file through :func:`write_perf_point`, so the perf
+trajectory of each workload is tracked as a JSON series across PRs.
+:func:`experiment_perf_payload` converts a figure's
+:class:`~repro.experiments.harness.ExperimentResult` into such a payload, and
+:func:`validate_perf_payload` is the schema check the benchmark smoke tests
+run against every emitted file to keep the reporting path from rotting.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
+import time
 from typing import List, Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult, Series
@@ -61,3 +74,81 @@ def format_experiment(result: ExperimentResult, float_format: str = "{:.4f}") ->
 def print_experiment(result: ExperimentResult) -> None:
     """Print an experiment result (used by the benchmark harness)."""
     print(format_experiment(result))
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable perf points (BENCH_<name>.json)
+# --------------------------------------------------------------------------- #
+
+
+def experiment_perf_payload(result: ExperimentResult, seconds: Optional[float] = None) -> dict:
+    """Convert a figure reproduction into a perf-point payload.
+
+    Captures the reproduced rows/series (the figure itself), the experiment's
+    metadata, and the wall-clock cost of regenerating it — so every figure
+    run leaves a JSON perf point next to its text report.
+    """
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": [dict(row) for row in result.rows],
+        "series": [
+            {"name": series.name, "x": list(series.x), "y": list(series.y)}
+            for series in result.series
+        ],
+        "metadata": dict(result.metadata),
+    }
+    if seconds is not None:
+        payload["seconds"] = float(seconds)
+    return payload
+
+
+def write_perf_point(results_dir: str, name: str, payload: dict) -> str:
+    """Write ``BENCH_<name>.json`` into ``results_dir``; returns the path.
+
+    The single JSON writer behind every benchmark: the payload is enriched
+    with the benchmark name and a timestamp, then dumped with sorted keys so
+    diffs across PRs stay readable.
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    enriched = dict(payload)
+    enriched.setdefault("benchmark", name)
+    enriched.setdefault("recorded_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(enriched, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def validate_perf_payload(payload: dict) -> List[str]:
+    """Schema-check one perf payload; returns a list of problems (empty = ok).
+
+    Every ``BENCH_*.json`` must carry its benchmark name and timestamp, and
+    every numeric value anywhere in the payload must be finite — a NaN or
+    infinity in a perf point means the benchmark silently broke.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    for key in ("benchmark", "recorded_at"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            problems.append(f"missing or empty required key {key!r}")
+
+    def walk(value, trail: str) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            if not math.isfinite(value):
+                problems.append(f"non-finite number at {trail}")
+            return
+        if isinstance(value, dict):
+            for key, child in value.items():
+                walk(child, f"{trail}.{key}")
+            return
+        if isinstance(value, (list, tuple)):
+            for index, child in enumerate(value):
+                walk(child, f"{trail}[{index}]")
+
+    walk(payload, "$")
+    return problems

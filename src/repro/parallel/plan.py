@@ -314,6 +314,7 @@ class EstimatorSpec:
                 kind="analytic",
                 data_cache_size=estimator._data_state_cache.max_entries,
                 data_matrix_cache_size=estimator._data_matrix_cache.max_entries,
+                max_batch_amplitudes=estimator._max_batch_amplitudes,
                 supports_batch_override=estimator.__dict__.get("supports_batch"),
             )
         if isinstance(estimator, SwapTestFidelityEstimator):
@@ -343,6 +344,8 @@ class EstimatorSpec:
                 or AnalyticFidelityEstimator.DEFAULT_DATA_CACHE_SIZE,
                 data_matrix_cache_size=self.data_matrix_cache_size
                 or AnalyticFidelityEstimator.DEFAULT_DATA_MATRIX_CACHE_SIZE,
+                max_batch_amplitudes=self.max_batch_amplitudes
+                or AnalyticFidelityEstimator.DEFAULT_MAX_BATCH_AMPLITUDES,
             )
         else:
             backend = self.backend.build() if self.backend is not None else None

@@ -45,6 +45,13 @@ from repro.quantum.noise import (
     thermal_relaxation_kraus,
 )
 from repro.quantum.operations import Instruction, Parameter, ScaledParameter
+from repro.quantum.program import (
+    DensitySuperoperatorEngine,
+    GateStep,
+    StatevectorEngine,
+    SweepProgram,
+    TilePlan,
+)
 from repro.quantum.register import ClassicalRegister, QuantumRegister
 from repro.quantum.simulator import (
     DensityMatrixSimulator,
@@ -100,6 +107,11 @@ __all__ = [
     "Instruction",
     "Parameter",
     "ScaledParameter",
+    "DensitySuperoperatorEngine",
+    "GateStep",
+    "StatevectorEngine",
+    "SweepProgram",
+    "TilePlan",
     "ClassicalRegister",
     "QuantumRegister",
     "DensityMatrixSimulator",

@@ -42,6 +42,7 @@ import numpy as np
 from repro.exceptions import BackendError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise import NoiseModel
+from repro.quantum.program import TilePlan
 from repro.quantum.simulator import (
     DensityMatrixSimulator,
     SimulationResult,
@@ -84,6 +85,13 @@ class Backend(abc.ABC):
     #: The SWAP-test fidelity estimator mirrors this flag as its own
     #: ``supports_batch`` so the trainer and inference pick the batched path.
     supports_batch: bool = False
+
+    #: Whether :meth:`sweep_zero_probabilities` executes through a cached
+    #: compiled :class:`~repro.quantum.program.SweepProgram` (compile-once,
+    #: tiled execution, no per-element result materialisation).  The
+    #: SWAP-test estimator routes its whole (shift-row x sample) workload
+    #: through that path when this is set.
+    supports_programs: bool = False
 
     @abc.abstractmethod
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
@@ -131,12 +139,67 @@ class Backend(abc.ABC):
             [result.marginal_probability(0, value=0) for result in results], dtype=float
         )
 
+    def sweep_zero_probabilities(
+        self,
+        circuits,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """SWAP-test readouts of one structure-sharing sweep, tiled.
+
+        The compile-once hot path: backends with ``supports_programs`` pull
+        the circuits from the (lazily consumed) iterable only to extract
+        their binding rows, compile the shared structure once through their
+        program cache, and stream the whole sweep through
+        :meth:`~repro.quantum.simulator.StatevectorSimulator.run_sweep_program`
+        under ``tile_plan`` — so peak memory is one tile's state stack, not
+        the sweep's, and no per-element :class:`SimulationResult` (or final
+        state) is ever built.  Results are draw-for-draw identical to
+        :meth:`ancilla_zero_probabilities`.
+
+        Unlike :meth:`run_batch`, every circuit of the sweep **must** share
+        one structure; mismatches raise :class:`BackendError` instead of
+        falling back (by then earlier circuits of the stream have already
+        been consumed).  The base implementation simply materialises the
+        sweep and loops, so estimator code can call this unconditionally.
+        """
+        return self.ancilla_zero_probabilities(list(circuits), shots=shots)
+
+
+def _statevector_sweep(
+    backend: "Backend",
+    simulator: StatevectorSimulator,
+    circuits,
+    shots: Optional[int],
+    tile_plan: Optional[TilePlan],
+) -> np.ndarray:
+    """Shared program-sweep implementation of the statevector backends."""
+    iterator = iter(circuits)
+    first = next(iterator, None)
+    if first is None:
+        return np.zeros(0)
+    program = simulator._sweep_program(first)
+    rows = [program.binding_row(first)]
+    for circuit in iterator:
+        if not program.matches_structure(circuit):
+            raise BackendError(
+                f"{backend.name}: sweep_zero_probabilities requires one shared "
+                f"circuit structure; '{circuit.name}' deviates from the sweep's"
+            )
+        rows.append(program.binding_row(circuit))
+    bindings = np.asarray(rows, dtype=float).reshape(len(rows), program.num_columns)
+    readout = simulator.run_sweep_program(
+        program, bindings, shots=shots, tile_plan=tile_plan
+    )
+    return readout.marginal_probabilities(0, 0)
+
 
 class IdealBackend(Backend):
     """Noise-free statevector execution with exact probabilities."""
 
     name = "ideal_simulator"
     supports_batch = True
+    supports_programs = True
 
     def __init__(self, seed: RandomState = None) -> None:
         self._simulator = StatevectorSimulator(seed=seed)
@@ -152,12 +215,23 @@ class IdealBackend(Backend):
         shots = validate_shots(shots, self.name)
         return self._simulator.run_batch(circuits, shots=shots)
 
+    def sweep_zero_probabilities(
+        self,
+        circuits,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Tiled compile-once sweep on the statevector engine."""
+        shots = validate_shots(shots, self.name)
+        return _statevector_sweep(self, self._simulator, circuits, shots, tile_plan)
+
 
 class SampledBackend(Backend):
     """Statevector execution that always samples a finite number of shots."""
 
     name = "sampled_simulator"
     supports_batch = True
+    supports_programs = True
 
     def __init__(self, shots: int = 1024, seed: RandomState = None) -> None:
         self.shots = validate_shots(shots, self.name)
@@ -180,6 +254,17 @@ class SampledBackend(Backend):
     ) -> List[SimulationResult]:
         """Vectorised batch execution; every circuit is sampled."""
         return self._simulator.run_batch(circuits, shots=self._resolve_shots(shots))
+
+    def sweep_zero_probabilities(
+        self,
+        circuits,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Tiled compile-once sweep; every element is sampled."""
+        return _statevector_sweep(
+            self, self._simulator, circuits, self._resolve_shots(shots), tile_plan
+        )
 
 
 @dataclasses.dataclass
@@ -227,10 +312,15 @@ class NoisyBackend(Backend):
     :meth:`~repro.quantum.simulator.DensityMatrixSimulator.run_batch` pass
     (transpiled circuits of one sweep share their structure by construction),
     so noisy sweeps batch end to end instead of simulating one density matrix
-    per circuit.
+    per circuit.  :meth:`sweep_zero_probabilities` goes further: the whole
+    (shift-row x sample) workload executes straight from the cached
+    template's compiled :class:`~repro.quantum.program.SweepProgram` —
+    unitaries and noise channels precomposed into per-gate superoperators —
+    tiled under a :class:`~repro.quantum.program.TilePlan` memory budget.
     """
 
     supports_batch = True
+    supports_programs = True
 
     def __init__(
         self,
@@ -363,6 +453,83 @@ class NoisyBackend(Backend):
             self._attach_metadata(result, self._transpile_stats(entry))
             self._record_job(result)
         return results
+
+    def sweep_zero_probabilities(
+        self,
+        circuits,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Compile-once tiled sweep under the device noise model.
+
+        Every circuit of the sweep resolves to **one**
+        :class:`~repro.quantum.transpiler.TranspileCache` template whose
+        compiled :class:`~repro.quantum.program.SweepProgram` (gate unitaries
+        and noise channels precomposed into per-gate superoperators) executes
+        the whole workload tile by tile — the *template* is never re-bound,
+        no per-gate channel resolution runs, and no per-element density
+        matrices are materialised.  The incoming (caller-bound) circuits are
+        consumed only to extract their slot-value binding rows; compiling the
+        data encoder's angles as bind sites too, so callers need not build
+        per-element circuits at all, is a ROADMAP item.  One sweep is one
+        provider job submission (a single queue wait), but every element is
+        still ledgered individually so job accounting matches the loop path.
+        """
+        shots = self._resolve_shots(shots)
+        iterator = iter(circuits)
+        first = next(iterator, None)
+        if first is None:
+            return np.zeros(0)
+        if first.num_qubits > self.properties.num_qubits:
+            raise BackendError(
+                f"{self.name} has {self.properties.num_qubits} qubits, circuit "
+                f"needs {first.num_qubits}"
+            )
+        self._queue_wait()
+        local_map = self._local_coupling_map(first.num_qubits)
+        entry, values = self._transpile_cache.template(first, local_map)
+        rows = [values]
+        names = [first.name]
+        for circuit in iterator:
+            if circuit.num_qubits != first.num_qubits:
+                raise BackendError(
+                    f"{self.name}: sweep_zero_probabilities requires one shared "
+                    f"circuit structure; '{circuit.name}' has a different width"
+                )
+            other, circuit_values = self._transpile_cache.template(circuit, local_map)
+            if other is not entry:
+                raise BackendError(
+                    f"{self.name}: sweep_zero_probabilities requires one shared "
+                    f"circuit structure; '{circuit.name}' deviates from the sweep's"
+                )
+            rows.append(circuit_values)
+            names.append(circuit.name)
+        program = entry.ensure_program()
+        stats = self._transpile_stats(entry.result)
+        self.last_transpile_stats = stats
+        readout = self._simulator.run_sweep_program(
+            program,
+            np.asarray(rows, dtype=float).reshape(len(rows), program.num_columns),
+            shots=shots,
+            tile_plan=tile_plan,
+        )
+        for element, name in enumerate(names):
+            result = SimulationResult(
+                circuit_name=f"{name}_basis_routed",
+                probabilities=readout.probabilities[element],
+                counts=readout.counts[element] if readout.counts is not None else None,
+                shots=shots,
+                metadata={
+                    "engine": self._simulator.name,
+                    "noisy": not self.properties.noise_model.is_ideal,
+                    "batched": True,
+                    "batch_size": len(names),
+                    "program_sweep": True,
+                },
+            )
+            self._attach_metadata(result, stats)
+            self._record_job(result)
+        return readout.marginal_probabilities(0, 0)
 
     def _record_job(self, result: SimulationResult) -> None:
         """Per-job accounting hook, called once per executed circuit.

@@ -193,14 +193,15 @@ class BatchedStatevector:
     def apply_program(self, program, parameter_matrix: np.ndarray) -> "BatchedStatevector":
         """Apply a compiled gate program with per-element parameters.
 
-        ``program`` is a sequence of ``(gate_name, qubits, slots)`` entries as
-        produced by
-        :meth:`repro.core.swap_test.AnalyticFidelityEstimator._compile_program`:
-        each slot is ``("index", i)`` for the ``i``-th column of
-        ``parameter_matrix`` or ``("value", v)`` for a fixed angle.  Gates
+        ``program`` is a sequence of ``(gate_name, qubits, slots)`` entries
+        (the legacy flat-tuple format that predates
+        :class:`repro.quantum.program.SweepProgram`, kept as a public
+        convenience): each slot is ``("index", i)`` for the ``i``-th column
+        of ``parameter_matrix`` or ``("value", v)`` for a fixed angle.  Gates
         whose slots are all fixed (or that take no parameters) are applied as
         a single shared matrix; gates with per-element angles are built with
-        :func:`repro.quantum.gates.gate_matrix_batch`.
+        :func:`repro.quantum.gates.gate_matrix_batch`.  New code should
+        compile a :class:`~repro.quantum.program.SweepProgram` instead.
         """
         values = np.asarray(parameter_matrix, dtype=float)
         if values.ndim != 2:

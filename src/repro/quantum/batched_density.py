@@ -41,6 +41,44 @@ from repro.exceptions import SimulationError
 from repro.quantum.statevector import marginal_probabilities
 
 
+def conjugation_superoperator(operator: np.ndarray) -> np.ndarray:
+    """The conjugation superoperator ``rho -> K rho K†`` of one operator.
+
+    For a shared ``(2**k, 2**k)`` operator the result is the ``(4**k, 4**k)``
+    matrix ``kron(K, K.conj())``; for a per-element ``(batch, 2**k, 2**k)``
+    stack it is the matching ``(batch, 4**k, 4**k)`` stack.  The index layout
+    is the vectorised (row multi-index, column multi-index) pair used by
+    :meth:`BatchedDensityMatrix.apply_superoperator`, so superoperators of
+    sequential channels compose by plain matrix multiplication (later
+    channels on the left) — the mechanism behind the compile-time noise
+    precomposition in :mod:`repro.quantum.program`.
+    """
+    operator = np.asarray(operator, dtype=complex)
+    if operator.ndim == 3:
+        batch, dim = operator.shape[0], operator.shape[1]
+        conjugate = operator.conj()
+        return (
+            operator[:, :, None, :, None] * conjugate[:, None, :, None, :]
+        ).reshape(batch, dim * dim, dim * dim)
+    if operator.ndim != 2 or operator.shape[0] != operator.shape[1]:
+        raise SimulationError(
+            f"expected a square operator or a stack of them, got shape {operator.shape}"
+        )
+    return np.kron(operator, operator.conj())
+
+
+def channel_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
+    """The ``(4**k, 4**k)`` superoperator ``sum_k kron(K_k, K_k.conj())`` of a channel."""
+    kraus_operators = list(kraus_operators)
+    if not kraus_operators:
+        raise SimulationError("a channel needs at least one Kraus operator")
+    total: np.ndarray = None
+    for kraus in kraus_operators:
+        term = conjugation_superoperator(np.asarray(kraus, dtype=complex))
+        total = term if total is None else total + term
+    return total
+
+
 class BatchedDensityMatrix:
     """A stack of ``batch`` density operators on ``num_qubits`` qubits.
 
@@ -238,6 +276,34 @@ class BatchedDensityMatrix:
             out = flat @ superop.T
         out = np.moveaxis(out.reshape(moved_shape), dest_axes, source_axes)
         self._matrices = np.ascontiguousarray(out).reshape(self._batch_size, dim, dim)
+
+    def apply_superoperator(
+        self, superop: np.ndarray, qubits: Sequence[int]
+    ) -> "BatchedDensityMatrix":
+        """Apply a raw channel superoperator to ``qubits`` of every element.
+
+        ``superop`` is a shared ``(4**k, 4**k)`` matrix (applied to all
+        elements) or a per-element ``(batch, 4**k, 4**k)`` stack in the
+        vectorised index layout of :func:`conjugation_superoperator`.  This is
+        the public surface the compiled-program executor uses to apply
+        unitaries whose noise channels were precomposed into a single
+        superoperator at compile time.  Returns ``self`` to allow chaining.
+        """
+        qubits = self._check_qubits(qubits)
+        k = len(qubits)
+        superop = np.asarray(superop, dtype=complex)
+        per_element = superop.ndim == 3
+        expected = (
+            (self._batch_size, 4**k, 4**k) if per_element else (4**k, 4**k)
+        )
+        if superop.shape != expected:
+            raise SimulationError(
+                f"superoperator shape {superop.shape} does not match "
+                f"{'batch ' + str(self._batch_size) + ' on ' if per_element else ''}"
+                f"{k} qubit(s)"
+            )
+        self._apply_superop(superop, qubits, per_element)
+        return self
 
     def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "BatchedDensityMatrix":
         """Apply a unitary to ``qubits`` of every batch element in place.

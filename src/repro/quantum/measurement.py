@@ -132,3 +132,33 @@ def counts_from_probabilities(
     samples = generator.multinomial(shots, probs)
     data = {key: int(count) for key, count in zip(keys, samples) if count > 0}
     return Counts(data)
+
+
+def exact_clbit_probabilities(
+    probabilities: np.ndarray,
+    measured_qubits,
+    clbits,
+    num_clbits: int,
+) -> Dict[str, float]:
+    """Re-index qubit-ordered probabilities into classical-bit-ordered strings.
+
+    ``probabilities`` is the joint distribution over ``measured_qubits`` (in
+    that qubit order); the result maps full classical-register bit strings
+    (bit 0 leftmost) to probabilities, with zero-probability outcomes dropped
+    exactly as the sampling helpers expect.  Shared by the per-circuit
+    simulators, the vectorised batch paths, and the compiled
+    :class:`~repro.quantum.program.SweepProgram` executor so every read-out
+    path produces identical outcome dictionaries.
+    """
+    width = len(measured_qubits)
+    out: Dict[str, float] = {}
+    for index, prob in enumerate(probabilities):
+        if prob <= 0.0:
+            continue
+        bits_by_qubit = format(index, f"0{width}b")
+        clbit_string = ["0"] * num_clbits
+        for position, clbit in enumerate(clbits):
+            clbit_string[clbit] = bits_by_qubit[position]
+        key = "".join(clbit_string)
+        out[key] = out.get(key, 0.0) + float(prob)
+    return out

@@ -205,18 +205,32 @@ class NoiseModel:
         self._default_errors: Dict[int, List[List[np.ndarray]]] = {}
         self._readout_errors: Dict[int, ReadoutError] = {}
         self._default_readout: Optional[ReadoutError] = None
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every ``add_*`` call.
+
+        Consumers that precompute derived artefacts from the model — the
+        compiled-program density engine precomposes per-gate superoperator
+        plans — key their caches on this counter so an in-place mutation of
+        a model that is already attached to a simulator invalidates them.
+        """
+        return self._version
 
     # Construction ------------------------------------------------------- #
     def add_gate_error(self, gate_name: str, kraus_operators: Sequence[np.ndarray]) -> "NoiseModel":
         """Attach a Kraus channel applied after every occurrence of ``gate_name``."""
         GateError(list(kraus_operators))  # validates
         self._gate_errors.setdefault(gate_name, []).append(list(kraus_operators))
+        self._version += 1
         return self
 
     def add_all_qubit_error(self, kraus_operators: Sequence[np.ndarray], num_qubits: int) -> "NoiseModel":
         """Attach a channel applied after every gate acting on ``num_qubits`` qubits."""
         GateError(list(kraus_operators))  # validates
         self._default_errors.setdefault(num_qubits, []).append(list(kraus_operators))
+        self._version += 1
         return self
 
     def add_readout_error(self, error: ReadoutError, qubit: Optional[int] = None) -> "NoiseModel":
@@ -225,6 +239,7 @@ class NoiseModel:
             self._default_readout = error
         else:
             self._readout_errors[int(qubit)] = error
+        self._version += 1
         return self
 
     # Lookup ------------------------------------------------------------- #
@@ -318,3 +333,31 @@ class NoiseModel:
         if readout_error > 0:
             model.add_readout_error(ReadoutError(readout_error, readout_error))
         return model
+
+
+def apply_readout_error(
+    joint: np.ndarray, measured_qubits: Sequence[int], noise_model: "NoiseModel"
+) -> np.ndarray:
+    """Convolve outcome distributions with the model's per-qubit readout error.
+
+    Accepts a single ``(2**w,)`` distribution or a stacked ``(batch, 2**w)``
+    array over ``measured_qubits`` (in that order); the confusion matrices
+    contract over the outcome axes only, so the batched convolution applies
+    every element's error in one :func:`numpy.tensordot` per measured qubit.
+    Shared by :class:`~repro.quantum.simulator.DensityMatrixSimulator` and the
+    compiled-program density engine so both read-out paths are bit-identical.
+    """
+    joint = np.asarray(joint, dtype=float)
+    single = joint.ndim == 1
+    width = len(measured_qubits)
+    batch = 1 if single else joint.shape[0]
+    tensor = joint.reshape((batch,) + (2,) * width)
+    for axis, qubit in enumerate(measured_qubits):
+        error = noise_model.readout_error(qubit)
+        if error is None:
+            continue
+        confusion = error.confusion_matrix()
+        tensor = np.tensordot(confusion, tensor, axes=([1], [axis + 1]))
+        tensor = np.moveaxis(tensor, 0, axis + 1)
+    flattened = tensor.reshape(batch, -1)
+    return flattened[0] if single else flattened

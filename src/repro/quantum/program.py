@@ -1,0 +1,775 @@
+"""Compile-once sweep programs: the :class:`SweepProgram` IR.
+
+The training hot path is dominated by *structure-sharing sweeps*: every
+parameter-shift row and every data sample of a QuClassi gradient evaluation
+executes the **same** gate skeleton with different rotation angles.  Before
+this module, each ``run_batch`` call re-derived the per-gate plan — gate
+matrices looked up per call, noise channels resolved per gate per call — and
+batching was only possible along the flattened circuit list, so the 17-qubit
+MNIST sweeps either blew peak memory or fell back to loops.
+
+:class:`SweepProgram` splits that hot path into **compile once / execute
+many**:
+
+* ``compile`` walks one representative circuit and produces an ordered plan
+  of :class:`GateStep` entries — fixed unitaries with their matrices
+  precomputed, and *parameter bind sites* whose angles are read out of a
+  ``(batch, columns)`` bindings matrix at execution time (affine slots
+  ``coefficient * column`` represent the
+  :class:`~repro.quantum.operations.ScaledParameter` expressions the
+  transpiler emits).
+* :class:`DensitySuperoperatorEngine` additionally precomposes, per gate
+  step, the gate's noise channels into a single ``(4**k, 4**k)``
+  superoperator — and for fixed gates the unitary itself is folded in — so a
+  repeat sweep on a noisy backend applies **one** contraction per gate and
+  never resolves Kraus channels again.
+* :meth:`SweepProgram.execute` streams the sweep through
+  :class:`~repro.quantum.batched.BatchedStatevector` /
+  :class:`~repro.quantum.batched_density.BatchedDensityMatrix` tile by tile
+  under a :class:`TilePlan` that budgets **both** workload axes — parameter
+  rows and data-sample columns — and reassembles the read-out bit-identically
+  to the untiled pass (tiles are contiguous in row-major order, and NumPy's
+  stacked multinomial consumes the bit generator row by row, so downstream
+  shot sampling is draw-for-draw independent of the tiling).
+
+Consumers compile through caches so the plan is derived once per circuit
+*structure*: the simulators key programs by
+:func:`~repro.quantum.transpiler.circuit_structure_key`, and
+:class:`~repro.quantum.transpiler.TranspileCache` attaches a compiled program
+to every transpile template so noisy sweeps execute straight from the cache
+without re-binding circuits at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum import gates as gate_library
+from repro.quantum.batched import BatchedStatevector
+from repro.quantum.batched_density import (
+    BatchedDensityMatrix,
+    channel_superoperator,
+    conjugation_superoperator,
+)
+from repro.quantum.noise import NoiseModel, apply_readout_error
+from repro.quantum.operations import Parameter, ScaledParameter
+
+
+def check_deferred_measurement(instruction, measured: set, engine_name: str) -> None:
+    """Reject circuits the deferred-measurement strategy cannot represent.
+
+    Every engine (and the compiled-program executor) defers measurements to
+    the end of the circuit: unitary evolution runs first, then the joint
+    distribution of the measured qubits is read out once.  That is only sound
+    when no operation touches a qubit *after* it has been measured and no
+    qubit is measured twice — either case would silently corrupt the reported
+    joint distribution.
+    """
+    if instruction.is_measurement:
+        duplicates = measured.intersection(instruction.qubits)
+        if duplicates:
+            raise SimulationError(
+                f"{engine_name}: qubit(s) {sorted(duplicates)} measured more than "
+                "once; the deferred-measurement strategy supports a single "
+                "measurement per qubit"
+            )
+        return
+    touched = measured.intersection(instruction.qubits)
+    if touched:
+        raise SimulationError(
+            f"{engine_name}: instruction '{instruction.name}' acts on already-"
+            f"measured qubit(s) {sorted(touched)}; the deferred-measurement "
+            "strategy cannot apply operations after a measurement"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Tile planning
+# --------------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class TilePlan:
+    """How a (parameter rows x data samples) sweep is cut into memory tiles.
+
+    A sweep workload is a grid: ``rows`` parameter-shift vectors by
+    ``samples`` data points.  A plan fixes how many of each axis one tile may
+    hold so that the tile's working set stays under a single amplitude
+    budget, and enumerates the tiles in **row-major contiguous** order —
+    the same order as the untiled pass and the per-circuit loop, which is
+    what keeps tiled shot sampling draw-for-draw identical.
+
+    Two cost models are provided as constructors:
+
+    * :meth:`for_circuit_sweep` — each grid element is a full circuit state
+      (a SWAP-test discriminator holding both registers), so a tile of
+      ``r x s`` elements costs ``r * s * element_amplitudes``.
+    * :meth:`for_state_overlap` — the analytic estimator's tiled matmul,
+      where a tile holds ``r`` trained-state rows *and* ``s`` data-state
+      columns side by side, costing ``(r + s) * state_amplitudes``.  This is
+      the accounting that makes the budget honest about **both** axes
+      instead of only the batch of trained states.
+
+    Attributes
+    ----------
+    rows, samples:
+        Grid extents.
+    row_tile, sample_tile:
+        Maximum rows/samples per tile.  ``sample_tile < samples`` forces
+        single-row tiles so flat enumeration stays contiguous.
+    max_amplitudes:
+        The budget the plan was derived from (recorded for reports).
+    """
+
+    rows: int
+    samples: int
+    row_tile: int
+    sample_tile: int
+    max_amplitudes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.samples < 0:
+            raise SimulationError(
+                f"grid extents must be non-negative, got {self.rows} x {self.samples}"
+            )
+        if self.row_tile <= 0 or self.sample_tile <= 0:
+            raise SimulationError(
+                f"tile extents must be positive, got {self.row_tile} x {self.sample_tile}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_circuit_sweep(
+        cls, rows: int, samples: int, element_amplitudes: int, max_amplitudes: int
+    ) -> "TilePlan":
+        """Plan a sweep whose every (row, sample) pair is one circuit state."""
+        if element_amplitudes <= 0 or max_amplitudes <= 0:
+            raise SimulationError(
+                "element_amplitudes and max_amplitudes must be positive, got "
+                f"{element_amplitudes} and {max_amplitudes}"
+            )
+        budget_elements = max(1, max_amplitudes // element_amplitudes)
+        if samples and budget_elements >= samples:
+            row_tile = max(1, budget_elements // samples)
+            sample_tile = samples
+        else:
+            row_tile = 1
+            sample_tile = max(1, min(samples, budget_elements) or 1)
+        return cls(
+            rows=rows,
+            samples=samples,
+            row_tile=row_tile,
+            sample_tile=sample_tile,
+            max_amplitudes=int(max_amplitudes),
+        )
+
+    @classmethod
+    def for_state_overlap(
+        cls, rows: int, samples: int, state_amplitudes: int, max_amplitudes: int
+    ) -> "TilePlan":
+        """Plan a tiled overlap matmul holding row states and sample columns."""
+        if state_amplitudes <= 0 or max_amplitudes <= 0:
+            raise SimulationError(
+                "state_amplitudes and max_amplitudes must be positive, got "
+                f"{state_amplitudes} and {max_amplitudes}"
+            )
+        budget_states = max(2, max_amplitudes // state_amplitudes)
+        sample_tile = max(1, min(samples, budget_states // 2) or 1)
+        row_tile = max(1, min(rows, budget_states - sample_tile) or 1)
+        return cls(
+            rows=rows,
+            samples=samples,
+            row_tile=row_tile,
+            sample_tile=sample_tile,
+            max_amplitudes=int(max_amplitudes),
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_elements(self) -> int:
+        """Number of grid elements (rows x samples)."""
+        return self.rows * self.samples
+
+    @property
+    def tile_elements(self) -> int:
+        """Largest number of grid elements alive in one tile."""
+        if self.sample_tile >= self.samples:
+            return self.row_tile * max(self.samples, 1)
+        return self.sample_tile
+
+    @property
+    def num_tiles(self) -> int:
+        return len(list(self.flat_tiles()))
+
+    def row_tiles(self) -> Iterator[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` spans over the row axis."""
+        for start in range(0, self.rows, self.row_tile):
+            yield start, min(self.rows, start + self.row_tile)
+
+    def sample_tiles(self) -> Iterator[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` spans over the sample axis."""
+        for start in range(0, self.samples, self.sample_tile):
+            yield start, min(self.samples, start + self.sample_tile)
+
+    def flat_tiles(self) -> Iterator[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` ranges over the row-major flat index.
+
+        Full-row blocks when a row fits the budget, within-row sample blocks
+        otherwise (one row at a time, so the tiles stay contiguous) — either
+        way the concatenation of the tiles is exactly the untiled row-major
+        order.
+        """
+        if self.total_elements == 0:
+            return
+        if self.sample_tile >= self.samples:
+            chunk = self.row_tile * self.samples
+            for start in range(0, self.total_elements, chunk):
+                yield start, min(self.total_elements, start + chunk)
+            return
+        for row in range(self.rows):
+            base = row * self.samples
+            for start, stop in self.sample_tiles():
+                yield base + start, base + stop
+
+
+# --------------------------------------------------------------------------- #
+# The program IR
+# --------------------------------------------------------------------------- #
+
+#: A slot is ``("value", v)`` for a fixed angle or ``("column", c, coeff)``
+#: reading ``coeff * bindings[:, c]`` at execution time.
+Slot = Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class GateStep:
+    """One gate of a compiled sweep: fixed unitary or parameter bind site.
+
+    ``matrix`` holds the precomputed ``(2**k, 2**k)`` unitary when no slot
+    reads a bindings column (the step is *fixed* across the whole sweep);
+    parametric steps build a shared or per-element matrix from the bindings
+    at execution time.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    slots: Tuple[Slot, ...]
+    matrix: Optional[np.ndarray] = None
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.matrix is not None
+
+
+class SweepProgram:
+    """Compiled execution plan of one structure-sharing sweep.
+
+    Build via :meth:`compile`; execute via :meth:`evolve` (full batch, final
+    states retained) or :meth:`execute` (tiled, read-out probabilities only).
+    Programs are immutable after compilation and safe to cache/share across
+    calls — all per-execution state lives in the engines' batched states.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_qubits: int,
+        num_clbits: int,
+        steps: Sequence[GateStep],
+        measured_qubits: Sequence[int],
+        clbits: Sequence[int],
+        num_columns: int,
+        parameters: Tuple[Parameter, ...],
+        column_sites: Tuple[Tuple[int, int], ...],
+        name: str,
+    ) -> None:
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.steps: Tuple[GateStep, ...] = tuple(steps)
+        self.measured_qubits: Tuple[int, ...] = tuple(measured_qubits)
+        self.clbits: Tuple[int, ...] = tuple(clbits)
+        self.num_columns = int(num_columns)
+        #: Symbolic parameters defining the column order (symbolic mode only).
+        self.parameters = parameters
+        #: ``(instruction position, param position)`` of each float column in
+        #: the *reference* circuit (bound-reference mode only; barrier
+        #: positions included).  Introspection only — :meth:`binding_row`
+        #: extracts by walking gates so sibling barrier placement is free.
+        self.column_sites = column_sites
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compile(
+        cls,
+        circuit,
+        *,
+        bind_floats: bool,
+        parameters: Optional[Sequence[Parameter]] = None,
+        name: Optional[str] = None,
+    ) -> "SweepProgram":
+        """Compile one representative circuit into a sweep program.
+
+        Two modes cover every consumer:
+
+        * ``bind_floats=True`` — the representative is one *bound* circuit of
+          a sweep (the ``run_batch`` fast path): every float gate angle
+          becomes a bindings column, because sibling circuits are free to
+          bind a different value there.  Symbolic parameters are rejected.
+        * ``bind_floats=False`` — the representative is *symbolic* (a
+          transpile template or the builder's trained-state circuit): float
+          angles are genuine structural constants (compiled into fixed
+          matrices, eligible for noise precomposition), and each distinct
+          :class:`Parameter` becomes a column.  ``parameters`` fixes the
+          column order (defaults to first appearance);
+          :class:`ScaledParameter` angles become affine slots.
+
+        Resets are rejected (they need per-element projective randomness the
+        vectorised engines do not model), as are circuits the
+        deferred-measurement strategy cannot represent.
+        """
+        program_name = name or f"sweep({getattr(circuit, 'name', 'circuit')})"
+        column_of: Dict[Parameter, int] = {}
+        explicit_order = parameters is not None
+        if explicit_order:
+            for param in parameters:
+                if param in column_of:
+                    raise SimulationError(
+                        f"{program_name}: duplicate parameter {param!r} in ordering"
+                    )
+                column_of[param] = len(column_of)
+        column_sites: List[Tuple[int, int]] = []
+        steps: List[GateStep] = []
+        measured_qubits: List[int] = []
+        measured_set: set = set()
+        clbits: List[int] = []
+
+        def parameter_column(param: Parameter) -> int:
+            column = column_of.get(param)
+            if column is None:
+                if explicit_order:
+                    raise SimulationError(
+                        f"{program_name}: parameter {param!r} not in the "
+                        "provided parameter ordering"
+                    )
+                column = len(column_of)
+                column_of[param] = column
+            return column
+
+        for position, instruction in enumerate(circuit.instructions):
+            if instruction.name == "barrier":
+                continue
+            check_deferred_measurement(instruction, measured_set, program_name)
+            if instruction.is_measurement:
+                measured_qubits.extend(instruction.qubits)
+                measured_set.update(instruction.qubits)
+                clbits.extend(instruction.clbits)
+                continue
+            if instruction.name == "reset":
+                raise SimulationError(
+                    f"{program_name}: cannot compile resets — they need "
+                    "per-element projective randomness the vectorised sweep "
+                    "engines do not model"
+                )
+            if not instruction.is_gate:
+                raise SimulationError(
+                    f"{program_name}: cannot compile non-unitary instruction "
+                    f"'{instruction.name}'"
+                )
+            slots: List[Slot] = []
+            for param_position, param in enumerate(instruction.params):
+                if isinstance(param, Parameter):
+                    if bind_floats:
+                        raise SimulationError(
+                            f"{program_name}: circuit has unbound parameter "
+                            f"{param!r}"
+                        )
+                    slots.append(("column", parameter_column(param), 1.0))
+                elif isinstance(param, ScaledParameter):
+                    if bind_floats:
+                        raise SimulationError(
+                            f"{program_name}: circuit has unbound parameter "
+                            f"{param.parameter!r}"
+                        )
+                    slots.append(
+                        ("column", parameter_column(param.parameter), param.coefficient)
+                    )
+                elif bind_floats:
+                    column = len(column_of) + len(column_sites)
+                    column_sites.append((position, param_position))
+                    slots.append(("column", column, 1.0))
+                else:
+                    slots.append(("value", float(param)))
+            if any(slot[0] == "column" for slot in slots):
+                matrix = None
+            else:
+                matrix = gate_library.gate_matrix(
+                    instruction.name, *(slot[1] for slot in slots)
+                )
+            steps.append(
+                GateStep(
+                    name=instruction.name,
+                    qubits=instruction.qubits,
+                    slots=tuple(slots),
+                    matrix=matrix,
+                )
+            )
+        return cls(
+            num_qubits=circuit.num_qubits,
+            num_clbits=circuit.num_clbits,
+            steps=steps,
+            measured_qubits=measured_qubits,
+            clbits=clbits,
+            num_columns=len(column_of) + len(column_sites),
+            parameters=tuple(
+                sorted(column_of, key=lambda param: column_of[param])
+            ),
+            column_sites=tuple(column_sites),
+            name=program_name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Binding extraction
+    # ------------------------------------------------------------------ #
+    def binding_row(self, circuit) -> List[float]:
+        """This bound circuit's values for every float column, in column order.
+
+        Only valid for programs compiled with ``bind_floats=True``.  The
+        walk pairs the circuit's gate instructions (barriers and
+        measurements skipped, so barrier placement is free to differ across
+        sweep siblings) against the compiled steps and checks gate names and
+        qubits as it extracts — a structure mismatch fails loudly instead of
+        silently mis-binding an angle into the wrong column.
+        """
+        if self.parameters:
+            raise SimulationError(
+                f"{self.name}: binding rows are extracted from bound circuits; "
+                "this program binds symbolic parameters — use a parameter "
+                "value matrix instead"
+            )
+
+        def mismatch() -> SimulationError:
+            return SimulationError(
+                f"{self.name}: circuit '{circuit.name}' does not share the "
+                "compiled gate structure"
+            )
+
+        step_iter = iter(self.steps)
+        row: List[float] = []
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier" or instruction.is_measurement:
+                continue
+            step = next(step_iter, None)
+            if (
+                step is None
+                or step.name != instruction.name
+                or step.qubits != instruction.qubits
+            ):
+                raise mismatch()
+            for value in instruction.params:
+                if isinstance(value, (Parameter, ScaledParameter)):
+                    raise SimulationError(
+                        f"{self.name}: circuit '{circuit.name}' has unbound "
+                        "parameters at a compiled bind site"
+                    )
+                row.append(float(value))
+        if next(step_iter, None) is not None or len(row) != self.num_columns:
+            raise mismatch()
+        return row
+
+    def matches_structure(self, circuit) -> bool:
+        """Whether ``circuit`` has the gate skeleton this program compiled."""
+        if (
+            circuit.num_qubits != self.num_qubits
+            or circuit.num_clbits != self.num_clbits
+        ):
+            return False
+        step_iter = iter(self.steps)
+        measured: List[int] = []
+        bits: List[int] = []
+        for instruction in circuit.instructions:
+            if instruction.name == "barrier":
+                continue
+            if instruction.is_measurement:
+                measured.extend(instruction.qubits)
+                bits.extend(instruction.clbits)
+                continue
+            step = next(step_iter, None)
+            if (
+                step is None
+                or step.name != instruction.name
+                or step.qubits != instruction.qubits
+            ):
+                return False
+        return (
+            next(step_iter, None) is None
+            and tuple(measured) == self.measured_qubits
+            and tuple(bits) == self.clbits
+        )
+
+    def bindings_from_circuits(self, circuits: Sequence) -> np.ndarray:
+        """Stacked binding rows of a structure-sharing sweep of bound circuits."""
+        rows = [self.binding_row(circuit) for circuit in circuits]
+        return np.asarray(rows, dtype=float).reshape(len(rows), self.num_columns)
+
+    def _check_bindings(self, bindings) -> np.ndarray:
+        bindings = np.asarray(bindings, dtype=float)
+        if bindings.ndim != 2:
+            raise SimulationError(
+                f"{self.name}: bindings must be 2-D (batch, columns), got "
+                f"shape {bindings.shape}"
+            )
+        if bindings.shape[1] != self.num_columns:
+            raise SimulationError(
+                f"{self.name}: expected {self.num_columns} binding column(s), "
+                f"got {bindings.shape[1]}"
+            )
+        if bindings.shape[0] == 0:
+            raise SimulationError(f"{self.name}: cannot execute an empty batch")
+        return bindings
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _resolve_operands(self, bindings: np.ndarray) -> List:
+        """Per-step gate-operand plan for one sweep's **full** bindings.
+
+        For every parametric step, decide once — from the whole batch, never
+        from an individual tile — whether the step binds identical angles
+        everywhere (shared ``(2**k, 2**k)`` matrix, built here) or genuinely
+        per-element angles (the evaluated columns, sliced per tile later).
+        Making the shared/batched decision tile-independent is what keeps
+        tiled execution bit-identical to the untiled pass: a one-element tile
+        must not collapse onto the shared-matrix code path when the full
+        sweep takes the batched one.
+        """
+        operands: List = []
+        for step in self.steps:
+            if step.is_fixed:
+                operands.append(None)
+                continue
+            columns: List = []
+            scalars: List[float] = []
+            shared = True
+            for slot in step.slots:
+                if slot[0] == "value":
+                    columns.append(slot[1])
+                    scalars.append(slot[1])
+                    continue
+                _, column, coefficient = slot
+                values = bindings[:, column]
+                if coefficient != 1.0:
+                    values = values * coefficient
+                columns.append(values)
+                if shared and np.all(values == values[0]):
+                    scalars.append(float(values[0]))
+                else:
+                    shared = False
+            if shared:
+                operands.append(
+                    ("shared", gate_library.gate_matrix(step.name, *scalars))
+                )
+            else:
+                operands.append(("batched", columns))
+        return operands
+
+    def _evolve_tile(self, engine, operands: List, start: int, stop: int):
+        """Evolve one contiguous tile ``[start, stop)`` of the sweep."""
+        state = engine.initial_state(stop - start, self.num_qubits)
+        plans = engine.step_plans(self)
+        for step, plan, operand in zip(self.steps, plans, operands):
+            if operand is None:
+                matrix = step.matrix
+            elif operand[0] == "shared":
+                matrix = operand[1]
+            else:
+                matrix = gate_library.gate_matrix_batch(
+                    step.name,
+                    *(
+                        column if np.isscalar(column) else column[start:stop]
+                        for column in operand[1]
+                    ),
+                )
+            engine.apply_step(state, step, plan, matrix)
+        return state
+
+    def evolve(self, bindings, engine):
+        """Evolve the whole batch at once; returns the engine's batched state.
+
+        Used by the ``run_batch`` executors, which must hand back every
+        element's final state.  ``bindings`` is a ``(batch, num_columns)``
+        float matrix (one row per sweep element).
+        """
+        bindings = self._check_bindings(bindings)
+        operands = self._resolve_operands(bindings)
+        return self._evolve_tile(engine, operands, 0, bindings.shape[0])
+
+    def execute(self, bindings, engine, *, tile_plan: Optional[TilePlan] = None) -> np.ndarray:
+        """Tiled execution: joint read-out probabilities, final states dropped.
+
+        Streams contiguous row-major tiles of the bindings through the
+        engine, keeping only each tile's ``(tile, 2**m)`` joint distribution
+        over the measured qubits (readout error applied by noisy engines).
+        The concatenated result is bit-identical to the untiled pass — per
+        element the arithmetic is the same, only the batch extent differs.
+        Peak engine memory is bounded by the largest tile instead of the
+        whole sweep.
+        """
+        bindings = self._check_bindings(bindings)
+        if not self.measured_qubits:
+            raise SimulationError(
+                f"{self.name}: cannot read out a program without measurements"
+            )
+        total = bindings.shape[0]
+        if tile_plan is None:
+            tiles: Sequence[Tuple[int, int]] = ((0, total),)
+        else:
+            if tile_plan.total_elements != total:
+                raise SimulationError(
+                    f"{self.name}: tile plan covers {tile_plan.total_elements} "
+                    f"elements but the bindings have {total} rows"
+                )
+            tiles = tile_plan.flat_tiles()
+        operands = self._resolve_operands(bindings)
+        out = np.empty((total, 2 ** len(self.measured_qubits)), dtype=float)
+        for start, stop in tiles:
+            state = self._evolve_tile(engine, operands, start, stop)
+            out[start:stop] = engine.joint_probabilities(state, self.measured_qubits)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Execution engines
+# --------------------------------------------------------------------------- #
+
+
+class StatevectorEngine:
+    """Pure-state executor: every step is one batched einsum."""
+
+    name = "statevector"
+    is_noisy = False
+
+    def initial_state(self, batch: int, num_qubits: int) -> BatchedStatevector:
+        return BatchedStatevector(batch, num_qubits)
+
+    def step_plans(self, program: SweepProgram) -> Sequence[None]:
+        return (None,) * len(program.steps)
+
+    def apply_step(self, state, step: GateStep, plan, matrix) -> None:
+        state.apply_matrix(matrix, step.qubits)
+
+    def joint_probabilities(self, state, measured_qubits) -> np.ndarray:
+        return state.probabilities(measured_qubits)
+
+
+def gate_noise_superoperator(
+    gate_name: str, qubits: Tuple[int, ...], noise_model: NoiseModel
+) -> Optional[np.ndarray]:
+    """All of a gate's noise channels composed into one ``(4**k, 4**k)`` matrix.
+
+    Channels are composed in the exact order the per-circuit simulator
+    applies them — model order, and single-qubit channels after a multi-qubit
+    gate expand per qubit in instruction order — so the precomposed
+    superoperator is mathematically identical to the sequential Kraus
+    applications.  Returns ``None`` when the model attaches no channels to
+    the gate, letting fixed ideal gates skip the superoperator path.
+    """
+    k = len(qubits)
+    composed: Optional[np.ndarray] = None
+
+    def fold(superop: np.ndarray) -> None:
+        nonlocal composed
+        composed = superop if composed is None else superop @ composed
+
+    for channel in noise_model.gate_channels(gate_name, k):
+        channel_width = int(np.log2(np.asarray(channel[0]).shape[0]))
+        if channel_width not in (k, 1):
+            raise SimulationError(
+                f"noise channel width {channel_width} incompatible with gate "
+                f"'{gate_name}' on {k} qubit(s)"
+            )
+        if channel_width == k:
+            fold(channel_superoperator(channel))
+            continue
+        for position in range(k):
+            # A single-qubit channel after a k-qubit gate acts on each of the
+            # gate's qubits in turn; lift its Kraus operators to the k-qubit
+            # block with identities around the target position, exactly like
+            # the per-gate ``apply_kraus(channel, (qubit,))`` dispatch.
+            before = np.eye(2**position)
+            after = np.eye(2 ** (k - 1 - position))
+            lifted = [
+                np.kron(np.kron(before, np.asarray(kraus, dtype=complex)), after)
+                for kraus in channel
+            ]
+            fold(channel_superoperator(lifted))
+    return composed
+
+
+class DensitySuperoperatorEngine:
+    """Mixed-state executor with compile-time noise precomposition.
+
+    Per program, each gate step is planned **once** (and memoised while the
+    program stays cached): fixed gates fold their unitary and every attached
+    noise channel into a single ``(4**k, 4**k)`` superoperator; parametric
+    bind sites precompose their noise channels alone, and at execution time
+    the per-tile gate superoperator is left-multiplied by that matrix — one
+    contraction per gate instead of one per gate *plus one per channel*, and
+    no Kraus-channel resolution at all on repeat sweeps.
+    """
+
+    name = "density_superoperator"
+    is_noisy = True
+
+    def __init__(self, noise_model: Optional[NoiseModel] = None) -> None:
+        self.noise_model = noise_model if noise_model is not None else NoiseModel.ideal()
+        self._plans: "WeakKeyDictionary[SweepProgram, tuple]" = WeakKeyDictionary()
+        #: Plan compilations performed (cache-instrumentation for benchmarks).
+        self.plans_compiled = 0
+
+    def initial_state(self, batch: int, num_qubits: int) -> BatchedDensityMatrix:
+        return BatchedDensityMatrix(batch, num_qubits)
+
+    def step_plans(self, program: SweepProgram) -> tuple:
+        version = getattr(self.noise_model, "version", 0)
+        cached = self._plans.get(program)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        # First plan for this program, or the noise model was mutated
+        # in place since the plan was precomposed (its ``add_*`` builders
+        # bump ``version``) — recompose so the batched paths track the
+        # live model exactly like the per-circuit ``run`` loop does.
+        plans = tuple(self._plan_step(step) for step in program.steps)
+        self._plans[program] = (version, plans)
+        self.plans_compiled += 1
+        return plans
+
+    def _plan_step(self, step: GateStep):
+        noise = gate_noise_superoperator(step.name, step.qubits, self.noise_model)
+        if not step.is_fixed:
+            return ("parametric", noise)
+        if noise is None:
+            return ("fixed", conjugation_superoperator(step.matrix))
+        return ("fixed", noise @ conjugation_superoperator(step.matrix))
+
+    def apply_step(self, state, step: GateStep, plan, matrix) -> None:
+        kind, superop = plan
+        if kind == "fixed":
+            state.apply_superoperator(superop, step.qubits)
+            return
+        if superop is None:
+            state.apply_matrix(matrix, step.qubits)
+            return
+        term = conjugation_superoperator(matrix)
+        state.apply_superoperator(superop @ term, step.qubits)
+
+    def joint_probabilities(self, state, measured_qubits) -> np.ndarray:
+        joint = state.probabilities(measured_qubits)
+        return apply_readout_error(joint, measured_qubits, self.noise_model)

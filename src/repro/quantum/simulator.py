@@ -14,17 +14,26 @@ probabilities of the measured classical bits, and (when shots are requested)
 a :class:`~repro.quantum.measurement.Counts` histogram.
 
 Both engines additionally execute whole *batches* of structure-sharing
-circuits in one vectorised pass (:meth:`StatevectorSimulator.run_batch` and
-:meth:`DensityMatrixSimulator.run_batch`): a parameter-shift sweep of
-SWAP-test discriminators differs only in rotation angles, so the shared gate
-skeleton is evolved once — as a
-:class:`~repro.quantum.batched.BatchedStatevector` on the pure-state engine,
-or as a :class:`~repro.quantum.batched_density.BatchedDensityMatrix` (with
-each noise channel resolved once per gate and applied across the whole batch)
-on the mixed-state engine — and the per-circuit ancilla statistics are
-sampled from a single stacked RNG call.  The batched results match the
-per-circuit loop — exactly for probabilities, and draw-for-draw for sampled
-counts under a shared seed.
+circuits through compiled sweep programs: a parameter-shift sweep of
+SWAP-test discriminators differs only in rotation angles, so
+:meth:`StatevectorSimulator.run_batch` / :meth:`DensityMatrixSimulator.run_batch`
+compile the shared gate skeleton **once** into a
+:class:`~repro.quantum.program.SweepProgram` (cached per circuit structure),
+extract each circuit's angles as a bindings row, and evolve the whole sweep
+as one :class:`~repro.quantum.batched.BatchedStatevector` /
+:class:`~repro.quantum.batched_density.BatchedDensityMatrix` pass.  On the
+mixed-state engine every gate's unitary and noise channels are *precomposed*
+into a single superoperator when the program is first planned, so repeat
+sweeps skip per-gate channel resolution entirely.  Per-circuit ancilla
+statistics are sampled from a single stacked RNG call; the batched results
+match the per-circuit loop — exactly for probabilities, and draw-for-draw
+for sampled counts under a shared seed.
+
+``run_sweep_program`` is the memory-bounded variant behind the backends'
+:meth:`~repro.quantum.backend.Backend.sweep_zero_probabilities`: it streams a
+compiled program tile by tile under a
+:class:`~repro.quantum.program.TilePlan` and keeps only each element's
+read-out, never materialising per-element states or results.
 """
 
 from __future__ import annotations
@@ -40,10 +49,20 @@ from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.measurement import (
     Counts,
     counts_from_probabilities,
+    exact_clbit_probabilities,
     normalize_outcome_probabilities,
 )
-from repro.quantum.noise import NoiseModel
+from repro.quantum.noise import NoiseModel, apply_readout_error
+from repro.quantum.program import (
+    DensitySuperoperatorEngine,
+    StatevectorEngine,
+    SweepProgram,
+    TilePlan,
+    check_deferred_measurement,
+)
 from repro.quantum.statevector import Statevector
+from repro.quantum.transpiler import circuit_structure_key
+from repro.utils.cache import LRUCache
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -96,55 +115,13 @@ class SimulationResult:
         return total
 
 
-def _check_deferred_measurement(
-    instruction, measured: set, engine_name: str
-) -> None:
-    """Reject circuits the deferred-measurement strategy cannot represent.
+#: Deferred-measurement validation — shared with the compiled-program path
+#: (see :func:`repro.quantum.program.check_deferred_measurement`).
+_check_deferred_measurement = check_deferred_measurement
 
-    Both engines defer every measurement to the end of the circuit: unitary
-    evolution runs first, then the joint distribution of the measured qubits
-    is read out once.  That is only sound when no operation touches a qubit
-    *after* it has been measured and no qubit is measured twice — either case
-    would silently corrupt the reported joint distribution (duplicate
-    marginal axes, or gates leaking into the pre-measurement state).
-    """
-    if instruction.is_measurement:
-        duplicates = measured.intersection(instruction.qubits)
-        if duplicates:
-            raise SimulationError(
-                f"{engine_name}: qubit(s) {sorted(duplicates)} measured more than "
-                "once; the deferred-measurement strategy supports a single "
-                "measurement per qubit"
-            )
-        return
-    touched = measured.intersection(instruction.qubits)
-    if touched:
-        raise SimulationError(
-            f"{engine_name}: instruction '{instruction.name}' acts on already-"
-            f"measured qubit(s) {sorted(touched)}; the deferred-measurement "
-            "strategy cannot apply operations after a measurement"
-        )
-
-
-def _exact_clbit_probabilities(
-    probabilities: np.ndarray,
-    measured_qubits: Sequence[int],
-    clbits: Sequence[int],
-    num_clbits: int,
-) -> Dict[str, float]:
-    """Re-index qubit-ordered probabilities into classical-bit-ordered strings."""
-    width = len(measured_qubits)
-    out: Dict[str, float] = {}
-    for index, prob in enumerate(probabilities):
-        if prob <= 0.0:
-            continue
-        bits_by_qubit = format(index, f"0{width}b")
-        clbit_string = ["0"] * num_clbits
-        for position, clbit in enumerate(clbits):
-            clbit_string[clbit] = bits_by_qubit[position]
-        key = "".join(clbit_string)
-        out[key] = out.get(key, 0.0) + float(prob)
-    return out
+#: Classical-bit re-indexing — shared with the compiled-program path (see
+#: :func:`repro.quantum.measurement.exact_clbit_probabilities`).
+_exact_clbit_probabilities = exact_clbit_probabilities
 
 
 def _shares_structure(
@@ -181,30 +158,6 @@ def _shares_structure(
     return True
 
 
-def _sweep_gate_matrix(
-    per_circuit: Sequence[tuple], index: int, instruction, batch: int
-) -> np.ndarray:
-    """Gate matrix for position ``index`` of a structure-sharing sweep.
-
-    Returns a shared ``(2**k, 2**k)`` matrix when the gate is parameter-free
-    or every circuit binds identical angles, and a per-element
-    ``(batch, 2**k, 2**k)`` stack otherwise.  Shared by the statevector and
-    density-matrix batch paths so both engines build bit-identical gate
-    stacks for the same sweep.
-    """
-    from repro.quantum import gates as gate_library
-
-    if not instruction.params:
-        return gate_library.gate_matrix(instruction.name)
-    rows = [per_circuit[element][index].params for element in range(batch)]
-    if all(row == rows[0] for row in rows[1:]):
-        return gate_library.gate_matrix(instruction.name, *(float(p) for p in rows[0]))
-    columns = np.array(rows, dtype=float)
-    return gate_library.gate_matrix_batch(
-        instruction.name, *(columns[:, j] for j in range(columns.shape[1]))
-    )
-
-
 def _sample_counts_batch(
     rng: np.random.Generator,
     probabilities_per_element: Sequence[Dict[str, float]],
@@ -239,7 +192,109 @@ def _sample_counts_batch(
     ]
 
 
-class StatevectorSimulator:
+@dataclasses.dataclass
+class SweepReadout:
+    """Per-element read-out of one tiled program execution.
+
+    Holds only what downstream consumers need — outcome-probability
+    dictionaries and (optionally) sampled counts — so a tiled sweep never
+    materialises per-element states.  Produced by the simulators'
+    ``run_sweep_program`` methods.
+    """
+
+    probabilities: List[Dict[str, float]]
+    counts: Optional[List[Counts]]
+    num_clbits: int
+
+    def marginal_probabilities(self, clbit: int = 0, value: int = 0) -> np.ndarray:
+        """Per-element ``P(clbit == value)``, preferring sampled counts.
+
+        Mirrors :meth:`SimulationResult.marginal_probability` element-wise so
+        the program sweep path reports exactly what a loop of full results
+        would.
+        """
+        if self.counts is not None:
+            return np.array(
+                [c.marginal_probability(clbit, value) for c in self.counts],
+                dtype=float,
+            )
+        return np.array(
+            [
+                sum(p for key, p in probs.items() if int(key[clbit]) == value)
+                for probs in self.probabilities
+            ],
+            dtype=float,
+        )
+
+
+def _execute_sweep_readout(
+    program: SweepProgram,
+    bindings: np.ndarray,
+    engine,
+    rng: np.random.Generator,
+    shots: Optional[int],
+    tile_plan: Optional[TilePlan],
+) -> SweepReadout:
+    """Run one compiled sweep and sample its read-out (both engines).
+
+    The exact same helper chain as ``run_batch`` —
+    :func:`~repro.quantum.measurement.exact_clbit_probabilities` then
+    :func:`_sample_counts_batch` — so the program path consumes the RNG
+    draw-for-draw like the batched and per-circuit paths.
+    """
+    bindings = np.asarray(bindings, dtype=float)
+    if bindings.shape[0] == 0:
+        return SweepReadout([], [] if shots is not None else None, program.num_clbits)
+    if not program.measured_qubits:
+        raise SimulationError("cannot read out a sweep program without measurements")
+    joint = program.execute(bindings, engine, tile_plan=tile_plan)
+    probabilities = [
+        exact_clbit_probabilities(
+            joint[element], program.measured_qubits, program.clbits, program.num_clbits
+        )
+        for element in range(joint.shape[0])
+    ]
+    counts = (
+        _sample_counts_batch(rng, probabilities, shots) if shots is not None else None
+    )
+    return SweepReadout(probabilities, counts, program.num_clbits)
+
+
+class _SweepProgramCacheMixin:
+    """Structure-keyed compile-once cache shared by both simulators."""
+
+    PROGRAM_CACHE_SIZE = 64
+
+    def _init_program_cache(self) -> None:
+        self._program_cache = LRUCache(self.PROGRAM_CACHE_SIZE)
+        self._program_cache_hits = 0
+        self._program_cache_misses = 0
+
+    @property
+    def program_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss statistics of the compiled-sweep-program cache."""
+        return {
+            "hits": self._program_cache_hits,
+            "misses": self._program_cache_misses,
+            "entries": len(self._program_cache),
+        }
+
+    def _sweep_program(self, reference: QuantumCircuit) -> SweepProgram:
+        """Compile (once per structure) the program of a bound sweep."""
+        key = circuit_structure_key(reference)
+        program = self._program_cache.get(key)
+        if program is None:
+            program = SweepProgram.compile(
+                reference, bind_floats=True, name=f"{self.name}:{reference.name}"
+            )
+            self._program_cache.put(key, program)
+            self._program_cache_misses += 1
+        else:
+            self._program_cache_hits += 1
+        return program
+
+
+class StatevectorSimulator(_SweepProgramCacheMixin):
     """Exact pure-state simulator.
 
     Parameters
@@ -252,6 +307,7 @@ class StatevectorSimulator:
 
     def __init__(self, seed: RandomState = None) -> None:
         self._rng = ensure_rng(seed)
+        self._init_program_cache()
 
     def run(
         self,
@@ -348,8 +404,6 @@ class StatevectorSimulator:
         Circuits with differing structures, resets, or unbound parameters
         fall back to the per-circuit loop transparently.
         """
-        from repro.quantum.batched import BatchedStatevector
-
         circuits = list(circuits)
         if not circuits:
             # Mirror the loop semantics of ``Backend.run_batch``: an empty
@@ -363,24 +417,12 @@ class StatevectorSimulator:
 
         reference = circuits[0]
         batch = len(circuits)
-        state = BatchedStatevector(batch, reference.num_qubits)
-
-        measured_qubits: List[int] = []
-        measured_set: set = set()
-        clbits: List[int] = []
-        for index, instruction in enumerate(per_circuit[0]):
-            if instruction.name == "barrier":
-                continue
-            _check_deferred_measurement(instruction, measured_set, self.name)
-            if instruction.is_measurement:
-                measured_qubits.extend(instruction.qubits)
-                measured_set.update(instruction.qubits)
-                clbits.extend(instruction.clbits)
-                continue
-            state.apply_matrix(
-                _sweep_gate_matrix(per_circuit, index, instruction, batch),
-                instruction.qubits,
-            )
+        program = self._sweep_program(reference)
+        state = program.evolve(
+            program.bindings_from_circuits(circuits), StatevectorEngine()
+        )
+        measured_qubits = list(program.measured_qubits)
+        clbits = list(program.clbits)
 
         probabilities_per_element: List[Dict[str, float]] = [{} for _ in range(batch)]
         counts_per_element: List[Optional[Counts]] = [None] * batch
@@ -411,8 +453,29 @@ class StatevectorSimulator:
             for element in range(batch)
         ]
 
+    def run_sweep_program(
+        self,
+        program: SweepProgram,
+        bindings: np.ndarray,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> SweepReadout:
+        """Execute a compiled sweep tile by tile, keeping only read-outs.
 
-class DensityMatrixSimulator:
+        The memory-bounded hot path behind
+        :meth:`~repro.quantum.backend.Backend.sweep_zero_probabilities`:
+        per-element statevectors are dropped as each tile completes, and
+        shot sampling consumes the RNG exactly like :meth:`run_batch` (and
+        hence like the per-circuit loop).
+        """
+        if shots is not None and shots <= 0:
+            raise SimulationError(f"shots must be positive or None, got {shots}")
+        return _execute_sweep_readout(
+            program, bindings, StatevectorEngine(), self._rng, shots, tile_plan
+        )
+
+
+class DensityMatrixSimulator(_SweepProgramCacheMixin):
     """Mixed-state simulator with optional gate and readout noise.
 
     Like the statevector engine, whole batches of structure-sharing circuits
@@ -429,6 +492,19 @@ class DensityMatrixSimulator:
     def __init__(self, noise_model: Optional[NoiseModel] = None, seed: RandomState = None) -> None:
         self.noise_model = noise_model if noise_model is not None else NoiseModel.ideal()
         self._rng = ensure_rng(seed)
+        self._init_program_cache()
+        self._engine: Optional[DensitySuperoperatorEngine] = None
+
+    def _program_engine(self) -> DensitySuperoperatorEngine:
+        """The precomposing superoperator engine for the *current* noise model.
+
+        ``noise_model`` is a public attribute callers may swap; the engine
+        (and with it every memoised per-program superoperator plan) is
+        rebuilt whenever the model instance changes.
+        """
+        if self._engine is None or self._engine.noise_model is not self.noise_model:
+            self._engine = DensitySuperoperatorEngine(self.noise_model)
+        return self._engine
 
     def run(
         self,
@@ -565,25 +641,11 @@ class DensityMatrixSimulator:
     ) -> np.ndarray:
         """Convolve outcome distributions with per-qubit readout error.
 
-        Accepts a single ``(2**w,)`` distribution or a stacked
-        ``(batch, 2**w)`` array; the confusion matrices contract over the
-        outcome axes only, so the batched convolution applies every element's
-        error in one :func:`numpy.tensordot` per measured qubit.
+        Delegates to :func:`repro.quantum.noise.apply_readout_error`, the
+        single implementation shared with the compiled-program density
+        engine so both read-out paths stay bit-identical.
         """
-        joint = np.asarray(joint, dtype=float)
-        single = joint.ndim == 1
-        width = len(measured_qubits)
-        batch = 1 if single else joint.shape[0]
-        tensor = joint.reshape((batch,) + (2,) * width)
-        for axis, qubit in enumerate(measured_qubits):
-            error = self.noise_model.readout_error(qubit)
-            if error is None:
-                continue
-            confusion = error.confusion_matrix()
-            tensor = np.tensordot(confusion, tensor, axes=([1], [axis + 1]))
-            tensor = np.moveaxis(tensor, 0, axis + 1)
-        flattened = tensor.reshape(batch, -1)
-        return flattened[0] if single else flattened
+        return apply_readout_error(joint, measured_qubits, self.noise_model)
 
     # ------------------------------------------------------------------ #
     # Batched execution
@@ -613,8 +675,6 @@ class DensityMatrixSimulator:
         Circuits with differing structures, resets, or unbound parameters
         fall back to the per-circuit loop transparently.
         """
-        from repro.quantum.batched_density import BatchedDensityMatrix
-
         circuits = list(circuits)
         if not circuits:
             # Mirror the loop semantics of ``Backend.run_batch``: an empty
@@ -628,16 +688,12 @@ class DensityMatrixSimulator:
 
         reference = circuits[0]
         batch = len(circuits)
-        state = BatchedDensityMatrix(batch, reference.num_qubits)
-
-        measured_qubits, clbits = self._evolve_instructions(
-            per_circuit[0],
-            state,
-            apply_gate=lambda index, instruction: state.apply_matrix(
-                _sweep_gate_matrix(per_circuit, index, instruction, batch),
-                instruction.qubits,
-            ),
+        program = self._sweep_program(reference)
+        state = program.evolve(
+            program.bindings_from_circuits(circuits), self._program_engine()
         )
+        measured_qubits = list(program.measured_qubits)
+        clbits = list(program.clbits)
 
         probabilities_per_element: List[Dict[str, float]] = [{} for _ in range(batch)]
         counts_per_element: List[Optional[Counts]] = [None] * batch
@@ -673,3 +729,26 @@ class DensityMatrixSimulator:
             )
             for element in range(batch)
         ]
+
+    def run_sweep_program(
+        self,
+        program: SweepProgram,
+        bindings: np.ndarray,
+        shots: Optional[int] = 1024,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> SweepReadout:
+        """Execute a compiled noisy sweep tile by tile, keeping only read-outs.
+
+        Every gate applies its precomposed superoperator (unitary and noise
+        folded together at plan time — no per-gate channel resolution), the
+        readout-error convolution and classical-bit re-indexing reuse the
+        ``run_batch`` helpers, and shot sampling consumes the RNG exactly
+        like :meth:`run_batch`.  Per-element density matrices are never
+        materialised, so peak memory is the largest tile's
+        ``tile x 4**n`` stack rather than the whole sweep's.
+        """
+        if shots is not None and shots <= 0:
+            raise SimulationError(f"shots must be positive or None, got {shots}")
+        return _execute_sweep_readout(
+            program, bindings, self._program_engine(), self._rng, shots, tile_plan
+        )

@@ -21,7 +21,11 @@ routing never looks at parameter values at all.  :class:`TranspileCache`
 exploits this to transpile each circuit *structure* once — subsequent circuits
 with the same gate skeleton but different angles only pay a parameter
 re-binding, which is what makes repeated SWAP-test sweeps on the noisy
-backends cheap.
+backends cheap.  Each cached template additionally carries a compiled
+:class:`~repro.quantum.program.SweepProgram` (built lazily on first sweep
+use): the backends' program-sweep path executes whole sweeps straight from
+the cache — slot values in, tiled read-outs out — without materialising one
+bound circuit per sweep element.
 """
 
 from __future__ import annotations
@@ -384,10 +388,37 @@ def circuit_structure_key(circuit: QuantumCircuit) -> tuple:
 
 @dataclasses.dataclass
 class _TranspileTemplate:
-    """One cached symbolic transpilation: template circuit + slot parameters."""
+    """One cached symbolic transpilation: template + slots + compiled program.
+
+    ``program`` is the compiled :class:`~repro.quantum.program.SweepProgram`
+    of the template — the entry's primary artefact for sweep execution.  It
+    is compiled lazily on first sweep use (plain ``run`` calls that only
+    re-bind never pay for it, and circuits a program cannot represent, e.g.
+    with resets, still transpile normally) and then reused for every repeat
+    sweep of the structure.
+    """
 
     result: TranspileResult
     slots: Tuple[Parameter, ...]
+    program: object = None
+
+    def ensure_program(self):
+        """Compile (once) and return the template's sweep program.
+
+        The program's binding columns are ordered exactly like ``slots``, so
+        the slot-value vector extracted from an incoming bound circuit is
+        directly a bindings row.
+        """
+        if self.program is None:
+            from repro.quantum.program import SweepProgram
+
+            self.program = SweepProgram.compile(
+                self.result.circuit,
+                bind_floats=False,
+                parameters=self.slots,
+                name=f"transpiled({self.result.circuit.name})",
+            )
+        return self.program
 
 
 class TranspileCache:
@@ -466,6 +497,38 @@ class TranspileCache:
         ]
 
     # ------------------------------------------------------------------ #
+    def template(
+        self,
+        circuit: QuantumCircuit,
+        coupling_map: Optional[CouplingMap] = None,
+    ) -> Tuple[_TranspileTemplate, List[float]]:
+        """The cached template for ``circuit``'s structure plus its slot values.
+
+        This is the compile-once seam the sweep executors build on: the
+        returned entry carries the symbolic transpilation *and* (via
+        :meth:`_TranspileTemplate.ensure_program`) the compiled
+        :class:`~repro.quantum.program.SweepProgram`, while the value vector
+        is the circuit's bindings row — so a whole sweep can execute straight
+        from the cache without materialising one bound circuit per element.
+        ``circuit`` must be fully bound.
+        """
+        if any(inst.is_parameterized for inst in circuit.instructions):
+            raise TranspilerError(
+                "transpile templates are keyed by structure and require fully "
+                f"bound circuits; '{circuit.name}' has unbound parameters"
+            )
+        key = (circuit_structure_key(circuit), self._map_key(coupling_map))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            twin, slots = self._symbolic_twin(circuit)
+            template = transpile(twin, coupling_map, allow_symbolic=True)
+            entry = _TranspileTemplate(result=template, slots=slots)
+            self._entries.put(key, entry)
+        else:
+            self.hits += 1
+        return entry, self._parameter_values(circuit)
+
     def transpile(
         self,
         circuit: QuantumCircuit,
@@ -484,18 +547,8 @@ class TranspileCache:
         ):
             return transpile(circuit, coupling_map, initial_layout=initial_layout)
 
-        key = (circuit_structure_key(circuit), self._map_key(coupling_map))
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            twin, slots = self._symbolic_twin(circuit)
-            template = transpile(twin, coupling_map, allow_symbolic=True)
-            entry = _TranspileTemplate(result=template, slots=slots)
-            self._entries.put(key, entry)
-        else:
-            self.hits += 1
-
-        binding = dict(zip(entry.slots, self._parameter_values(circuit)))
+        entry, values = self.template(circuit, coupling_map)
+        binding = dict(zip(entry.slots, values))
         template = entry.result
         bound = template.circuit.bind_parameters(binding)
         bound.name = (

@@ -89,6 +89,72 @@ class TestPerfBenchEntryPointsTiny:
         assert payload["worker_seconds"]["2"] > 0
         assert payload["jobs_per_cell"] > 0
 
+    def test_program_compile(self):
+        module = load_bench_module("bench_program_compile")
+        module.TRAIN_EPOCHS = 1
+        module.REPEAT_SWEEPS = 1
+        payload_repeat = module.run_repeat_sweep_benchmark()
+        assert payload_repeat["seed_match_vs_runbatch"] is True
+        assert payload_repeat["noise_plans_compiled"] == 1
+        assert payload_repeat["transpile_cache"]["misses"] == 1
+        payload_tiling = module.run_mnist_tiling_benchmark(
+            rows=2, samples=4, budget_amplitudes=2**18
+        )
+        assert payload_tiling["seed_match_tiled_vs_untiled"] is True
+        assert payload_tiling["tiled_peak_bytes"] < payload_tiling["untiled_peak_bytes"]
+
+
+class TestBenchJsonReporting:
+    """The shared perf-point writer and the emitted BENCH_*.json schema."""
+
+    def test_figure_runs_emit_valid_perf_points(self, tmp_path):
+        """The conftest figure path writes schema-valid JSON perf points."""
+        from repro.experiments.harness import ExperimentResult
+        from repro.experiments.reporting import (
+            experiment_perf_payload,
+            validate_perf_payload,
+            write_perf_point,
+        )
+
+        result = ExperimentResult(experiment_id="fig_test", title="smoke figure")
+        result.add_series("curve", [1, 2, 3], [0.5, 0.6, 0.7])
+        result.add_row(model="QC-S", test_accuracy=0.9)
+        result.metadata["seed"] = 0
+        payload = experiment_perf_payload(result, seconds=0.01)
+        path = write_perf_point(str(tmp_path), result.experiment_id, payload)
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert validate_perf_payload(loaded) == []
+        assert loaded["benchmark"] == "fig_test"
+        assert loaded["seconds"] == pytest.approx(0.01)
+        assert loaded["rows"][0]["test_accuracy"] == pytest.approx(0.9)
+
+    def test_validator_flags_broken_payloads(self):
+        from repro.experiments.reporting import validate_perf_payload
+
+        assert validate_perf_payload([]) != []
+        assert validate_perf_payload({}) != []
+        problems = validate_perf_payload(
+            {"benchmark": "x", "recorded_at": "now", "value": float("nan")}
+        )
+        assert any("non-finite" in problem for problem in problems)
+
+    def test_existing_bench_reports_validate(self):
+        """Every BENCH_*.json already on disk passes the schema check."""
+        import json
+
+        from repro.experiments.reporting import validate_perf_payload
+
+        results_dir = BENCH_DIR / "results"
+        reports = sorted(results_dir.glob("BENCH_*.json"))
+        assert reports, "no BENCH_*.json perf points recorded yet"
+        for report in reports:
+            with open(report, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert validate_perf_payload(payload) == [], f"{report.name} is invalid"
+
 
 @pytest.mark.slow
 class TestPerfBenchFullSize:

@@ -1,0 +1,127 @@
+"""Tests for the backends' compiled-program sweep path
+(:meth:`~repro.quantum.backend.Backend.sweep_zero_probabilities`)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.hardware import IBMQBackend
+from repro.quantum.backend import IdealBackend, SampledBackend
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.program import TilePlan
+from repro.quantum.register import ClassicalRegister, QuantumRegister
+
+
+def discriminator(angles) -> QuantumCircuit:
+    """Minimal SWAP-test discriminator: ancilla + two 1-qubit registers."""
+    qreg = QuantumRegister(3, "q")
+    creg = ClassicalRegister(1, "c")
+    circuit = QuantumCircuit(qreg, creg, name="disc")
+    circuit.h(0)
+    circuit.ry(angles[0], 1).rz(angles[1], 1)
+    circuit.ry(angles[2], 2).rz(angles[3], 2)
+    circuit.cswap(0, 1, 2)
+    circuit.h(0)
+    circuit.measure(0, 0)
+    return circuit
+
+
+def sweep(count, seed):
+    rng = np.random.default_rng(seed)
+    return [discriminator(rng.uniform(0, np.pi, 4)) for _ in range(count)]
+
+
+class TestStatevectorBackends:
+    def test_ideal_sweep_matches_batch_path_exact(self):
+        circuits = sweep(6, seed=0)
+        backend = IdealBackend()
+        swept = backend.sweep_zero_probabilities(iter(circuits), shots=None)
+        batched = IdealBackend().ancilla_zero_probabilities(circuits, shots=None)
+        np.testing.assert_allclose(swept, batched, atol=1e-12)
+
+    def test_sampled_sweep_seed_matches_batch_path(self):
+        circuits = sweep(5, seed=1)
+        swept = SampledBackend(shots=400, seed=7).sweep_zero_probabilities(
+            iter(circuits)
+        )
+        batched = SampledBackend(shots=400, seed=7).ancilla_zero_probabilities(circuits)
+        np.testing.assert_array_equal(swept, batched)
+
+    def test_tile_plan_does_not_change_draws(self):
+        circuits = sweep(6, seed=2)
+        plan = TilePlan(rows=6, samples=1, row_tile=2, sample_tile=1)
+        tiled = SampledBackend(shots=300, seed=5).sweep_zero_probabilities(
+            iter(circuits), tile_plan=plan
+        )
+        whole = SampledBackend(shots=300, seed=5).sweep_zero_probabilities(
+            iter(circuits)
+        )
+        np.testing.assert_array_equal(tiled, whole)
+
+    def test_empty_sweep(self):
+        assert IdealBackend().sweep_zero_probabilities([], shots=None).shape == (0,)
+
+    def test_structure_mismatch_rejected(self):
+        other = QuantumCircuit(3, 1, name="bell")
+        other.h(0).cx(0, 1).measure(0, 0)
+        with pytest.raises(BackendError):
+            IdealBackend().sweep_zero_probabilities(
+                sweep(2, seed=3) + [other], shots=None
+            )
+
+    def test_shots_validated(self):
+        with pytest.raises(BackendError):
+            IdealBackend().sweep_zero_probabilities(sweep(2, seed=4), shots=0)
+
+
+class TestNoisyBackend:
+    def test_sweep_seed_matches_batch_path(self):
+        circuits = sweep(4, seed=5)
+        swept = IBMQBackend("ibmq_london", seed=13).sweep_zero_probabilities(
+            iter(circuits), shots=256
+        )
+        batched = IBMQBackend("ibmq_london", seed=13).ancilla_zero_probabilities(
+            circuits, shots=256
+        )
+        np.testing.assert_array_equal(swept, batched)
+
+    def test_sweep_ledgers_every_element_with_transpile_stats(self):
+        circuits = sweep(3, seed=6)
+        backend = IBMQBackend("ibmq_london", seed=1)
+        backend.sweep_zero_probabilities(circuits, shots=64)
+        assert backend.ledger.num_jobs == 3
+        for record in backend.ledger.records:
+            assert record.shots == 64
+            assert record.cx_count > 0
+            assert record.circuit_name == "disc_basis_routed"
+        assert backend.last_transpile_stats["cx_count"] > 0
+
+    def test_sweep_structure_mismatch_rejected(self):
+        other = QuantumCircuit(3, 1, name="bell")
+        other.h(0).cx(0, 1).measure(0, 0)
+        backend = IBMQBackend("ibmq_london", seed=2)
+        with pytest.raises(BackendError):
+            backend.sweep_zero_probabilities(sweep(2, seed=7) + [other], shots=64)
+
+    def test_sweep_respects_device_width(self):
+        wide = QuantumCircuit(9, 1, name="too_wide")
+        wide.h(0).measure(0, 0)
+        backend = IBMQBackend("ibmq_london", seed=0)
+        with pytest.raises(BackendError):
+            backend.sweep_zero_probabilities([wide], shots=64)
+
+    def test_empty_sweep(self):
+        backend = IBMQBackend("ibmq_london", seed=0)
+        assert backend.sweep_zero_probabilities([], shots=64).shape == (0,)
+        assert backend.ledger.num_jobs == 0
+
+    def test_tiled_sweep_seed_matches_whole(self):
+        circuits = sweep(4, seed=8)
+        plan = TilePlan(rows=4, samples=1, row_tile=1, sample_tile=1)
+        tiled = IBMQBackend("ibmq_london", seed=21).sweep_zero_probabilities(
+            iter(circuits), shots=128, tile_plan=plan
+        )
+        whole = IBMQBackend("ibmq_london", seed=21).sweep_zero_probabilities(
+            iter(circuits), shots=128
+        )
+        np.testing.assert_array_equal(tiled, whole)

@@ -1,0 +1,367 @@
+"""Tests for the compile-once sweep-program IR (:mod:`repro.quantum.program`)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density_matrix import DensityMatrix
+from repro.quantum.noise import NoiseModel, depolarizing_kraus
+from repro.quantum.operations import Parameter, ScaledParameter
+from repro.quantum.program import (
+    DensitySuperoperatorEngine,
+    StatevectorEngine,
+    SweepProgram,
+    TilePlan,
+    gate_noise_superoperator,
+)
+from repro.quantum.simulator import DensityMatrixSimulator, StatevectorSimulator
+
+
+def sweep_circuit(angles, name="sweep") -> QuantumCircuit:
+    """SWAP-test-shaped circuit: shared skeleton, per-call rotation angles."""
+    qc = QuantumCircuit(3, 1, name=name)
+    qc.h(0)
+    qc.ry(angles[0], 1).rz(angles[1], 1)
+    qc.ry(angles[2], 2).rz(angles[3], 2)
+    qc.cswap(0, 1, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    return qc
+
+
+def random_sweep(count, seed):
+    rng = np.random.default_rng(seed)
+    return [sweep_circuit(rng.uniform(0, np.pi, 4)) for _ in range(count)]
+
+
+def zero_one(result) -> np.ndarray:
+    return np.array(
+        [result.probabilities.get("0", 0.0), result.probabilities.get("1", 0.0)]
+    )
+
+
+NOISE = NoiseModel.from_error_rates(0.01, 0.02, readout_error=0.03)
+
+
+class TestTilePlan:
+    def test_circuit_sweep_full_rows_fit(self):
+        plan = TilePlan.for_circuit_sweep(10, 4, element_amplitudes=8, max_amplitudes=80)
+        assert plan.sample_tile == 4
+        assert plan.row_tile == 2  # 10 elements of 8 amplitudes per tile
+        tiles = list(plan.flat_tiles())
+        assert tiles == [(0, 8), (8, 16), (16, 24), (24, 32), (32, 40)]
+
+    def test_circuit_sweep_splits_rows_when_one_does_not_fit(self):
+        plan = TilePlan.for_circuit_sweep(2, 10, element_amplitudes=8, max_amplitudes=32)
+        assert plan.row_tile == 1
+        assert plan.sample_tile == 4
+        tiles = list(plan.flat_tiles())
+        # Tiles never straddle a row boundary and cover everything contiguously.
+        assert tiles[0] == (0, 4)
+        assert (8, 10) in tiles  # clipped at the first row's end
+        assert (10, 14) in tiles  # second row restarts its own tiling
+        assert tiles[-1] == (18, 20)
+        covered = [i for start, stop in tiles for i in range(start, stop)]
+        assert covered == list(range(20))
+
+    def test_circuit_sweep_tiny_budget_degrades_to_single_elements(self):
+        plan = TilePlan.for_circuit_sweep(3, 2, element_amplitudes=8, max_amplitudes=1)
+        assert plan.tile_elements == 1
+        assert len(list(plan.flat_tiles())) == 6
+
+    def test_state_overlap_budgets_both_operands(self):
+        plan = TilePlan.for_state_overlap(100, 50, state_amplitudes=4, max_amplitudes=80)
+        # 20 states fit; the sample axis gets half, the rows the rest.
+        assert plan.sample_tile == 10
+        assert plan.row_tile == 10
+        assert list(plan.sample_tiles())[0] == (0, 10)
+        assert list(plan.row_tiles())[-1] == (90, 100)
+
+    def test_empty_grid_yields_no_tiles(self):
+        plan = TilePlan.for_circuit_sweep(0, 5, element_amplitudes=2, max_amplitudes=16)
+        assert list(plan.flat_tiles()) == []
+        assert plan.total_elements == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TilePlan(rows=-1, samples=2, row_tile=1, sample_tile=1)
+        with pytest.raises(SimulationError):
+            TilePlan(rows=1, samples=2, row_tile=0, sample_tile=1)
+        with pytest.raises(SimulationError):
+            TilePlan.for_circuit_sweep(1, 1, element_amplitudes=0, max_amplitudes=8)
+        with pytest.raises(SimulationError):
+            TilePlan.for_state_overlap(1, 1, state_amplitudes=4, max_amplitudes=0)
+
+
+class TestCompile:
+    def test_bound_mode_columns_and_bindings(self):
+        circuits = random_sweep(5, seed=0)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        assert program.num_columns == 4
+        assert program.parameters == ()
+        assert program.measured_qubits == (0,)
+        assert program.clbits == (0,)
+        bindings = program.bindings_from_circuits(circuits)
+        assert bindings.shape == (5, 4)
+        # Column order follows instruction order.
+        expected = np.array(
+            [[float(p) for inst in c.instructions if inst.is_gate for p in inst.params] for c in circuits]
+        )
+        np.testing.assert_array_equal(bindings, expected)
+
+    def test_bound_mode_fixed_gates_have_matrices(self):
+        program = SweepProgram.compile(random_sweep(1, seed=1)[0], bind_floats=True)
+        fixed = [step for step in program.steps if step.is_fixed]
+        parametric = [step for step in program.steps if not step.is_fixed]
+        assert {step.name for step in fixed} == {"h", "cswap"}
+        assert {step.name for step in parametric} == {"ry", "rz"}
+
+    def test_symbolic_mode_orders_columns_by_parameters(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        qc = QuantumCircuit(2, 1)
+        qc.ry(theta, 0)
+        qc.rz(ScaledParameter(phi, -0.5), 1)
+        qc.rz(0.25, 1)  # structural constant -> fixed matrix
+        qc.measure(0, 0)
+        program = SweepProgram.compile(qc, bind_floats=False, parameters=[phi, theta])
+        assert program.parameters == (phi, theta)
+        ry = next(step for step in program.steps if step.name == "ry")
+        assert ry.slots == (("column", 1, 1.0),)
+        scaled_rz = next(
+            step for step in program.steps if step.name == "rz" and not step.is_fixed
+        )
+        assert scaled_rz.slots == (("column", 0, -0.5),)
+        fixed_rz = [s for s in program.steps if s.name == "rz" and s.is_fixed]
+        assert len(fixed_rz) == 1  # the 0.25 structural constant
+
+    def test_symbolic_mode_rejects_unknown_parameter(self):
+        qc = QuantumCircuit(1, 1)
+        qc.ry(Parameter("theta"), 0).measure(0, 0)
+        with pytest.raises(SimulationError):
+            SweepProgram.compile(qc, bind_floats=False, parameters=[Parameter("other")])
+
+    def test_bound_mode_rejects_symbolic(self):
+        qc = QuantumCircuit(1, 1)
+        qc.ry(Parameter("theta"), 0).measure(0, 0)
+        with pytest.raises(SimulationError):
+            SweepProgram.compile(qc, bind_floats=True)
+
+    def test_resets_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).reset(0).measure(0, 0)
+        with pytest.raises(SimulationError):
+            SweepProgram.compile(qc, bind_floats=True)
+
+    def test_double_measurement_rejected(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).measure(0, 0).measure(0, 1)
+        with pytest.raises(SimulationError):
+            SweepProgram.compile(qc, bind_floats=True)
+
+    def test_matches_structure(self):
+        circuits = random_sweep(2, seed=2)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        assert program.matches_structure(circuits[1])
+        other = QuantumCircuit(3, 1)
+        other.h(0).cx(0, 1).measure(0, 0)
+        assert not program.matches_structure(other)
+
+    def test_binding_row_rejects_unbound_site(self):
+        circuits = random_sweep(1, seed=3)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        symbolic = sweep_circuit([Parameter("a"), 0.1, 0.2, 0.3])
+        with pytest.raises(SimulationError):
+            program.binding_row(symbolic)
+
+
+class TestExecutionEquivalence:
+    def test_statevector_matches_per_circuit_loop(self):
+        circuits = random_sweep(6, seed=4)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        joint = program.execute(
+            program.bindings_from_circuits(circuits), StatevectorEngine()
+        )
+        for circuit, row in zip(circuits, joint):
+            np.testing.assert_allclose(
+                row, zero_one(StatevectorSimulator().run(circuit)), atol=1e-12
+            )
+
+    def test_density_precomposed_matches_per_circuit_loop(self):
+        circuits = random_sweep(5, seed=5)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        engine = DensitySuperoperatorEngine(NOISE)
+        joint = program.execute(program.bindings_from_circuits(circuits), engine)
+        simulator = DensityMatrixSimulator(noise_model=NOISE)
+        for circuit, row in zip(circuits, joint):
+            np.testing.assert_allclose(
+                row, zero_one(simulator.run(circuit, shots=None)), atol=1e-10
+            )
+
+    def test_execute_without_measurement_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        program = SweepProgram.compile(qc, bind_floats=True)
+        with pytest.raises(SimulationError):
+            program.execute(np.zeros((1, 0)), StatevectorEngine())
+
+    def test_bindings_shape_validated(self):
+        program = SweepProgram.compile(random_sweep(1, seed=6)[0], bind_floats=True)
+        with pytest.raises(SimulationError):
+            program.execute(np.zeros((2, 3)), StatevectorEngine())
+        with pytest.raises(SimulationError):
+            program.execute(np.zeros((0, 4)), StatevectorEngine())
+
+
+class TestTiledExecution:
+    def test_statevector_tiled_bit_identical(self):
+        circuits = random_sweep(7, seed=7)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        full = program.execute(bindings, StatevectorEngine())
+        for row_tile in (1, 2, 3, 5):
+            plan = TilePlan(rows=7, samples=1, row_tile=row_tile, sample_tile=1)
+            tiled = program.execute(bindings, StatevectorEngine(), tile_plan=plan)
+            np.testing.assert_array_equal(tiled, full)
+
+    def test_density_tiled_matches_untiled(self):
+        circuits = random_sweep(6, seed=8)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        engine = DensitySuperoperatorEngine(NOISE)
+        full = program.execute(bindings, engine)
+        for row_tile in (1, 2, 4):
+            plan = TilePlan(rows=6, samples=1, row_tile=row_tile, sample_tile=1)
+            tiled = program.execute(bindings, engine, tile_plan=plan)
+            # BLAS kernels vary with the batch extent, so the density path
+            # guarantees agreement to floating-point noise (and hence
+            # seed-identical sampled counts), not raw bit equality.
+            np.testing.assert_allclose(tiled, full, atol=1e-12)
+
+    def test_tile_plan_extent_mismatch_rejected(self):
+        circuits = random_sweep(3, seed=9)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        plan = TilePlan(rows=4, samples=1, row_tile=2, sample_tile=1)
+        with pytest.raises(SimulationError):
+            program.execute(bindings, StatevectorEngine(), tile_plan=plan)
+
+    def test_shared_angle_sweep_keeps_shared_path_under_tiling(self):
+        circuits = [sweep_circuit([0.3, 0.7, 0.2, 0.9]) for _ in range(4)]
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        full = program.execute(bindings, StatevectorEngine())
+        plan = TilePlan(rows=4, samples=1, row_tile=3, sample_tile=1)
+        np.testing.assert_array_equal(
+            program.execute(bindings, StatevectorEngine(), tile_plan=plan), full
+        )
+
+
+class TestNoisePrecomposition:
+    def test_gate_noise_superoperator_matches_sequential_channels(self):
+        """The precomposed matrix equals channel-by-channel Kraus application."""
+        noise = NoiseModel()
+        noise.add_gate_error("cx", depolarizing_kraus(0.05, 2))
+        noise.add_all_qubit_error(depolarizing_kraus(0.02, 1), 2)
+        superop = gate_noise_superoperator("cx", (0, 1), noise)
+        rng = np.random.default_rng(10)
+        amplitudes = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        amplitudes /= np.linalg.norm(amplitudes)
+        # Sequential application, exactly like the per-circuit simulator.
+        sequential = DensityMatrix(np.outer(amplitudes, amplitudes.conj()))
+        sequential.apply_kraus(depolarizing_kraus(0.05, 2), (0, 1))
+        for qubit in (0, 1):
+            sequential.apply_kraus(depolarizing_kraus(0.02, 1), (qubit,))
+        vectorised = superop @ np.outer(amplitudes, amplitudes.conj()).reshape(-1)
+        np.testing.assert_allclose(
+            vectorised.reshape(4, 4), sequential.data, atol=1e-12
+        )
+
+    def test_ideal_model_precomposes_nothing(self):
+        assert gate_noise_superoperator("h", (0,), NoiseModel.ideal()) is None
+
+    def test_engine_plans_compile_once_per_program(self):
+        circuits = random_sweep(3, seed=11)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        engine = DensitySuperoperatorEngine(NOISE)
+        for _ in range(3):
+            program.execute(bindings, engine)
+        assert engine.plans_compiled == 1
+
+    def test_incompatible_channel_width_rejected(self):
+        noise = NoiseModel()
+        noise.add_gate_error("h", depolarizing_kraus(0.1, 2))
+        with pytest.raises(SimulationError):
+            gate_noise_superoperator("h", (0,), noise)
+
+    def test_in_place_noise_mutation_invalidates_plans(self):
+        """Mutating the model after a sweep must recompose the plans.
+
+        ``NoiseModel`` is a chainable builder; a model attached to an engine
+        can grow new channels in place, and the precomposed superoperator
+        plans must track it exactly like the per-circuit loop does.
+        """
+        circuits = random_sweep(3, seed=12)
+        program = SweepProgram.compile(circuits[0], bind_floats=True)
+        bindings = program.bindings_from_circuits(circuits)
+        model = NoiseModel()
+        engine = DensitySuperoperatorEngine(model)
+        before = program.execute(bindings, engine)
+        model.add_all_qubit_error(depolarizing_kraus(0.2, 1), 1)
+        after = program.execute(bindings, engine)
+        assert engine.plans_compiled == 2
+        assert not np.allclose(before, after)
+        simulator = DensityMatrixSimulator(noise_model=model)
+        for circuit, row in zip(circuits, after):
+            np.testing.assert_allclose(
+                row, zero_one(simulator.run(circuit, shots=None)), atol=1e-10
+            )
+
+
+class TestSimulatorTracksLiveNoiseModel:
+    def test_run_batch_matches_run_after_in_place_mutation(self):
+        """run() and run_batch() must agree after the model grows channels."""
+        circuits = random_sweep(2, seed=13)
+        model = NoiseModel()
+        simulator = DensityMatrixSimulator(noise_model=model, seed=0)
+        simulator.run_batch(circuits, shots=None)  # plans the ideal model
+        model.add_all_qubit_error(depolarizing_kraus(0.25, 1), 1)
+        batched = simulator.run_batch(circuits, shots=None)
+        for circuit, result in zip(circuits, batched):
+            loop = DensityMatrixSimulator(noise_model=model).run(circuit, shots=None)
+            assert result.probabilities["0"] == pytest.approx(
+                loop.probabilities["0"], abs=1e-10
+            )
+
+
+class TestBarrierInsensitiveBindings:
+    def test_binding_row_skips_sibling_barriers(self):
+        """Sweep siblings may place barriers differently; angles still map."""
+        reference = QuantumCircuit(2, 1, name="ref")
+        reference.barrier(0, 1)
+        reference.ry(0.1, 0).rz(0.2, 1)
+        reference.measure(0, 0)
+        sibling = QuantumCircuit(2, 1, name="sib")
+        sibling.ry(0.3, 0)
+        sibling.barrier(0, 1)
+        sibling.rz(0.4, 1)
+        sibling.measure(0, 0)
+        program = SweepProgram.compile(reference, bind_floats=True)
+        np.testing.assert_array_equal(
+            program.bindings_from_circuits([reference, sibling]),
+            [[0.1, 0.2], [0.3, 0.4]],
+        )
+
+    def test_binding_row_rejects_gate_mismatch(self):
+        reference = QuantumCircuit(1, 1, name="ref")
+        reference.ry(0.1, 0).measure(0, 0)
+        other = QuantumCircuit(1, 1, name="other")
+        other.rx(0.1, 0).measure(0, 0)
+        shorter = QuantumCircuit(1, 1, name="short")
+        shorter.measure(0, 0)
+        program = SweepProgram.compile(reference, bind_floats=True)
+        with pytest.raises(SimulationError):
+            program.binding_row(other)
+        with pytest.raises(SimulationError):
+            program.binding_row(shorter)
