@@ -1,0 +1,74 @@
+"""Static analysis for the repro stack.
+
+Two coordinated passes share one :class:`~repro.analysis.diagnostics.Diagnostic`
+record and one CLI (``python -m repro.analysis``):
+
+* :mod:`repro.analysis.verify` — a static IR verifier over compiled
+  :class:`~repro.quantum.program.SweepProgram`s, circuits, tile plans, and
+  precomposed noise superoperators (``VERxxx`` codes).  A cheap structural
+  subset runs on every program compile; ``REPRO_VERIFY=1`` enables the full
+  numerical level (unitarity, CPTP) at compile and plan time.
+* :mod:`repro.analysis.lint` — an AST contract linter
+  (``REP001``–``REP005``) encoding the determinism, picklability, caching,
+  and reporting contracts the batched/sharded execution stack depends on.
+
+See ``docs/static_analysis.md`` for the rule catalogue, verifier check
+list, CLI usage, and the inline-suppression syntax.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    errors,
+    format_diagnostics,
+    has_errors,
+    sort_diagnostics,
+)
+from repro.analysis.lint import LintResult, lint_paths, lint_source
+from repro.analysis.report import (
+    findings_payload,
+    format_text_report,
+    validate_findings_payload,
+)
+from repro.analysis.rules import LintContext, Rule, all_rules, select_rules
+from repro.analysis.verify import (
+    REPRO_VERIFY_ENV,
+    VERIFIER_CODES,
+    full_verification_enabled,
+    verify_channel,
+    verify_circuit,
+    verify_program,
+    verify_reference_suite,
+    verify_superoperator,
+    verify_tile_plan,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "errors",
+    "format_diagnostics",
+    "has_errors",
+    "sort_diagnostics",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "findings_payload",
+    "format_text_report",
+    "validate_findings_payload",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "select_rules",
+    "REPRO_VERIFY_ENV",
+    "VERIFIER_CODES",
+    "full_verification_enabled",
+    "verify_channel",
+    "verify_circuit",
+    "verify_program",
+    "verify_reference_suite",
+    "verify_superoperator",
+    "verify_tile_plan",
+]

@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Runs the AST contract linter over source trees (and, with ``--verify``, the
+IR verifier over the figure suite's representative compiled programs) and
+reports every finding through the shared diagnostic pipeline::
+
+    python -m repro.analysis src benchmarks            # lint, text output
+    python -m repro.analysis --format json             # default paths, JSON
+    python -m repro.analysis src --select REP001,REP003
+    python -m repro.analysis --verify                  # + IR verification
+
+Exit codes: ``0`` when no error-severity findings survive suppression,
+``1`` when at least one does, ``2`` on usage errors (unknown path or rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, has_errors
+from repro.analysis.lint import lint_paths
+from repro.analysis.report import findings_payload, format_text_report
+from repro.analysis.rules import select_rules
+
+#: Paths tried (if they exist) when the CLI is invoked without any.
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static analysis for the repro stack: AST contract linter "
+            "(REP001-REP005) and SweepProgram IR verifier (VERxxx)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks, "
+        "whichever exist under the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally compile the figure suite's representative "
+        "SweepPrograms and run the full IR verifier over them",
+    )
+    return parser
+
+
+def _resolve_paths(requested: Sequence[str]) -> List[str]:
+    if requested:
+        return list(requested)
+    present = [path for path in DEFAULT_PATHS if os.path.isdir(path)]
+    if not present:
+        raise FileNotFoundError(
+            "no paths given and none of the default paths "
+            f"{list(DEFAULT_PATHS)} exist under {os.getcwd()}"
+        )
+    return present
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        paths = _resolve_paths(args.paths)
+        codes = args.select.split(",") if args.select else None
+        rules = select_rules(codes)
+        result = lint_paths(paths, rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    diagnostics: List[Diagnostic] = list(result.diagnostics)
+    if args.verify:
+        from repro.analysis.verify import verify_reference_suite
+
+        diagnostics.extend(verify_reference_suite())
+
+    if args.format == "json":
+        payload = findings_payload(
+            diagnostics,
+            paths=paths,
+            files_checked=result.files_checked,
+            suppressed=result.suppressed,
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            format_text_report(
+                diagnostics,
+                files_checked=result.files_checked,
+                suppressed=result.suppressed,
+            )
+        )
+    return 1 if has_errors(diagnostics) else 0

@@ -1,0 +1,128 @@
+"""The shared diagnostic record of the static-analysis layer.
+
+Both analysis passes — the :mod:`~repro.analysis.verify` IR verifier over
+compiled :class:`~repro.quantum.program.SweepProgram`s and the
+:mod:`~repro.analysis.lint` AST contract linter over source files — report
+through one :class:`Diagnostic` record so the CLI, the tests, and the JSON
+output treat a plan-time IR defect and a codebase-contract violation
+identically: a stable code, a severity, a location, a message, and a fix
+hint.
+
+Codes are namespaced by pass:
+
+* ``REPxxx`` — codebase contracts enforced by the AST linter (``REP000`` is
+  reserved for malformed suppression comments).
+* ``VERxxx`` — IR invariants enforced by the program verifier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How serious a finding is; ``ERROR`` findings gate the CLI exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+
+#: Rank used when sorting mixed-severity reports (most severe first).
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclasses.dataclass(frozen=True)
+class Location:
+    """Where a finding points.
+
+    Linter findings carry ``file``/``line``/``column``; verifier findings
+    carry ``obj`` — a dotted IR path such as ``program 'sweep' step 3 (cx)``
+    — and may leave the file coordinates unset.  Either way the location
+    renders to one stable string so diagnostics sort and compare cleanly.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    obj: Optional[str] = None
+
+    def render(self) -> str:
+        parts: List[str] = []
+        if self.file is not None:
+            coords = self.file
+            if self.line is not None:
+                coords += f":{self.line}"
+                if self.column is not None:
+                    coords += f":{self.column}"
+            parts.append(coords)
+        if self.obj is not None:
+            parts.append(self.obj)
+        return " ".join(parts) if parts else "<unknown>"
+
+    def sort_key(self) -> tuple:
+        return (
+            self.file or "",
+            self.line if self.line is not None else -1,
+            self.column if self.column is not None else -1,
+            self.obj or "",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding of either analysis pass."""
+
+    code: str
+    severity: Severity
+    location: Location
+    message: str
+    hint: Optional[str] = None
+
+    def format(self) -> str:
+        """Render as ``location CODE severity: message (hint: ...)``."""
+        text = f"{self.location.render()} {self.code} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping used by the CLI's ``--format json`` output."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "file": self.location.file,
+            "line": self.location.line,
+            "column": self.location.column,
+            "object": self.location.obj,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by location, then severity (errors first), then code."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.location.sort_key(), _SEVERITY_RANK[d.severity], d.code),
+    )
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """The error-severity subset of ``diagnostics``."""
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """Whether any finding is error severity (the CLI's exit-code gate)."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """One finding per line, in :func:`sort_diagnostics` order."""
+    return "\n".join(d.format() for d in sort_diagnostics(diagnostics))

@@ -1,0 +1,219 @@
+"""AST contract linter: parse files, run rules, honour suppressions.
+
+The linter walks Python files, parses them once, and hands the tree to every
+:class:`~repro.analysis.rules.Rule` whose :meth:`applies` accepts the file.
+Findings can be suppressed *per line* with a justified comment::
+
+    risky_call()  # repro: noqa REP001 -- seeding handled by caller, see #42
+
+The justification (everything after ``--``) is **required**: a bare
+``# repro: noqa REP001`` does not suppress anything and instead raises a
+``REP000`` finding, so every suppression in the tree documents why the
+contract does not apply.  Suppressed findings are counted (never silently
+dropped) and surface in the CLI summary and JSON payload.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    sort_diagnostics,
+)
+from repro.analysis.rules import LintContext, Rule, select_rules
+
+#: matches ``repro: noqa <CODE>[, <CODE>...] [-- justification]`` comments
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\s+(?P<codes>(?:(?:REP|VER)\d{3})(?:\s*,\s*(?:REP|VER)\d{3})*)"
+    r"(?:\s*--\s*(?P<why>\S.*))?",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: Optional[str]
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run: surviving findings plus accounting."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+    suppressed: int
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """(line, text) for each comment in ``source``; raw lines as a fallback."""
+    import io
+    import tokenize
+
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return list(enumerate(source.splitlines(), start=1))
+
+
+def find_suppressions(source: str) -> List[Suppression]:
+    """Every ``repro: noqa`` comment in ``source`` (line numbers 1-based).
+
+    Only genuine comment tokens are scanned — a noqa-shaped string inside a
+    docstring or string literal is prose, not a suppression.  When the file
+    cannot be tokenised the raw lines are scanned instead (such files already
+    fail to parse and carry a ``REP000`` finding of their own).
+    """
+    out: List[Suppression] = []
+    for lineno, comment in _comment_tokens(source):
+        match = _NOQA.search(comment)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper() for code in match.group("codes").split(",")
+        )
+        why = match.group("why")
+        out.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                justification=why.strip() if why else None,
+            )
+        )
+    return out
+
+
+def normalize_path(path: str, root: Optional[str] = None) -> str:
+    """Root-relative, ``/``-separated rendering of ``path`` for locations."""
+    root = root or os.getcwd()
+    absolute = os.path.abspath(path)
+    try:
+        relative = os.path.relpath(absolute, root)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        relative = absolute
+    if relative.startswith(".."):
+        relative = absolute
+    return relative.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            ]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.join(dirpath, filename))
+    return sorted(dict.fromkeys(found))
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    root: Optional[str] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint one in-memory module; returns ``(findings, suppressed_count)``.
+
+    Findings include a parse failure (reported as ``REP000``) and any
+    malformed suppression comments; properly justified suppressions remove
+    matching same-line findings and are tallied in the second element.
+    """
+    normalized = normalize_path(path, root)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Diagnostic(
+                    code="REP000",
+                    severity=Severity.ERROR,
+                    location=Location(
+                        file=normalized, line=exc.lineno or 1, column=exc.offset or 1
+                    ),
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    context = LintContext(path=normalized, source=source, tree=tree)
+    raw: List[Diagnostic] = []
+    for rule in rules if rules is not None else select_rules():
+        if rule.applies(context):
+            raw.extend(rule.check(context))
+
+    suppressions = find_suppressions(source)
+    justified: Dict[int, set] = {}
+    out: List[Diagnostic] = []
+    for suppression in suppressions:
+        if suppression.justification is None:
+            out.append(
+                Diagnostic(
+                    code="REP000",
+                    severity=Severity.ERROR,
+                    location=Location(file=normalized, line=suppression.line, column=1),
+                    message=(
+                        "suppression without justification: "
+                        f"noqa {', '.join(suppression.codes)}"
+                    ),
+                    hint="write '# repro: noqa REPxxx -- <why the contract does "
+                    "not apply here>'",
+                )
+            )
+            continue
+        justified.setdefault(suppression.line, set()).update(suppression.codes)
+
+    suppressed = 0
+    for diagnostic in raw:
+        line = diagnostic.location.line
+        if line is not None and diagnostic.code in justified.get(line, ()):
+            suppressed += 1
+            continue
+        out.append(diagnostic)
+    return out, suppressed
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    root: Optional[str] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    rules = list(rules) if rules is not None else select_rules()
+    diagnostics: List[Diagnostic] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        found, hidden = lint_source(source, path, rules, root=root)
+        diagnostics.extend(found)
+        suppressed += hidden
+    return LintResult(
+        diagnostics=sort_diagnostics(diagnostics),
+        files_checked=len(files),
+        suppressed=suppressed,
+    )

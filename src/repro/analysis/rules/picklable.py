@@ -1,0 +1,135 @@
+"""REP002 — ``*Spec`` classes must stay picklable.
+
+The sharded executor's whole safety story is that live backends (open job
+ledgers, caches, RNG state) are never shipped to workers — only ``*Spec``
+factories cross the process boundary.  That guarantee dies quietly the day
+someone adds a ``field(default_factory=lambda: ...)``, a ``threading.Lock``,
+or a live ``backend:`` field to a spec: pickling fails only on the process
+strategy, only at fan-out time, deep inside ``concurrent.futures``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import LintContext, Rule
+
+#: threading primitives that cannot cross a pickle boundary.
+_THREADING_PRIMITIVES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Barrier",
+}
+
+#: Type-name suffixes that denote live (unpicklable or state-carrying)
+#: execution objects; ``*Spec`` names themselves are exempt.
+_LIVE_OBJECT_SUFFIXES = ("Backend", "Simulator", "Estimator", "Executor")
+
+
+def _annotation_names(node: ast.AST) -> Iterable[str]:
+    """Every plain identifier mentioned inside a type annotation."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _is_threading_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _THREADING_PRIMITIVES:
+        if isinstance(func.value, ast.Name) and func.value.id == "threading":
+            return f"threading.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in _THREADING_PRIMITIVES:
+        return func.id
+    return None
+
+
+class SpecPicklableRule(Rule):
+    """REP002 — keep worker-bound spec factories picklable by construction.
+
+    Inspects the *class-level* statements (field declarations and defaults)
+    of every class whose name ends in ``Spec``:
+
+    * lambdas anywhere in a field default (unpicklable);
+    * threading primitives in a field default (unpicklable);
+    * field annotations naming live execution objects (``*Backend``,
+      ``*Simulator``, ``*Estimator``, ``*Executor``) — the exact objects the
+      spec pattern exists to keep out of workers.  ``*Spec`` type names are
+      exempt (specs may nest specs).
+
+    Method bodies are deliberately out of scope: ``from_backend(cls,
+    backend)`` legitimately touches live objects to *derive* a spec.
+    """
+
+    code = "REP002"
+    name = "spec-picklable"
+    description = "*Spec classes must stay picklable (they cross process boundaries)"
+
+    def applies(self, context: LintContext) -> bool:
+        return context.is_library
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef) or not node.name.endswith("Spec"):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    continue
+                out.extend(self._check_field(context, node.name, statement))
+        return out
+
+    def _check_field(
+        self, context: LintContext, class_name: str, statement
+    ) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        value = statement.value
+        if value is not None:
+            for child in ast.walk(value):
+                if isinstance(child, ast.Lambda):
+                    out.append(
+                        self.diagnostic(
+                            context,
+                            child,
+                            f"{class_name}: lambda in a field default cannot be "
+                            "pickled to worker processes",
+                            hint="use a module-level function (or a dataclasses."
+                            "field default_factory referencing one)",
+                        )
+                    )
+                elif isinstance(child, ast.Call):
+                    primitive = _is_threading_call(child)
+                    if primitive is not None:
+                        out.append(
+                            self.diagnostic(
+                                context,
+                                child,
+                                f"{class_name}: {primitive}() in a field default "
+                                "cannot be pickled to worker processes",
+                                hint="create locks lazily in __setstate__ like "
+                                "repro.utils.cache.LRUCache does",
+                            )
+                        )
+        annotation = getattr(statement, "annotation", None)
+        if annotation is not None:
+            for name in _annotation_names(annotation):
+                if name.endswith(_LIVE_OBJECT_SUFFIXES) and not name.endswith("Spec"):
+                    out.append(
+                        self.diagnostic(
+                            context,
+                            annotation,
+                            f"{class_name}: field typed as live object "
+                            f"'{name}'; specs must carry construction recipes, "
+                            "not live execution state",
+                            hint="store a nested *Spec (e.g. BackendSpec) and "
+                            "rebuild the live object in the worker",
+                        )
+                    )
+        return out

@@ -1,0 +1,75 @@
+"""REP005 — every benchmark must leave a machine-readable perf point.
+
+The ROADMAP tracks each workload's perf trajectory across PRs through the
+``BENCH_<name>.json`` files that the shared
+:mod:`repro.experiments.reporting` writer emits.  A benchmark that prints
+its numbers without recording a perf point silently drops out of that
+trajectory — the regression it would have caught shows up only as a vague
+"this used to be faster".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import LintContext, Rule
+
+#: Accepted entry points into the shared perf-point writer: the writer
+#: itself, the benchmark conftest wrappers, and the fixtures exposing them.
+_REPORTING_NAMES = {
+    "write_perf_point",
+    "record_bench_report",
+    "run_experiment",
+    "experiment_runner",
+    "bench_reporter",
+}
+
+
+def _mentioned_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.arg):
+            names.add(node.arg)
+        elif isinstance(node, ast.alias):
+            names.add(node.asname or node.name.split(".")[-1])
+    return names
+
+
+class BenchReportingRule(Rule):
+    """REP005 — ``bench_*.py`` must call the shared perf-point writer.
+
+    Satisfied by any reference to the :mod:`repro.experiments.reporting`
+    writer (``write_perf_point``), the benchmark conftest wrappers
+    (``record_bench_report``, ``run_experiment``), or the fixtures that
+    expose them (``experiment_runner``, ``bench_reporter``) — including as a
+    test-function fixture argument, which is how the figure benches consume
+    them.
+    """
+
+    code = "REP005"
+    name = "bench-emits-perf-point"
+    description = "benchmarks must record BENCH_<name>.json via experiments.reporting"
+
+    def applies(self, context: LintContext) -> bool:
+        return context.is_bench
+
+    def check(self, context: LintContext) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        if not _mentioned_names(context.tree) & _REPORTING_NAMES:
+            out.append(
+                self.diagnostic(
+                    context,
+                    None,
+                    "benchmark never records a perf point; its results are "
+                    "invisible to the cross-PR perf trajectory",
+                    hint="use the experiment_runner/bench_reporter fixtures or "
+                    "call repro.experiments.reporting.write_perf_point",
+                )
+            )
+        return out

@@ -28,6 +28,18 @@ class SimulationError(ReproError):
     """
 
 
+class NoiseError(SimulationError):
+    """Raised when a noise channel or noise model is invalid.
+
+    Channel registration validates CPTP (trace preservation via the Kraus
+    completeness relation, complete positivity by construction checks) at
+    mutation time, naming the offending channel — so a bad channel fails at
+    ``add_*`` instead of corrupting precomposed superoperators later.
+    Subclasses :class:`SimulationError` so existing callers that guard noise
+    construction keep working.
+    """
+
+
 class EncodingError(ReproError):
     """Raised when classical data cannot be encoded into a quantum state."""
 

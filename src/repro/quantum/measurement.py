@@ -9,6 +9,15 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 
+#: Default seed used when :func:`counts_from_probabilities` is called without
+#: an ``rng``.  Sampling used to fall back to a *seedless*
+#: ``np.random.default_rng()`` — a silent OS-entropy draw that made
+#: rng-less calls irreproducible (the REP001 contract violation the static
+#: analyser now flags).  Callers on the library's hot paths always inject a
+#: generator; this documented constant only covers ad-hoc interactive use,
+#: which is now deterministic run over run.
+DEFAULT_SAMPLING_SEED = 2022
+
 
 @dataclasses.dataclass
 class Counts:
@@ -112,8 +121,16 @@ def counts_from_probabilities(
     rng: Optional[np.random.Generator] = None,
     num_bits: Optional[int] = None,
 ) -> Counts:
-    """Sample a :class:`Counts` histogram from exact outcome probabilities."""
-    generator = rng if rng is not None else np.random.default_rng()
+    """Sample a :class:`Counts` histogram from exact outcome probabilities.
+
+    ``rng`` should be injected by the caller (every simulator/backend path
+    does); when omitted, a generator seeded with the documented
+    :data:`DEFAULT_SAMPLING_SEED` is used so results stay reproducible —
+    never a fresh OS-entropy stream.
+    """
+    generator = (
+        rng if rng is not None else np.random.default_rng(DEFAULT_SAMPLING_SEED)
+    )
     if isinstance(probabilities, np.ndarray):
         probs = np.asarray(probabilities, dtype=float)
         if probs.size == 0:

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import SimulationError
+from repro.exceptions import NoiseError, SimulationError
 from repro.utils.rng import RandomState, ensure_rng
 
 # --------------------------------------------------------------------------- #
@@ -219,17 +219,44 @@ class NoiseModel:
         return self._version
 
     # Construction ------------------------------------------------------- #
+    @staticmethod
+    def _check_channel(kraus_operators: Sequence[np.ndarray], name: str) -> List[np.ndarray]:
+        """Run the static verifier's CPTP checks on a channel being registered.
+
+        Registration is the only mutation point (``version`` bumps here), so
+        rejecting bad channels now guarantees every precomposed superoperator
+        derived from this model later is built from valid Kraus families.
+        """
+        from repro.analysis.verify import verify_channel
+
+        kraus = [np.asarray(k) for k in kraus_operators]
+        findings = verify_channel(kraus, name=name)
+        if findings:
+            detail = "; ".join(diag.message for diag in findings)
+            raise NoiseError(f"invalid noise channel for {name}: {detail}")
+        return kraus
+
     def add_gate_error(self, gate_name: str, kraus_operators: Sequence[np.ndarray]) -> "NoiseModel":
-        """Attach a Kraus channel applied after every occurrence of ``gate_name``."""
-        GateError(list(kraus_operators))  # validates
-        self._gate_errors.setdefault(gate_name, []).append(list(kraus_operators))
+        """Attach a Kraus channel applied after every occurrence of ``gate_name``.
+
+        Raises :class:`~repro.exceptions.NoiseError` naming the gate when the
+        channel fails the CPTP checks.
+        """
+        kraus = self._check_channel(kraus_operators, f"gate error for '{gate_name}'")
+        self._gate_errors.setdefault(gate_name, []).append(kraus)
         self._version += 1
         return self
 
     def add_all_qubit_error(self, kraus_operators: Sequence[np.ndarray], num_qubits: int) -> "NoiseModel":
-        """Attach a channel applied after every gate acting on ``num_qubits`` qubits."""
-        GateError(list(kraus_operators))  # validates
-        self._default_errors.setdefault(num_qubits, []).append(list(kraus_operators))
+        """Attach a channel applied after every gate acting on ``num_qubits`` qubits.
+
+        Raises :class:`~repro.exceptions.NoiseError` naming the channel when it
+        fails the CPTP checks.
+        """
+        kraus = self._check_channel(
+            kraus_operators, f"all-qubit error on {num_qubits}-qubit gates"
+        )
+        self._default_errors.setdefault(num_qubits, []).append(kraus)
         self._version += 1
         return self
 

@@ -48,6 +48,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro.analysis.verify import full_verification_enabled
 from repro.exceptions import SimulationError
 from repro.quantum import gates as gate_library
 from repro.quantum.batched import BatchedStatevector
@@ -421,7 +422,7 @@ class SweepProgram:
                     matrix=matrix,
                 )
             )
-        return cls(
+        program = cls(
             num_qubits=circuit.num_qubits,
             num_clbits=circuit.num_clbits,
             steps=steps,
@@ -434,6 +435,16 @@ class SweepProgram:
             column_sites=tuple(column_sites),
             name=program_name,
         )
+        # Static verification at the compile boundary: the cheap structural
+        # subset (bind-column/qubit/read-out bounds) always runs — compiles
+        # are structure-cached, so it costs one linear walk per structure —
+        # and REPRO_VERIFY=1 upgrades to the full numerical level.  A
+        # plan-time bug aborts here instead of surfacing as wrong sweep
+        # numbers three layers down.
+        from repro.analysis.verify import verify_compilation
+
+        verify_compilation(program)
+        return program
 
     # ------------------------------------------------------------------ #
     # Binding extraction
@@ -747,6 +758,12 @@ class DensitySuperoperatorEngine:
         # bump ``version``) — recompose so the batched paths track the
         # live model exactly like the per-circuit ``run`` loop does.
         plans = tuple(self._plan_step(step) for step in program.steps)
+        if full_verification_enabled():
+            # REPRO_VERIFY=1: CPTP-check every precomposed superoperator plan
+            # before the engine ever contracts with it.
+            from repro.analysis.verify import verify_step_plan_superoperators
+
+            verify_step_plan_superoperators(program, plans)
         self._plans[program] = (version, plans)
         self.plans_compiled += 1
         return plans

@@ -1,0 +1,99 @@
+"""Tests for ``python -m repro.analysis`` (:mod:`repro.analysis.cli`)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.report import validate_findings_payload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+VIOLATION = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestMainInProcess:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "src/ok.py", "X = 1\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_findings_exit_one_with_locations(self, tmp_path, capsys):
+        target = write(tmp_path, "src/repro/bad.py", VIOLATION)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert ":2:" in out  # line anchor of the seedless call
+        assert os.path.basename(target) in out
+
+    def test_json_payload_is_schema_valid(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/bad.py", VIOLATION)
+        exit_code = main([str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert validate_findings_payload(payload) == []
+        assert payload["summary"]["errors"] == 1
+        codes = [finding["code"] for finding in payload["findings"]]
+        assert codes == ["REP001"]
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/bad.py", VIOLATION)
+        assert main([str(tmp_path), "--select", "REP005"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_select_code_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--select", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_warning_only_findings_exit_zero(self, tmp_path, capsys):
+        # Suppressed finding -> warning-free, error-free output, still counted.
+        write(
+            tmp_path,
+            "src/repro/bad.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # repro: noqa REP001 -- CLI corpus\n",
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def run_cli(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+
+    def test_shipped_tree_is_clean(self):
+        proc = self.run_cli("src", "benchmarks")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_json_round_trip_over_shipped_tree(self):
+        proc = self.run_cli("src", "benchmarks", "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert validate_findings_payload(payload) == []
+        assert payload["tool"] == "repro.analysis"
+        assert payload["files_checked"] > 50
+        assert payload["summary"]["errors"] == 0

@@ -1,0 +1,79 @@
+"""Tests for the shared diagnostic record (:mod:`repro.analysis.diagnostics`)."""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    errors,
+    format_diagnostics,
+    has_errors,
+    sort_diagnostics,
+)
+
+
+def diag(code="VER101", severity=Severity.ERROR, file=None, line=None, obj=None):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        location=Location(file=file, line=line, obj=obj),
+        message=f"message for {code}",
+        hint=None,
+    )
+
+
+class TestLocation:
+    def test_file_line_column_render(self):
+        loc = Location(file="src/x.py", line=12, column=3)
+        assert loc.render() == "src/x.py:12:3"
+
+    def test_object_render(self):
+        loc = Location(obj="program 'sweep'")
+        assert loc.render() == "program 'sweep'"
+
+    def test_empty_render_is_stable(self):
+        assert isinstance(Location().render(), str)
+
+
+class TestDiagnostic:
+    def test_format_contains_code_severity_message(self):
+        d = Diagnostic(
+            code="VER140",
+            severity=Severity.ERROR,
+            location=Location(obj="tile plan 2x3"),
+            message="tiles cover 5 element(s) of a 6-element grid",
+            hint="every (row, sample) pair must be executed exactly once",
+        )
+        text = d.format()
+        assert "VER140" in text
+        assert "error" in text
+        assert "tiles cover 5 element(s)" in text
+        assert "hint" in text
+
+    def test_to_dict_round_trip_keys(self):
+        d = diag(file="src/x.py", line=4)
+        payload = d.to_dict()
+        assert payload["code"] == "VER101"
+        assert payload["severity"] == "error"
+        assert payload["file"] == "src/x.py"
+        assert payload["line"] == 4
+        assert payload["message"]
+
+
+class TestHelpers:
+    def test_errors_filters_severity(self):
+        items = [diag(), diag(severity=Severity.WARNING), diag(severity=Severity.INFO)]
+        assert len(errors(items)) == 1
+        assert has_errors(items)
+        assert not has_errors(items[1:])
+
+    def test_sort_orders_by_location_then_code(self):
+        a = diag(code="VER110", file="b.py", line=2)
+        b = diag(code="VER101", file="a.py", line=9)
+        c = diag(code="VER102", file="a.py", line=1)
+        ordered = sort_diagnostics([a, b, c])
+        assert [d.code for d in ordered] == ["VER102", "VER101", "VER110"]
+
+    def test_format_diagnostics_one_line_each(self):
+        items = [diag(), diag(code="VER103", severity=Severity.WARNING)]
+        text = format_diagnostics(items)
+        assert len(text.splitlines()) == 2

@@ -1,0 +1,299 @@
+"""Tests for the AST contract linter (:mod:`repro.analysis.lint`).
+
+The corpus lints small in-memory sources under crafted virtual paths —
+``src/repro/...`` for library-code rules, ``benchmarks/bench_*.py`` for the
+reporting rule — and asserts exact codes and line numbers.  The REP001 case
+mirrors, verbatim, the seedless fallback that used to live in
+``repro.quantum.measurement.counts_from_probabilities`` so the defect class
+stays pinned by a regression test.
+"""
+
+import pytest
+
+from repro.analysis.lint import (
+    find_suppressions,
+    lint_source,
+    normalize_path,
+)
+from repro.analysis.rules import all_rules, select_rules
+
+LIB = "src/repro/quantum/example.py"
+
+
+def lint(source, path=LIB, rules=None):
+    findings, suppressed = lint_source(source, path, rules or all_rules())
+    return findings, suppressed
+
+
+def codes(findings):
+    return [d.code for d in findings]
+
+
+# --------------------------------------------------------------------------- #
+# REP001 — no seedless RNGs in library code
+# --------------------------------------------------------------------------- #
+
+
+class TestRep001SeedlessRng:
+    def test_old_measurement_fallback_is_flagged(self):
+        """Regression: the exact pre-fix line from measurement.py must flag."""
+        source = (
+            "import numpy as np\n"
+            "def counts_from_probabilities(probabilities, shots, rng=None):\n"
+            "    generator = rng if rng is not None else np.random.default_rng()\n"
+        )
+        findings, _ = lint(source, path="src/repro/quantum/measurement.py")
+        assert codes(findings) == ["REP001"]
+        assert findings[0].location.line == 3
+
+    def test_seeded_default_rng_is_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(2022)\n"
+        findings, _ = lint(source)
+        assert findings == []
+
+    def test_none_seed_is_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP001"]
+
+    def test_global_numpy_random_call_is_flagged(self):
+        source = "import numpy as np\nx = np.random.uniform(0, 1)\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP001"]
+
+    def test_from_import_alias_is_tracked(self):
+        source = "from numpy.random import default_rng\nrng = default_rng()\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP001"]
+
+    def test_tests_are_out_of_scope(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings, _ = lint(source, path="tests/quantum/test_example.py")
+        assert findings == []
+
+    def test_current_measurement_module_is_clean(self):
+        with open("src/repro/quantum/measurement.py") as handle:
+            findings, _ = lint(
+                handle.read(), path="src/repro/quantum/measurement.py"
+            )
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP002 — *Spec classes stay picklable
+# --------------------------------------------------------------------------- #
+
+
+class TestRep002SpecPicklable:
+    def test_lambda_default_is_flagged(self):
+        source = (
+            "class BackendSpec:\n"
+            "    factory = lambda: object()\n"
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP002"]
+
+    def test_lock_default_is_flagged(self):
+        source = (
+            "import threading\n"
+            "class SweepSpec:\n"
+            "    guard = threading.Lock()\n"
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP002"]
+
+    def test_live_backend_annotation_is_flagged(self):
+        source = (
+            "class EstimatorSpec:\n"
+            "    backend: QuantumBackend = None\n"
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP002"]
+
+    def test_plain_fields_are_clean(self):
+        source = (
+            "class BackendSpec:\n"
+            "    kind: str = 'ideal'\n"
+            "    shots: int = 1024\n"
+            "    child_spec: 'EstimatorSpec' = None\n"
+        )
+        findings, _ = lint(source)
+        assert findings == []
+
+    def test_non_spec_classes_are_out_of_scope(self):
+        source = (
+            "class Engine:\n"
+            "    factory = lambda: object()\n"
+        )
+        findings, _ = lint(source)
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP003 — shared caches go through utils.cache.LRUCache
+# --------------------------------------------------------------------------- #
+
+
+class TestRep003AdHocCaches:
+    def test_module_level_cache_dict_is_flagged(self):
+        source = "_PROGRAM_CACHE = {}\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP003"]
+
+    def test_class_level_memo_is_flagged(self):
+        source = (
+            "class Transpiler:\n"
+            "    _memo = dict()\n"
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP003"]
+
+    def test_populated_lookup_table_is_clean(self):
+        source = "GATE_CACHE = {'h': 1, 'cx': 2}\n"
+        findings, _ = lint(source)
+        assert findings == []
+
+    def test_non_cache_names_are_clean(self):
+        source = "_registry = {}\n"
+        findings, _ = lint(source)
+        assert findings == []
+
+    def test_utils_cache_module_is_exempt(self):
+        source = "_cache = {}\n"
+        findings, _ = lint(source, path="src/repro/utils/cache.py")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP004 — engines never construct RNGs
+# --------------------------------------------------------------------------- #
+
+
+class TestRep004EngineRng:
+    ENGINE = "src/repro/quantum/batched.py"
+
+    def test_even_seeded_rng_is_flagged_in_engine(self):
+        source = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        findings, _ = lint(source, path=self.ENGINE)
+        assert codes(findings) == ["REP004"]
+
+    def test_ensure_rng_wrapper_is_flagged_in_engine(self):
+        source = (
+            "from repro.utils.rng import ensure_rng\n"
+            "rng = ensure_rng(7)\n"
+        )
+        findings, _ = lint(source, path=self.ENGINE)
+        assert codes(findings) == ["REP004"]
+
+    def test_rng_parameter_use_is_clean(self):
+        source = "def sample(rng, n):\n    return rng.multinomial(n, [1.0])\n"
+        findings, _ = lint(source, path=self.ENGINE)
+        assert findings == []
+
+    def test_non_engine_library_module_allows_seeded_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        findings, _ = lint(source, path=LIB)
+        assert findings == []
+
+    def test_shipped_engines_are_clean(self):
+        for module in (
+            "src/repro/quantum/batched.py",
+            "src/repro/quantum/batched_density.py",
+            "src/repro/quantum/program.py",
+        ):
+            with open(module) as handle:
+                findings, _ = lint(handle.read(), path=module)
+            assert findings == [], f"{module}: {[d.format() for d in findings]}"
+
+
+# --------------------------------------------------------------------------- #
+# REP005 — benchmarks must report perf points
+# --------------------------------------------------------------------------- #
+
+
+class TestRep005BenchReporting:
+    def test_silent_bench_is_flagged(self):
+        source = "def test_bench_thing():\n    assert 1 + 1 == 2\n"
+        findings, _ = lint(source, path="benchmarks/bench_silent.py")
+        assert codes(findings) == ["REP005"]
+        assert findings[0].location.line == 1
+
+    def test_bench_using_runner_fixture_is_clean(self):
+        source = (
+            "def test_bench_thing(run_experiment):\n"
+            "    run_experiment('x', lambda: None)\n"
+        )
+        findings, _ = lint(source, path="benchmarks/bench_ok.py")
+        assert findings == []
+
+    def test_bench_calling_writer_is_clean(self):
+        source = (
+            "from repro.experiments.reporting import write_perf_point\n"
+            "def test_bench_thing():\n"
+            "    write_perf_point('out.json', name='x', value=1.0)\n"
+        )
+        findings, _ = lint(source, path="benchmarks/bench_ok.py")
+        assert findings == []
+
+    def test_non_bench_files_are_out_of_scope(self):
+        source = "def helper():\n    pass\n"
+        findings, _ = lint(source, path="benchmarks/conftest.py")
+        assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Suppressions and malformed input
+# --------------------------------------------------------------------------- #
+
+
+class TestSuppressions:
+    FLAGGED = "import numpy as np\nrng = np.random.default_rng()"
+
+    def test_justified_suppression_silences_and_counts(self):
+        source = (
+            self.FLAGGED
+            + "  # repro: noqa REP001 -- interactive helper, seeding is the caller's job\n"
+        )
+        findings, suppressed = lint(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_bare_suppression_is_rep000_and_does_not_suppress(self):
+        source = self.FLAGGED + "  # repro: noqa REP001\n"
+        findings, suppressed = lint(source)
+        assert sorted(codes(findings)) == ["REP000", "REP001"]
+        assert suppressed == 0
+
+    def test_wrong_code_suppression_does_not_silence(self):
+        source = self.FLAGGED + "  # repro: noqa REP003 -- not actually a cache\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP001"]
+
+    def test_multi_code_suppression(self):
+        source = (
+            self.FLAGGED + "  # repro: noqa REP001, REP004 -- corpus fixture\n"
+        )
+        findings, suppressed = lint(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_inside_string_literal_is_ignored(self):
+        source = 'EXAMPLE = "# repro: noqa REP001"\n'
+        findings, suppressed = lint(source)
+        assert findings == []
+        assert suppressed == 0
+        assert find_suppressions(source) == []
+
+    def test_syntax_error_is_rep000(self):
+        findings, _ = lint("def broken(:\n")
+        assert codes(findings) == ["REP000"]
+
+    def test_select_rules_rejects_unknown_codes(self):
+        with pytest.raises(ValueError):
+            select_rules(["REP999"])
+        assert [r.code for r in select_rules(["REP001"])] == ["REP001"]
+
+    def test_normalize_path_is_posix_relative(self):
+        import os
+
+        assert normalize_path(os.path.join(os.getcwd(), "src", "x.py")) == "src/x.py"

@@ -1,0 +1,62 @@
+"""Tier-1 gate: the shipped tree itself must lint clean.
+
+This is the enforcement point of the REP001–REP005 contracts: any
+non-suppressed finding over ``src/`` or ``benchmarks/`` fails the suite, so
+a contract violation cannot merge silently.  Suppressions are allowed but
+must carry a justification (the linter turns bare ones into REP000 errors,
+which fail here too).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def run_lint(*paths):
+    return lint_paths(
+        [os.path.join(REPO_ROOT, p) for p in paths], all_rules(), root=REPO_ROOT
+    )
+
+
+class TestSelfLint:
+    def test_src_has_no_findings(self):
+        result = run_lint("src")
+        assert result.files_checked > 50  # the sweep actually covered the tree
+        assert result.diagnostics == [], "\n".join(
+            d.format() for d in result.diagnostics
+        )
+
+    def test_benchmarks_have_no_findings(self):
+        result = run_lint("benchmarks")
+        assert result.files_checked >= 18
+        assert result.diagnostics == [], "\n".join(
+            d.format() for d in result.diagnostics
+        )
+
+    def test_every_benchmark_is_covered_by_rep005(self):
+        """REP005 applies to each bench_*.py — the rule can't be dodged by name."""
+        from repro.analysis.rules.reporting import BenchReportingRule
+        from repro.analysis.rules import LintContext
+
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        bench_files = sorted(
+            name for name in os.listdir(bench_dir) if name.startswith("bench_")
+        )
+        assert len(bench_files) >= 18
+        rule = BenchReportingRule()
+        for name in bench_files:
+            context = LintContext(
+                path=os.path.join("benchmarks", name), source="", tree=None
+            )
+            assert rule.applies(context), name
+
+    def test_no_error_severity_anywhere(self):
+        result = run_lint("src", "benchmarks")
+        errors = [d for d in result.diagnostics if d.severity is Severity.ERROR]
+        assert errors == []

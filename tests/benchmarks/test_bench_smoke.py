@@ -171,3 +171,43 @@ class TestPerfBenchFullSize:
         payload = module.run_shard_scaling_benchmark()
         assert payload["rows_bit_identical"] is True
         assert payload["speedup_at_max_workers"] >= module.MIN_SPEEDUP
+
+
+class TestStaticAnalysisOverBenchmarks:
+    """The analysis CLI must round-trip schema-valid JSON over the tree."""
+
+    def test_cli_json_is_schema_valid_and_clean(self):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        from repro.analysis.report import validate_findings_payload
+
+        repo_root = BENCH_DIR.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "benchmarks", "--format", "json"],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert validate_findings_payload(payload) == []
+        assert payload["summary"]["errors"] == 0
+
+    def test_every_bench_script_reports_a_perf_point(self):
+        """REP005 over benchmarks/: no silent benchmarks."""
+        from repro.analysis.lint import lint_paths
+        from repro.analysis.rules import select_rules
+
+        result = lint_paths(
+            [str(BENCH_DIR)], select_rules(["REP005"]), root=str(BENCH_DIR.parent)
+        )
+        assert result.files_checked >= 15
+        assert result.diagnostics == [], "\n".join(
+            d.format() for d in result.diagnostics
+        )

@@ -126,3 +126,29 @@ class TestNormalizeOutcomeProbabilities:
 
         with pytest.raises(SimulationError):
             normalize_outcome_probabilities([[0.5, 0.5], [0.0, 0.0]])
+
+
+class TestDefaultSamplingSeed:
+    """Omitting ``rng`` falls back to the documented seed, not OS entropy."""
+
+    PROBS = {"00": 0.25, "01": 0.25, "10": 0.25, "11": 0.25}
+
+    def test_rngless_calls_are_deterministic(self):
+        first = counts_from_probabilities(self.PROBS, 1000)
+        second = counts_from_probabilities(self.PROBS, 1000)
+        assert first.data == second.data
+
+    def test_default_matches_documented_seed(self):
+        from repro.quantum.measurement import DEFAULT_SAMPLING_SEED
+
+        seeded = counts_from_probabilities(
+            self.PROBS, 1000, rng=np.random.default_rng(DEFAULT_SAMPLING_SEED)
+        )
+        assert counts_from_probabilities(self.PROBS, 1000).data == seeded.data
+
+    def test_explicit_rng_still_controls_the_draw(self):
+        a = counts_from_probabilities(self.PROBS, 1000, rng=np.random.default_rng(1))
+        b = counts_from_probabilities(self.PROBS, 1000, rng=np.random.default_rng(1))
+        c = counts_from_probabilities(self.PROBS, 1000, rng=np.random.default_rng(2))
+        assert a.data == b.data
+        assert a.data != c.data

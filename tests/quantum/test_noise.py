@@ -154,3 +154,46 @@ class TestFromErrorRatesValidation:
 
     def test_zero_rates_without_relaxation_build_an_ideal_model(self):
         assert NoiseModel.from_error_rates(0.0, 0.0).is_ideal
+
+
+class TestChannelRegistrationGuard:
+    """``add_*`` runs the static verifier's CPTP checks at mutation time."""
+
+    def test_non_cptp_gate_error_raises_noise_error_naming_the_gate(self):
+        from repro.exceptions import NoiseError
+
+        model = NoiseModel()
+        incomplete = [0.5 * np.eye(2, dtype=complex)]
+        with pytest.raises(NoiseError, match="gate error for 'ry'"):
+            model.add_gate_error("ry", incomplete)
+        assert model.version == 0  # rejected before the mutation counter bumps
+        assert model.gate_channels("ry", 1) == []
+
+    def test_non_cptp_all_qubit_error_raises_noise_error_naming_the_width(self):
+        from repro.exceptions import NoiseError
+
+        model = NoiseModel()
+        with pytest.raises(NoiseError, match="all-qubit error on 2-qubit"):
+            model.add_all_qubit_error([0.5 * np.eye(4, dtype=complex)], 2)
+        assert model.version == 0
+
+    def test_mismatched_kraus_dimensions_raise_noise_error(self):
+        from repro.exceptions import NoiseError
+
+        model = NoiseModel()
+        with pytest.raises(NoiseError, match="dimension"):
+            model.add_gate_error("cx", [np.eye(2), np.eye(4)])
+
+    def test_noise_error_is_a_simulation_error(self):
+        from repro.exceptions import NoiseError
+
+        model = NoiseModel()
+        with pytest.raises(SimulationError):
+            model.add_gate_error("ry", [0.5 * np.eye(2)])
+        assert issubclass(NoiseError, SimulationError)
+
+    def test_valid_channel_still_registers_and_bumps_version(self):
+        model = NoiseModel()
+        model.add_gate_error("ry", depolarizing_kraus(0.05, 1))
+        assert model.version == 1
+        assert len(model.gate_channels("ry", 1)) == 1
