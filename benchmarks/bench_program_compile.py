@@ -30,11 +30,13 @@ import tracemalloc
 
 import numpy as np
 
+from repro.analysis.cost import estimate_cost, verify_cost
 from repro.core.model import QuClassi
 from repro.core.swap_test import SwapTestFidelityEstimator
 from repro.datasets import generate_synthetic_mnist, load_iris, prepare_task
 from repro.hardware import IBMQBackend
 from repro.quantum.backend import SampledBackend
+from repro.quantum.program import SweepProgram, TilePlan
 
 DEVICE = "ibmq_london"
 SHOTS = 1024
@@ -174,6 +176,20 @@ def run_mnist_tiling_benchmark(
     tiled_peak, tiled_seconds, tiled = peak_sweep(budget_amplitudes)
     untiled_peak, untiled_seconds, untiled = peak_sweep(2 * untiled_amplitudes)
 
+    # Static cost-model prediction of the same tiled sweep (repro.analysis.cost):
+    # recorded beside the tracemalloc measurement so the report shows how
+    # tight the VER2xx verifier's model is on this workload.
+    program = SweepProgram.compile(
+        model.builder.build(features[0], parameter_matrix[0]),
+        bind_floats=True,
+        name="mnist-16-s:discriminator",
+    )
+    plan = TilePlan.for_circuit_sweep(
+        rows, features.shape[0], element_amplitudes, budget_amplitudes
+    )
+    predicted = estimate_cost(program, plan)
+    cost_findings = [d.code for d in verify_cost(program, plan)]
+
     return {
         "workload": {
             "dataset": "synthetic_mnist",
@@ -190,6 +206,11 @@ def run_mnist_tiling_benchmark(
         "untiled_requirement_bytes": int(untiled_amplitudes * 16),
         "tiled_peak_bytes": int(tiled_peak),
         "untiled_peak_bytes": int(untiled_peak),
+        "predicted_tiled_peak_bytes": int(predicted.peak_bytes),
+        "predicted_vs_measured": float(predicted.peak_bytes / tiled_peak),
+        # VER205 is expected: the 2**21 budget holds a 2**17 statevector
+        # element but not one 4**17 density element.
+        "cost_findings": cost_findings,
         "peak_reduction": float(untiled_peak / tiled_peak),
         "tiled_seconds": tiled_seconds,
         "untiled_seconds": untiled_seconds,
@@ -223,6 +244,7 @@ def test_program_compile_benchmark(bench_reporter):
     assert repeat["repeat_speedup"] >= MIN_REPEAT_SPEEDUP
     assert tiling["seed_match_tiled_vs_untiled"] is True
     assert tiling["tiled_peak_bytes"] < tiling["untiled_requirement_bytes"]
+    assert tiling["cost_findings"] == ["VER205"]
 
 
 if __name__ == "__main__":

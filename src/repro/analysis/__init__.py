@@ -1,21 +1,47 @@
 """Static analysis for the repro stack.
 
-Two coordinated passes share one :class:`~repro.analysis.diagnostics.Diagnostic`
-record and one CLI (``python -m repro.analysis``):
+Three coordinated pass families share one
+:class:`~repro.analysis.diagnostics.Diagnostic` record and one CLI
+(``python -m repro.analysis``):
 
 * :mod:`repro.analysis.verify` — a static IR verifier over compiled
   :class:`~repro.quantum.program.SweepProgram`s, circuits, tile plans, and
-  precomposed noise superoperators (``VERxxx`` codes).  A cheap structural
+  precomposed noise superoperators (``VER1xx`` codes).  A cheap structural
   subset runs on every program compile; ``REPRO_VERIFY=1`` enables the full
   numerical level (unitarity, CPTP) at compile and plan time.
-* :mod:`repro.analysis.lint` — an AST contract linter
-  (``REP001``–``REP005``) encoding the determinism, picklability, caching,
+  :mod:`repro.analysis.cost` extends it with the static cost-model verifier
+  (``VER2xx``): peak amplitudes/bytes and contraction counts predicted per
+  tile plan and checked against the declared amplitude budget.
+* :mod:`repro.analysis.lint` — an AST contract linter (``REP001``–``REP005``
+  and ``REP106``) encoding the determinism, picklability, caching, timing,
   and reporting contracts the batched/sharded execution stack depends on.
+* :mod:`repro.analysis.flow` — cross-module call-graph + dataflow analyzers
+  (``REP101``–``REP104``): shard-reachable races, Generator seed aliasing
+  across shard submissions, transitive payload picklability, and engine
+  buffers escaping into caches.
 
+Findings flow through the shared report formats (:mod:`.report` for
+text/JSON, :mod:`.sarif` for SARIF 2.1.0) and the :mod:`.baseline` ratchet.
 See ``docs/static_analysis.md`` for the rule catalogue, verifier check
 list, CLI usage, and the inline-suppression syntax.
 """
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_PATH,
+    baseline_payload,
+    load_baseline,
+    split_by_baseline,
+    validate_baseline_payload,
+    write_baseline,
+)
+from repro.analysis.cost import (
+    COST_CODES,
+    CostReport,
+    estimate_cost,
+    reference_cost_reports,
+    verify_cost,
+    verify_reference_costs,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     Location,
@@ -25,6 +51,13 @@ from repro.analysis.diagnostics import (
     has_errors,
     sort_diagnostics,
 )
+from repro.analysis.flow import (
+    FLOW_CODES,
+    FlowResult,
+    analyze_paths,
+    analyze_sources,
+    find_entry_points,
+)
 from repro.analysis.lint import LintResult, lint_paths, lint_source
 from repro.analysis.report import (
     findings_payload,
@@ -32,6 +65,7 @@ from repro.analysis.report import (
     validate_findings_payload,
 )
 from repro.analysis.rules import LintContext, Rule, all_rules, select_rules
+from repro.analysis.sarif import sarif_payload, validate_sarif_payload
 from repro.analysis.verify import (
     REPRO_VERIFY_ENV,
     VERIFIER_CODES,
@@ -55,15 +89,34 @@ __all__ = [
     "LintResult",
     "lint_paths",
     "lint_source",
+    "FLOW_CODES",
+    "FlowResult",
+    "analyze_paths",
+    "analyze_sources",
+    "find_entry_points",
     "findings_payload",
     "format_text_report",
     "validate_findings_payload",
+    "sarif_payload",
+    "validate_sarif_payload",
+    "DEFAULT_BASELINE_PATH",
+    "baseline_payload",
+    "load_baseline",
+    "split_by_baseline",
+    "validate_baseline_payload",
+    "write_baseline",
     "LintContext",
     "Rule",
     "all_rules",
     "select_rules",
     "REPRO_VERIFY_ENV",
     "VERIFIER_CODES",
+    "COST_CODES",
+    "CostReport",
+    "estimate_cost",
+    "reference_cost_reports",
+    "verify_cost",
+    "verify_reference_costs",
     "full_verification_enabled",
     "verify_channel",
     "verify_circuit",

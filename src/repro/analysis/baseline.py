@@ -1,0 +1,96 @@
+"""Findings baseline: the ratchet that keeps the tree analysis-clean.
+
+``analysis_baseline.json`` at the repository root records the accepted
+findings of ``python -m repro.analysis src benchmarks`` (currently: none).
+The CLI's ``--baseline`` flag subtracts baselined findings from a run, so
+only *new* findings gate the exit code, and the tier-1 regression test
+(``tests/analysis/test_baseline.py``) fails whenever the tree acquires a
+finding the baseline does not carry — the baseline can only be ratcheted
+down (or consciously regenerated with ``--write-baseline`` in a reviewed
+change), never silently grown.
+
+Baselined findings are keyed by ``(code, file)`` — line numbers churn with
+unrelated edits, so pinning them would make the baseline rot; a *new
+occurrence* of an accepted (code, file) pair is the one case this ratchet
+intentionally tolerates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, sort_diagnostics
+
+BASELINE_VERSION = 1
+#: The repository's checked-in baseline (relative to the working directory).
+DEFAULT_BASELINE_PATH = "analysis_baseline.json"
+
+Key = Tuple[str, str]
+
+
+def baseline_payload(diagnostics: Sequence[Diagnostic]) -> dict:
+    """The on-disk baseline document for ``diagnostics``."""
+    keys = sorted({_key(d) for d in sort_diagnostics(diagnostics)})
+    return {
+        "version": BASELINE_VERSION,
+        "tool": "repro.analysis",
+        "findings": [{"code": code, "file": file} for code, file in keys],
+    }
+
+
+def _key(diagnostic: Diagnostic) -> Key:
+    return diagnostic.code, diagnostic.location.file or ""
+
+
+def load_baseline(path: str) -> Set[Key]:
+    """The ``(code, file)`` pairs accepted by the baseline at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    problems = validate_baseline_payload(payload)
+    if problems:
+        raise ValueError(f"invalid baseline {path}: {'; '.join(problems)}")
+    return {
+        (finding["code"], finding["file"]) for finding in payload["findings"]
+    }
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> dict:
+    """Write the baseline for ``diagnostics`` to ``path``; returns the payload."""
+    payload = baseline_payload(diagnostics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def split_by_baseline(
+    diagnostics: Sequence[Diagnostic], accepted: Set[Key]
+) -> Tuple[List[Diagnostic], int]:
+    """(new findings, count of baselined findings dropped)."""
+    fresh = [d for d in diagnostics if _key(d) not in accepted]
+    return fresh, len(diagnostics) - len(fresh)
+
+
+def validate_baseline_payload(payload: dict) -> List[str]:
+    """Schema-check one baseline document; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"baseline must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("version") != BASELINE_VERSION:
+        problems.append(
+            f"version must be {BASELINE_VERSION}, got {payload.get('version')!r}"
+        )
+    if payload.get("tool") != "repro.analysis":
+        problems.append(f"tool must be 'repro.analysis', got {payload.get('tool')!r}")
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        return problems + ["findings must be a list"]
+    for index, finding in enumerate(findings):
+        if not isinstance(finding, dict):
+            problems.append(f"findings[{index}] must be an object")
+            continue
+        for key in ("code", "file"):
+            if not isinstance(finding.get(key), str):
+                problems.append(f"findings[{index}].{key} must be a string")
+    return problems

@@ -1,16 +1,21 @@
 """Command-line entry point: ``python -m repro.analysis``.
 
-Runs the AST contract linter over source trees (and, with ``--verify``, the
-IR verifier over the figure suite's representative compiled programs) and
-reports every finding through the shared diagnostic pipeline::
+Runs the AST contract linter *and* the cross-module flow analyzers over
+source trees (and, with ``--verify``, the IR verifier plus the static
+cost-model verifier over the figure suite's representative compiled
+programs) and reports every finding through the shared diagnostic
+pipeline::
 
-    python -m repro.analysis src benchmarks            # lint, text output
+    python -m repro.analysis src benchmarks            # lint + flow, text
     python -m repro.analysis --format json             # default paths, JSON
-    python -m repro.analysis src --select REP001,REP003
-    python -m repro.analysis --verify                  # + IR verification
+    python -m repro.analysis --format sarif            # SARIF 2.1.0 log
+    python -m repro.analysis src --select REP001,REP102
+    python -m repro.analysis --verify                  # + IR & cost checks
+    python -m repro.analysis --baseline analysis_baseline.json
 
-Exit codes: ``0`` when no error-severity findings survive suppression,
-``1`` when at least one does, ``2`` on usage errors (unknown path or rule).
+Exit codes: ``0`` when no error-severity findings survive suppression (and
+the baseline, when one is given), ``1`` when at least one does, ``2`` on
+usage errors (unknown path or rule).
 """
 
 from __future__ import annotations
@@ -19,10 +24,10 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.diagnostics import Diagnostic, has_errors
-from repro.analysis.lint import lint_paths
+from repro.analysis.diagnostics import Diagnostic, has_errors, sort_diagnostics
+from repro.analysis.lint import lint_paths, merge_suppression_counts
 from repro.analysis.report import findings_payload, format_text_report
 from repro.analysis.rules import select_rules
 
@@ -35,31 +40,46 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Static analysis for the repro stack: AST contract linter "
-            "(REP001-REP005) and SweepProgram IR verifier (VERxxx)."
+            "(REP0xx/REP106), cross-module concurrency & determinism flow "
+            "analyzers (REP101-REP104), and SweepProgram IR + cost-model "
+            "verifiers (VERxxx)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: src benchmarks, "
+        help="files or directories to analyze (default: src benchmarks, "
         "whichever exist under the current directory)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated rule codes to run (default: all rules)",
+        help="comma-separated codes to run: lint rule codes and/or flow "
+        "analyzer codes (default: all)",
     )
     parser.add_argument(
         "--verify",
         action="store_true",
         help="additionally compile the figure suite's representative "
-        "SweepPrograms and run the full IR verifier over them",
+        "SweepPrograms and run the full IR verifier and the static "
+        "cost-model verifier over them (JSON output gains a 'cost' section)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="subtract the accepted findings recorded in this baseline file; "
+        "only new findings gate the exit code",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write the current findings as a new baseline to PATH and exit 0",
     )
     return parser
 
@@ -76,38 +96,107 @@ def _resolve_paths(requested: Sequence[str]) -> List[str]:
     return present
 
 
+def _split_select(selected: Optional[str]):
+    """Partition ``--select`` into (lint rule codes, flow analyzer codes).
+
+    ``None`` in a slot means "run everything in that family"; an empty
+    tuple means "run nothing".  Unknown codes surface through
+    :func:`select_rules`'s error (flow codes are carved out first).
+    """
+    from repro.analysis.flow import FLOW_CODES
+
+    if selected is None:
+        return None, None
+    codes = [code.strip().upper() for code in selected.split(",") if code.strip()]
+    flow = tuple(code for code in codes if code in FLOW_CODES)
+    lint = tuple(code for code in codes if code not in FLOW_CODES)
+    return lint, flow
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         paths = _resolve_paths(args.paths)
-        codes = args.select.split(",") if args.select else None
-        rules = select_rules(codes)
-        result = lint_paths(paths, rules)
+        lint_codes, flow_codes = _split_select(args.select)
+        rules = select_rules(list(lint_codes)) if lint_codes else select_rules(None)
+        run_lint = lint_codes is None or bool(lint_codes)
+        run_flow = flow_codes is None or bool(flow_codes)
+
+        diagnostics: List[Diagnostic] = []
+        files_checked = 0
+        suppressed_by_code: Dict[str, int] = {}
+        if run_lint:
+            lint_result = lint_paths(paths, rules)
+            diagnostics.extend(lint_result.diagnostics)
+            files_checked = lint_result.files_checked
+            merge_suppression_counts(
+                suppressed_by_code, lint_result.suppressed_by_code
+            )
+        if run_flow:
+            from repro.analysis.flow import analyze_paths
+
+            flow_result = analyze_paths(paths, flow_codes)
+            diagnostics.extend(flow_result.diagnostics)
+            files_checked = max(files_checked, flow_result.files_checked)
+            merge_suppression_counts(
+                suppressed_by_code, flow_result.suppressed_by_code
+            )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
 
-    diagnostics: List[Diagnostic] = list(result.diagnostics)
+    cost_reports: Optional[List[dict]] = None
     if args.verify:
+        from repro.analysis.cost import reference_cost_reports, verify_reference_costs
         from repro.analysis.verify import verify_reference_suite
 
         diagnostics.extend(verify_reference_suite())
+        diagnostics.extend(verify_reference_costs())
+        cost_reports = [report.to_dict() for report in reference_cost_reports()]
 
+    if args.write_baseline:
+        from repro.analysis.baseline import write_baseline
+
+        payload = write_baseline(args.write_baseline, diagnostics)
+        print(
+            f"wrote baseline with {len(payload['findings'])} accepted "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    baselined = 0
+    if args.baseline:
+        from repro.analysis.baseline import load_baseline, split_by_baseline
+
+        try:
+            accepted = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro.analysis: {exc}", file=sys.stderr)
+            return 2
+        diagnostics, baselined = split_by_baseline(diagnostics, accepted)
+
+    diagnostics = sort_diagnostics(diagnostics)
+    suppressed = sum(suppressed_by_code.values())
     if args.format == "json":
         payload = findings_payload(
             diagnostics,
             paths=paths,
-            files_checked=result.files_checked,
-            suppressed=result.suppressed,
+            files_checked=files_checked,
+            suppressed=suppressed,
+            suppressed_by_code=suppressed_by_code,
+            cost=cost_reports,
         )
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import sarif_payload
+
+        print(json.dumps(sarif_payload(diagnostics), indent=2, sort_keys=True))
     else:
-        print(
-            format_text_report(
-                diagnostics,
-                files_checked=result.files_checked,
-                suppressed=result.suppressed,
-            )
+        report = format_text_report(
+            diagnostics, files_checked=files_checked, suppressed=suppressed
         )
+        if baselined:
+            report += f"\n{baselined} baselined finding(s) ignored"
+        print(report)
     return 1 if has_errors(diagnostics) else 0

@@ -1,0 +1,353 @@
+"""Static cost-model verification of compiled sweep programs (VER2xx).
+
+An abstract interpreter over a compiled
+:class:`~repro.quantum.program.SweepProgram` and its
+:class:`~repro.quantum.program.TilePlan`: without executing anything, it
+computes what one tiled execution *will* allocate and contract —
+
+* the peak amplitude count of one tile's working set (``2**n`` complex
+  entries per element on a statevector engine, ``4**n`` on a density
+  engine);
+* the peak resident bytes, modelling the engine's einsum double-buffering
+  (input and output amplitude arrays are live together during every step)
+  plus the sweep-wide bindings matrix and read-out buffer;
+* the superoperator/einsum contraction count of the full sweep (one
+  contraction per compiled step per tile).
+
+and verifies the prediction against the plan's declared
+``max_amplitudes`` budget (the ``max_batch_amplitudes`` knob of the
+estimators).  The point is to catch budget bugs at *plan* time: a tile
+whose working set exceeds the budget, a single element no tiling can ever
+fit, a noisy engine whose ``4**n`` footprint silently blows a budget sized
+for statevectors.  Where :mod:`repro.analysis.verify` checks that a plan is
+*well-formed* (VER140/VER141 partition checks), this module checks that it
+is *affordable*.
+
+The model is deliberately coarse — it bounds the dominant allocations and
+ignores O(gate) temporaries — but it is calibrated: the reference-suite
+predictions stay within 1.5x of tracemalloc peaks measured by
+``benchmarks/bench_program_compile.py`` (asserted in
+``tests/analysis/test_cost_model.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.quantum.program import SweepProgram, TilePlan
+
+#: Code -> one-line description, mirrored in ``docs/static_analysis.md``.
+COST_CODES = {
+    "VER201": "tile working set exceeds the declared amplitude budget",
+    "VER202": "a single sweep element exceeds the budget — no tiling can fit it",
+    "VER203": "tile plan uses under a quarter of the budget while still tiling",
+    "VER205": "budget fits a statevector element but not one density (4**n) element",
+}
+
+#: Bytes per complex amplitude (complex128).
+BYTES_PER_AMPLITUDE = 16
+#: Live amplitude arrays per einsum step: the input state, the einsum
+#: output, and one internal contraction intermediate (``np.einsum`` routes
+#: two-operand contractions through a BLAS path that materialises a
+#: reordered copy), measured against tracemalloc in
+#: ``tests/analysis/test_cost_model.py``.
+EINSUM_LIVE_ARRAYS = 3
+#: VER203 fires when a *tiling* plan uses less than this fraction of the
+#: budget — the sweep pays per-tile contraction overhead it did not need to.
+UNDERUTILISATION_FRACTION = 0.25
+
+_ENGINE_KINDS = ("statevector", "density")
+_MODES = ("circuit_sweep", "state_overlap")
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Statically predicted execution cost of one (program, tile plan) pair."""
+
+    program: str
+    engine: str  #: ``statevector`` or ``density``
+    mode: str  #: ``circuit_sweep`` or ``state_overlap``
+    num_qubits: int
+    #: Complex entries of one element's state: ``2**n`` or ``4**n``.
+    element_amplitudes: int
+    rows: int
+    samples: int
+    row_tile: int
+    sample_tile: int
+    num_tiles: int
+    #: Elements resident in the largest tile's working set.
+    tile_elements: int
+    #: Amplitudes of the largest tile's working set (the budgeted quantity).
+    peak_amplitudes: int
+    #: Predicted peak resident bytes of one execution (see module docstring).
+    peak_bytes: int
+    #: Step applications over the whole sweep: ``num_tiles * len(steps)``.
+    contractions: int
+    #: Of which precomposed ``(4**k, 4**k)`` superoperator contractions
+    #: (density engines contract every step as a superoperator; 0 otherwise).
+    superoperator_contractions: int
+    #: The plan's declared budget (``None`` when undeclared).
+    max_amplitudes: Optional[int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering for the analysis payload's ``cost`` section."""
+        return dataclasses.asdict(self)
+
+
+def _element_amplitudes(num_qubits: int, engine: str) -> int:
+    if engine == "density":
+        return 4**num_qubits
+    return 2**num_qubits
+
+
+def _tile_counts(plan: "TilePlan", mode: str):
+    """(working-set elements of the largest tile, number of tiles)."""
+    if mode == "state_overlap":
+        # Overlap sweeps hold one tile of row states *and* one tile of
+        # sample states simultaneously (the (r + s) budget of
+        # ``TilePlan.for_state_overlap``).
+        row_tiles = math.ceil(plan.rows / plan.row_tile)
+        sample_tiles = math.ceil(plan.samples / plan.sample_tile)
+        working = min(plan.rows, plan.row_tile) + min(plan.samples, plan.sample_tile)
+        return working, row_tiles * sample_tiles
+    # Circuit sweeps stream contiguous row-major element tiles
+    # (``TilePlan.flat_tiles``); the plan itself knows both quantities.
+    return plan.tile_elements, plan.num_tiles
+
+
+def estimate_cost(
+    program: "SweepProgram",
+    plan: "TilePlan",
+    *,
+    engine: str = "statevector",
+    mode: str = "circuit_sweep",
+) -> CostReport:
+    """Predict the execution cost of ``program`` under ``plan``.
+
+    ``engine`` selects the per-element state size (``statevector``: ``2**n``
+    complex amplitudes; ``density``: ``4**n``); ``mode`` selects the tiling
+    semantics (``circuit_sweep``: contiguous element tiles of a
+    ``rows x samples`` grid; ``state_overlap``: a row-state tile and a
+    sample-state tile resident together, as in the analytic estimator).
+    """
+    if engine not in _ENGINE_KINDS:
+        raise ValueError(f"engine must be one of {_ENGINE_KINDS}, got {engine!r}")
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    element_amplitudes = _element_amplitudes(program.num_qubits, engine)
+    tile_elements, num_tiles = _tile_counts(plan, mode)
+    peak_amplitudes = tile_elements * element_amplitudes
+    # Sweep-wide buffers resident across every tile: the float bindings
+    # matrix and the accumulated joint read-out distribution.
+    sweep_elements = (
+        plan.rows + plan.samples if mode == "state_overlap" else plan.total_elements
+    )
+    bindings_bytes = sweep_elements * program.num_columns * 8
+    readout_bytes = sweep_elements * (2 ** len(program.measured_qubits)) * 8
+    peak_bytes = (
+        EINSUM_LIVE_ARRAYS * peak_amplitudes * BYTES_PER_AMPLITUDE
+        + bindings_bytes
+        + readout_bytes
+    )
+    contractions = num_tiles * len(program.steps)
+    return CostReport(
+        program=program.name,
+        engine=engine,
+        mode=mode,
+        num_qubits=program.num_qubits,
+        element_amplitudes=element_amplitudes,
+        rows=plan.rows,
+        samples=plan.samples,
+        row_tile=plan.row_tile,
+        sample_tile=plan.sample_tile,
+        num_tiles=num_tiles,
+        tile_elements=tile_elements,
+        peak_amplitudes=peak_amplitudes,
+        peak_bytes=peak_bytes,
+        contractions=contractions,
+        superoperator_contractions=contractions if engine == "density" else 0,
+        max_amplitudes=plan.max_amplitudes,
+    )
+
+
+def verify_cost(
+    program: "SweepProgram",
+    plan: "TilePlan",
+    *,
+    engine: str = "statevector",
+    mode: str = "circuit_sweep",
+) -> List[Diagnostic]:
+    """Check the predicted cost of ``program`` under ``plan`` against its budget.
+
+    Emits VER201/VER202 errors when the declared ``max_amplitudes`` budget
+    cannot hold the tile working set (respectively a single element), a
+    VER203 warning when a plan tiles the sweep while using under a quarter
+    of its budget, and a VER205 warning when the budget holds a statevector
+    element but not a single density (``4**n``) element — a noisy backend
+    could not run the program under it at all.  Plans without a declared
+    budget verify vacuously.
+    """
+    report = estimate_cost(program, plan, engine=engine, mode=mode)
+    budget = report.max_amplitudes
+    out: List[Diagnostic] = []
+    if budget is None:
+        return out
+    obj = f"{program.name}[{engine}/{mode}]"
+
+    def diag(code: str, message: str, severity: Severity, hint: str) -> Diagnostic:
+        return Diagnostic(
+            code=code,
+            severity=severity,
+            location=Location(obj=obj),
+            message=message,
+            hint=hint,
+        )
+
+    if report.element_amplitudes > budget:
+        out.append(
+            diag(
+                "VER202",
+                f"one element needs {report.element_amplitudes} amplitudes on "
+                f"the {engine} engine but the budget is {budget} — no tiling "
+                "can fit it",
+                Severity.ERROR,
+                "raise max_batch_amplitudes or shrink the circuit; tiling "
+                "cannot split a single element's state",
+            )
+        )
+    elif report.peak_amplitudes > budget:
+        out.append(
+            diag(
+                "VER201",
+                f"tile working set is {report.peak_amplitudes} amplitudes "
+                f"({report.tile_elements} elements x "
+                f"{report.element_amplitudes}) but the declared budget is "
+                f"{budget}",
+                Severity.ERROR,
+                "shrink row_tile/sample_tile or derive the plan with "
+                "TilePlan.for_circuit_sweep/for_state_overlap from the budget",
+            )
+        )
+    else:
+        if (
+            report.num_tiles > 1
+            and report.peak_amplitudes < budget * UNDERUTILISATION_FRACTION
+        ):
+            out.append(
+                diag(
+                    "VER203",
+                    f"plan streams {report.num_tiles} tiles but each uses only "
+                    f"{report.peak_amplitudes} of {budget} budgeted amplitudes "
+                    f"(< {int(UNDERUTILISATION_FRACTION * 100)}%)",
+                    Severity.WARNING,
+                    "grow the tile extents toward the budget to amortise "
+                    "per-tile contraction overhead",
+                )
+            )
+        if engine == "statevector":
+            density_element = _element_amplitudes(program.num_qubits, "density")
+            if density_element > budget:
+                out.append(
+                    diag(
+                        "VER205",
+                        f"budget {budget} holds a statevector element "
+                        f"({report.element_amplitudes} amplitudes) but one "
+                        f"density element needs {density_element} — a noisy "
+                        "backend cannot run this program under the budget at "
+                        "all",
+                        Severity.WARNING,
+                        "raise max_batch_amplitudes past 4**num_qubits before "
+                        "pointing the sweep at a noisy backend",
+                    )
+                )
+    return out
+
+
+def reference_cost_reports() -> List[CostReport]:
+    """Cost reports of the figure suite's representative sweep programs.
+
+    Compiles the same QuClassi discriminator programs as
+    :func:`repro.analysis.verify.verify_reference_suite` (Iris QC-S/QC-D/QC-E
+    at 4 features, binary-MNIST QC-S at 8) and predicts a representative
+    parameter-shift sweep for each — statevector and density engines — under
+    a tile plan derived from the estimators' default
+    ``max_batch_amplitudes``.  Feeds the machine-readable ``cost`` section of
+    the analysis payload (CLI ``--verify``).
+    """
+    import numpy as np
+
+    from repro.core.model import QuClassi
+    from repro.core.swap_test import SwapTestFidelityEstimator
+    from repro.quantum.program import SweepProgram, TilePlan
+    from repro.utils.rng import ensure_rng
+
+    budget = SwapTestFidelityEstimator.DEFAULT_MAX_BATCH_AMPLITUDES
+    rng = ensure_rng(2022)
+    workloads = [
+        ("iris", 4, "s"),
+        ("iris", 4, "d"),
+        ("iris", 4, "e"),
+        ("mnist", 8, "s"),
+    ]
+    #: Representative sweep grid: parameter-shift rows x a test batch.
+    rows, samples = 16, 64
+    reports: List[CostReport] = []
+    for dataset, num_features, architecture in workloads:
+        builder = QuClassi(
+            num_features=num_features,
+            num_classes=2,
+            architecture=architecture,
+            seed=2022,
+        ).builder
+        values = rng.uniform(0.0, np.pi, size=len(builder.parameters))
+        features = rng.uniform(0.05, 1.0, size=num_features)
+        program = SweepProgram.compile(
+            builder.build(features, values),
+            bind_floats=True,
+            name=f"{dataset}-{architecture}:discriminator",
+        )
+        for engine in _ENGINE_KINDS:
+            element = _element_amplitudes(program.num_qubits, engine)
+            plan = TilePlan.for_circuit_sweep(rows, samples, element, budget)
+            reports.append(
+                estimate_cost(program, plan, engine=engine, mode="circuit_sweep")
+            )
+    return reports
+
+
+def verify_reference_costs() -> List[Diagnostic]:
+    """Budget-verify the reference suite's representative plans (all clean)."""
+    import numpy as np
+
+    from repro.core.model import QuClassi
+    from repro.core.swap_test import SwapTestFidelityEstimator
+    from repro.quantum.program import SweepProgram, TilePlan
+    from repro.utils.rng import ensure_rng
+
+    budget = SwapTestFidelityEstimator.DEFAULT_MAX_BATCH_AMPLITUDES
+    rng = ensure_rng(2022)
+    out: List[Diagnostic] = []
+    for dataset, num_features, architecture in [("iris", 4, "s"), ("mnist", 8, "s")]:
+        builder = QuClassi(
+            num_features=num_features,
+            num_classes=2,
+            architecture=architecture,
+            seed=2022,
+        ).builder
+        values = rng.uniform(0.0, np.pi, size=len(builder.parameters))
+        features = rng.uniform(0.05, 1.0, size=num_features)
+        program = SweepProgram.compile(
+            builder.build(features, values),
+            bind_floats=True,
+            name=f"{dataset}-{architecture}:discriminator",
+        )
+        for engine in _ENGINE_KINDS:
+            element = _element_amplitudes(program.num_qubits, engine)
+            plan = TilePlan.for_circuit_sweep(16, 64, element, budget)
+            out.extend(verify_cost(program, plan, engine=engine, mode="circuit_sweep"))
+    return out

@@ -52,6 +52,9 @@ class LintResult:
     diagnostics: List[Diagnostic]
     files_checked: int
     suppressed: int
+    #: per-rule-code tallies of the suppressed findings (accounting, so a
+    #: suppression wave against one rule family is visible in the payload)
+    suppressed_by_code: Dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 def _comment_tokens(source: str) -> List[Tuple[int, str]]:
@@ -94,6 +97,50 @@ def find_suppressions(source: str) -> List[Suppression]:
             )
         )
     return out
+
+
+def justified_suppression_index(source: str) -> Dict[int, set]:
+    """line -> codes justifiably suppressed there (bare noqas excluded).
+
+    The shared application point for *both* analysis families: the per-file
+    linter and the cross-module flow analyzers honour the same
+    ``# repro: noqa CODE -- why`` comments, so one suppression syntax covers
+    REP0xx and REP1xx findings alike.  Bare (unjustified) suppressions are
+    not indexed — they suppress nothing and are reported as ``REP000`` by
+    :func:`lint_source`.
+    """
+    index: Dict[int, set] = {}
+    for suppression in find_suppressions(source):
+        if suppression.justification is None:
+            continue
+        index.setdefault(suppression.line, set()).update(suppression.codes)
+    return index
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], index: Dict[int, set]
+) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """Drop findings covered by ``index``; tally the drops per rule code."""
+    kept: List[Diagnostic] = []
+    suppressed_by_code: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        line = diagnostic.location.line
+        if line is not None and diagnostic.code in index.get(line, ()):
+            suppressed_by_code[diagnostic.code] = (
+                suppressed_by_code.get(diagnostic.code, 0) + 1
+            )
+            continue
+        kept.append(diagnostic)
+    return kept, suppressed_by_code
+
+
+def merge_suppression_counts(
+    into: Dict[str, int], counts: Dict[str, int]
+) -> Dict[str, int]:
+    """Accumulate per-code suppression tallies (in place; returned for chaining)."""
+    for code, count in counts.items():
+        into[code] = into.get(code, 0) + count
+    return into
 
 
 def normalize_path(path: str, root: Optional[str] = None) -> str:
@@ -141,6 +188,20 @@ def lint_source(
     malformed suppression comments; properly justified suppressions remove
     matching same-line findings and are tallied in the second element.
     """
+    findings, suppressed_by_code = lint_source_accounted(
+        source, path, rules, root=root
+    )
+    return findings, sum(suppressed_by_code.values())
+
+
+def lint_source_accounted(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    root: Optional[str] = None,
+) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """:func:`lint_source` with per-rule-code suppression accounting."""
     normalized = normalize_path(path, root)
     try:
         tree = ast.parse(source, filename=path)
@@ -156,7 +217,7 @@ def lint_source(
                     message=f"file does not parse: {exc.msg}",
                 )
             ],
-            0,
+            {},
         )
     context = LintContext(path=normalized, source=source, tree=tree)
     raw: List[Diagnostic] = []
@@ -164,10 +225,8 @@ def lint_source(
         if rule.applies(context):
             raw.extend(rule.check(context))
 
-    suppressions = find_suppressions(source)
-    justified: Dict[int, set] = {}
     out: List[Diagnostic] = []
-    for suppression in suppressions:
+    for suppression in find_suppressions(source):
         if suppression.justification is None:
             out.append(
                 Diagnostic(
@@ -182,17 +241,12 @@ def lint_source(
                     "not apply here>'",
                 )
             )
-            continue
-        justified.setdefault(suppression.line, set()).update(suppression.codes)
 
-    suppressed = 0
-    for diagnostic in raw:
-        line = diagnostic.location.line
-        if line is not None and diagnostic.code in justified.get(line, ()):
-            suppressed += 1
-            continue
-        out.append(diagnostic)
-    return out, suppressed
+    kept, suppressed_by_code = apply_suppressions(
+        raw, justified_suppression_index(source)
+    )
+    out.extend(kept)
+    return out, suppressed_by_code
 
 
 def lint_paths(
@@ -204,16 +258,17 @@ def lint_paths(
     """Lint every Python file under ``paths``."""
     rules = list(rules) if rules is not None else select_rules()
     diagnostics: List[Diagnostic] = []
-    suppressed = 0
+    suppressed_by_code: Dict[str, int] = {}
     files = iter_python_files(paths)
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
-        found, hidden = lint_source(source, path, rules, root=root)
+        found, hidden = lint_source_accounted(source, path, rules, root=root)
         diagnostics.extend(found)
-        suppressed += hidden
+        merge_suppression_counts(suppressed_by_code, hidden)
     return LintResult(
         diagnostics=sort_diagnostics(diagnostics),
         files_checked=len(files),
-        suppressed=suppressed,
+        suppressed=sum(suppressed_by_code.values()),
+        suppressed_by_code=suppressed_by_code,
     )

@@ -9,24 +9,41 @@ output contract cannot rot unnoticed.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
 
-#: Schema version of the JSON payload.
-PAYLOAD_VERSION = 1
+#: Schema version of the JSON payload.  Version 2 added the per-rule-code
+#: ``summary.suppressed_by_code`` accounting and the optional machine-readable
+#: ``cost`` section (static cost-model reports, emitted under ``--verify``).
+PAYLOAD_VERSION = 2
 
 _REQUIRED_FINDING_KEYS = ("code", "severity", "message")
 _SEVERITIES = {severity.value for severity in Severity}
+#: Integer fields every ``cost`` entry must carry.
+_COST_INT_KEYS = (
+    "num_qubits",
+    "element_amplitudes",
+    "tile_elements",
+    "peak_amplitudes",
+    "peak_bytes",
+    "num_tiles",
+    "contractions",
+)
 
 
-def summarize(diagnostics: Sequence[Diagnostic], suppressed: int = 0) -> dict:
+def summarize(
+    diagnostics: Sequence[Diagnostic],
+    suppressed: int = 0,
+    suppressed_by_code: Optional[Dict[str, int]] = None,
+) -> dict:
     """Severity tallies of a finding list."""
     return {
         "errors": sum(1 for d in diagnostics if d.severity is Severity.ERROR),
         "warnings": sum(1 for d in diagnostics if d.severity is Severity.WARNING),
         "infos": sum(1 for d in diagnostics if d.severity is Severity.INFO),
         "suppressed": int(suppressed),
+        "suppressed_by_code": dict(sorted((suppressed_by_code or {}).items())),
     }
 
 
@@ -36,17 +53,22 @@ def findings_payload(
     paths: Sequence[str],
     files_checked: int,
     suppressed: int = 0,
+    suppressed_by_code: Optional[Dict[str, int]] = None,
+    cost: Optional[Sequence[dict]] = None,
 ) -> dict:
     """The ``--format json`` payload."""
     ordered = sort_diagnostics(diagnostics)
-    return {
+    payload = {
         "version": PAYLOAD_VERSION,
         "tool": "repro.analysis",
         "paths": list(paths),
         "files_checked": int(files_checked),
         "findings": [d.to_dict() for d in ordered],
-        "summary": summarize(ordered, suppressed),
+        "summary": summarize(ordered, suppressed, suppressed_by_code),
     }
+    if cost is not None:
+        payload["cost"] = [dict(report) for report in cost]
+    return payload
 
 
 def validate_findings_payload(payload: dict) -> List[str]:
@@ -92,6 +114,28 @@ def validate_findings_payload(payload: dict) -> List[str]:
             value = summary.get(key)
             if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 problems.append(f"summary.{key} must be a non-negative integer")
+        by_code = summary.get("suppressed_by_code")
+        if not isinstance(by_code, dict):
+            problems.append("summary.suppressed_by_code must be an object")
+        else:
+            for code, count in by_code.items():
+                if (
+                    not isinstance(code, str)
+                    or not isinstance(count, int)
+                    or isinstance(count, bool)
+                    or count <= 0
+                ):
+                    problems.append(
+                        "summary.suppressed_by_code entries must map rule codes "
+                        "to positive integers"
+                    )
+                    break
+            if isinstance(summary.get("suppressed"), int) and sum(
+                count for count in by_code.values() if isinstance(count, int)
+            ) != summary.get("suppressed"):
+                problems.append(
+                    "summary.suppressed_by_code totals must equal summary.suppressed"
+                )
         if isinstance(findings, list) and all(
             isinstance(f, dict) for f in findings
         ):
@@ -103,6 +147,30 @@ def validate_findings_payload(payload: dict) -> List[str]:
                     f"summary.errors is {summary['errors']} but findings contain "
                     f"{counted} error(s)"
                 )
+    cost = payload.get("cost")
+    if cost is not None:
+        if not isinstance(cost, list):
+            problems.append("cost must be a list when present")
+        else:
+            for index, report in enumerate(cost):
+                if not isinstance(report, dict):
+                    problems.append(f"cost[{index}] must be an object")
+                    continue
+                for key in ("program", "engine", "mode"):
+                    if not isinstance(report.get(key), str) or not report.get(key):
+                        problems.append(
+                            f"cost[{index}].{key} must be a non-empty string"
+                        )
+                for key in _COST_INT_KEYS:
+                    value = report.get(key)
+                    if (
+                        not isinstance(value, int)
+                        or isinstance(value, bool)
+                        or value < 0
+                    ):
+                        problems.append(
+                            f"cost[{index}].{key} must be a non-negative integer"
+                        )
     return problems
 
 

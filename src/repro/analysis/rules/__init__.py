@@ -16,6 +16,8 @@ REP004 execution engines never construct RNGs internally — randomness is
        injected by callers
 REP005 every ``bench_*.py`` records a perf point through the shared
        ``experiments.reporting`` writer
+REP106 library code never blocks on ``time.sleep`` outside the documented
+       ``simulate_queue_latency`` queue-wait path
 ====== ====================================================================
 
 ``REP000`` is reserved by the driver for malformed suppression comments.
@@ -103,6 +105,7 @@ def all_rules() -> List[Rule]:
     from repro.analysis.rules.picklable import SpecPicklableRule
     from repro.analysis.rules.reporting import BenchReportingRule
     from repro.analysis.rules.rng import EngineRngRule, SeedlessRngRule
+    from repro.analysis.rules.timing import SleepRule
 
     return [
         SeedlessRngRule(),
@@ -110,6 +113,7 @@ def all_rules() -> List[Rule]:
         AdHocCacheRule(),
         EngineRngRule(),
         BenchReportingRule(),
+        SleepRule(),
     ]
 
 

@@ -1,0 +1,177 @@
+"""SARIF 2.1.0 output of the analysis CLI (``--format sarif``).
+
+Emits the minimal profile of the `Static Analysis Results Interchange
+Format <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+that code-review UIs ingest: one run, one tool driver carrying the rule
+catalogue, one ``result`` per finding with the standard
+``error``/``warning``/``note`` level mapping.  Findings without a file
+location (the IR verifier's object-anchored diagnostics) emit without a
+``locations`` array, which the profile permits.
+
+:func:`validate_sarif_payload` schema-checks a payload the same way
+:func:`repro.analysis.report.validate_findings_payload` checks the JSON
+format, and the subprocess round-trip is asserted in
+``tests/analysis/test_sarif.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVEL_OF = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+_LEVELS = set(_LEVEL_OF.values())
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """code -> one-line description across every analysis family."""
+    from repro.analysis.cost import COST_CODES
+    from repro.analysis.flow import FLOW_CODES
+    from repro.analysis.rules import all_rules
+    from repro.analysis.verify import VERIFIER_CODES
+
+    catalogue: Dict[str, str] = {
+        "REP000": "file does not parse or carries a malformed suppression",
+    }
+    for rule in all_rules():
+        catalogue[rule.code] = rule.description
+    catalogue.update(FLOW_CODES)
+    catalogue.update(VERIFIER_CODES)
+    catalogue.update(COST_CODES)
+    return catalogue
+
+
+def sarif_payload(diagnostics: Sequence[Diagnostic]) -> dict:
+    """Render ``diagnostics`` as one SARIF 2.1.0 log with a single run."""
+    ordered = sort_diagnostics(diagnostics)
+    catalogue = rule_catalogue()
+    used_codes = sorted({d.code for d in ordered})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {
+                "text": catalogue.get(code, "unregistered diagnostic code")
+            },
+        }
+        for code in used_codes
+    ]
+    results = []
+    for diagnostic in ordered:
+        message = diagnostic.message
+        if diagnostic.hint:
+            message = f"{message} (hint: {diagnostic.hint})"
+        result = {
+            "ruleId": diagnostic.code,
+            "level": _LEVEL_OF[diagnostic.severity],
+            "message": {"text": message},
+        }
+        location = diagnostic.location
+        if location.file:
+            region = {}
+            if location.line is not None:
+                region["startLine"] = int(location.line)
+            if location.column is not None:
+                region["startColumn"] = int(location.column)
+            physical = {"artifactLocation": {"uri": location.file}}
+            if region:
+                physical["region"] = region
+            result["locations"] = [{"physicalLocation": physical}]
+        elif location.obj:
+            # Object-anchored findings (IR / cost verifier) carry the logical
+            # location instead of a file.
+            result["locations"] = [
+                {"logicalLocations": [{"fullyQualifiedName": location.obj}]}
+            ]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {"driver": {"name": "repro.analysis", "rules": rules}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif_payload(payload: dict) -> List[str]:
+    """Schema-check one SARIF payload; returns problems (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}, got {payload.get('version')!r}")
+    if payload.get("$schema") != SARIF_SCHEMA:
+        problems.append("$schema must point at the SARIF 2.1.0 schema")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        return problems + ["runs must be a one-element list"]
+    run = runs[0]
+    if not isinstance(run, dict):
+        return problems + ["runs[0] must be an object"]
+    driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+    if not isinstance(driver, dict) or driver.get("name") != "repro.analysis":
+        problems.append("runs[0].tool.driver.name must be 'repro.analysis'")
+        driver = driver if isinstance(driver, dict) else {}
+    rule_ids = set()
+    rules = driver.get("rules", [])
+    if not isinstance(rules, list):
+        problems.append("tool.driver.rules must be a list")
+        rules = []
+    for index, rule in enumerate(rules):
+        if not isinstance(rule, dict) or not isinstance(rule.get("id"), str):
+            problems.append(f"rules[{index}] must be an object with a string id")
+            continue
+        rule_ids.add(rule["id"])
+        text = rule.get("shortDescription", {})
+        if not isinstance(text, dict) or not isinstance(text.get("text"), str):
+            problems.append(f"rules[{index}].shortDescription.text must be a string")
+    results = run.get("results")
+    if not isinstance(results, list):
+        return problems + ["runs[0].results must be a list"]
+    for index, result in enumerate(results):
+        if not isinstance(result, dict):
+            problems.append(f"results[{index}] must be an object")
+            continue
+        rule_id = result.get("ruleId")
+        if not isinstance(rule_id, str) or not rule_id:
+            problems.append(f"results[{index}].ruleId must be a non-empty string")
+        elif rule_id not in rule_ids:
+            problems.append(
+                f"results[{index}].ruleId {rule_id!r} missing from the rule catalogue"
+            )
+        if result.get("level") not in _LEVELS:
+            problems.append(
+                f"results[{index}].level must be one of {sorted(_LEVELS)}"
+            )
+        message = result.get("message")
+        if not isinstance(message, dict) or not isinstance(message.get("text"), str):
+            problems.append(f"results[{index}].message.text must be a string")
+        for l_index, loc in enumerate(result.get("locations", [])):
+            physical = loc.get("physicalLocation") if isinstance(loc, dict) else None
+            if physical is None:
+                continue
+            artifact = physical.get("artifactLocation", {})
+            if not isinstance(artifact.get("uri"), str) or not artifact.get("uri"):
+                problems.append(
+                    f"results[{index}].locations[{l_index}] physicalLocation "
+                    "needs a non-empty artifactLocation.uri"
+                )
+            region = physical.get("region")
+            if region is not None:
+                line = region.get("startLine")
+                if line is not None and (not isinstance(line, int) or line < 1):
+                    problems.append(
+                        f"results[{index}].locations[{l_index}].region.startLine "
+                        "must be a positive integer"
+                    )
+    return problems

@@ -400,7 +400,7 @@ class SwapTestFidelityEstimator(FidelityEstimator):
             zeros = self.backend.sweep_zero_probabilities(
                 circuits, shots=self.shots, tile_plan=plan
             )
-            self.circuits_executed += int(zeros.shape[0])
+            self.circuits_executed += int(zeros.shape[0])  # repro: noqa REP101 -- estimators are rebuilt per shard from EstimatorSpec; the parent merges counts after the sweep
             return zeros
         iterator = iter(circuits)
         first = next(iterator, None)
@@ -414,11 +414,11 @@ class SwapTestFidelityEstimator(FidelityEstimator):
                 parts.append(
                     self.backend.ancilla_zero_probabilities(chunk, shots=self.shots)
                 )
-                self.circuits_executed += len(chunk)
+                self.circuits_executed += len(chunk)  # repro: noqa REP101 -- estimators are rebuilt per shard from EstimatorSpec; the parent merges counts after the sweep
                 chunk = []
             chunk.append(circuit)
         parts.append(self.backend.ancilla_zero_probabilities(chunk, shots=self.shots))
-        self.circuits_executed += len(chunk)
+        self.circuits_executed += len(chunk)  # repro: noqa REP101 -- estimators are rebuilt per shard from EstimatorSpec; the parent merges counts after the sweep
         return np.concatenate(parts)
 
     def clear_cache(self) -> None:

@@ -508,7 +508,7 @@ class Trainer:
             for result in results:
                 parent_ledger.extend(result.ledger_records)
         if hasattr(self.model.estimator, "circuits_executed"):
-            self.model.estimator.circuits_executed += sum(
+            self.model.estimator.circuits_executed += sum(  # repro: noqa REP101 -- parent-side merge, runs in the submitting thread after executor.map returned
                 result.circuits_executed for result in results
             )
 

@@ -765,7 +765,7 @@ class DensitySuperoperatorEngine:
 
             verify_step_plan_superoperators(program, plans)
         self._plans[program] = (version, plans)
-        self.plans_compiled += 1
+        self.plans_compiled += 1  # repro: noqa REP101 -- instrumentation counter on a per-backend engine; workers rebuild backends from specs, never share one engine
         return plans
 
     def _plan_step(self, step: GateStep):

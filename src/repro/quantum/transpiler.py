@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TranspilerError
@@ -443,8 +444,21 @@ class TranspileCache:
             raise TranspilerError(f"max_entries must be positive, got {max_entries}")
         self._entries = LRUCache(max_entries)
         #: Number of cache hits (re-binds) and misses (full transpilations).
+        # The counters get their own lock: ``_entries`` serialises its own
+        # accesses internally, but ``hits += 1`` is a read-modify-write that
+        # thread-strategy shards sharing one cache would race (REP101).
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_stats_lock"]  # locks cannot pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -457,8 +471,9 @@ class TranspileCache:
     def clear(self) -> None:
         """Drop every cached template and reset the statistics."""
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._stats_lock:
+            self.hits = 0
+            self.misses = 0
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -520,13 +535,15 @@ class TranspileCache:
         key = (circuit_structure_key(circuit), self._map_key(coupling_map))
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            with self._stats_lock:
+                self.misses += 1
             twin, slots = self._symbolic_twin(circuit)
             template = transpile(twin, coupling_map, allow_symbolic=True)
             entry = _TranspileTemplate(result=template, slots=slots)
             self._entries.put(key, entry)
         else:
-            self.hits += 1
+            with self._stats_lock:
+                self.hits += 1
         return entry, self._parameter_values(circuit)
 
     def transpile(

@@ -1,0 +1,159 @@
+"""Tests for the findings baseline ratchet (:mod:`repro.analysis.baseline`).
+
+The headline test is tier-1: the shipped tree analyzed against the
+checked-in ``analysis_baseline.json`` must produce **no** findings the
+baseline does not carry.  Acquiring one fails this suite until the finding
+is fixed or the baseline is consciously regenerated in a reviewed change.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    DEFAULT_BASELINE_PATH,
+    baseline_payload,
+    load_baseline,
+    split_by_baseline,
+    validate_baseline_payload,
+    write_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.flow import analyze_paths
+from repro.analysis.lint import lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BASELINE_FILE = os.path.join(REPO_ROOT, DEFAULT_BASELINE_PATH)
+
+
+def diag(code="REP001", file="src/x.py", line=3):
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        location=Location(file=file, line=line, column=1),
+        message="message",
+    )
+
+
+class TestRatchet:
+    """The tier-1 guarantee: the tree stays no dirtier than the baseline."""
+
+    def test_checked_in_baseline_is_valid_and_empty(self):
+        with open(BASELINE_FILE, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert validate_baseline_payload(payload) == []
+        # The tree is currently clean; growing this list requires a
+        # conscious --write-baseline in a reviewed change.
+        assert payload["findings"] == []
+
+    def test_shipped_tree_has_no_findings_beyond_the_baseline(self):
+        accepted = load_baseline(BASELINE_FILE)
+        paths = [os.path.join(REPO_ROOT, p) for p in ("src", "benchmarks")]
+        lint = lint_paths(paths)
+        flow = analyze_paths(paths)
+        fresh, _ = split_by_baseline(lint.diagnostics + flow.diagnostics, accepted)
+        assert fresh == [], [
+            f"{d.code} {d.location.file}:{d.location.line}" for d in fresh
+        ]
+
+
+class TestBaselineRoundTrip:
+    def test_payload_dedupes_and_sorts_keys(self):
+        payload = baseline_payload(
+            [diag(line=3), diag(line=9), diag(code="REP002", file="src/a.py")]
+        )
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["findings"] == [
+            {"code": "REP001", "file": "src/x.py"},
+            {"code": "REP002", "file": "src/a.py"},
+        ]
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [diag()])
+        assert load_baseline(path) == {("REP001", "src/x.py")}
+
+    def test_split_drops_only_baselined_findings(self):
+        accepted = {("REP001", "src/x.py")}
+        fresh, baselined = split_by_baseline(
+            [diag(), diag(line=99), diag(file="src/other.py")], accepted
+        )
+        assert baselined == 2  # both lines of the accepted (code, file) pair
+        assert [d.location.file for d in fresh] == ["src/other.py"]
+
+    def test_load_rejects_invalid_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "tool": "other", "findings": 3}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_validator_flags_malformed_findings(self):
+        problems = validate_baseline_payload(
+            {
+                "version": BASELINE_VERSION,
+                "tool": "repro.analysis",
+                "findings": [{"code": 7, "file": "src/x.py"}, "nope"],
+            }
+        )
+        assert any("code" in p for p in problems)
+        assert any("findings[1]" in p for p in problems)
+
+
+class TestBaselineCli:
+    def run_cli(self, *argv, cwd=REPO_ROOT):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+        )
+
+    def test_baseline_subtracts_known_findings(self, tmp_path):
+        bad = tmp_path / "src" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        target = str(tmp_path)
+
+        dirty = self.run_cli(target)
+        assert dirty.returncode == 1
+
+        baseline = str(tmp_path / "baseline.json")
+        wrote = self.run_cli(target, "--write-baseline", baseline)
+        assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+        assert "1 accepted finding(s)" in wrote.stdout
+
+        clean = self.run_cli(target, "--baseline", baseline)
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "1 baselined finding(s) ignored" in clean.stdout
+
+    def test_new_finding_still_gates_exit_code(self, tmp_path):
+        bad = tmp_path / "src" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert self.run_cli(str(tmp_path), "--write-baseline", baseline).returncode == 0
+
+        other = tmp_path / "src" / "worse.py"
+        other.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        proc = self.run_cli(str(tmp_path), "--baseline", baseline)
+        assert proc.returncode == 1
+        assert "worse.py" in proc.stdout
+        assert "bad.py" not in proc.stdout.replace("worse.py", "")
+
+    def test_invalid_baseline_is_usage_error(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{\"version\": 99}")
+        proc = self.run_cli("src", "--baseline", str(broken))
+        assert proc.returncode == 2
+        assert "invalid baseline" in proc.stderr
+
+    def test_shipped_tree_is_clean_under_the_checked_in_baseline(self):
+        proc = self.run_cli("src", "benchmarks", "--baseline", DEFAULT_BASELINE_PATH)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

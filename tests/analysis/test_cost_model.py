@@ -1,0 +1,246 @@
+"""Tests for the static cost-model verifier (:mod:`repro.analysis.cost`).
+
+Two halves: a malformed-plan corpus asserting that every budget-exceeding
+``TilePlan`` is rejected with the exact VER2xx code, and the calibration
+contract — the predicted peak bytes of the Iris-4 and MNIST-8 reference
+programs must stay within 1.5x of a tracemalloc-measured tiled execution
+(the factor ``benchmarks/bench_program_compile.py`` records alongside its
+tracemalloc peaks).
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import (
+    COST_CODES,
+    estimate_cost,
+    reference_cost_reports,
+    verify_cost,
+    verify_reference_costs,
+)
+from repro.analysis.diagnostics import Severity
+from repro.core.model import QuClassi
+from repro.quantum.program import StatevectorEngine, SweepProgram, TilePlan
+from repro.utils.rng import ensure_rng
+
+#: Calibration tolerance of the peak-bytes prediction (both directions).
+ACCURACY_FACTOR = 1.5
+
+
+def compile_discriminator(num_features, architecture="s", seed=2022):
+    """One bound QuClassi discriminator program plus its binding row."""
+    rng = ensure_rng(seed)
+    builder = QuClassi(
+        num_features=num_features, num_classes=2, architecture=architecture, seed=seed
+    ).builder
+    circuit = builder.build(
+        rng.uniform(0.05, 1.0, size=num_features),
+        rng.uniform(0.0, np.pi, size=len(builder.parameters)),
+    )
+    program = SweepProgram.compile(circuit, bind_floats=True)
+    return program, program.binding_row(circuit)
+
+
+def codes_of(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# --------------------------------------------------------------------------- #
+# The abstract interpreter
+# --------------------------------------------------------------------------- #
+
+
+class TestEstimateCost:
+    def test_statevector_element_is_2_to_n(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_circuit_sweep(4, 8, 2**program.num_qubits, 2**20)
+        report = estimate_cost(program, plan)
+        assert report.element_amplitudes == 2**program.num_qubits
+        assert report.peak_amplitudes == report.tile_elements * 2**program.num_qubits
+
+    def test_density_element_is_4_to_n(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_circuit_sweep(4, 8, 4**program.num_qubits, 2**20)
+        report = estimate_cost(program, plan, engine="density")
+        assert report.element_amplitudes == 4**program.num_qubits
+        assert report.superoperator_contractions == report.contractions
+
+    def test_contractions_scale_with_tiles(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        one_tile = estimate_cost(
+            program, TilePlan.for_circuit_sweep(4, 8, element, element * 32)
+        )
+        many_tiles = estimate_cost(
+            program, TilePlan.for_circuit_sweep(4, 8, element, element * 4)
+        )
+        assert one_tile.num_tiles == 1
+        assert many_tiles.num_tiles > 1
+        assert many_tiles.contractions == many_tiles.num_tiles * len(program.steps)
+        assert one_tile.contractions == len(program.steps)
+
+    def test_state_overlap_mode_sums_row_and_sample_tiles(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        plan = TilePlan.for_state_overlap(6, 10, element, element * 8)
+        report = estimate_cost(program, plan, mode="state_overlap")
+        assert report.tile_elements == min(6, plan.row_tile) + min(
+            10, plan.sample_tile
+        )
+
+    def test_unknown_engine_or_mode_rejected(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_circuit_sweep(2, 2, 2**program.num_qubits, 2**20)
+        with pytest.raises(ValueError):
+            estimate_cost(program, plan, engine="tensor-network")
+        with pytest.raises(ValueError):
+            estimate_cost(program, plan, mode="diagonal")
+
+    def test_report_round_trips_to_dict(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_circuit_sweep(2, 2, 2**program.num_qubits, 2**20)
+        payload = estimate_cost(program, plan).to_dict()
+        for key in ("program", "engine", "mode", "peak_bytes", "contractions"):
+            assert key in payload
+
+
+# --------------------------------------------------------------------------- #
+# The VER2xx budget corpus — every malformed plan must be rejected
+# --------------------------------------------------------------------------- #
+
+
+class TestVerifyCost:
+    def test_tile_over_budget_is_ver201_error(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        # Hand-built plan whose declared budget covers 4 elements but whose
+        # tile holds 64 — the shape for_circuit_sweep would never produce.
+        plan = TilePlan(
+            rows=8, samples=8, row_tile=8, sample_tile=8, max_amplitudes=element * 4
+        )
+        diagnostics = verify_cost(program, plan)
+        assert codes_of(diagnostics) == ["VER201"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_single_element_over_budget_is_ver202_error(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan(
+            rows=8,
+            samples=8,
+            row_tile=8,
+            sample_tile=8,
+            max_amplitudes=2**program.num_qubits - 1,
+        )
+        diagnostics = verify_cost(program, plan)
+        assert codes_of(diagnostics) == ["VER202"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_underutilised_tiling_is_ver203_warning(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        plan = TilePlan(
+            rows=64, samples=8, row_tile=1, sample_tile=8, max_amplitudes=element * 512
+        )
+        diagnostics = verify_cost(program, plan)
+        assert codes_of(diagnostics) == ["VER203"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_density_unrunnable_budget_is_ver205_warning(self):
+        program, _ = compile_discriminator(16)  # 17-qubit MNIST discriminator
+        element = 2**program.num_qubits
+        plan = TilePlan.for_circuit_sweep(6, 24, element, 2**21)
+        diagnostics = verify_cost(program, plan)
+        assert codes_of(diagnostics) == ["VER205"]
+        assert 4**program.num_qubits > 2**21  # the property VER205 encodes
+
+    def test_derived_plans_verify_clean(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        plan = TilePlan.for_circuit_sweep(16, 64, element, element * 64)
+        assert verify_cost(program, plan) == []
+
+    def test_undeclared_budget_verifies_vacuously(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan(rows=1024, samples=1024, row_tile=1024, sample_tile=1024)
+        assert verify_cost(program, plan) == []
+
+    def test_every_budget_exceeding_corpus_plan_is_rejected(self):
+        """No budget violation slips through, across both engines."""
+        program, _ = compile_discriminator(8)
+        element = 2**program.num_qubits
+        corpus = [
+            TilePlan(rows=4, samples=4, row_tile=4, sample_tile=4,
+                     max_amplitudes=element),       # 16 elements, budget for 1
+            TilePlan(rows=2, samples=2, row_tile=2, sample_tile=2,
+                     max_amplitudes=element // 2),  # element itself too big
+            TilePlan(rows=32, samples=32, row_tile=32, sample_tile=32,
+                     max_amplitudes=element * 100),  # 1024 elements vs 100
+        ]
+        for plan in corpus:
+            for engine in ("statevector", "density"):
+                diagnostics = verify_cost(program, plan, engine=engine)
+                assert any(
+                    d.severity is Severity.ERROR and d.code in ("VER201", "VER202")
+                    for d in diagnostics
+                ), (plan, engine)
+
+    def test_catalogue_codes(self):
+        assert sorted(COST_CODES) == ["VER201", "VER202", "VER203", "VER205"]
+
+
+# --------------------------------------------------------------------------- #
+# Reference suite + tracemalloc calibration
+# --------------------------------------------------------------------------- #
+
+
+class TestReferenceSuite:
+    def test_reference_reports_cover_both_engines(self):
+        reports = reference_cost_reports()
+        assert len(reports) == 8  # 4 workloads x 2 engines
+        assert {r.engine for r in reports} == {"statevector", "density"}
+        assert all(r.max_amplitudes is not None for r in reports)
+
+    def test_reference_plans_verify_clean(self):
+        assert verify_reference_costs() == []
+
+
+class TestTracemallocCalibration:
+    """Predicted peak bytes within 1.5x of a measured tiled execution."""
+
+    def measure(self, num_features, rows, samples, budget_amplitudes):
+        program, row = compile_discriminator(num_features)
+        plan = TilePlan.for_circuit_sweep(
+            rows, samples, 2**program.num_qubits, budget_amplitudes
+        )
+        report = estimate_cost(program, plan)
+        engine = StatevectorEngine()
+        tracemalloc.start()
+        bindings = np.tile(np.asarray(row, dtype=float), (rows * samples, 1))
+        program.execute(bindings, engine, tile_plan=plan)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return report, peak
+
+    @pytest.mark.parametrize(
+        "num_features,rows,samples,budget",
+        [
+            # Iris-4 discriminator: single-tile and tiled executions.
+            (4, 64, 2048, 2**22),
+            (4, 64, 2048, 2**19),
+            # MNIST-8 discriminator: single-tile and tiled executions.
+            (8, 16, 512, 2**22),
+            (8, 16, 512, 2**20),
+        ],
+    )
+    def test_predicted_peak_within_factor_of_tracemalloc(
+        self, num_features, rows, samples, budget
+    ):
+        report, measured = self.measure(num_features, rows, samples, budget)
+        assert measured > 0
+        ratio = report.peak_bytes / measured
+        assert 1 / ACCURACY_FACTOR <= ratio <= ACCURACY_FACTOR, (
+            f"predicted {report.peak_bytes} vs measured {measured} "
+            f"(ratio {ratio:.2f})"
+        )

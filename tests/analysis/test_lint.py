@@ -297,3 +297,63 @@ class TestSuppressions:
         import os
 
         assert normalize_path(os.path.join(os.getcwd(), "src", "x.py")) == "src/x.py"
+
+
+# --------------------------------------------------------------------------- #
+# REP106 — no time.sleep in library code
+# --------------------------------------------------------------------------- #
+
+
+class TestRep106Sleep:
+    def test_time_sleep_is_flagged(self):
+        source = "import time\ndef wait():\n    time.sleep(0.5)\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP106"]
+        assert findings[0].location.line == 3
+
+    def test_aliased_module_import_is_flagged(self):
+        source = "import time as t\nt.sleep(1)\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP106"]
+
+    def test_from_import_alias_is_flagged(self):
+        source = "from time import sleep as snooze\nsnooze(2)\n"
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP106"]
+
+    def test_queue_latency_guarded_sleep_is_clean(self):
+        source = (
+            "import time\n"
+            "class Backend:\n"
+            "    def _queue_wait(self):\n"
+            "        if not self.simulate_queue_latency:\n"
+            "            return\n"
+            "        time.sleep(self._queue_delay())\n"
+        )
+        findings, _ = lint(source)
+        assert findings == []
+
+    def test_unguarded_sleep_elsewhere_in_guarded_file_still_flags(self):
+        source = (
+            "import time\n"
+            "def _queue_wait(simulate_queue_latency):\n"
+            "    if simulate_queue_latency:\n"
+            "        time.sleep(0.1)\n"
+            "def retry():\n"
+            "    time.sleep(1)\n"
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP106"]
+        assert findings[0].location.line == 6
+
+    def test_non_library_code_is_exempt(self):
+        source = "import time\ntime.sleep(1)\n"
+        findings, _ = lint(source, path="tests/test_example.py")
+        assert findings == []
+
+    def test_other_sleep_attributes_are_clean(self):
+        # Only the ``time`` module's sleep counts — e.g. a driver object's
+        # ``.sleep()`` power state call is not a stall.
+        source = "def park(driver):\n    driver.sleep()\n"
+        findings, _ = lint(source)
+        assert findings == []

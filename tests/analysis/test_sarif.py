@@ -1,0 +1,141 @@
+"""Tests for the SARIF 2.1.0 emitter (:mod:`repro.analysis.sarif`)."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    rule_catalogue,
+    sarif_payload,
+    validate_sarif_payload,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def diag(code="REP001", severity=Severity.ERROR, file="src/x.py", line=3,
+         column=1, obj=None, message="message", hint=None):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        location=Location(file=file, line=line, column=column, obj=obj),
+        message=message,
+        hint=hint,
+    )
+
+
+class TestSarifPayload:
+    def test_empty_run_is_schema_valid(self):
+        payload = sarif_payload([])
+        assert validate_sarif_payload(payload) == []
+        assert payload["version"] == SARIF_VERSION
+        assert payload["$schema"] == SARIF_SCHEMA
+        assert payload["runs"][0]["results"] == []
+        assert payload["runs"][0]["tool"]["driver"]["name"] == "repro.analysis"
+
+    def test_one_finding_round_trips(self):
+        payload = sarif_payload([diag()])
+        assert validate_sarif_payload(payload) == []
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "REP001"
+        assert result["level"] == "error"
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "src/x.py"
+        assert physical["region"] == {"startLine": 3, "startColumn": 1}
+
+    def test_severity_level_mapping(self):
+        payload = sarif_payload(
+            [
+                diag(code="REP001", severity=Severity.ERROR, line=1),
+                diag(code="REP004", severity=Severity.WARNING, line=2),
+                diag(code="REP005", severity=Severity.INFO, line=3),
+            ]
+        )
+        levels = {r["ruleId"]: r["level"] for r in payload["runs"][0]["results"]}
+        assert levels == {"REP001": "error", "REP004": "warning", "REP005": "note"}
+
+    def test_hint_is_appended_to_message(self):
+        payload = sarif_payload([diag(message="seedless rng", hint="pass a seed")])
+        text = payload["runs"][0]["results"][0]["message"]["text"]
+        assert text == "seedless rng (hint: pass a seed)"
+
+    def test_obj_anchored_finding_uses_logical_location(self):
+        payload = sarif_payload(
+            [
+                diag(
+                    code="VER201",
+                    file=None,
+                    line=None,
+                    column=None,
+                    obj="iris-s:discriminator[statevector/circuit_sweep]",
+                )
+            ]
+        )
+        assert validate_sarif_payload(payload) == []
+        (result,) = payload["runs"][0]["results"]
+        logical = result["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"].startswith("iris-s:discriminator")
+        assert "physicalLocation" not in result["locations"][0]
+
+    def test_rules_array_covers_exactly_the_used_codes(self):
+        payload = sarif_payload(
+            [diag(code="REP001", line=1), diag(code="REP101", line=2)]
+        )
+        rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == ["REP001", "REP101"]
+        assert all(rule["shortDescription"]["text"] for rule in rules)
+
+    def test_catalogue_spans_all_pass_families(self):
+        catalogue = rule_catalogue()
+        for code in ("REP000", "REP001", "REP106", "REP101", "REP104",
+                     "VER101", "VER201"):
+            assert code in catalogue, code
+
+    def test_validator_rejects_broken_payloads(self):
+        good = sarif_payload([diag()])
+        assert validate_sarif_payload({"version": "2.0.0"})
+        missing_rule = json.loads(json.dumps(good))
+        missing_rule["runs"][0]["tool"]["driver"]["rules"] = []
+        assert any(
+            "missing from the rule catalogue" in problem
+            for problem in validate_sarif_payload(missing_rule)
+        )
+        bad_level = json.loads(json.dumps(good))
+        bad_level["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level" in problem for problem in validate_sarif_payload(bad_level))
+
+
+class TestSarifCli:
+    def run_cli(self, *argv, cwd=REPO_ROOT):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env=env,
+        )
+
+    def test_shipped_tree_emits_valid_sarif(self):
+        proc = self.run_cli("src", "benchmarks", "--format", "sarif")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert validate_sarif_payload(payload) == []
+        assert payload["runs"][0]["results"] == []
+
+    def test_findings_emit_valid_sarif_and_exit_one(self, tmp_path):
+        bad = tmp_path / "src" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        proc = self.run_cli(str(tmp_path), "--format", "sarif")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert validate_sarif_payload(payload) == []
+        (result,) = payload["runs"][0]["results"]
+        assert result["ruleId"] == "REP001"
+        assert result["level"] == "error"
