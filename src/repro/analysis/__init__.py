@@ -1,6 +1,6 @@
 """Static analysis for the repro stack.
 
-Three coordinated pass families share one
+Four coordinated pass families share one
 :class:`~repro.analysis.diagnostics.Diagnostic` record and one CLI
 (``python -m repro.analysis``):
 
@@ -19,6 +19,12 @@ Three coordinated pass families share one
   (``REP101``–``REP104``): shard-reachable races, Generator seed aliasing
   across shard submissions, transitive payload picklability, and engine
   buffers escaping into caches.
+* :mod:`repro.analysis.shapes` — a shape/dtype abstract interpreter over
+  the engine modules and compiled program metadata (``VER301``–``VER304``):
+  einsum subscript/operand agreement, amplitude-layout preservation,
+  silent complex→real downcasts, and promotions that would break a
+  configured ``complex64`` run.  Backed by the :mod:`repro.arrays` seam
+  and its lint rules ``REP201``/``REP202``.
 
 Findings flow through the shared report formats (:mod:`.report` for
 text/JSON, :mod:`.sarif` for SARIF 2.1.0) and the :mod:`.baseline` ratchet.
@@ -66,6 +72,12 @@ from repro.analysis.report import (
 )
 from repro.analysis.rules import LintContext, Rule, all_rules, select_rules
 from repro.analysis.sarif import sarif_payload, validate_sarif_payload
+from repro.analysis.shapes import (
+    SHAPE_CODES,
+    ShapeResult,
+    verify_program_shapes,
+    verify_reference_shapes,
+)
 from repro.analysis.verify import (
     REPRO_VERIFY_ENV,
     VERIFIER_CODES,
@@ -112,6 +124,10 @@ __all__ = [
     "REPRO_VERIFY_ENV",
     "VERIFIER_CODES",
     "COST_CODES",
+    "SHAPE_CODES",
+    "ShapeResult",
+    "verify_program_shapes",
+    "verify_reference_shapes",
     "CostReport",
     "estimate_cost",
     "reference_cost_reports",

@@ -1,12 +1,12 @@
 """Command-line entry point: ``python -m repro.analysis``.
 
-Runs the AST contract linter *and* the cross-module flow analyzers over
-source trees (and, with ``--verify``, the IR verifier plus the static
-cost-model verifier over the figure suite's representative compiled
-programs) and reports every finding through the shared diagnostic
-pipeline::
+Runs the AST contract linter, the cross-module flow analyzers, *and* the
+shape/dtype abstract interpreter over source trees (and, with
+``--verify``, the IR, cost-model, and program-shape verifiers over the
+figure suite's representative compiled programs) and reports every
+finding through the shared diagnostic pipeline::
 
-    python -m repro.analysis src benchmarks            # lint + flow, text
+    python -m repro.analysis src benchmarks            # lint + flow + shapes
     python -m repro.analysis --format json             # default paths, JSON
     python -m repro.analysis --format sarif            # SARIF 2.1.0 log
     python -m repro.analysis src --select REP001,REP102
@@ -40,9 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Static analysis for the repro stack: AST contract linter "
-            "(REP0xx/REP106), cross-module concurrency & determinism flow "
-            "analyzers (REP101-REP104), and SweepProgram IR + cost-model "
-            "verifiers (VERxxx)."
+            "(REP0xx/REP106/REP2xx), cross-module concurrency & determinism "
+            "flow analyzers (REP101-REP104), shape/dtype abstract "
+            "interpreter (VER301-VER304), and SweepProgram IR + cost-model "
+            "verifiers (VER1xx/VER2xx)."
         ),
     )
     parser.add_argument(
@@ -60,15 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="CODES",
-        help="comma-separated codes to run: lint rule codes and/or flow "
-        "analyzer codes (default: all)",
+        help="comma-separated codes to run: lint rule, flow analyzer, "
+        "and/or shape analyzer codes (default: all)",
     )
     parser.add_argument(
         "--verify",
         action="store_true",
         help="additionally compile the figure suite's representative "
-        "SweepPrograms and run the full IR verifier and the static "
-        "cost-model verifier over them (JSON output gains a 'cost' section)",
+        "SweepPrograms and run the full IR verifier, the static cost-model "
+        "verifier, and the program-shape verifier over them (JSON output "
+        "gains a 'cost' section)",
     )
     parser.add_argument(
         "--baseline",
@@ -97,20 +99,25 @@ def _resolve_paths(requested: Sequence[str]) -> List[str]:
 
 
 def _split_select(selected: Optional[str]):
-    """Partition ``--select`` into (lint rule codes, flow analyzer codes).
+    """Partition ``--select`` into (lint, flow, shapes) code families.
 
     ``None`` in a slot means "run everything in that family"; an empty
-    tuple means "run nothing".  Unknown codes surface through
-    :func:`select_rules`'s error (flow codes are carved out first).
+    tuple means "run nothing".  Flow and shape analyzer codes are carved
+    out first; whatever remains must be lint rule codes, so unknown codes
+    surface through :func:`select_rules`'s error.
     """
     from repro.analysis.flow import FLOW_CODES
+    from repro.analysis.shapes import SHAPE_CODES
 
     if selected is None:
-        return None, None
+        return None, None, None
     codes = [code.strip().upper() for code in selected.split(",") if code.strip()]
     flow = tuple(code for code in codes if code in FLOW_CODES)
-    lint = tuple(code for code in codes if code not in FLOW_CODES)
-    return lint, flow
+    shapes = tuple(code for code in codes if code in SHAPE_CODES)
+    lint = tuple(
+        code for code in codes if code not in FLOW_CODES and code not in SHAPE_CODES
+    )
+    return lint, flow, shapes
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -118,10 +125,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         paths = _resolve_paths(args.paths)
-        lint_codes, flow_codes = _split_select(args.select)
+        lint_codes, flow_codes, shape_codes = _split_select(args.select)
         rules = select_rules(list(lint_codes)) if lint_codes else select_rules(None)
         run_lint = lint_codes is None or bool(lint_codes)
         run_flow = flow_codes is None or bool(flow_codes)
+        run_shapes = shape_codes is None or bool(shape_codes)
 
         diagnostics: List[Diagnostic] = []
         files_checked = 0
@@ -142,6 +150,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             merge_suppression_counts(
                 suppressed_by_code, flow_result.suppressed_by_code
             )
+        if run_shapes:
+            from repro.analysis.shapes import analyze_paths as analyze_shape_paths
+
+            shape_result = analyze_shape_paths(paths, shape_codes)
+            diagnostics.extend(shape_result.diagnostics)
+            files_checked = max(files_checked, shape_result.files_checked)
+            merge_suppression_counts(
+                suppressed_by_code, shape_result.suppressed_by_code
+            )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro.analysis: {exc}", file=sys.stderr)
         return 2
@@ -149,10 +166,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cost_reports: Optional[List[dict]] = None
     if args.verify:
         from repro.analysis.cost import reference_cost_reports, verify_reference_costs
+        from repro.analysis.shapes import verify_reference_shapes
         from repro.analysis.verify import verify_reference_suite
 
         diagnostics.extend(verify_reference_suite())
         diagnostics.extend(verify_reference_costs())
+        diagnostics.extend(verify_reference_shapes())
         cost_reports = [report.to_dict() for report in reference_cost_reports()]
 
     if args.write_baseline:

@@ -49,7 +49,9 @@ COST_CODES = {
     "VER205": "budget fits a statevector element but not one density (4**n) element",
 }
 
-#: Bytes per complex amplitude (complex128).
+#: Bytes per complex amplitude at the canonical (double) precision; the
+#: live prediction uses :func:`repro.arrays.complex_itemsize`, so a
+#: ``set_precision("single")`` run is budgeted at 8 bytes per amplitude.
 BYTES_PER_AMPLITUDE = 16
 #: Live amplitude arrays per einsum step: the input state, the einsum
 #: output, and one internal contraction intermediate (``np.einsum`` routes
@@ -84,6 +86,9 @@ class CostReport:
     tile_elements: int
     #: Amplitudes of the largest tile's working set (the budgeted quantity).
     peak_amplitudes: int
+    #: Bytes per amplitude at the precision configured when the report was
+    #: built (16 under double, 8 under single — see ``repro.arrays``).
+    bytes_per_amplitude: int
     #: Predicted peak resident bytes of one execution (see module docstring).
     peak_bytes: int
     #: Step applications over the whole sweep: ``num_tiles * len(steps)``.
@@ -139,18 +144,24 @@ def estimate_cost(
         raise ValueError(f"engine must be one of {_ENGINE_KINDS}, got {engine!r}")
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    from repro.arrays import complex_itemsize
+
     element_amplitudes = _element_amplitudes(program.num_qubits, engine)
     tile_elements, num_tiles = _tile_counts(plan, mode)
     peak_amplitudes = tile_elements * element_amplitudes
     # Sweep-wide buffers resident across every tile: the float bindings
-    # matrix and the accumulated joint read-out distribution.
+    # matrix and the accumulated joint read-out distribution.  Bindings and
+    # read-outs stay float64 in both precision modes (the sampling boundary
+    # is outside the knob), but amplitude bytes scale with the configured
+    # complex itemsize.
+    bytes_per_amplitude = complex_itemsize()
     sweep_elements = (
         plan.rows + plan.samples if mode == "state_overlap" else plan.total_elements
     )
     bindings_bytes = sweep_elements * program.num_columns * 8
     readout_bytes = sweep_elements * (2 ** len(program.measured_qubits)) * 8
     peak_bytes = (
-        EINSUM_LIVE_ARRAYS * peak_amplitudes * BYTES_PER_AMPLITUDE
+        EINSUM_LIVE_ARRAYS * peak_amplitudes * bytes_per_amplitude
         + bindings_bytes
         + readout_bytes
     )
@@ -168,6 +179,7 @@ def estimate_cost(
         num_tiles=num_tiles,
         tile_elements=tile_elements,
         peak_amplitudes=peak_amplitudes,
+        bytes_per_amplitude=bytes_per_amplitude,
         peak_bytes=peak_bytes,
         contractions=contractions,
         superoperator_contractions=contractions if engine == "density" else 0,

@@ -99,21 +99,85 @@ def find_suppressions(source: str) -> List[Suppression]:
     return out
 
 
+def _statement_extents(source: str) -> List[Tuple[int, int]]:
+    """``(lineno, end_lineno)`` of every *simple* statement spanning lines.
+
+    Only simple (non-compound) statements are collected: a suppression
+    comment anywhere inside a wrapped call or a parenthesised assignment
+    should cover the whole statement, but a comment inside a function body
+    must not blanket the enclosing ``def``.  Compound statements contribute
+    their header extent instead (``if (...\\n...):`` up to the first body
+    statement), so a noqa on a wrapped condition line still reaches the
+    diagnostic anchored at the keyword.
+    """
+    compound = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.ClassDef,
+        ast.If,
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.With,
+        ast.AsyncWith,
+        ast.Try,
+    )
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError):
+        return []
+    extents: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = getattr(node, "lineno", None)
+        end = getattr(node, "end_lineno", None)
+        if start is None or end is None:
+            continue
+        if isinstance(node, compound):
+            first_body_line = min(
+                (
+                    child.lineno
+                    for child in getattr(node, "body", [])
+                    if hasattr(child, "lineno")
+                ),
+                default=None,
+            )
+            if first_body_line is not None:
+                end = max(start, first_body_line - 1)
+        if end > start:
+            extents.append((start, end))
+    return extents
+
+
 def justified_suppression_index(source: str) -> Dict[int, set]:
     """line -> codes justifiably suppressed there (bare noqas excluded).
 
-    The shared application point for *both* analysis families: the per-file
-    linter and the cross-module flow analyzers honour the same
-    ``# repro: noqa CODE -- why`` comments, so one suppression syntax covers
-    REP0xx and REP1xx findings alike.  Bare (unjustified) suppressions are
-    not indexed — they suppress nothing and are reported as ``REP000`` by
-    :func:`lint_source`.
+    The shared application point for *every* analysis family: the per-file
+    linter, the cross-module flow analyzers, and the shape interpreter
+    honour the same ``# repro: noqa CODE -- why`` comments, so one
+    suppression syntax covers REP and VER findings alike.  Bare
+    (unjustified) suppressions are not indexed — they suppress nothing and
+    are reported as ``REP000`` by :func:`lint_source`.
+
+    A suppression physically placed on *any* line of a multi-line simple
+    statement (a wrapped call, a parenthesised expression) covers the whole
+    statement's line extent, so the comment can sit at the end of the
+    wrapped call while the diagnostic anchors at its first line.
     """
     index: Dict[int, set] = {}
     for suppression in find_suppressions(source):
         if suppression.justification is None:
             continue
         index.setdefault(suppression.line, set()).update(suppression.codes)
+    if index:
+        for start, end in _statement_extents(source):
+            spanned = set()
+            for line in range(start, end + 1):
+                spanned.update(index.get(line, ()))
+            if spanned:
+                for line in range(start, end + 1):
+                    index.setdefault(line, set()).update(spanned)
     return index
 
 

@@ -18,6 +18,11 @@ REP005 every ``bench_*.py`` records a perf point through the shared
        ``experiments.reporting`` writer
 REP106 library code never blocks on ``time.sleep`` outside the documented
        ``simulate_queue_latency`` queue-wait path
+REP201 complex dtypes are named only inside the ``repro.arrays`` seam —
+       literal ``dtype=complex``/``np.complex128`` bypasses the precision
+       config
+REP202 engine modules route dense kernels (einsum/matmul/kron/linalg/
+       multinomial, ...) through ``repro.arrays``, never ``np.`` directly
 ====== ====================================================================
 
 ``REP000`` is reserved by the driver for malformed suppression comments.
@@ -101,6 +106,7 @@ class Rule:
 
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, in code order."""
+    from repro.analysis.rules.arrays import ArraySeamRule, ComplexDtypeLiteralRule
     from repro.analysis.rules.caches import AdHocCacheRule
     from repro.analysis.rules.picklable import SpecPicklableRule
     from repro.analysis.rules.reporting import BenchReportingRule
@@ -114,6 +120,8 @@ def all_rules() -> List[Rule]:
         EngineRngRule(),
         BenchReportingRule(),
         SleepRule(),
+        ComplexDtypeLiteralRule(),
+        ArraySeamRule(),
     ]
 
 

@@ -36,6 +36,7 @@ def rule_catalogue() -> Dict[str, str]:
     from repro.analysis.cost import COST_CODES
     from repro.analysis.flow import FLOW_CODES
     from repro.analysis.rules import all_rules
+    from repro.analysis.shapes import SHAPE_CODES
     from repro.analysis.verify import VERIFIER_CODES
 
     catalogue: Dict[str, str] = {
@@ -46,6 +47,7 @@ def rule_catalogue() -> Dict[str, str]:
     catalogue.update(FLOW_CODES)
     catalogue.update(VERIFIER_CODES)
     catalogue.update(COST_CODES)
+    catalogue.update(SHAPE_CODES)
     return catalogue
 
 
@@ -79,7 +81,11 @@ def sarif_payload(diagnostics: Sequence[Diagnostic]) -> dict:
             if location.line is not None:
                 region["startLine"] = int(location.line)
             if location.column is not None:
-                region["startColumn"] = int(location.column)
+                # SARIF columns are 1-based; internal diagnostics are too,
+                # but an emitter passing a raw 0-based col_offset would
+                # produce a schema-invalid startColumn of 0 — clamp here,
+                # at the one Diagnostic -> SARIF boundary.
+                region["startColumn"] = max(1, int(location.column))
             physical = {"artifactLocation": {"uri": location.file}}
             if region:
                 physical["region"] = region
@@ -173,5 +179,14 @@ def validate_sarif_payload(payload: dict) -> List[str]:
                     problems.append(
                         f"results[{index}].locations[{l_index}].region.startLine "
                         "must be a positive integer"
+                    )
+                column = region.get("startColumn")
+                if column is not None and (
+                    not isinstance(column, int) or column < 1
+                ):
+                    problems.append(
+                        f"results[{index}].locations[{l_index}].region."
+                        "startColumn must be a positive integer (SARIF "
+                        "columns are 1-based)"
                     )
     return problems

@@ -1,0 +1,187 @@
+"""Shape/dtype abstract interpretation over engine kernels (VER3xx).
+
+The fourth analysis family of :mod:`repro.analysis` (after the AST
+linter, the flow analyzers, and the IR/cost verifiers).  It tracks
+symbolic shapes (``batch``, ``2**n``, ``4**n``, tile ``rows x samples``)
+and a dtype lattice (``float64 -> complex64 -> complex128`` plus the
+*configured* precision of :mod:`repro.arrays`) through the engines'
+``einsum``/``matmul``/``kron``/``reshape`` chains:
+
+====== ====================================================================
+code   contract
+====== ====================================================================
+VER301 literal einsum subscripts agree with their operands: group count vs
+       operand count, per-group label count vs known operand rank, output
+       labels drawn from the inputs, one extent per label
+VER302 compiled-program contractions preserve the engine's declared
+       amplitude layout: ``(2**k, 2**k)`` gate blocks on statevector
+       engines, ``(4**k, 4**k)`` superoperator blocks on density engines,
+       read-outs no wider than the register
+VER303 no silent complex→real downcast: ``.astype``/``np.asarray`` to a
+       real dtype, ``float(...)``, or stores into real buffers applied to
+       abstractly complex values (``.real``/``np.abs`` are the sanctioned
+       spellings)
+VER304 no dtype promotion that breaks a configured ``complex64`` run: a
+       kernel mixing a configured-precision operand with a hard 64-bit one
+       silently widens single-precision sweeps back to ``complex128``
+       (warning)
+====== ====================================================================
+
+The AST checks (301/303/304) run over the engine modules the
+:mod:`repro.arrays` seam covers — the same module set lint rule REP202
+gates — because that is where the interpreter's abstract domain is
+precise; elsewhere it would only ever say "unknown".  VER302 runs over
+compiled :class:`~repro.quantum.program.SweepProgram` metadata under the
+CLI's ``--verify`` flag.  Findings honour the linter's
+``# repro: noqa CODE -- why`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, sort_diagnostics
+from repro.analysis.lint import (
+    apply_suppressions,
+    iter_python_files,
+    justified_suppression_index,
+    merge_suppression_counts,
+    normalize_path,
+)
+from repro.analysis.shapes.interp import AbstractValue, interpret_module
+from repro.analysis.shapes.lattice import (
+    DType,
+    breaks_configured_run,
+    promote,
+    promote_all,
+)
+from repro.analysis.shapes.programs import (
+    verify_program_shapes,
+    verify_reference_shapes,
+)
+
+#: Code -> one-line description, mirrored in ``docs/static_analysis.md``.
+SHAPE_CODES = {
+    "VER301": "einsum subscripts disagree with their operands",
+    "VER302": "compiled contraction breaks the declared amplitude layout",
+    "VER303": "silent complex-to-real downcast discards imaginary parts",
+    "VER304": "promotion breaks a configured single-precision run",
+}
+
+#: Path suffixes the AST interpreter covers — the repro.arrays seam's
+#: engine modules (kept in sync with lint rule REP202's module set).
+ENGINE_MODULE_SUFFIXES = (
+    "quantum/batched.py",
+    "quantum/batched_density.py",
+    "quantum/program.py",
+    "quantum/statevector.py",
+    "quantum/density_matrix.py",
+    "quantum/measurement.py",
+)
+
+__all__ = [
+    "SHAPE_CODES",
+    "ENGINE_MODULE_SUFFIXES",
+    "AbstractValue",
+    "DType",
+    "ShapeResult",
+    "analyze_paths",
+    "analyze_source",
+    "analyze_sources",
+    "breaks_configured_run",
+    "interpret_module",
+    "promote",
+    "promote_all",
+    "verify_program_shapes",
+    "verify_reference_shapes",
+]
+
+
+@dataclasses.dataclass
+class ShapeResult:
+    """Outcome of one shape-analysis run."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+    suppressed: int
+    suppressed_by_code: Dict[str, int]
+
+
+def _filter_codes(
+    diagnostics: List[Diagnostic], codes: Optional[Sequence[str]]
+) -> List[Diagnostic]:
+    if codes is None:
+        return diagnostics
+    wanted = {code.strip().upper() for code in codes if code.strip()}
+    unknown = wanted - set(SHAPE_CODES)
+    if unknown:
+        raise ValueError(
+            f"unknown shape analyzer code(s) {sorted(unknown)}; "
+            f"known: {sorted(SHAPE_CODES)}"
+        )
+    return [diag for diag in diagnostics if diag.code in wanted]
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    codes: Optional[Sequence[str]] = None,
+    *,
+    root: Optional[str] = None,
+) -> Tuple[List[Diagnostic], Dict[str, int]]:
+    """Interpret one in-memory module; returns ``(findings, suppressed)``.
+
+    Ungated by path — the corpus tests feed synthetic modules directly.
+    A file that does not parse yields no VER3xx findings (the linter
+    already reports it as ``REP000``).
+    """
+    normalized = normalize_path(path, root)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return [], {}
+    diagnostics = _filter_codes(interpret_module(tree, normalized), codes)
+    kept, suppressed_by_code = apply_suppressions(
+        diagnostics, justified_suppression_index(source)
+    )
+    return kept, suppressed_by_code
+
+
+def analyze_sources(
+    sources: Sequence[Tuple[str, str]], codes: Optional[Sequence[str]] = None
+) -> ShapeResult:
+    """Run the interpreter over ``(normalised_path, source)`` pairs.
+
+    Only files under :data:`ENGINE_MODULE_SUFFIXES` are interpreted; the
+    rest count as checked but produce no findings.
+    """
+    diagnostics: List[Diagnostic] = []
+    suppressed_by_code: Dict[str, int] = {}
+    for path, source in sources:
+        if not path.endswith(ENGINE_MODULE_SUFFIXES):
+            continue
+        found, hidden = analyze_source(source, path, codes)
+        diagnostics.extend(found)
+        merge_suppression_counts(suppressed_by_code, hidden)
+    return ShapeResult(
+        diagnostics=sort_diagnostics(diagnostics),
+        files_checked=len(sources),
+        suppressed=sum(suppressed_by_code.values()),
+        suppressed_by_code=suppressed_by_code,
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    codes: Optional[Sequence[str]] = None,
+    *,
+    root: Optional[str] = None,
+) -> ShapeResult:
+    """Run the shape interpreter over every Python file under ``paths``."""
+    sources: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            sources.append((normalize_path(path, root), handle.read()))
+    return analyze_sources(sources, codes)

@@ -1,0 +1,916 @@
+"""Abstract interpreter over engine ASTs: VER301, VER303, VER304.
+
+The interpreter executes a module's functions and methods abstractly,
+tracking an :class:`AbstractValue` — a symbolic shape (tuple of dims:
+concrete ints, symbolic atoms like ``"batch_size"`` or ``"2 ** n"``, or
+``None`` for an unknown extent) and a point of the
+:mod:`~repro.analysis.shapes.lattice` dtype lattice — through
+``einsum``/``matmul``/``kron``/``reshape`` chains, both the direct ``np.``
+spellings and the :mod:`repro.arrays` seam wrappers.
+
+It is deliberately *conservative*: anything it cannot prove — a call into
+another module, a runtime-built f-string einsum subscript, a reshape to a
+computed tuple — degrades to "unknown" and produces **no** finding.  The
+three AST-level checks therefore only fire on statically evident
+contract violations:
+
+* **VER301** — a literal einsum subscript whose comma groups disagree
+  with the operand count, whose per-operand labels disagree with a known
+  operand rank, whose output names a label absent from the inputs, or
+  whose repeated label binds two different concrete extents.
+* **VER303** — a silent complex→real downcast: ``.astype``/``np.asarray``
+  to a real dtype, ``float(...)``, or a store into a known-real buffer,
+  applied to an abstractly complex value.  (``.real``/``np.real``/
+  ``np.abs`` are the sanctioned spellings and simply produce real
+  values.)
+* **VER304** — a kernel mixing a *configured*-precision operand
+  (``arrays.zeros``/``as_complex``/``complex_dtype()``) with a hard
+  64-bit one: invisible under double precision, but it silently widens a
+  ``set_precision("single")`` run back to ``complex128``
+  (:func:`~repro.analysis.shapes.lattice.breaks_configured_run`).
+
+Class bodies get a light field analysis: ``self.X`` assignments in
+``__init__`` seed per-class field values, so methods interpret
+``self._amplitudes`` / ``self._matrices`` with the shapes and dtypes
+their constructors establish.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.analysis.shapes.lattice import (
+    BOOL,
+    COMPLEX64,
+    COMPLEX128,
+    CONFIG_COMPLEX,
+    CONFIG_REAL,
+    FLOAT32,
+    FLOAT64,
+    INT64,
+    WEAK_COMPLEX,
+    WEAK_FLOAT,
+    WEAK_INT,
+    DType,
+    breaks_configured_run,
+    promote_all,
+)
+
+#: One shape dimension: a concrete int, a symbolic atom, or unknown.
+Dim = Optional[object]
+
+
+@dataclasses.dataclass(frozen=True)
+class AbstractValue:
+    """What the interpreter knows about one runtime value."""
+
+    shape: Optional[Tuple[Dim, ...]] = None  #: ``None`` = unknown rank
+    dtype: Optional[DType] = None
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+
+UNKNOWN = AbstractValue()
+
+#: Kernels the VER304 promotion check covers (np.* and arrays.* alike).
+_KERNEL_NAMES = {
+    "einsum",
+    "matmul",
+    "kron",
+    "tensordot",
+    "outer",
+    "vdot",
+    "dot",
+    "inner",
+}
+
+#: dtype-name → lattice point for literal dtype expressions.
+_DTYPE_NAMES = {
+    "complex": COMPLEX128,
+    "complex128": COMPLEX128,
+    "cdouble": COMPLEX128,
+    "complex64": COMPLEX64,
+    "csingle": COMPLEX64,
+    "float": FLOAT64,
+    "float64": FLOAT64,
+    "double": FLOAT64,
+    "float32": FLOAT32,
+    "single": FLOAT32,
+    "int": INT64,
+    "int64": INT64,
+    "int32": INT64,
+    "bool": BOOL,
+    "bool_": BOOL,
+    "COMPLEX_DTYPE": COMPLEX128,
+    "REAL_DTYPE": FLOAT64,
+}
+
+
+class _Imports(ast.NodeVisitor):
+    """Which local names mean numpy, and which mean the repro.arrays seam."""
+
+    def __init__(self) -> None:
+        self.numpy: Set[str] = set()
+        self.seam: Set[str] = set()
+        #: names imported directly from repro.arrays (``as_complex``, ...)
+        self.seam_names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self.numpy.add(alias.asname or "numpy")
+            elif alias.name == "repro.arrays" and alias.asname:
+                self.seam.add(alias.asname)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "repro":
+            for alias in node.names:
+                if alias.name == "arrays":
+                    self.seam.add(alias.asname or "arrays")
+        elif node.module == "repro.arrays":
+            for alias in node.names:
+                self.seam_names[alias.asname or alias.name] = alias.name
+
+
+def _dim_of(expr: ast.AST) -> Dim:
+    """A dimension expression as an int, a symbolic atom, or unknown."""
+    if isinstance(expr, ast.Constant):
+        return expr.value if isinstance(expr.value, int) else None
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        inner = _dim_of(expr.operand)
+        return -inner if isinstance(inner, int) else None
+    if isinstance(expr, (ast.Name, ast.Attribute, ast.BinOp)):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                return None  # a computed extent, not a stable atom
+        try:
+            return ast.unparse(expr)
+        except Exception:  # pragma: no cover - unparse is total on these
+            return None
+    return None
+
+
+def _shape_of_arg(expr: ast.AST) -> Optional[Tuple[Dim, ...]]:
+    """The shape a ``zeros``/``empty``-style size argument denotes."""
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return tuple(_dim_of(element) for element in expr.elts)
+    dim = _dim_of(expr)
+    return None if dim is None else (dim,)
+
+
+def _dims_equal(a: Dim, b: Dim) -> Optional[bool]:
+    """Tri-state dim comparison: True/False when provable, else None."""
+    if a is None or b is None:
+        return None
+    if isinstance(a, int) != isinstance(b, int):
+        return None  # an atom may or may not equal a concrete extent
+    return a == b
+
+
+class _ModuleInterpreter:
+    """One module's abstract execution; collects VER301/303/304 findings."""
+
+    def __init__(self, tree: ast.Module, path: str) -> None:
+        self.tree = tree
+        self.path = path
+        self.imports = _Imports()
+        self.imports.visit(tree)
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------ #
+    # Findings
+    # ------------------------------------------------------------------ #
+    def _diag(
+        self, code: str, node: ast.AST, message: str, severity: Severity
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                location=Location(
+                    file=self.path,
+                    line=getattr(node, "lineno", 1),
+                    column=getattr(node, "col_offset", 0) + 1,
+                ),
+                message=message,
+            )
+        )
+
+    def _check_promotion(
+        self, node: ast.AST, what: str, operands: Sequence[AbstractValue]
+    ) -> None:
+        dtypes = [value.dtype for value in operands]
+        if any(dtype is None for dtype in dtypes):
+            return
+        if breaks_configured_run(dtypes):
+            described = " and ".join(str(dtype) for dtype in dtypes)
+            self._diag(
+                "VER304",
+                node,
+                f"{what} mixes {described}: under set_precision('single') "
+                "the result silently promotes to 64-bit and ignores the "
+                "precision config",
+                Severity.WARNING,
+            )
+
+    def _check_downcast(
+        self, node: ast.AST, value: AbstractValue, target: Optional[DType], what: str
+    ) -> None:
+        if (
+            target is not None
+            and value.dtype is not None
+            and value.dtype.is_complex
+            and not target.is_complex
+        ):
+            self._diag(
+                "VER303",
+                node,
+                f"{what} silently casts an abstractly complex value to "
+                f"{target}, discarding imaginary parts; take .real/np.abs "
+                "explicitly if intended",
+                Severity.ERROR,
+            )
+
+    # ------------------------------------------------------------------ #
+    # dtype / call-target resolution
+    # ------------------------------------------------------------------ #
+    def _dtype_literal(self, expr: Optional[ast.AST]) -> Optional[DType]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.imports.seam_names:
+                return _DTYPE_NAMES.get(self.imports.seam_names[expr.id])
+            return _DTYPE_NAMES.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            base = expr.value.id
+            if base in self.imports.numpy or base in self.imports.seam:
+                return _DTYPE_NAMES.get(expr.attr)
+        if isinstance(expr, ast.Call):
+            target = self._seam_call_name(expr)
+            if target == "complex_dtype":
+                return CONFIG_COMPLEX
+            if target == "real_dtype":
+                return CONFIG_REAL
+        return None
+
+    def _numpy_call_name(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.imports.numpy
+        ):
+            return func.attr
+        return None
+
+    def _linalg_call_name(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "linalg"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in self.imports.numpy
+        ):
+            return func.attr
+        return None
+
+    def _seam_call_name(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.imports.seam
+        ):
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in self.imports.seam_names:
+            return self.imports.seam_names[func.id]
+        return None
+
+    def _keyword(self, call: ast.Call, name: str) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Expression evaluation
+    # ------------------------------------------------------------------ #
+    def _eval(self, expr: ast.AST, env: Dict[str, AbstractValue]) -> AbstractValue:
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            if isinstance(value, bool):
+                return AbstractValue((), BOOL)
+            if isinstance(value, int):
+                return AbstractValue((), WEAK_INT)
+            if isinstance(value, float):
+                return AbstractValue((), WEAK_FLOAT)
+            if isinstance(value, complex):
+                return AbstractValue((), WEAK_COMPLEX)
+            return UNKNOWN
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr, env)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, env)
+        if isinstance(expr, ast.Subscript):
+            return self._eval_subscript(expr, env)
+        if isinstance(expr, ast.Compare):
+            for side in [expr.left] + list(expr.comparators):
+                self._eval(side, env)
+            return AbstractValue(None, BOOL)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test, env)
+            a = self._eval(expr.body, env)
+            b = self._eval(expr.orelse, env)
+            return a if a == b else UNKNOWN
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self._eval(value, env)
+            return UNKNOWN
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self._eval(element, env)
+            return UNKNOWN
+        if isinstance(expr, ast.JoinedStr):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_attribute(
+        self, expr: ast.Attribute, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            fields = env.get("__fields__")
+            if isinstance(fields, dict):
+                return fields.get(expr.attr, UNKNOWN)
+            return UNKNOWN
+        base = self._eval(expr.value, env)
+        if expr.attr == "T":
+            shape = None if base.shape is None else tuple(reversed(base.shape))
+            return AbstractValue(shape, base.dtype)
+        if expr.attr in ("real", "imag"):
+            dtype = base.dtype
+            if dtype is not None and dtype.is_complex:
+                dtype = DType("float", dtype.width)
+            return AbstractValue(base.shape, dtype)
+        return UNKNOWN
+
+    def _eval_subscript(
+        self, expr: ast.Subscript, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        base = self._eval(expr.value, env)
+        index = expr.slice
+        if base.shape is not None:
+            if isinstance(index, ast.Slice):
+                return base
+            if isinstance(index, ast.Constant) and isinstance(index.value, int):
+                return AbstractValue(base.shape[1:], base.dtype)
+            if isinstance(index, ast.Tuple) and all(
+                isinstance(element, ast.Slice) for element in index.elts
+            ):
+                return base
+        return AbstractValue(None, base.dtype)
+
+    def _eval_binop(
+        self, expr: ast.BinOp, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        if isinstance(expr.op, ast.MatMult):
+            self._check_promotion(expr, "matrix product (@)", (left, right))
+            return self._matmul_result(left, right)
+        if isinstance(expr.op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)):
+            if left.dtype is not None and right.dtype is not None:
+                self._check_promotion(expr, "arithmetic", (left, right))
+                dtype = promote_all((left.dtype, right.dtype))
+                if isinstance(expr.op, ast.Div) and dtype is not None and not dtype.is_inexact:
+                    dtype = FLOAT64 if dtype.width else WEAK_FLOAT
+                shape = left.shape if left.shape == right.shape else None
+                if left.shape == ():
+                    shape = right.shape
+                elif right.shape == ():
+                    shape = left.shape
+                return AbstractValue(shape, dtype)
+        return UNKNOWN
+
+    def _matmul_result(
+        self, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue:
+        dtype = (
+            promote_all((left.dtype, right.dtype))
+            if left.dtype is not None and right.dtype is not None
+            else None
+        )
+        if (
+            left.shape is not None
+            and right.shape is not None
+            and len(left.shape) >= 2
+            and len(right.shape) >= 2
+        ):
+            shape = left.shape[:-1] + right.shape[-1:]
+            return AbstractValue(shape, dtype)
+        return AbstractValue(None, dtype)
+
+    # -------------------------- calls --------------------------------- #
+    def _eval_call(
+        self, call: ast.Call, env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        args = [self._eval(arg, env) for arg in call.args]
+        for keyword in call.keywords:
+            self._eval(keyword.value, env)
+
+        np_name = self._numpy_call_name(call)
+        seam_name = self._seam_call_name(call)
+        linalg_name = self._linalg_call_name(call)
+
+        if isinstance(call.func, ast.Name):
+            if call.func.id == "float" and args:
+                self._check_downcast(call, args[0], FLOAT64, "float(...)")
+                return AbstractValue((), WEAK_FLOAT)
+            if call.func.id == "complex" and args:
+                return AbstractValue((), WEAK_COMPLEX)
+            if call.func.id in ("int", "len", "round"):
+                return AbstractValue((), WEAK_INT)
+            if call.func.id == "abs" and args:
+                return self._abs_of(args[0])
+
+        if linalg_name is not None:
+            return self._norm_like(call, args)
+        if np_name is not None and seam_name is None:
+            return self._eval_numpy_call(call, np_name, args, env)
+        if seam_name is not None:
+            return self._eval_seam_call(call, seam_name, args, env)
+
+        # Method calls on tracked values (x.reshape, x.astype, ...).
+        if isinstance(call.func, ast.Attribute) and not (
+            isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ):
+            receiver = self._eval(call.func.value, env)
+            return self._eval_method_call(call, call.func.attr, receiver, env)
+        return UNKNOWN
+
+    def _abs_of(self, value: AbstractValue) -> AbstractValue:
+        dtype = value.dtype
+        if dtype is not None and dtype.is_complex:
+            dtype = DType("float", dtype.width)
+        return AbstractValue(value.shape, dtype)
+
+    def _norm_like(self, call: ast.Call, args: List[AbstractValue]) -> AbstractValue:
+        """``np.linalg.norm`` / ``arrays.norm``: real scalar (or reduced)."""
+        operand = args[0] if args else UNKNOWN
+        dtype = operand.dtype
+        if dtype is not None and dtype.is_complex:
+            dtype = DType("float", dtype.width)
+        if self._keyword(call, "axis") is None and len(call.args) < 2:
+            return AbstractValue((), dtype)
+        return AbstractValue(None, dtype)
+
+    def _conversion(
+        self,
+        call: ast.Call,
+        operand: AbstractValue,
+        dtype_expr: Optional[ast.AST],
+        what: str,
+    ) -> AbstractValue:
+        target = self._dtype_literal(dtype_expr)
+        if target is None and dtype_expr is not None:
+            return AbstractValue(operand.shape, None)
+        if target is None:
+            return operand
+        self._check_downcast(call, operand, target, what)
+        return AbstractValue(operand.shape, target)
+
+    def _eval_numpy_call(
+        self,
+        call: ast.Call,
+        name: str,
+        args: List[AbstractValue],
+        env: Dict[str, AbstractValue],
+    ) -> AbstractValue:
+        dtype_expr = self._keyword(call, "dtype")
+        if name in ("zeros", "ones", "empty", "full"):
+            shape = _shape_of_arg(call.args[0]) if call.args else None
+            dtype = self._dtype_literal(dtype_expr) if dtype_expr is not None else FLOAT64
+            return AbstractValue(shape, dtype)
+        if name in ("zeros_like", "empty_like", "ones_like"):
+            operand = args[0] if args else UNKNOWN
+            return AbstractValue(operand.shape, operand.dtype)
+        if name == "eye":
+            dim = _dim_of(call.args[0]) if call.args else None
+            dtype = self._dtype_literal(dtype_expr) if dtype_expr is not None else FLOAT64
+            return AbstractValue((dim, dim), dtype)
+        if name in ("asarray", "array", "ascontiguousarray", "asanyarray"):
+            operand = args[0] if args else UNKNOWN
+            return self._conversion(call, operand, dtype_expr, f"np.{name}(dtype=...)")
+        if name == "einsum":
+            return self._eval_einsum(call, args, env)
+        if name in _KERNEL_NAMES:
+            return self._eval_kernel(call, name, args)
+        if name in ("real", "imag"):
+            operand = args[0] if args else UNKNOWN
+            return self._abs_of(operand)
+        if name in ("abs", "absolute"):
+            return self._abs_of(args[0] if args else UNKNOWN)
+        if name in ("conj", "conjugate", "clip", "sqrt", "moveaxis"):
+            operand = args[0] if args else UNKNOWN
+            if name == "moveaxis":
+                return AbstractValue(None, operand.dtype) if operand.shape else operand
+            return operand
+        if name == "transpose":
+            operand = args[0] if args else UNKNOWN
+            if len(call.args) == 1 and self._keyword(call, "axes") is None:
+                shape = None if operand.shape is None else tuple(reversed(operand.shape))
+                return AbstractValue(shape, operand.dtype)
+            shape = None if operand.shape is None else tuple([None] * len(operand.shape))
+            return AbstractValue(shape, operand.dtype)
+        if name in ("allclose", "isclose", "all", "any", "isfinite"):
+            return AbstractValue(None, BOOL)
+        if name in ("stack", "concatenate"):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _eval_seam_call(
+        self,
+        call: ast.Call,
+        name: str,
+        args: List[AbstractValue],
+        env: Dict[str, AbstractValue],
+    ) -> AbstractValue:
+        if name == "zeros":
+            shape = _shape_of_arg(call.args[0]) if call.args else None
+            dtype_expr = self._keyword(call, "dtype")
+            dtype = CONFIG_COMPLEX if dtype_expr is None else self._dtype_literal(dtype_expr)
+            return AbstractValue(shape, dtype)
+        if name == "eye":
+            dim = _dim_of(call.args[0]) if call.args else None
+            return AbstractValue((dim, dim), CONFIG_COMPLEX)
+        if name == "as_complex":
+            operand = args[0] if args else UNKNOWN
+            return AbstractValue(operand.shape, CONFIG_COMPLEX)
+        if name == "as_real":
+            operand = args[0] if args else UNKNOWN
+            return AbstractValue(operand.shape, CONFIG_REAL)
+        if name == "einsum":
+            return self._eval_einsum(call, args, env)
+        if name in _KERNEL_NAMES:
+            return self._eval_kernel(call, name, args)
+        if name == "trace":
+            operand = args[0] if args else UNKNOWN
+            return AbstractValue((), operand.dtype)
+        if name == "norm":
+            return self._norm_like(call, args)
+        if name == "multinomial":
+            return AbstractValue(None, INT64)
+        return UNKNOWN
+
+    def _eval_method_call(
+        self,
+        call: ast.Call,
+        name: str,
+        receiver: AbstractValue,
+        env: Dict[str, AbstractValue],
+    ) -> AbstractValue:
+        if name == "reshape":
+            return AbstractValue(self._reshape_shape(call), receiver.dtype)
+        if name == "astype" and call.args:
+            return self._conversion(call, receiver, call.args[0], ".astype(...)")
+        if name in ("conj", "conjugate", "copy"):
+            return receiver
+        if name == "ravel":
+            return AbstractValue((None,), receiver.dtype)
+        if name == "transpose":
+            if not call.args:
+                shape = (
+                    None if receiver.shape is None else tuple(reversed(receiver.shape))
+                )
+                return AbstractValue(shape, receiver.dtype)
+            shape = (
+                None
+                if receiver.shape is None
+                else tuple([None] * len(receiver.shape))
+            )
+            return AbstractValue(shape, receiver.dtype)
+        if name == "sum":
+            axis = self._keyword(call, "axis")
+            if axis is None and call.args:
+                axis = call.args[0]
+            if axis is None:
+                return AbstractValue((), receiver.dtype)
+            if (
+                isinstance(axis, ast.Constant)
+                and isinstance(axis.value, int)
+                and receiver.shape is not None
+            ):
+                reduced = len(receiver.shape) - 1
+                return AbstractValue(tuple([None] * reduced), receiver.dtype)
+            return AbstractValue(None, receiver.dtype)
+        if name == "item":
+            return AbstractValue((), receiver.dtype)
+        if name in ("mean", "max", "min"):
+            return AbstractValue(None, receiver.dtype)
+        return UNKNOWN
+
+    def _reshape_shape(self, call: ast.Call) -> Optional[Tuple[Dim, ...]]:
+        if not call.args:
+            return None
+        if len(call.args) == 1:
+            arg = call.args[0]
+            if isinstance(arg, (ast.Tuple, ast.List)):
+                return tuple(_dim_of(element) for element in arg.elts)
+            if isinstance(arg, ast.Constant) or (
+                isinstance(arg, ast.UnaryOp) and isinstance(arg.op, ast.USub)
+            ):
+                dim = _dim_of(arg)
+                return None if dim is None else (dim,)
+            return None  # a computed shape tuple — rank unknown
+        dims = tuple(_dim_of(arg) for arg in call.args)
+        return dims
+
+    # -------------------------- kernels -------------------------------- #
+    def _eval_kernel(
+        self, call: ast.Call, name: str, args: List[AbstractValue]
+    ) -> AbstractValue:
+        operands = args[:2] if name != "tensordot" else args[:2]
+        self._check_promotion(call, f"{name} kernel", operands)
+        dtype = (
+            promote_all([operand.dtype for operand in operands])
+            if operands and all(operand.dtype is not None for operand in operands)
+            else None
+        )
+        if name == "matmul" and len(operands) == 2:
+            return self._matmul_result(
+                AbstractValue(operands[0].shape, dtype),
+                AbstractValue(operands[1].shape, dtype),
+            )
+        if name == "kron" and len(operands) == 2:
+            a, b = operands[0].shape, operands[1].shape
+            if a is not None and b is not None and len(a) == 2 and len(b) == 2:
+                return AbstractValue(
+                    (self._dim_product(a[0], b[0]), self._dim_product(a[1], b[1])),
+                    dtype,
+                )
+            return AbstractValue(None, dtype)
+        if name == "outer" and len(operands) == 2:
+            return AbstractValue((None, None), dtype)
+        if name in ("vdot", "dot", "inner", "trace"):
+            return AbstractValue((), dtype)
+        return AbstractValue(None, dtype)
+
+    @staticmethod
+    def _dim_product(a: Dim, b: Dim) -> Dim:
+        if a is None or b is None:
+            return None
+        if isinstance(a, int) and isinstance(b, int):
+            return a * b
+        return f"({a})*({b})"
+
+    def _eval_einsum(
+        self, call: ast.Call, args: List[AbstractValue], env: Dict[str, AbstractValue]
+    ) -> AbstractValue:
+        if not call.args:
+            return UNKNOWN
+        subscript_expr = call.args[0]
+        operands = args[1:]
+        operand_exprs = call.args[1:]
+        self._check_promotion(call, "einsum kernel", operands) if operands and all(
+            o.dtype is not None for o in operands
+        ) else None
+        dtype = (
+            promote_all([operand.dtype for operand in operands])
+            if operands and all(operand.dtype is not None for operand in operands)
+            else None
+        )
+        if not (
+            isinstance(subscript_expr, ast.Constant)
+            and isinstance(subscript_expr.value, str)
+        ):
+            return AbstractValue(None, dtype)  # runtime-built subscripts: skip
+        subscripts = subscript_expr.value.replace(" ", "")
+        if "->" in subscripts:
+            lhs, out = subscripts.split("->", 1)
+        else:
+            lhs, out = subscripts, None
+        groups = lhs.split(",")
+        if any(isinstance(expr, ast.Starred) for expr in operand_exprs):
+            return AbstractValue(None, dtype)
+        if len(groups) != len(operand_exprs):
+            self._diag(
+                "VER301",
+                call,
+                f"einsum subscript {subscripts!r} names {len(groups)} "
+                f"operand(s) but the call passes {len(operand_exprs)}",
+                Severity.ERROR,
+            )
+            return AbstractValue(None, dtype)
+        label_dims: Dict[str, Dim] = {}
+        for group, operand in zip(groups, operands):
+            if "..." in group:
+                continue
+            if operand.shape is None:
+                continue
+            if len(group) != len(operand.shape):
+                self._diag(
+                    "VER301",
+                    call,
+                    f"einsum group {group!r} of {subscripts!r} has "
+                    f"{len(group)} subscript(s) but its operand has rank "
+                    f"{len(operand.shape)}",
+                    Severity.ERROR,
+                )
+                continue
+            for label, dim in zip(group, operand.shape):
+                if dim is None:
+                    continue
+                known = label_dims.get(label)
+                if known is None:
+                    label_dims[label] = dim
+                elif _dims_equal(known, dim) is False:
+                    self._diag(
+                        "VER301",
+                        call,
+                        f"einsum label {label!r} of {subscripts!r} binds "
+                        f"extent {known} and extent {dim} at once",
+                        Severity.ERROR,
+                    )
+        if out is not None:
+            input_labels = set(lhs.replace(",", "").replace(".", ""))
+            for label in out:
+                if label != "." and label not in input_labels:
+                    self._diag(
+                        "VER301",
+                        call,
+                        f"einsum output label {label!r} of {subscripts!r} "
+                        "does not appear in any input group",
+                        Severity.ERROR,
+                    )
+            if "..." not in out and all(
+                operand.shape is not None for operand in operands
+            ):
+                shape = tuple(label_dims.get(label) for label in out)
+                return AbstractValue(shape, dtype)
+        return AbstractValue(None, dtype)
+
+    # ------------------------------------------------------------------ #
+    # Statement execution
+    # ------------------------------------------------------------------ #
+    def _exec_block(
+        self, statements: Sequence[ast.stmt], env: Dict[str, AbstractValue]
+    ) -> None:
+        for statement in statements:
+            self._exec_statement(statement, env)
+
+    def _exec_statement(self, statement: ast.stmt, env: Dict[str, AbstractValue]) -> None:
+        if isinstance(statement, ast.Assign):
+            value = self._eval(statement.value, env)
+            for target in statement.targets:
+                self._assign(target, value, env)
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                value = self._eval(statement.value, env)
+                self._assign(statement.target, value, env)
+        elif isinstance(statement, ast.AugAssign):
+            current = self._eval(statement.target, env)
+            value = self._eval(statement.value, env)
+            merged = (
+                AbstractValue(
+                    current.shape if current.shape == value.shape else current.shape,
+                    promote_all((current.dtype, value.dtype))
+                    if current.dtype is not None and value.dtype is not None
+                    else None,
+                )
+            )
+            self._assign(statement.target, merged, env)
+        elif isinstance(statement, (ast.Expr, ast.Return)):
+            if getattr(statement, "value", None) is not None:
+                self._eval(statement.value, env)
+        elif isinstance(statement, ast.If):
+            self._exec_branches(env, statement.body, statement.orelse)
+        elif isinstance(statement, (ast.For, ast.While)):
+            if isinstance(statement, ast.For):
+                self._eval(statement.iter, env)
+                self._assign(statement.target, UNKNOWN, env)
+            else:
+                self._eval(statement.test, env)
+            self._exec_branches(env, statement.body, statement.orelse)
+        elif isinstance(statement, ast.With):
+            for item in statement.items:
+                self._eval(item.context_expr, env)
+            self._exec_block(statement.body, env)
+        elif isinstance(statement, ast.Try):
+            handler_bodies = [handler.body for handler in statement.handlers]
+            self._exec_branches(env, statement.body, *handler_bodies)
+            self._exec_block(statement.finalbody, env)
+        elif isinstance(statement, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+        # nested defs/classes and imports are not executed
+
+    def _exec_branches(
+        self, env: Dict[str, AbstractValue], *branches: Sequence[ast.stmt]
+    ) -> None:
+        snapshots = []
+        for body in branches:
+            local = dict(env)
+            self._exec_block(body, local)
+            snapshots.append(local)
+        keys = set()
+        for snapshot in snapshots:
+            keys.update(snapshot)
+        keys.update(env)
+        for key in keys:
+            if key == "__fields__":
+                continue
+            values = [snapshot.get(key, env.get(key, UNKNOWN)) for snapshot in snapshots]
+            first = values[0]
+            if all(value == first for value in values):
+                env[key] = first
+            else:
+                shapes = {value.shape for value in values}
+                dtypes = {value.dtype for value in values}
+                env[key] = AbstractValue(
+                    shapes.pop() if len(shapes) == 1 else None,
+                    dtypes.pop() if len(dtypes) == 1 else None,
+                )
+
+    def _assign(
+        self, target: ast.AST, value: AbstractValue, env: Dict[str, AbstractValue]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                fields = env.get("__fields__")
+                if isinstance(fields, dict):
+                    fields[target.attr] = value
+        elif isinstance(target, ast.Subscript):
+            buffer = self._eval(target.value, env)
+            if (
+                buffer.dtype is not None
+                and value.dtype is not None
+                and value.dtype.is_complex
+                and not buffer.dtype.is_complex
+            ):
+                self._diag(
+                    "VER303",
+                    target,
+                    f"storing an abstractly complex value into a {buffer.dtype} "
+                    "buffer silently discards imaginary parts",
+                    Severity.ERROR,
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, UNKNOWN, env)
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def _run_function(
+        self, function: ast.FunctionDef, fields: Optional[Dict[str, AbstractValue]]
+    ) -> None:
+        env: Dict[str, AbstractValue] = {}
+        if fields is not None:
+            env["__fields__"] = fields  # type: ignore[assignment]
+        self._exec_block(function.body, env)
+
+    def run(self) -> List[Diagnostic]:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._run_function(node, None)
+            elif isinstance(node, ast.ClassDef):
+                self._run_class(node)
+        return self.diagnostics
+
+    def _run_class(self, klass: ast.ClassDef) -> None:
+        methods = [
+            node
+            for node in klass.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        fields: Dict[str, AbstractValue] = {}
+        for method in methods:
+            if method.name == "__init__":
+                # Seed per-class field knowledge from the constructor; a
+                # throwaway diagnostics run would double-report, so record
+                # into the same list (the constructor is executed once).
+                self._run_function(method, fields)
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            self._run_function(method, dict(fields))
+
+
+def interpret_module(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """Run the abstract interpreter over one parsed module."""
+    return _ModuleInterpreter(tree, path).run()

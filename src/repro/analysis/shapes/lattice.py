@@ -1,0 +1,126 @@
+"""Abstract dtype lattice for the VER3xx shape/dtype interpreter.
+
+The lattice models the three distinctions the kernel-contract checks need:
+
+* **kind** — ``bool < int < float < complex``, numpy's promotion order.
+* **width** — ``32`` or ``64`` for a hard-coded dtype; ``None`` for a
+  *configured* dtype (``repro.arrays.complex_dtype()``: 32 under the
+  single-precision mode, 64 under double); ``0`` for a *weak* Python
+  scalar, which adopts the other operand's width (NEP 50 semantics).
+* the derived question VER304 asks: would this operation widen a
+  configured single-precision run back to 64-bit?  That happens exactly
+  when a configured-width operand meets a hard 64-bit one — under double
+  the promotion is invisible, under single it silently doubles memory and
+  discards the precision knob (:func:`breaks_configured_run`).
+
+Integers promote like hard 64-bit values when mixed with inexact dtypes
+(``int64 + float32 -> float64`` in numpy), so ``INT64`` carries width 64
+and weak Python ints width 0.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+#: Promotion order of abstract kinds.
+KIND_ORDER = ("bool", "int", "float", "complex")
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """One point of the abstract dtype lattice."""
+
+    kind: str
+    #: ``64``/``32`` hard widths, ``None`` = configured, ``0`` = weak scalar.
+    width: Optional[int]
+
+    @property
+    def is_inexact(self) -> bool:
+        return self.kind in ("float", "complex")
+
+    @property
+    def is_complex(self) -> bool:
+        return self.kind == "complex"
+
+    @property
+    def is_configured(self) -> bool:
+        return self.width is None
+
+    def __str__(self) -> str:
+        if self.width is None:
+            return f"configured-{self.kind}"
+        if self.width == 0:
+            return f"weak-{self.kind}"
+        bits = self.width * (2 if self.kind == "complex" else 1)
+        return f"{self.kind}{bits}"
+
+
+BOOL = DType("bool", 0)
+WEAK_INT = DType("int", 0)
+WEAK_FLOAT = DType("float", 0)
+WEAK_COMPLEX = DType("complex", 0)
+INT64 = DType("int", 64)
+FLOAT32 = DType("float", 32)
+FLOAT64 = DType("float", 64)
+COMPLEX64 = DType("complex", 32)
+COMPLEX128 = DType("complex", 64)
+CONFIG_REAL = DType("float", None)
+CONFIG_COMPLEX = DType("complex", None)
+
+
+def _effective_width(dtype: DType) -> Optional[int]:
+    """The width a dtype contributes to inexact promotion.
+
+    Integer arrays promote to 64-bit inexact results regardless of the
+    inexact operand's width (numpy: ``int64 + float32 -> float64``); weak
+    scalars contribute nothing (width 0) and configured widths stay
+    symbolic (``None``).
+    """
+    if dtype.kind in ("bool", "int"):
+        return 64 if dtype.width else 0
+    return dtype.width
+
+
+def _combine_widths(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    if a is None:
+        # configured ⊔ 32 stays configured (the configured width is >= 32
+        # in both modes); configured ⊔ 64 is pinned to hard 64.
+        return None if b in (None, 32) else 64
+    if b is None:
+        return None if a == 32 else 64
+    return max(a, b)
+
+
+def promote(a: DType, b: DType) -> DType:
+    """The result dtype of a binary kernel over operands ``a`` and ``b``."""
+    kind = KIND_ORDER[max(KIND_ORDER.index(a.kind), KIND_ORDER.index(b.kind))]
+    width = _combine_widths(_effective_width(a), _effective_width(b))
+    if kind in ("bool", "int"):
+        return DType(kind, 64 if width else 0)
+    return DType(kind, width)
+
+
+def promote_all(dtypes: Iterable[DType]) -> Optional[DType]:
+    """Fold :func:`promote` over ``dtypes`` (``None`` for an empty sequence)."""
+    result: Optional[DType] = None
+    for dtype in dtypes:
+        result = dtype if result is None else promote(result, dtype)
+    return result
+
+
+def breaks_configured_run(dtypes: Iterable[DType]) -> bool:
+    """Whether promoting ``dtypes`` widens a single-precision run to 64-bit.
+
+    True exactly when a configured-width operand meets a hard 64-bit
+    inexact (or integer-array) operand: under ``set_precision("single")``
+    the configured side is 32-bit, so the promotion silently produces a
+    ``float64``/``complex128`` result that no longer honours the knob.
+    """
+    dtypes = list(dtypes)
+    widths = [_effective_width(dtype) for dtype in dtypes]
+    return None in widths and 64 in widths

@@ -1,0 +1,178 @@
+"""VER302 — compiled-program shape consistency with the amplitude layout.
+
+Where :mod:`repro.analysis.shapes.interp` abstracts over *source*, this
+module checks the other half of the kernel contract: the **compiled
+metadata** of a :class:`~repro.quantum.program.SweepProgram` and (for
+density engines) the precomposed step-plan superoperators, against the
+amplitude layout the chosen engine declares:
+
+* a statevector engine holds each element as ``2**n`` amplitudes and
+  contracts every step through a ``(2**k, 2**k)`` gate matrix;
+* a density engine holds ``4**n`` amplitudes (a flattened density matrix)
+  and contracts every step through a ``(4**k, 4**k)`` superoperator.
+
+A fixed step whose matrix is non-square, of the wrong power-of-two extent,
+or of the wrong rank contracts to an output that no longer re-flattens
+into the declared layout — the engines would either raise deep inside an
+einsum or, worse, broadcast.  The same applies to a precomposed
+superoperator of the wrong block size, and to a read-out wider than the
+register it marginalises.  The IR verifier (VER110/VER111/VER120) judges
+the *program* in isolation; VER302 judges the *(program, engine)* pair.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.quantum.program import SweepProgram
+
+_ENGINE_BASES = {"statevector": 2, "density": 4}
+
+
+def _diag(message: str, obj: str, hint: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(
+        code="VER302",
+        severity=Severity.ERROR,
+        location=Location(obj=obj),
+        message=message,
+        hint=hint,
+    )
+
+
+def verify_program_shapes(
+    program: "SweepProgram",
+    *,
+    engine: str = "statevector",
+    step_plans: Optional[Sequence] = None,
+) -> List[Diagnostic]:
+    """Check ``program``'s contractions against ``engine``'s amplitude layout.
+
+    ``step_plans`` — when given, the tuple returned by a density engine's
+    ``step_plans(program)`` — lets the precomposed superoperators be
+    checked against their ``(4**k, 4**k)`` block contract; fixed gate
+    matrices on the program itself are always checked against
+    ``(2**k, 2**k)``.
+    """
+    import numpy as np
+
+    if engine not in _ENGINE_BASES:
+        raise ValueError(
+            f"engine must be one of {sorted(_ENGINE_BASES)}, got {engine!r}"
+        )
+    base = _ENGINE_BASES[engine]
+    out: List[Diagnostic] = []
+    n = program.num_qubits
+    obj_prefix = f"{program.name}[{engine}]"
+
+    for position, step in enumerate(program.steps):
+        obj = f"{obj_prefix}.steps[{position}]({step.name})"
+        k = len(step.qubits)
+        if step.is_fixed:
+            matrix = np.asarray(step.matrix)
+            expected = 2**k
+            if matrix.ndim != 2 or matrix.shape != (expected, expected):
+                out.append(
+                    _diag(
+                        f"fixed gate matrix has shape {matrix.shape}, but the "
+                        f"{k}-qubit contraction must be ({expected}, "
+                        f"{expected}) to preserve the {base}**{n} amplitude "
+                        "layout",
+                        obj,
+                        hint="the contraction output would not re-flatten "
+                        "into the engine's element layout",
+                    )
+                )
+        if step_plans is not None and position < len(step_plans):
+            plan = step_plans[position]
+            superop = None
+            if isinstance(plan, tuple) and len(plan) == 2:
+                candidate = plan[1]
+                if hasattr(candidate, "shape"):
+                    superop = np.asarray(candidate)
+            if superop is not None:
+                expected = 4**k
+                if superop.ndim != 2 or superop.shape != (expected, expected):
+                    out.append(
+                        _diag(
+                            f"precomposed step superoperator has shape "
+                            f"{superop.shape}, but the {k}-qubit density "
+                            f"contraction must be ({expected}, {expected}) "
+                            f"to preserve the 4**{n} amplitude layout",
+                            obj,
+                            hint="rebuild the plan; a foreign-block "
+                            "superoperator silently breaks the flattened "
+                            "density layout",
+                        )
+                    )
+                elif superop.dtype.kind != "c":
+                    out.append(
+                        _diag(
+                            f"precomposed step superoperator has real dtype "
+                            f"{superop.dtype}; density contraction operands "
+                            "must be complex",
+                            obj,
+                        )
+                    )
+
+    measured = tuple(program.measured_qubits)
+    if len(measured) > n:
+        out.append(
+            _diag(
+                f"read-out marginalises {len(measured)} qubits but the "
+                f"program register holds {n}; the (elements, 2**"
+                f"{len(measured)}) joint-probability buffer cannot be "
+                f"produced from a {base}**{n} element layout",
+                f"{obj_prefix}.measured_qubits",
+            )
+        )
+    return out
+
+
+def verify_reference_shapes() -> List[Diagnostic]:
+    """Shape-verify the figure suite's representative compiled programs.
+
+    Compiles the same QuClassi discriminator programs as the IR and cost
+    reference passes (Iris QC-S/QC-D/QC-E at 4 features, binary-MNIST QC-S
+    at 8) and checks each against *both* engine layouts — the density pass
+    with the engine's actual precomposed step-plan superoperators, so a
+    regression in the superoperator precomposition surfaces as a VER302
+    here before any sweep executes.
+    """
+    import numpy as np
+
+    from repro.core.model import QuClassi
+    from repro.quantum.program import DensitySuperoperatorEngine, SweepProgram
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(2022)
+    out: List[Diagnostic] = []
+    for dataset, num_features, architecture in [
+        ("iris", 4, "s"),
+        ("iris", 4, "d"),
+        ("iris", 4, "e"),
+        ("mnist", 8, "s"),
+    ]:
+        builder = QuClassi(
+            num_features=num_features,
+            num_classes=2,
+            architecture=architecture,
+            seed=2022,
+        ).builder
+        values = rng.uniform(0.0, np.pi, size=len(builder.parameters))
+        features = rng.uniform(0.05, 1.0, size=num_features)
+        program = SweepProgram.compile(
+            builder.build(features, values),
+            bind_floats=True,
+            name=f"{dataset}-{architecture}:discriminator",
+        )
+        out.extend(verify_program_shapes(program, engine="statevector"))
+        engine = DensitySuperoperatorEngine()
+        out.extend(
+            verify_program_shapes(
+                program, engine="density", step_plans=engine.step_plans(program)
+            )
+        )
+    return out

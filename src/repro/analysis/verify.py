@@ -51,6 +51,8 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.arrays import COMPLEX_DTYPE
+
 from repro.analysis.diagnostics import Diagnostic, Location, Severity, errors
 from repro.exceptions import SimulationError
 
@@ -125,7 +127,7 @@ def verify_superoperator(
       S[(r, r'), (c, c')]`` is positive semi-definite within ``atol``.
     """
     out: List[Diagnostic] = []
-    matrix = np.asarray(superoperator, dtype=complex)
+    matrix = np.asarray(superoperator, dtype=COMPLEX_DTYPE)
     dim = 2 ** int(num_qubits)
     expected = (dim * dim, dim * dim)
     if matrix.ndim != 2 or matrix.shape != expected:
@@ -197,7 +199,7 @@ def verify_channel(
     dimension a power of two.
     """
     out: List[Diagnostic] = []
-    operators = [np.asarray(k, dtype=complex) for k in kraus_operators]
+    operators = [np.asarray(k, dtype=COMPLEX_DTYPE) for k in kraus_operators]
     if not operators:
         return [_diag("VER130", "channel has no Kraus operators", obj=name)]
     dim = operators[0].shape[0] if operators[0].ndim == 2 else None
@@ -239,7 +241,7 @@ def verify_channel(
             )
         )
         return out
-    total = np.zeros((dim, dim), dtype=complex)
+    total = np.zeros((dim, dim), dtype=COMPLEX_DTYPE)
     for kraus in operators:
         total += kraus.conj().T @ kraus
     defect = float(np.max(np.abs(total - np.eye(dim))))
@@ -555,7 +557,7 @@ def _program_numeric_diagnostics(
         if not step.is_fixed:
             continue
         obj = f"{prog} step {index} ({step.name})"
-        matrix = np.asarray(step.matrix, dtype=complex)
+        matrix = np.asarray(step.matrix, dtype=COMPLEX_DTYPE)
         dim = 2 ** len(step.qubits)
         if matrix.shape != (dim, dim):
             out.append(

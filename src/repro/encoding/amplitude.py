@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import arrays
 from repro.encoding.base import DataEncoder
 from repro.exceptions import EncodingError
 from repro.quantum.circuit import QuantumCircuit
@@ -60,7 +61,7 @@ class AmplitudeEncoder(DataEncoder):
 
     def encode(self, features: Sequence[float]) -> Statevector:
         """Return the encoded state directly (no circuit synthesis needed)."""
-        return Statevector(self.amplitudes(features).astype(complex))
+        return Statevector(arrays.as_complex(self.amplitudes(features)))
 
     def encoding_circuit(
         self,

@@ -34,6 +34,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro import arrays
 from repro.exceptions import SimulationError
 from repro.quantum import gates as gate_library
 from repro.quantum.statevector import marginal_probabilities
@@ -58,7 +59,7 @@ class BatchedStatevector:
             raise SimulationError(f"batch_size must be positive, got {batch_size}")
         if num_qubits <= 0:
             raise SimulationError(f"need at least one qubit, got {num_qubits}")
-        amplitudes = np.zeros((batch_size, 2**num_qubits), dtype=complex)
+        amplitudes = arrays.zeros((batch_size, 2**num_qubits))
         amplitudes[:, 0] = 1.0
         self._batch_size = batch_size
         self._num_qubits = num_qubits
@@ -70,7 +71,7 @@ class BatchedStatevector:
     @classmethod
     def from_amplitudes(cls, amplitudes: np.ndarray) -> "BatchedStatevector":
         """Wrap an existing ``(batch, 2**n)`` amplitude array (copied)."""
-        amplitudes = np.asarray(amplitudes, dtype=complex)
+        amplitudes = arrays.as_complex(amplitudes)
         if amplitudes.ndim != 2:
             raise SimulationError(
                 f"expected a (batch, 2**n) amplitude array, got shape {amplitudes.shape}"
@@ -118,7 +119,7 @@ class BatchedStatevector:
 
     def norms(self) -> np.ndarray:
         """Per-element Euclidean norms (1.0 for valid states)."""
-        return np.linalg.norm(self._amplitudes, axis=1)
+        return arrays.norm(self._amplitudes, axis=1)
 
     def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
         """Per-element measurement probabilities, shape ``(batch, 2**m)``.
@@ -151,7 +152,7 @@ class BatchedStatevector:
                 raise SimulationError(
                     f"qubit index {q} out of range for {self._num_qubits} qubits"
                 )
-        matrix = np.asarray(matrix, dtype=complex)
+        matrix = arrays.as_complex(matrix)
         per_element = matrix.ndim == 3
         if per_element:
             if matrix.shape != (self._batch_size, 2**k, 2**k):
@@ -186,7 +187,7 @@ class BatchedStatevector:
         out_sub = batch_axis + "".join(result_axes)
 
         tensor = self._amplitudes.reshape((self._batch_size,) + (2,) * n)
-        moved = np.einsum(f"{gate_sub},{in_sub}->{out_sub}", gate, tensor)
+        moved = arrays.einsum(f"{gate_sub},{in_sub}->{out_sub}", gate, tensor)
         self._amplitudes = np.ascontiguousarray(moved).reshape(self._batch_size, -1)
         return self
 
@@ -252,7 +253,7 @@ class BatchedStatevector:
         ``other`` is a ``(samples, 2**n)`` array (or a single flat ket);
         returns the ``(batch, samples)`` (or ``(batch,)``) overlap matrix.
         """
-        other = np.asarray(other, dtype=complex)
+        other = arrays.as_complex(other)
         single = other.ndim == 1
         kets = other[None, :] if single else other
         if kets.ndim != 2 or kets.shape[1] != self._amplitudes.shape[1]:
@@ -260,7 +261,7 @@ class BatchedStatevector:
                 f"ket array shape {other.shape} does not match "
                 f"{self._num_qubits}-qubit batch"
             )
-        overlaps = self._amplitudes.conj() @ kets.T
+        overlaps = arrays.matmul(self._amplitudes.conj(), kets.T)
         return overlaps[:, 0] if single else overlaps
 
     def fidelities(self, other: np.ndarray) -> np.ndarray:

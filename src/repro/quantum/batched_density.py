@@ -37,6 +37,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import arrays
 from repro.exceptions import SimulationError
 from repro.quantum.statevector import marginal_probabilities
 
@@ -53,7 +54,7 @@ def conjugation_superoperator(operator: np.ndarray) -> np.ndarray:
     channels on the left) — the mechanism behind the compile-time noise
     precomposition in :mod:`repro.quantum.program`.
     """
-    operator = np.asarray(operator, dtype=complex)
+    operator = arrays.as_complex(operator)
     if operator.ndim == 3:
         batch, dim = operator.shape[0], operator.shape[1]
         conjugate = operator.conj()
@@ -64,7 +65,7 @@ def conjugation_superoperator(operator: np.ndarray) -> np.ndarray:
         raise SimulationError(
             f"expected a square operator or a stack of them, got shape {operator.shape}"
         )
-    return np.kron(operator, operator.conj())
+    return arrays.kron(operator, operator.conj())
 
 
 def channel_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
@@ -74,7 +75,7 @@ def channel_superoperator(kraus_operators: Sequence[np.ndarray]) -> np.ndarray:
         raise SimulationError("a channel needs at least one Kraus operator")
     total: np.ndarray = None
     for kraus in kraus_operators:
-        term = conjugation_superoperator(np.asarray(kraus, dtype=complex))
+        term = conjugation_superoperator(arrays.as_complex(kraus))
         total = term if total is None else total + term
     return total
 
@@ -99,7 +100,7 @@ class BatchedDensityMatrix:
         if num_qubits <= 0:
             raise SimulationError(f"need at least one qubit, got {num_qubits}")
         dim = 2**num_qubits
-        matrices = np.zeros((batch_size, dim, dim), dtype=complex)
+        matrices = arrays.zeros((batch_size, dim, dim))
         matrices[:, 0, 0] = 1.0
         self._batch_size = batch_size
         self._num_qubits = num_qubits
@@ -117,7 +118,7 @@ class BatchedDensityMatrix:
         non-physical user input fails here rather than surfacing later as
         silently wrong probabilities.
         """
-        matrices = np.asarray(matrices, dtype=complex)
+        matrices = arrays.as_complex(matrices)
         if matrices.ndim != 3 or matrices.shape[1] != matrices.shape[2]:
             raise SimulationError(
                 f"expected a (batch, 2**n, 2**n) density stack, got shape {matrices.shape}"
@@ -129,12 +130,16 @@ class BatchedDensityMatrix:
                 f"density stack of shape {matrices.shape} is not a non-empty "
                 "batch of power-of-two matrices"
             )
-        traces = np.real(np.einsum("bii->b", matrices))
-        if not np.allclose(traces, 1.0, atol=1e-6):
+        traces = np.real(arrays.einsum("bii->b", matrices))
+        if not np.allclose(traces, 1.0, atol=max(1e-6, arrays.state_atol())):
             raise SimulationError(
                 "every density matrix in the stack must have unit trace"
             )
-        if not np.allclose(matrices, matrices.conj().transpose(0, 2, 1), atol=1e-8):
+        if not np.allclose(
+            matrices,
+            matrices.conj().transpose(0, 2, 1),
+            atol=max(1e-8, arrays.state_atol()),
+        ):
             raise SimulationError(
                 "every density matrix in the stack must be Hermitian"
             )
@@ -179,11 +184,11 @@ class BatchedDensityMatrix:
 
     def traces(self) -> np.ndarray:
         """Per-element traces (1.0 for valid states)."""
-        return np.real(np.einsum("bii->b", self._matrices))
+        return np.real(arrays.einsum("bii->b", self._matrices))
 
     def purities(self) -> np.ndarray:
         """Per-element purities ``Tr(rho^2)``; 1.0 for pure states."""
-        return np.real(np.einsum("bij,bji->b", self._matrices, self._matrices))
+        return np.real(arrays.einsum("bij,bji->b", self._matrices, self._matrices))
 
     def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
         """Per-element Z-basis probabilities, shape ``(batch, 2**m)``.
@@ -195,7 +200,7 @@ class BatchedDensityMatrix:
         :class:`~repro.exceptions.SimulationError` instead of yielding NaN
         probabilities.
         """
-        diagonal = np.clip(np.real(np.einsum("bii->bi", self._matrices)), 0.0, None)
+        diagonal = np.clip(np.real(arrays.einsum("bii->bi", self._matrices)), 0.0, None)
         totals = diagonal.sum(axis=1)
         if not np.all(np.isfinite(totals)) or np.any(totals <= 0.0):
             raise SimulationError(
@@ -228,7 +233,7 @@ class BatchedDensityMatrix:
         ``(4**k, 4**k)``) or a per-element ``(batch, 2**k, 2**k)`` stack
         (term shape ``(batch, 4**k, 4**k)``).
         """
-        operator = np.asarray(operator, dtype=complex)
+        operator = arrays.as_complex(operator)
         if operator.ndim == 3:
             if operator.shape != (self._batch_size, 2**k, 2**k):
                 raise SimulationError(
@@ -244,7 +249,7 @@ class BatchedDensityMatrix:
             raise SimulationError(
                 f"operator shape {operator.shape} does not match {k} qubit(s)"
             )
-        return np.kron(operator, operator.conj()), False
+        return arrays.kron(operator, operator.conj()), False
 
     def _apply_superop(
         self, superop: np.ndarray, qubits: Tuple[int, ...], per_element: bool
@@ -270,10 +275,10 @@ class BatchedDensityMatrix:
         moved_shape = moved.shape
         if per_element:
             flat = np.ascontiguousarray(moved).reshape(self._batch_size, -1, 4**k)
-            out = np.matmul(flat, superop.transpose(0, 2, 1))
+            out = arrays.matmul(flat, superop.transpose(0, 2, 1))
         else:
             flat = np.ascontiguousarray(moved).reshape(-1, 4**k)
-            out = flat @ superop.T
+            out = arrays.matmul(flat, superop.T)
         out = np.moveaxis(out.reshape(moved_shape), dest_axes, source_axes)
         self._matrices = np.ascontiguousarray(out).reshape(self._batch_size, dim, dim)
 
@@ -291,7 +296,7 @@ class BatchedDensityMatrix:
         """
         qubits = self._check_qubits(qubits)
         k = len(qubits)
-        superop = np.asarray(superop, dtype=complex)
+        superop = arrays.as_complex(superop)
         per_element = superop.ndim == 3
         expected = (
             (self._batch_size, 4**k, 4**k) if per_element else (4**k, 4**k)

@@ -15,6 +15,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.arrays import COMPLEX_DTYPE
+
 from repro.quantum import gates
 from repro.quantum.density_matrix import DensityMatrix
 from repro.quantum.statevector import Statevector
@@ -61,7 +63,7 @@ class BlochVector:
 
 def bloch_vector_from_density_matrix(rho: np.ndarray) -> BlochVector:
     """Bloch vector of a single-qubit density matrix."""
-    rho = np.asarray(rho, dtype=complex)
+    rho = np.asarray(rho, dtype=COMPLEX_DTYPE)
     if rho.shape != (2, 2):
         raise ValueError(f"expected a 2x2 density matrix, got shape {rho.shape}")
     x = float(np.real(np.trace(rho @ gates.PAULI_X)))

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import arrays
 from repro.exceptions import SimulationError
 from repro.quantum.operations import Instruction
 from repro.quantum.statevector import Statevector
@@ -38,24 +39,24 @@ class DensityMatrix:
             num_qubits = int(data)
             if num_qubits <= 0:
                 raise SimulationError(f"need at least one qubit, got {num_qubits}")
-            matrix = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+            matrix = arrays.zeros((2**num_qubits, 2**num_qubits))
             matrix[0, 0] = 1.0
         elif isinstance(data, Statevector):
             vector = data.data
-            matrix = np.outer(vector, vector.conj())
+            matrix = arrays.outer(vector, vector.conj())
             num_qubits = data.num_qubits
         else:
-            matrix = np.asarray(data, dtype=complex).copy()
+            matrix = arrays.as_complex(data).copy()
             if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
                 raise SimulationError(f"density matrix must be square, got shape {matrix.shape}")
             dim = matrix.shape[0]
             num_qubits = int(round(math.log2(dim)))
             if 2**num_qubits != dim:
                 raise SimulationError(f"density matrix dimension {dim} is not a power of two")
-            trace = np.trace(matrix).real
-            if not math.isclose(trace, 1.0, abs_tol=1e-6):
+            trace = arrays.trace(matrix).real
+            if not math.isclose(trace, 1.0, abs_tol=max(1e-6, arrays.state_atol())):
                 raise SimulationError(f"density matrix must have unit trace, got {trace:.6f}")
-            if not np.allclose(matrix, matrix.conj().T, atol=1e-8):
+            if not np.allclose(matrix, matrix.conj().T, atol=max(1e-8, arrays.state_atol())):
                 # A non-Hermitian operator is not a physical state: its
                 # diagonal need not be real, so downstream "probabilities"
                 # would silently go negative or complex.  Fail at
@@ -99,11 +100,11 @@ class DensityMatrix:
 
     def trace(self) -> float:
         """Trace of the density matrix (1.0 for a valid state)."""
-        return float(np.trace(self._matrix).real)
+        return float(arrays.trace(self._matrix).real)
 
     def purity(self) -> float:
         """Purity ``Tr(rho^2)``; 1.0 for pure states."""
-        return float(np.trace(self._matrix @ self._matrix).real)
+        return float(arrays.trace(arrays.matmul(self._matrix, self._matrix)).real)
 
     def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
         """Z-basis measurement probabilities, optionally marginalised.
@@ -148,11 +149,11 @@ class DensityMatrix:
         """Embed a ``k``-qubit operator into the full ``n``-qubit space."""
         n = self._num_qubits
         k = len(qubits)
-        op_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-        identity = np.eye(2**n, dtype=complex).reshape((2,) * (2 * n))
+        op_tensor = arrays.as_complex(matrix).reshape((2,) * (2 * k))
+        identity = arrays.eye(2**n).reshape((2,) * (2 * n))
         # Contract the operator's input axes with the identity's output axes
         # at the target positions to place the operator on ``qubits``.
-        out = np.tensordot(op_tensor, identity, axes=(tuple(range(k, 2 * k)), qubits))
+        out = arrays.tensordot(op_tensor, identity, axes=(tuple(range(k, 2 * k)), qubits))
         out = np.moveaxis(out, tuple(range(k)), qubits)
         return out.reshape(2**n, 2**n)
 
@@ -162,7 +163,7 @@ class DensityMatrix:
         for q in qubits:
             if q < 0 or q >= self._num_qubits:
                 raise SimulationError(f"qubit index {q} out of range for {self._num_qubits} qubits")
-        full = self._expand_operator(np.asarray(matrix, dtype=complex), qubits)
+        full = self._expand_operator(arrays.as_complex(matrix), qubits)
         self._matrix = full @ self._matrix @ full.conj().T
         return self
 
@@ -171,7 +172,7 @@ class DensityMatrix:
         qubits = tuple(int(q) for q in qubits)
         result = np.zeros_like(self._matrix)
         for kraus in kraus_operators:
-            full = self._expand_operator(np.asarray(kraus, dtype=complex), qubits)
+            full = self._expand_operator(arrays.as_complex(kraus), qubits)
             result += full @ self._matrix @ full.conj().T
         self._matrix = result
         return self
@@ -218,7 +219,7 @@ class DensityMatrix:
         perm = row_order + [n + axis for axis in row_order]
         tensor = np.transpose(tensor, axes=perm)
         tensor = tensor.reshape(2**k, 2 ** (n - k), 2**k, 2 ** (n - k))
-        reduced = np.einsum("ajbj->ab", tensor)
+        reduced = arrays.einsum("ajbj->ab", tensor)
         return DensityMatrix(reduced)
 
     def measure_probability(self, qubit: int, outcome: int) -> float:
@@ -230,11 +231,11 @@ class DensityMatrix:
         """Project onto ``qubit == outcome`` and renormalise."""
         if outcome not in (0, 1):
             raise SimulationError(f"measurement outcome must be 0 or 1, got {outcome}")
-        projector = np.zeros((2, 2), dtype=complex)
+        projector = arrays.zeros((2, 2))
         projector[outcome, outcome] = 1.0
         full = self._expand_operator(projector, (qubit,))
         projected = full @ self._matrix @ full.conj().T
-        norm = np.trace(projected).real
+        norm = arrays.trace(projected).real
         if norm <= 0:
             raise SimulationError(
                 f"cannot collapse qubit {qubit} onto outcome {outcome}: probability is zero"
@@ -276,7 +277,7 @@ class DensityMatrix:
         # path of every sampler; it raises instead of dividing by zero when
         # the marginal collapses to an all-zero vector.
         probs = normalize_outcome_probabilities(self.probabilities(qubits))
-        outcomes = generator.multinomial(shots, probs)
+        outcomes = arrays.multinomial(generator, shots, probs)
         width = len(qubits)
         counts: Dict[str, int] = {}
         for index, count in enumerate(outcomes):
@@ -296,11 +297,11 @@ class DensityMatrix:
         if other.num_qubits != self.num_qubits:
             raise SimulationError("fidelity requires states of equal width")
         if self.purity() > 1.0 - 1e-10 or other.purity() > 1.0 - 1e-10:
-            value = float(np.real(np.trace(self._matrix @ other._matrix)))
+            value = float(np.real(arrays.trace(arrays.matmul(self._matrix, other._matrix))))
             return min(max(value, 0.0), 1.0)
         from scipy.linalg import sqrtm
 
         sqrt_rho = sqrtm(self._matrix)
         inner = sqrtm(sqrt_rho @ other._matrix @ sqrt_rho)
-        value = float(np.real(np.trace(inner)) ** 2)
+        value = float(np.real(arrays.trace(inner)) ** 2)
         return min(max(value, 0.0), 1.0)

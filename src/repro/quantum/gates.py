@@ -29,20 +29,22 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro.arrays import COMPLEX_DTYPE
+
 #: 2x2 identity.
-I2 = np.eye(2, dtype=complex)
+I2 = np.eye(2, dtype=COMPLEX_DTYPE)
 
 #: Pauli matrices.
-PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
-PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
-PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=COMPLEX_DTYPE)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=COMPLEX_DTYPE)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=COMPLEX_DTYPE)
 
 #: Hadamard gate.
-HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=COMPLEX_DTYPE) / math.sqrt(2)
 
 #: Phase gates.
-S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
-T_GATE = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=COMPLEX_DTYPE)
+T_GATE = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=COMPLEX_DTYPE)
 
 #: Two-qubit SWAP.
 SWAP = np.array(
@@ -52,7 +54,7 @@ SWAP = np.array(
         [0, 1, 0, 0],
         [0, 0, 0, 1],
     ],
-    dtype=complex,
+    dtype=COMPLEX_DTYPE,
 )
 
 #: CNOT with the first qubit as control (little-endian local ordering).
@@ -63,11 +65,11 @@ CNOT = np.array(
         [0, 0, 0, 1],
         [0, 0, 1, 0],
     ],
-    dtype=complex,
+    dtype=COMPLEX_DTYPE,
 )
 
 #: Controlled-Z.
-CZ = np.diag([1, 1, 1, -1]).astype(complex)
+CZ = np.diag([1, 1, 1, -1]).astype(COMPLEX_DTYPE)
 
 
 def r_gate(theta: float, phi: float) -> np.ndarray:
@@ -79,7 +81,7 @@ def r_gate(theta: float, phi: float) -> np.ndarray:
             [cos, -1j * cmath.exp(-1j * phi) * sin],
             [-1j * cmath.exp(1j * phi) * sin, cos],
         ],
-        dtype=complex,
+        dtype=COMPLEX_DTYPE,
     )
 
 
@@ -87,21 +89,21 @@ def rx(theta: float) -> np.ndarray:
     """Rotation about the X axis (paper Eq. 6); equals ``R(theta, 0)``."""
     cos = math.cos(theta / 2)
     sin = math.sin(theta / 2)
-    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=COMPLEX_DTYPE)
 
 
 def ry(theta: float) -> np.ndarray:
     """Rotation about the Y axis (paper Eq. 7); equals ``R(theta, pi/2)``."""
     cos = math.cos(theta / 2)
     sin = math.sin(theta / 2)
-    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+    return np.array([[cos, -sin], [sin, cos]], dtype=COMPLEX_DTYPE)
 
 
 def rz(theta: float) -> np.ndarray:
     """Rotation about the Z axis (paper Eq. 8)."""
     return np.array(
         [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
-        dtype=complex,
+        dtype=COMPLEX_DTYPE,
     )
 
 
@@ -117,7 +119,7 @@ def u3(theta: float, phi: float, lam: float) -> np.ndarray:
             [cos, -cmath.exp(1j * lam) * sin],
             [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
         ],
-        dtype=complex,
+        dtype=COMPLEX_DTYPE,
     )
 
 
@@ -125,7 +127,7 @@ def rxx(theta: float) -> np.ndarray:
     """Two-qubit XX rotation ``exp(-i theta/2 X⊗X)`` (paper Eq. 9)."""
     cos = math.cos(theta / 2)
     sin = math.sin(theta / 2)
-    matrix = np.eye(4, dtype=complex) * cos
+    matrix = np.eye(4, dtype=COMPLEX_DTYPE) * cos
     anti = -1j * sin
     matrix[0, 3] = anti
     matrix[1, 2] = anti
@@ -138,7 +140,7 @@ def ryy(theta: float) -> np.ndarray:
     """Two-qubit YY rotation ``exp(-i theta/2 Y⊗Y)`` (paper Eq. 10)."""
     cos = math.cos(theta / 2)
     sin = math.sin(theta / 2)
-    matrix = np.eye(4, dtype=complex) * cos
+    matrix = np.eye(4, dtype=COMPLEX_DTYPE) * cos
     matrix[0, 3] = 1j * sin
     matrix[1, 2] = -1j * sin
     matrix[2, 1] = -1j * sin
@@ -156,7 +158,7 @@ def rzz(theta: float) -> np.ndarray:
     """
     minus = cmath.exp(-1j * theta / 2)
     plus = cmath.exp(1j * theta / 2)
-    return np.diag([minus, plus, plus, minus]).astype(complex)
+    return np.diag([minus, plus, plus, minus]).astype(COMPLEX_DTYPE)
 
 
 def controlled(unitary: np.ndarray) -> np.ndarray:
@@ -164,10 +166,10 @@ def controlled(unitary: np.ndarray) -> np.ndarray:
 
     The first qubit of the returned 4x4 matrix is the control.
     """
-    unitary = np.asarray(unitary, dtype=complex)
+    unitary = np.asarray(unitary, dtype=COMPLEX_DTYPE)
     if unitary.shape != (2, 2):
         raise ValueError(f"expected a 2x2 unitary, got shape {unitary.shape}")
-    gate = np.eye(4, dtype=complex)
+    gate = np.eye(4, dtype=COMPLEX_DTYPE)
     gate[2:, 2:] = unitary
     return gate
 
@@ -192,7 +194,7 @@ def cswap() -> np.ndarray:
 
     This is the central operation of the SWAP test (paper Section 3.3).
     """
-    gate = np.eye(8, dtype=complex)
+    gate = np.eye(8, dtype=COMPLEX_DTYPE)
     # Swap the target qubits only in the control=1 subspace (indices 4..7).
     gate[4:, 4:] = np.kron(np.eye(1), SWAP)
     return gate
@@ -298,7 +300,7 @@ def r_gate_batch(theta, phi) -> np.ndarray:
     theta, phi = _broadcast_params(theta, phi)
     cos = np.cos(theta / 2)
     sin = np.sin(theta / 2)
-    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out = np.zeros(theta.shape + (2, 2), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = cos
     out[..., 0, 1] = -1j * np.exp(-1j * phi) * sin
     out[..., 1, 0] = -1j * np.exp(1j * phi) * sin
@@ -311,7 +313,7 @@ def rx_batch(theta) -> np.ndarray:
     (theta,) = _broadcast_params(theta)
     cos = np.cos(theta / 2)
     sin = np.sin(theta / 2)
-    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out = np.zeros(theta.shape + (2, 2), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = cos
     out[..., 0, 1] = -1j * sin
     out[..., 1, 0] = -1j * sin
@@ -324,7 +326,7 @@ def ry_batch(theta) -> np.ndarray:
     (theta,) = _broadcast_params(theta)
     cos = np.cos(theta / 2)
     sin = np.sin(theta / 2)
-    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out = np.zeros(theta.shape + (2, 2), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = cos
     out[..., 0, 1] = -sin
     out[..., 1, 0] = sin
@@ -335,7 +337,7 @@ def ry_batch(theta) -> np.ndarray:
 def rz_batch(theta) -> np.ndarray:
     """Batched RZ rotation; shape ``(batch, 2, 2)``."""
     (theta,) = _broadcast_params(theta)
-    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out = np.zeros(theta.shape + (2, 2), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = np.exp(-1j * theta / 2)
     out[..., 1, 1] = np.exp(1j * theta / 2)
     return out
@@ -346,7 +348,7 @@ def u3_batch(theta, phi, lam) -> np.ndarray:
     theta, phi, lam = _broadcast_params(theta, phi, lam)
     cos = np.cos(theta / 2)
     sin = np.sin(theta / 2)
-    out = np.zeros(theta.shape + (2, 2), dtype=complex)
+    out = np.zeros(theta.shape + (2, 2), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = cos
     out[..., 0, 1] = -np.exp(1j * lam) * sin
     out[..., 1, 0] = np.exp(1j * phi) * sin
@@ -359,7 +361,7 @@ def rxx_batch(theta) -> np.ndarray:
     (theta,) = _broadcast_params(theta)
     cos = np.cos(theta / 2)
     anti = -1j * np.sin(theta / 2)
-    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    out = np.zeros(theta.shape + (4, 4), dtype=COMPLEX_DTYPE)
     for diag in range(4):
         out[..., diag, diag] = cos
     out[..., 0, 3] = anti
@@ -374,7 +376,7 @@ def ryy_batch(theta) -> np.ndarray:
     (theta,) = _broadcast_params(theta)
     cos = np.cos(theta / 2)
     sin = np.sin(theta / 2)
-    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    out = np.zeros(theta.shape + (4, 4), dtype=COMPLEX_DTYPE)
     for diag in range(4):
         out[..., diag, diag] = cos
     out[..., 0, 3] = 1j * sin
@@ -389,7 +391,7 @@ def rzz_batch(theta) -> np.ndarray:
     (theta,) = _broadcast_params(theta)
     minus = np.exp(-1j * theta / 2)
     plus = np.exp(1j * theta / 2)
-    out = np.zeros(theta.shape + (4, 4), dtype=complex)
+    out = np.zeros(theta.shape + (4, 4), dtype=COMPLEX_DTYPE)
     out[..., 0, 0] = minus
     out[..., 1, 1] = plus
     out[..., 2, 2] = plus
@@ -399,10 +401,10 @@ def rzz_batch(theta) -> np.ndarray:
 
 def controlled_batch(unitaries: np.ndarray) -> np.ndarray:
     """Promote batched single-qubit unitaries to controlled two-qubit gates."""
-    unitaries = np.asarray(unitaries, dtype=complex)
+    unitaries = np.asarray(unitaries, dtype=COMPLEX_DTYPE)
     if unitaries.ndim != 3 or unitaries.shape[1:] != (2, 2):
         raise ValueError(f"expected shape (batch, 2, 2), got {unitaries.shape}")
-    out = np.zeros((unitaries.shape[0], 4, 4), dtype=complex)
+    out = np.zeros((unitaries.shape[0], 4, 4), dtype=COMPLEX_DTYPE)
     out[:, 0, 0] = 1.0
     out[:, 1, 1] = 1.0
     out[:, 2:, 2:] = unitaries
@@ -483,7 +485,7 @@ def gate_matrix_batch(name: str, *params) -> np.ndarray:
 
 def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
     """Check whether ``matrix`` is unitary within tolerance ``atol``."""
-    matrix = np.asarray(matrix, dtype=complex)
+    matrix = np.asarray(matrix, dtype=COMPLEX_DTYPE)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         return False
     product = matrix.conj().T @ matrix

@@ -7,6 +7,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from repro import arrays
 from repro.exceptions import SimulationError
 
 #: Default seed used when :func:`counts_from_probabilities` is called without
@@ -146,7 +147,7 @@ def counts_from_probabilities(
         if num_bits is None:
             num_bits = len(keys[0])
     probs = normalize_outcome_probabilities(probs)
-    samples = generator.multinomial(shots, probs)
+    samples = arrays.multinomial(generator, shots, probs)
     data = {key: int(count) for key, count in zip(keys, samples) if count > 0}
     return Counts(data)
 

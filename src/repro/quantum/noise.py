@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.arrays import COMPLEX_DTYPE
+
 from repro.exceptions import NoiseError, SimulationError
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -57,8 +59,8 @@ def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
     """
     if not 0.0 <= gamma <= 1.0:
         raise SimulationError(f"gamma must be in [0, 1], got {gamma}")
-    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
-    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=COMPLEX_DTYPE)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=COMPLEX_DTYPE)
     return [k0, k1]
 
 
@@ -69,8 +71,8 @@ def phase_damping_kraus(gamma: float) -> List[np.ndarray]:
     """
     if not 0.0 <= gamma <= 1.0:
         raise SimulationError(f"gamma must be in [0, 1], got {gamma}")
-    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=complex)
-    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(gamma)]], dtype=complex)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - gamma)]], dtype=COMPLEX_DTYPE)
+    k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(gamma)]], dtype=COMPLEX_DTYPE)
     return [k0, k1]
 
 
@@ -120,11 +122,11 @@ def thermal_relaxation_kraus(t1: float, t2: float, gate_time: float) -> List[np.
 
 def is_valid_channel(kraus_operators: Sequence[np.ndarray], atol: float = 1e-8) -> bool:
     """Check the completeness relation ``sum_k K_k† K_k = I``."""
-    kraus_operators = [np.asarray(k, dtype=complex) for k in kraus_operators]
+    kraus_operators = [np.asarray(k, dtype=COMPLEX_DTYPE) for k in kraus_operators]
     if not kraus_operators:
         return False
     dim = kraus_operators[0].shape[1]
-    total = np.zeros((dim, dim), dtype=complex)
+    total = np.zeros((dim, dim), dtype=COMPLEX_DTYPE)
     for kraus in kraus_operators:
         total += kraus.conj().T @ kraus
     return bool(np.allclose(total, np.eye(dim), atol=atol))

@@ -48,7 +48,9 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro import arrays
 from repro.analysis.verify import full_verification_enabled
+from repro.arrays import COMPLEX_DTYPE
 from repro.exceptions import SimulationError
 from repro.quantum import gates as gate_library
 from repro.quantum.batched import BatchedStatevector
@@ -714,10 +716,13 @@ def gate_noise_superoperator(
             # gate's qubits in turn; lift its Kraus operators to the k-qubit
             # block with identities around the target position, exactly like
             # the per-gate ``apply_kraus(channel, (qubit,))`` dispatch.
-            before = np.eye(2**position)
-            after = np.eye(2 ** (k - 1 - position))
+            before = np.eye(2**position, dtype=COMPLEX_DTYPE)
+            after = np.eye(2 ** (k - 1 - position), dtype=COMPLEX_DTYPE)
             lifted = [
-                np.kron(np.kron(before, np.asarray(kraus, dtype=complex)), after)
+                arrays.kron(
+                    arrays.kron(before, np.asarray(kraus, dtype=COMPLEX_DTYPE)),
+                    after,
+                )
                 for kraus in channel
             ]
             fold(channel_superoperator(lifted))

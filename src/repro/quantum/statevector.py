@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import arrays
 from repro.exceptions import SimulationError
 from repro.quantum.operations import Instruction
 from repro.utils.rng import RandomState, ensure_rng
@@ -85,20 +86,20 @@ class Statevector:
             num_qubits = int(data)
             if num_qubits <= 0:
                 raise SimulationError(f"need at least one qubit, got {num_qubits}")
-            amplitudes = np.zeros(2**num_qubits, dtype=complex)
+            amplitudes = arrays.zeros(2**num_qubits)
             amplitudes[0] = 1.0
         else:
-            amplitudes = np.asarray(data, dtype=complex).ravel().copy()
+            amplitudes = arrays.as_complex(data).ravel().copy()
             size = amplitudes.shape[0]
             num_qubits = int(round(math.log2(size))) if size else 0
             if size == 0 or 2**num_qubits != size:
                 raise SimulationError(f"amplitude vector length {size} is not a power of two")
-            norm = np.linalg.norm(amplitudes)
+            norm = arrays.norm(amplitudes)
             if norm == 0:
                 raise SimulationError("amplitude vector must not be zero")
             if normalize:
                 amplitudes = amplitudes / norm
-            elif not math.isclose(norm, 1.0, abs_tol=1e-8):
+            elif not math.isclose(norm, 1.0, abs_tol=arrays.state_atol()):
                 raise SimulationError(
                     f"amplitude vector is not normalised (norm={norm:.6f}); "
                     "pass normalize=True to renormalise"
@@ -119,7 +120,7 @@ class Statevector:
         if not label or any(ch not in "01" for ch in label):
             raise SimulationError(f"label must be a non-empty bit string, got {label!r}")
         index = int(label, 2)
-        amplitudes = np.zeros(2 ** len(label), dtype=complex)
+        amplitudes = arrays.zeros(2 ** len(label))
         amplitudes[index] = 1.0
         return cls(amplitudes)
 
@@ -139,7 +140,7 @@ class Statevector:
 
     def norm(self) -> float:
         """Euclidean norm of the amplitude vector (1.0 for a valid state)."""
-        return float(np.linalg.norm(self._amplitudes))
+        return float(arrays.norm(self._amplitudes))
 
     def probabilities(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
         """Measurement probabilities, optionally marginalised onto ``qubits``.
@@ -167,7 +168,7 @@ class Statevector:
         """
         qubits = tuple(int(q) for q in qubits)
         k = len(qubits)
-        matrix = np.asarray(matrix, dtype=complex)
+        matrix = arrays.as_complex(matrix)
         if matrix.shape != (2**k, 2**k):
             raise SimulationError(
                 f"matrix shape {matrix.shape} does not match {k} qubit(s)"
@@ -180,7 +181,9 @@ class Statevector:
         gate_tensor = matrix.reshape((2,) * (2 * k))
         # Contract the gate's input axes (the last k axes of gate_tensor) with
         # the state's target-qubit axes.
-        moved = np.tensordot(gate_tensor, tensor, axes=(tuple(range(k, 2 * k)), qubits))
+        moved = arrays.tensordot(
+            gate_tensor, tensor, axes=(tuple(range(k, 2 * k)), qubits)
+        )
         # tensordot puts the gate's output axes first; move them back to the
         # target-qubit positions.
         moved = np.moveaxis(moved, tuple(range(k)), qubits)
@@ -234,7 +237,7 @@ class Statevector:
         tensor = tensor.copy()
         tensor[tuple(index)] = 0.0
         flat = tensor.reshape(-1)
-        norm = np.linalg.norm(flat)
+        norm = arrays.norm(flat)
         if norm == 0:
             raise SimulationError(
                 f"cannot collapse qubit {qubit} onto outcome {outcome}: probability is zero"
@@ -267,7 +270,7 @@ class Statevector:
         generator = ensure_rng(rng)
         qubits = tuple(range(self._num_qubits)) if qubits is None else tuple(qubits)
         probs = self.probabilities(qubits)
-        outcomes = generator.multinomial(shots, probs)
+        outcomes = arrays.multinomial(generator, shots, probs)
         width = len(qubits)
         counts: Dict[str, int] = {}
         for index, count in enumerate(outcomes):
@@ -285,7 +288,7 @@ class Statevector:
                 f"cannot take inner product of {self.num_qubits}- and "
                 f"{other.num_qubits}-qubit states"
             )
-        return complex(np.vdot(self._amplitudes, other._amplitudes))
+        return complex(arrays.vdot(self._amplitudes, other._amplitudes))
 
     def fidelity(self, other: "Statevector") -> float:
         """State fidelity ``|<self|other>|**2``."""
@@ -293,7 +296,7 @@ class Statevector:
 
     def tensor(self, other: "Statevector") -> "Statevector":
         """Tensor product ``self ⊗ other`` (self's qubits come first)."""
-        return Statevector(np.kron(self._amplitudes, other._amplitudes))
+        return Statevector(arrays.kron(self._amplitudes, other._amplitudes))
 
     def equiv(self, other: "Statevector", atol: float = 1e-8) -> bool:
         """Whether two states are equal up to a global phase."""

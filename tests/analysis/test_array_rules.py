@@ -1,0 +1,158 @@
+"""Tests for the array-API seam lint rules (REP201/REP202).
+
+Same corpus style as ``test_lint.py``: small in-memory sources under
+crafted virtual paths, exact codes and line numbers asserted.  The
+positive cases mirror the real pre-seam spellings that PR 8 rewired
+(literal ``dtype=complex`` buffers, direct ``np.einsum`` in the batched
+engines, bare ``generator.multinomial`` at the sampling boundary).
+"""
+
+from repro.analysis.lint import lint_source
+from repro.analysis.rules import select_rules
+
+ENGINE = "src/repro/quantum/batched.py"
+LIBRARY = "src/repro/core/swap_test.py"
+
+
+def lint(source, path, *codes):
+    findings, _ = lint_source(source, path, select_rules(codes or None))
+    return [(d.code, d.location.line) for d in findings]
+
+
+class TestRep201ComplexDtypeLiterals:
+    def test_dtype_keyword_builtin_complex(self):
+        source = (
+            "import numpy as np\n"
+            "def make_state(n):\n"
+            "    return np.zeros(2**n, dtype=complex)\n"
+        )
+        assert lint(source, LIBRARY, "REP201") == [("REP201", 3)]
+
+    def test_dtype_keyword_np_complex128(self):
+        source = (
+            "import numpy as np\n"
+            "GATE = np.eye(2, dtype=np.complex128)\n"
+        )
+        assert lint(source, LIBRARY, "REP201") == [("REP201", 2)]
+
+    def test_astype_cast(self):
+        source = (
+            "import numpy as np\n"
+            "def lift(matrix):\n"
+            "    return np.asarray(matrix).astype(np.complex64)\n"
+        )
+        assert lint(source, LIBRARY, "REP201") == [("REP201", 3)]
+
+    def test_seam_package_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "COMPLEX_DTYPE = np.dtype(np.complex128)\n"
+            "def zeros(shape):\n"
+            "    return np.zeros(shape, dtype=np.complex128)\n"
+        )
+        assert lint(source, "src/repro/arrays/__init__.py", "REP201") == []
+
+    def test_canonical_constant_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.arrays import COMPLEX_DTYPE\n"
+            "GATE = np.eye(2, dtype=COMPLEX_DTYPE)\n"
+        )
+        assert lint(source, LIBRARY, "REP201") == []
+
+    def test_real_dtype_literal_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "readout = np.zeros((4, 2), dtype=np.float64)\n"
+        )
+        assert lint(source, LIBRARY, "REP201") == []
+
+    def test_tests_and_benchmarks_are_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "expected = np.zeros(4, dtype=complex)\n"
+        )
+        assert lint(source, "tests/quantum/test_example.py", "REP201") == []
+        assert lint(source, "benchmarks/bench_example.py", "REP201") == []
+
+
+class TestRep202EngineKernelSeam:
+    def test_direct_np_einsum_in_engine(self):
+        source = (
+            "import numpy as np\n"
+            "def apply(states, matrix):\n"
+            "    return np.einsum('ij,bj->bi', matrix, states)\n"
+        )
+        assert lint(source, ENGINE, "REP202") == [("REP202", 3)]
+
+    def test_direct_np_linalg_in_engine(self):
+        source = (
+            "import numpy as np\n"
+            "def norms(states):\n"
+            "    return np.linalg.norm(states, axis=1)\n"
+        )
+        assert lint(source, ENGINE, "REP202") == [("REP202", 3)]
+
+    def test_bare_generator_multinomial(self):
+        source = (
+            "def sample(generator, shots, pvals):\n"
+            "    return generator.multinomial(shots, pvals)\n"
+        )
+        assert lint(source, "src/repro/quantum/measurement.py", "REP202") == [
+            ("REP202", 2)
+        ]
+
+    def test_seam_calls_are_clean(self):
+        source = (
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def apply(states, matrix, generator, shots, pvals):\n"
+            "    moved = arrays.einsum('ij,bj->bi', arrays.as_complex(matrix), states)\n"
+            "    norms = arrays.norm(moved, axis=1)\n"
+            "    counts = arrays.multinomial(generator, shots, pvals)\n"
+            "    return moved, norms, counts\n"
+        )
+        assert lint(source, ENGINE, "REP202") == []
+
+    def test_structural_np_helpers_are_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def shuffle(states, perm):\n"
+            "    flat = np.asarray(states)\n"
+            "    moved = np.moveaxis(flat.reshape(2, 2, -1), 0, 1)\n"
+            "    return np.clip(np.abs(moved), 0.0, 1.0)\n"
+        )
+        assert lint(source, ENGINE, "REP202") == []
+
+    def test_non_engine_library_module_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def overlap(a, b):\n"
+            "    return np.vdot(a, b)\n"
+        )
+        assert lint(source, "src/repro/core/fidelity_math.py", "REP202") == []
+
+    def test_every_engine_module_is_covered(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.matmul(np.eye(2), np.eye(2))\n"
+        )
+        from repro.analysis.rules.arrays import ArraySeamRule
+
+        for suffix in ArraySeamRule.ENGINE_MODULES:
+            assert lint(source, f"src/repro/{suffix}", "REP202") == [
+                ("REP202", 2)
+            ], suffix
+
+    def test_suppression_with_justification_is_honoured(self):
+        source = (
+            "import numpy as np\n"
+            "def raw(states):\n"
+            "    return np.einsum('bi->b', states)  "
+            "# repro: noqa REP202 -- measured: wrapper overhead dominates here\n"
+        )
+        findings, suppressed = lint_source(
+            source, ENGINE, select_rules(["REP202"])
+        )
+        assert findings == []
+        assert suppressed == 1

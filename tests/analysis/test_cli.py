@@ -174,3 +174,58 @@ class TestSuppressionAccounting:
         engines = {entry["engine"] for entry in cost}
         assert engines == {"statevector", "density"}
         assert all(entry["peak_bytes"] > 0 for entry in cost)
+
+
+SHAPE_VIOLATION = (
+    "import numpy as np\n"
+    "def f(a, b):\n"
+    "    return np.einsum('ij,jk->ik', a)\n"
+)
+
+
+class TestShapeFamilyIntegration:
+    """The VER3xx shape family rides the same CLI as lint and flow."""
+
+    def test_shape_finding_surfaces_with_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/quantum/batched.py", SHAPE_VIOLATION)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "VER301" in out
+
+    def test_select_ver301_runs_only_the_shape_family(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/quantum/batched.py", SHAPE_VIOLATION)
+        write(tmp_path, "src/repro/bad.py", VIOLATION)
+        assert main([str(tmp_path), "--select", "VER301"]) == 1
+        payload_codes = capsys.readouterr().out
+        assert "VER301" in payload_codes
+        assert "REP001" not in payload_codes
+
+    def test_select_lint_code_skips_shape_family(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/quantum/batched.py", SHAPE_VIOLATION)
+        assert main([str(tmp_path), "--select", "REP001"]) == 0
+        capsys.readouterr()
+
+    def test_shape_finding_in_sarif_catalogue(self, tmp_path, capsys):
+        from repro.analysis.sarif import validate_sarif_payload
+
+        write(tmp_path, "src/repro/quantum/batched.py", SHAPE_VIOLATION)
+        assert main([str(tmp_path), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_sarif_payload(payload) == []
+        # The same fixture trips both families: the shape contract
+        # (VER301) and the kernel-seam lint rule (REP202).
+        rule_ids = {r["ruleId"] for r in payload["runs"][0]["results"]}
+        assert rule_ids == {"VER301", "REP202"}
+
+    def test_shape_suppressions_counted(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "src/repro/quantum/batched.py",
+            SHAPE_VIOLATION.replace(
+                ", a)",
+                ", a)  # repro: noqa VER301, REP202 -- corpus fixture",
+            ),
+        )
+        assert main([str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["suppressed_by_code"].get("VER301") == 1

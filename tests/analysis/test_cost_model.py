@@ -244,3 +244,38 @@ class TestTracemallocCalibration:
             f"predicted {report.peak_bytes} vs measured {measured} "
             f"(ratio {ratio:.2f})"
         )
+
+
+class TestDtypeAwareCost:
+    """Peak-bytes predictions track the repro.arrays precision knob."""
+
+    def _report(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_circuit_sweep(4, 8, 2**program.num_qubits, 2**20)
+        return estimate_cost(program, plan)
+
+    def test_double_mode_is_16_bytes_per_amplitude(self):
+        from repro import arrays
+
+        report = self._report()
+        assert report.bytes_per_amplitude == 16
+        assert report.bytes_per_amplitude == arrays.complex_itemsize()
+
+    def test_single_mode_halves_the_amplitude_term(self):
+        from repro import arrays
+
+        double = self._report()
+        with arrays.precision("single"):
+            single = self._report()
+        assert single.bytes_per_amplitude == 8
+        assert single.peak_amplitudes == double.peak_amplitudes
+        # Only amplitude bytes follow the knob — the float64 bindings and
+        # read-out buffers (the sampling boundary) are knob-independent,
+        # so the delta is exactly the halved amplitude term.
+        amplitude_term = 3 * double.peak_amplitudes * 16
+        assert double.peak_bytes - single.peak_bytes == amplitude_term // 2
+        assert single.peak_bytes < double.peak_bytes
+
+    def test_bytes_per_amplitude_serialized(self):
+        payload = self._report().to_dict()
+        assert payload["bytes_per_amplitude"] == 16

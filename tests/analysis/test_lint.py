@@ -186,8 +186,10 @@ class TestRep004EngineRng:
         assert codes(findings) == ["REP004"]
 
     def test_rng_parameter_use_is_clean(self):
+        # REP004 only — a bare .multinomial in an engine module is now
+        # (correctly) REP202 territory, covered in test_array_rules.py.
         source = "def sample(rng, n):\n    return rng.multinomial(n, [1.0])\n"
-        findings, _ = lint(source, path=self.ENGINE)
+        findings, _ = lint(source, path=self.ENGINE, rules=select_rules(["REP004"]))
         assert findings == []
 
     def test_non_engine_library_module_allows_seeded_rng(self):
@@ -357,3 +359,74 @@ class TestRep106Sleep:
         source = "def park(driver):\n    driver.sleep()\n"
         findings, _ = lint(source)
         assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Suppressions on multi-line statements
+# --------------------------------------------------------------------------- #
+
+
+class TestMultiLineSuppressions:
+    """A noqa anywhere on a wrapped statement covers the whole statement.
+
+    Diagnostics anchor at a statement's *first* line, but a formatter is
+    free to push the trailing comment onto the closing-paren line — the
+    suppression must still land.  Regression for the old per-line index.
+    """
+
+    WRAPPED = (
+        "import numpy as np\n"
+        "def helper():\n"
+        "    rng = np.random.default_rng(\n"
+        "        None,\n"
+        "    )  # repro: noqa REP001 -- interactive helper, caller seeds\n"
+        "    return rng\n"
+    )
+
+    def test_noqa_on_closing_line_suppresses(self):
+        findings, suppressed = lint(self.WRAPPED)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_noqa_on_first_line_still_works(self):
+        source = (
+            "import numpy as np\n"
+            "def helper():\n"
+            "    rng = np.random.default_rng(  # repro: noqa REP001 -- caller seeds\n"
+            "        None,\n"
+            "    )\n"
+            "    return rng\n"
+        )
+        findings, suppressed = lint(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_without_noqa_the_wrapped_call_still_flags(self):
+        source = self.WRAPPED.replace(
+            "  # repro: noqa REP001 -- interactive helper, caller seeds", ""
+        )
+        findings, _ = lint(source)
+        assert codes(findings) == ["REP001"]
+        assert findings[0].location.line == 3
+
+    def test_bare_noqa_on_wrapped_statement_is_still_rep000(self):
+        source = self.WRAPPED.replace(" -- interactive helper, caller seeds", "")
+        findings, suppressed = lint(source)
+        assert sorted(codes(findings)) == ["REP000", "REP001"]
+        assert suppressed == 0
+
+    def test_body_noqa_does_not_blanket_the_enclosing_def(self):
+        # The extent of a compound statement is its *header* only — a
+        # justified noqa inside a function body must not swallow findings
+        # on sibling lines.
+        source = (
+            "import numpy as np\n"
+            "def helper():\n"
+            "    a = np.random.default_rng(None)  # repro: noqa REP001 -- fixture\n"
+            "    b = np.random.default_rng(None)\n"
+            "    return a, b\n"
+        )
+        findings, suppressed = lint(source)
+        assert codes(findings) == ["REP001"]
+        assert findings[0].location.line == 4
+        assert suppressed == 1

@@ -139,3 +139,35 @@ class TestSarifCli:
         (result,) = payload["runs"][0]["results"]
         assert result["ruleId"] == "REP001"
         assert result["level"] == "error"
+
+
+class TestStartColumnContract:
+    """SARIF columns are 1-based; the payload boundary owns the clamp."""
+
+    def test_zero_column_is_clamped_to_one(self):
+        payload = sarif_payload([diag(column=0)])
+        region = payload["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 1
+        assert validate_sarif_payload(payload) == []
+
+    def test_positive_columns_pass_through(self):
+        payload = sarif_payload([diag(column=7)])
+        region = payload["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 7
+
+    def test_validator_rejects_non_positive_start_column(self):
+        payload = sarif_payload([diag()])
+        region = payload["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        for bad in (0, -3, "2"):
+            region["startColumn"] = bad
+            problems = validate_sarif_payload(payload)
+            assert problems, f"startColumn={bad!r} must be rejected"
+            assert any("startColumn" in p for p in problems)
+        region["startColumn"] = 1
+        assert validate_sarif_payload(payload) == []

@@ -1,0 +1,434 @@
+"""Tests for the shape/dtype abstract interpreter (VER301–VER304).
+
+Three layers: the dtype lattice's promotion algebra, a malformed-kernel
+corpus asserting each AST check fires with the exact code (and stays
+silent on the sanctioned spellings), and the VER302 program-metadata
+verifier over hand-broken compiled programs.  The tier-1 gate at the
+bottom keeps ``src/`` + ``benchmarks/`` clean under the interpreter.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.shapes import (
+    ENGINE_MODULE_SUFFIXES,
+    SHAPE_CODES,
+    analyze_paths,
+    analyze_source,
+    analyze_sources,
+    verify_program_shapes,
+    verify_reference_shapes,
+)
+from repro.analysis.shapes.lattice import (
+    BOOL,
+    COMPLEX64,
+    COMPLEX128,
+    CONFIG_COMPLEX,
+    CONFIG_REAL,
+    FLOAT32,
+    FLOAT64,
+    INT64,
+    WEAK_FLOAT,
+    WEAK_INT,
+    breaks_configured_run,
+    promote,
+    promote_all,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: A path the engine gate accepts — corpus modules pose as an engine file.
+ENGINE_PATH = "src/repro/quantum/batched.py"
+
+
+def codes_of(source, path=ENGINE_PATH):
+    found, _ = analyze_source(source, path)
+    return [(d.code, d.location.line) for d in found]
+
+
+class TestDtypeLattice:
+    """The promotion table the VER304 check is built on."""
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            # Same-kind widths take the max.
+            (FLOAT32, FLOAT64, FLOAT64),
+            (COMPLEX64, COMPLEX128, COMPLEX128),
+            # Kind climbs bool < int < float < complex.
+            (BOOL, FLOAT32, FLOAT32),
+            (FLOAT64, COMPLEX64, COMPLEX128),
+            (FLOAT32, COMPLEX64, COMPLEX64),
+            # Integer arrays promote like hard 64-bit operands (numpy:
+            # int64 + float32 -> float64).
+            (INT64, FLOAT32, FLOAT64),
+            (INT64, COMPLEX64, COMPLEX128),
+            # Weak Python scalars adopt the array operand's width (NEP 50).
+            (WEAK_INT, FLOAT32, FLOAT32),
+            (WEAK_FLOAT, COMPLEX64, COMPLEX64),
+            (WEAK_FLOAT, INT64, FLOAT64),
+            # Configured widths stay configured against <= 32-bit company.
+            (CONFIG_COMPLEX, CONFIG_COMPLEX, CONFIG_COMPLEX),
+            (CONFIG_COMPLEX, FLOAT32, CONFIG_COMPLEX),
+            (CONFIG_REAL, WEAK_FLOAT, CONFIG_REAL),
+            (CONFIG_REAL, COMPLEX64, CONFIG_COMPLEX),
+            # ... but a hard 64-bit operand pins the result wide.
+            (CONFIG_COMPLEX, COMPLEX128, COMPLEX128),
+            (CONFIG_COMPLEX, FLOAT64, COMPLEX128),
+            (CONFIG_REAL, INT64, FLOAT64),
+        ],
+    )
+    def test_promotion_table(self, a, b, expected):
+        assert promote(a, b) == expected
+        assert promote(b, a) == expected  # promotion commutes
+
+    def test_promote_all_folds(self):
+        assert promote_all([FLOAT32, WEAK_INT, COMPLEX64]) == COMPLEX64
+        assert promote_all([]) is None
+
+    def test_breaks_configured_run_requires_both_sides(self):
+        # The VER304 signal: configured width meets hard 64.
+        assert breaks_configured_run([CONFIG_COMPLEX, COMPLEX128])
+        assert breaks_configured_run([CONFIG_REAL, FLOAT64])
+        assert breaks_configured_run([CONFIG_COMPLEX, INT64])
+        # No configured operand, or no hard-64 operand: fine.
+        assert not breaks_configured_run([COMPLEX128, FLOAT64])
+        assert not breaks_configured_run([CONFIG_COMPLEX, CONFIG_REAL])
+        assert not breaks_configured_run([CONFIG_COMPLEX, FLOAT32])
+        assert not breaks_configured_run([CONFIG_COMPLEX, WEAK_FLOAT])
+
+    def test_str_doubles_complex_bits(self):
+        assert str(COMPLEX128) == "complex128"
+        assert str(COMPLEX64) == "complex64"
+        assert str(CONFIG_COMPLEX) == "configured-complex"
+
+
+class TestVER301EinsumContracts:
+    def test_arity_mismatch(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('ij,jk->ik', a)\n"
+        )
+        assert codes == [("VER301", 3)]
+
+    def test_rank_mismatch_against_known_operand(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.zeros((3, 4, 5))\n"
+            "    return np.einsum('ij->i', a)\n"
+        )
+        assert codes == [("VER301", 4)]
+
+    def test_output_label_not_in_inputs(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('ij,jk->iz', a, b)\n"
+        )
+        assert codes == [("VER301", 3)]
+
+    def test_label_binds_two_extents(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.zeros((3, 4))\n"
+            "    b = np.zeros((5, 6))\n"
+            "    return np.einsum('ij,jk->ik', a, b)\n"
+        )
+        assert codes == [("VER301", 5)]
+
+    def test_seam_wrapper_is_checked_too(self):
+        codes = codes_of(
+            "from repro import arrays\n"
+            "def f(a):\n"
+            "    return arrays.einsum('bij,bji->b', a, a, a)\n"
+        )
+        assert codes == [("VER301", 3)]
+
+    def test_runtime_built_subscripts_are_skipped(self):
+        # The batched statevector engine builds subscripts per gate arity;
+        # an f-string carries no statically checkable contract.
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f(a, b, lhs):\n"
+            "    return np.einsum(f'{lhs}->i', a, b)\n"
+        )
+        assert codes == []
+
+    def test_consistent_symbolic_dims_are_clean(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f(batch, dim):\n"
+            "    m = np.zeros((batch, dim, dim))\n"
+            "    traces = np.einsum('bii->b', m)\n"
+            "    purity = np.einsum('bij,bji->b', m, m)\n"
+            "    return traces, purity\n"
+        )
+        assert codes == []
+
+
+class TestVER303Downcasts:
+    def test_astype_to_real(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.zeros((3,), dtype=np.complex128)\n"
+            "    return a.astype(np.float64)\n"
+        )
+        assert codes == [("VER303", 4)]
+
+    def test_asarray_to_real(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    state = arrays.as_complex(x)\n"
+            "    return np.asarray(state, dtype=float)\n"
+        )
+        assert codes == [("VER303", 5)]
+
+    def test_float_builtin_on_complex(self):
+        codes = codes_of(
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    return float(arrays.trace(arrays.as_complex(x)))\n"
+        )
+        assert codes == [("VER303", 3)]
+
+    def test_store_into_real_buffer(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    out = np.zeros((4, 4))\n"
+            "    out[0] = arrays.as_complex(x)\n"
+            "    return out\n"
+        )
+        assert codes == [("VER303", 5)]
+
+    def test_real_attribute_is_sanctioned(self):
+        codes = codes_of(
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    t = arrays.trace(arrays.as_complex(x))\n"
+            "    return float(t.real)\n"
+        )
+        assert codes == []
+
+    def test_np_abs_and_np_real_are_sanctioned(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    state = arrays.as_complex(x)\n"
+            "    probs = np.abs(state) ** 2\n"
+            "    diag = np.real(arrays.einsum('bii->bi', np.zeros((2, 4, 4), dtype=np.complex128)))\n"
+            "    return float(probs.sum()), diag\n"
+        )
+        assert codes == []
+
+
+class TestVER304ConfiguredPromotions:
+    def test_kernel_mixing_configured_and_hard64(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    gate = np.eye(4, dtype=np.complex128)\n"
+            "    state = arrays.as_complex(x)\n"
+            "    return arrays.matmul(gate, state)\n"
+        )
+        assert codes == [("VER304", 6)]
+
+    def test_matmul_operator_on_configured_state(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    full = np.zeros((4, 4), dtype=np.complex128)\n"
+            "    state = arrays.as_complex(x)\n"
+            "    return full @ state\n"
+        )
+        assert codes == [("VER304", 6)]
+
+    def test_canonical_only_is_clean(self):
+        codes = codes_of(
+            "import numpy as np\n"
+            "def f():\n"
+            "    a = np.eye(4, dtype=np.complex128)\n"
+            "    b = np.zeros((4, 4), dtype=np.complex128)\n"
+            "    return np.matmul(a, b)\n"
+        )
+        assert codes == []
+
+    def test_configured_only_is_clean(self):
+        # The engines' idiom: cast the operator at the application
+        # boundary, then contract configured x configured.
+        codes = codes_of(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(matrix, x):\n"
+            "    gate = arrays.as_complex(matrix)\n"
+            "    state = arrays.as_complex(x)\n"
+            "    return arrays.matmul(gate, state)\n"
+        )
+        assert codes == []
+
+    def test_weak_scalars_do_not_trigger(self):
+        codes = codes_of(
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    state = arrays.as_complex(x)\n"
+            "    return state * 2.0\n"
+        )
+        assert codes == []
+
+    def test_severity_is_warning(self):
+        found, _ = analyze_source(
+            "import numpy as np\n"
+            "from repro import arrays\n"
+            "def f(x):\n"
+            "    return arrays.matmul(np.eye(2, dtype=np.complex128), arrays.as_complex(x))\n",
+            ENGINE_PATH,
+        )
+        assert [d.code for d in found] == ["VER304"]
+        assert found[0].severity.value == "warning"
+
+
+class TestClassFieldSeeding:
+    def test_init_fields_flow_into_methods(self):
+        # _matrices is seeded (batch, dim, dim) in __init__; a rank-2
+        # subscript over it in a method must be caught.
+        codes = codes_of(
+            "from repro import arrays\n"
+            "class Engine:\n"
+            "    def __init__(self, batch, dim):\n"
+            "        self._matrices = arrays.zeros((batch, dim, dim))\n"
+            "    def traces(self):\n"
+            "        return arrays.einsum('bi->b', self._matrices)\n"
+        )
+        assert codes == [("VER301", 6)]
+
+
+class TestSuppressionsAndGating:
+    def test_noqa_suppresses_shape_finding(self):
+        source = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('ij,jk->ik', a)  "
+            "# repro: noqa VER301 -- corpus fixture, intentionally malformed\n"
+        )
+        found, suppressed = analyze_source(source, ENGINE_PATH)
+        assert found == []
+        assert suppressed == {"VER301": 1}
+
+    def test_non_engine_files_are_not_interpreted(self):
+        source = (
+            "import numpy as np\n"
+            "def f(a, b):\n"
+            "    return np.einsum('ij,jk->ik', a)\n"
+        )
+        result = analyze_sources([("src/repro/utils/misc.py", source)])
+        assert result.diagnostics == []
+        engine = analyze_sources([(ENGINE_PATH, source)])
+        assert [d.code for d in engine.diagnostics] == ["VER301"]
+
+    def test_engine_gate_matches_rep202_module_set(self):
+        from repro.analysis.rules.arrays import ArraySeamRule
+
+        assert set(ENGINE_MODULE_SUFFIXES) == set(ArraySeamRule.ENGINE_MODULES)
+
+    def test_code_filter_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown shape analyzer"):
+            analyze_source("x = 1\n", ENGINE_PATH, codes=["VER999"])
+
+
+class TestVER302ProgramShapes:
+    def _program(self):
+        from repro.quantum.circuit import QuantumCircuit
+        from repro.quantum.program import SweepProgram
+
+        qc = QuantumCircuit(2, 1, name="shape-probe")
+        qc.h(0)
+        qc.cry(0.3, 0, 1)
+        qc.measure(0, 0)
+        return SweepProgram.compile(qc, bind_floats=True, name="shape-probe")
+
+    def test_well_formed_program_is_clean(self):
+        program = self._program()
+        assert verify_program_shapes(program, engine="statevector") == []
+        assert verify_program_shapes(program, engine="density") == []
+
+    def test_fixed_matrix_of_wrong_block_size(self):
+        program = self._program()
+        fixed = [i for i, s in enumerate(program.steps) if s.is_fixed]
+        step = program.steps[fixed[0]]
+        object.__setattr__(step, "matrix", np.eye(3, dtype=complex))
+        findings = verify_program_shapes(program, engine="statevector")
+        assert [d.code for d in findings] == ["VER302"]
+        assert "amplitude layout" in findings[0].message
+
+    def test_density_step_plan_superoperators_checked(self):
+        from repro.quantum.program import DensitySuperoperatorEngine
+
+        program = self._program()
+        engine = DensitySuperoperatorEngine()
+        plans = list(engine.step_plans(program))
+        # Sabotage one precomposed superoperator with a foreign block size.
+        sabotaged = False
+        for index, plan in enumerate(plans):
+            if plan[1] is not None:
+                plans[index] = (plan[0], np.eye(3, dtype=complex))
+                sabotaged = True
+                break
+        assert sabotaged
+        findings = verify_program_shapes(
+            program, engine="density", step_plans=plans
+        )
+        assert [d.code for d in findings] == ["VER302"]
+        assert "4**" in findings[0].message
+
+    def test_real_superoperator_flagged(self):
+        program = self._program()
+        plans = [("fixed", np.eye(4**len(s.qubits))) for s in program.steps]
+        findings = verify_program_shapes(program, engine="density", step_plans=plans)
+        assert findings and all(d.code == "VER302" for d in findings)
+        assert "complex" in findings[0].message
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            verify_program_shapes(self._program(), engine="tensor-network")
+
+    def test_reference_suite_is_clean(self):
+        assert verify_reference_shapes() == []
+
+
+class TestSelfAnalysis:
+    """Tier-1 gate: the shipped engines interpret clean."""
+
+    def test_src_and_benchmarks_have_no_findings(self):
+        result = analyze_paths(
+            [os.path.join(REPO_ROOT, "src"), os.path.join(REPO_ROOT, "benchmarks")],
+            root=REPO_ROOT,
+        )
+        assert result.files_checked > 50
+        assert result.diagnostics == [], "\n".join(
+            d.format() for d in result.diagnostics
+        )
+
+    def test_every_engine_module_was_seen(self):
+        from repro.analysis.lint import iter_python_files, normalize_path
+
+        files = {
+            normalize_path(p, REPO_ROOT)
+            for p in iter_python_files([os.path.join(REPO_ROOT, "src")])
+        }
+        for suffix in ENGINE_MODULE_SUFFIXES:
+            assert any(f.endswith(suffix) for f in files), suffix
+
+    def test_shape_codes_catalogued(self):
+        assert set(SHAPE_CODES) == {"VER301", "VER302", "VER303", "VER304"}
