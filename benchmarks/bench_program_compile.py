@@ -1,7 +1,7 @@
 """Compile-once sweep programs: repeat-sweep speedup and tiled memory bound.
 
-Two claims of the ``SweepProgram`` refactor are measured here and recorded in
-``benchmarks/results/BENCH_program_compile.json``:
+Three claims of the ``SweepProgram`` refactor are measured here and recorded
+in ``benchmarks/results/BENCH_program_compile.json``:
 
 1. **Repeat-sweep noisy speedup from precomposition.**  The first noisy sweep
    of a structure pays for transpilation, program compilation, and the
@@ -21,10 +21,18 @@ Two claims of the ``SweepProgram`` refactor are measured here and recorded in
    tracemalloc peaks for both modes are recorded and the tiled peak must
    stay under the untiled requirement.
 
+3. **Certified plan-time fusion.**  With ``REPRO_OPTIMIZE_PROGRAMS=1`` the
+   transpile template serves a fused program whose runs of fixed gates cost
+   one precomposed superoperator contraction each instead of one per source
+   gate; the VER4xx translation validator certifies every rewrite, the
+   contraction drop is recorded through the VER2xx cost model, and the
+   noisy Iris sweep stays bit-identical to the unfused path.
+
 Runs as a pytest test (``pytest benchmarks/bench_program_compile.py -s``) or
 standalone (``PYTHONPATH=src python benchmarks/bench_program_compile.py``).
 """
 
+import os
 import time
 import tracemalloc
 
@@ -36,7 +44,11 @@ from repro.core.swap_test import SwapTestFidelityEstimator
 from repro.datasets import generate_synthetic_mnist, load_iris, prepare_task
 from repro.hardware import IBMQBackend
 from repro.quantum.backend import SampledBackend
-from repro.quantum.program import SweepProgram, TilePlan
+from repro.quantum.program import (
+    OPTIMIZE_PROGRAMS_ENV,
+    SweepProgram,
+    TilePlan,
+)
 
 DEVICE = "ibmq_london"
 SHOTS = 1024
@@ -218,11 +230,123 @@ def run_mnist_tiling_benchmark(
     }
 
 
+def run_fusion_benchmark():
+    """Certified plan-time fusion on the noisy Iris repeat sweep.
+
+    Measures the third claim: with ``REPRO_OPTIMIZE_PROGRAMS=1`` the cached
+    transpile template serves a certified fused program, every fused run of
+    fixed gates costs one superoperator contraction instead of one per
+    source gate, and — because the rewrite is certified equivalent and the
+    readout sampling consumes the RNG identically — the sweep numbers stay
+    bit-identical to the unfused path on same-seeded backends.
+    """
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.equiv import (
+        verify_fused_step,
+        verify_fused_superoperator_plan,
+        verify_translation,
+    )
+    from repro.hardware.calibration import get_calibration
+    from repro.quantum.program import DensitySuperoperatorEngine
+    from repro.quantum.transpiler import TranspileCache
+
+    model, data = _trained_iris_model()
+    samples = data.x_test
+
+    plain = SwapTestFidelityEstimator(
+        model.builder, backend=IBMQBackend(DEVICE, seed=SEED), shots=SHOTS
+    )
+    _, plain_fidelities = _timed_sweep(plain, model.parameters_, samples)
+    plain_warm_seconds = min(
+        _timed_sweep(plain, model.parameters_, samples)[0]
+        for _ in range(REPEAT_SWEEPS)
+    )
+
+    previous = os.environ.get(OPTIMIZE_PROGRAMS_ENV)
+    os.environ[OPTIMIZE_PROGRAMS_ENV] = "1"
+    try:
+        fused_estimator = SwapTestFidelityEstimator(
+            model.builder, backend=IBMQBackend(DEVICE, seed=SEED), shots=SHOTS
+        )
+        _, fused_fidelities = _timed_sweep(
+            fused_estimator, model.parameters_, samples
+        )
+        fused_warm_seconds = min(
+            _timed_sweep(fused_estimator, model.parameters_, samples)[0]
+            for _ in range(REPEAT_SWEEPS)
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(OPTIMIZE_PROGRAMS_ENV, None)
+        else:
+            os.environ[OPTIMIZE_PROGRAMS_ENV] = previous
+
+    # Static side: re-derive the template's fused program and certify every
+    # rewrite explicitly (the execution path above already did, loudly).
+    noise = get_calibration(DEVICE).noise_model()
+    cache = TranspileCache()
+    entry, _ = cache.template(model.builder.build(samples[0], model.parameters_[0]))
+    source = entry.ensure_program(optimize=False)
+    fused = entry.ensure_program(optimize=True, noise_model=noise)
+    diagnostics = list(verify_translation(source, fused))
+    engine = DensitySuperoperatorEngine(noise)
+    for step, plan in zip(fused.steps, engine.step_plans(fused)):
+        if step.fused_from:
+            diagnostics.extend(verify_fused_step(step, program_name=fused.name))
+            diagnostics.extend(
+                verify_fused_superoperator_plan(
+                    step, plan[1], noise, program_name=fused.name
+                )
+            )
+    error_codes = sorted(
+        {d.code for d in diagnostics if d.severity is Severity.ERROR}
+    )
+
+    # Contraction counts through the VER2xx cost model: fusion shrinks the
+    # step sequence, and contractions scale with it per tile.
+    rows = int(model.parameters_.shape[0])
+    element_amplitudes = 2**source.num_qubits
+    tile_plan = TilePlan.for_circuit_sweep(
+        rows,
+        int(samples.shape[0]),
+        element_amplitudes,
+        rows * int(samples.shape[0]) * element_amplitudes,
+    )
+    unfused_cost = estimate_cost(source, tile_plan, engine="density")
+    fused_cost = estimate_cost(fused, tile_plan, engine="density")
+
+    return {
+        "workload": {
+            "dataset": "iris",
+            "architecture": "s",
+            "device": DEVICE,
+            "shots": SHOTS,
+            "rows": rows,
+            "num_samples": int(samples.shape[0]),
+            "seed": SEED,
+        },
+        "certified": not error_codes,
+        "codes": error_codes,
+        "steps_unfused": len(source.steps),
+        "steps_fused": len(fused.steps),
+        "fused_steps": sum(1 for step in fused.steps if step.fused_from),
+        "contractions_unfused": int(unfused_cost.contractions),
+        "contractions_fused": int(fused_cost.contractions),
+        "contraction_reduction": float(
+            unfused_cost.contractions / fused_cost.contractions
+        ),
+        "plain_warm_seconds": plain_warm_seconds,
+        "fused_warm_seconds": fused_warm_seconds,
+        "seed_match": bool(np.array_equal(fused_fidelities, plain_fidelities)),
+    }
+
+
 def run_program_compile_benchmark():
-    """Run both measurements and return the combined payload."""
+    """Run all measurements and return the combined payload."""
     return {
         "repeat_sweep": run_repeat_sweep_benchmark(),
         "mnist_tiling": run_mnist_tiling_benchmark(),
+        "fusion": run_fusion_benchmark(),
     }
 
 
@@ -231,13 +355,16 @@ def test_program_compile_benchmark(bench_reporter):
     path = bench_reporter("program_compile", payload)
     repeat = payload["repeat_sweep"]
     tiling = payload["mnist_tiling"]
+    fusion = payload["fusion"]
     print()
     print(
         f"noisy repeat sweep: cold {repeat['cold_sweep_seconds']:.2f}s, warm "
         f"{repeat['warm_sweep_seconds']:.2f}s ({repeat['repeat_speedup']:.1f}x), "
         f"vs run_batch {repeat['speedup_vs_runbatch']:.1f}x; MNIST 17q tiled peak "
         f"{tiling['tiled_peak_bytes'] / 2**20:.0f} MiB vs untiled "
-        f"{tiling['untiled_peak_bytes'] / 2**20:.0f} MiB -> {path}"
+        f"{tiling['untiled_peak_bytes'] / 2**20:.0f} MiB; fusion "
+        f"{fusion['contractions_unfused']} -> {fusion['contractions_fused']} "
+        f"contractions -> {path}"
     )
     assert repeat["seed_match_vs_runbatch"] is True
     assert repeat["noise_plans_compiled"] == 1
@@ -245,6 +372,11 @@ def test_program_compile_benchmark(bench_reporter):
     assert tiling["seed_match_tiled_vs_untiled"] is True
     assert tiling["tiled_peak_bytes"] < tiling["untiled_requirement_bytes"]
     assert tiling["cost_findings"] == ["VER205"]
+    assert fusion["certified"] is True
+    assert fusion["codes"] == []
+    assert fusion["fused_steps"] > 0
+    assert fusion["contractions_fused"] < fusion["contractions_unfused"]
+    assert fusion["seed_match"] is True
 
 
 if __name__ == "__main__":
@@ -264,5 +396,12 @@ if __name__ == "__main__":
         f"MNIST 17q: tiled peak {tiling['tiled_peak_bytes'] / 2**20:.0f} MiB  "
         f"untiled peak {tiling['untiled_peak_bytes'] / 2**20:.0f} MiB  "
         f"reduction {tiling['peak_reduction']:.1f}x"
+    )
+    fusion = result["fusion"]
+    print(
+        f"fusion: {fusion['steps_unfused']} -> {fusion['steps_fused']} steps  "
+        f"{fusion['contractions_unfused']} -> {fusion['contractions_fused']} "
+        f"contractions  certified={fusion['certified']}  "
+        f"seed_match={fusion['seed_match']}"
     )
     print(f"report written to {report_path}")

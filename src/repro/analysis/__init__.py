@@ -1,6 +1,6 @@
 """Static analysis for the repro stack.
 
-Four coordinated pass families share one
+Five coordinated pass families share one
 :class:`~repro.analysis.diagnostics.Diagnostic` record and one CLI
 (``python -m repro.analysis``):
 
@@ -25,6 +25,15 @@ Four coordinated pass families share one
   silent complex→real downcasts, and promotions that would break a
   configured ``complex64`` run.  Backed by the :mod:`repro.arrays` seam
   and its lint rules ``REP201``/``REP202``.
+* :mod:`repro.analysis.equiv` — translation validation of the compile
+  pipeline (``VER401``–``VER430``): the fusion legality oracle, per-rewrite
+  certificates (fused unitary ≡ ordered source product, folded
+  superoperator ≡ composed source channels with CPTP preserved,
+  shared-prefix legality across shift rows), and the end-to-end witness
+  that an optimised :class:`~repro.quantum.program.SweepProgram` faithfully
+  translates its source.  The plan-time fusion pass
+  (:meth:`~repro.quantum.program.SweepProgram.optimized`) only ships
+  rewrites this family certifies.
 
 Findings flow through the shared report formats (:mod:`.report` for
 text/JSON, :mod:`.sarif` for SARIF 2.1.0) and the :mod:`.baseline` ratchet.
@@ -56,6 +65,16 @@ from repro.analysis.diagnostics import (
     format_diagnostics,
     has_errors,
     sort_diagnostics,
+)
+from repro.analysis.equiv import (
+    EQUIV_CODES,
+    can_extend_fusion,
+    shared_prefix_length,
+    verify_fused_step,
+    verify_fused_superoperator_plan,
+    verify_reference_equivalence,
+    verify_shared_prefix,
+    verify_translation,
 )
 from repro.analysis.flow import (
     FLOW_CODES,
@@ -124,6 +143,14 @@ __all__ = [
     "REPRO_VERIFY_ENV",
     "VERIFIER_CODES",
     "COST_CODES",
+    "EQUIV_CODES",
+    "can_extend_fusion",
+    "shared_prefix_length",
+    "verify_fused_step",
+    "verify_fused_superoperator_plan",
+    "verify_reference_equivalence",
+    "verify_shared_prefix",
+    "verify_translation",
     "SHAPE_CODES",
     "ShapeResult",
     "verify_program_shapes",

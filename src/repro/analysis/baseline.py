@@ -55,13 +55,27 @@ def load_baseline(path: str) -> Set[Key]:
     }
 
 
-def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> dict:
-    """Write the baseline for ``diagnostics`` to ``path``; returns the payload."""
+def write_baseline(
+    path: str, diagnostics: Sequence[Diagnostic]
+) -> Tuple[dict, int]:
+    """Write the baseline for ``diagnostics`` to ``path``.
+
+    Returns ``(payload, pruned)`` where ``pruned`` counts the stale
+    ``(code, file)`` entries of the previous baseline at ``path`` whose
+    findings no longer fire — rewriting always drops them, and reporting
+    the count makes a silently shrinking baseline visible in review.  A
+    missing or unreadable previous baseline prunes nothing.
+    """
     payload = baseline_payload(diagnostics)
+    current = {(f["code"], f["file"]) for f in payload["findings"]}
+    try:
+        stale = load_baseline(path) - current
+    except (OSError, ValueError, json.JSONDecodeError):
+        stale = set()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return payload
+    return payload, len(stale)
 
 
 def split_by_baseline(

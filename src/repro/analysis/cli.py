@@ -2,15 +2,16 @@
 
 Runs the AST contract linter, the cross-module flow analyzers, *and* the
 shape/dtype abstract interpreter over source trees (and, with
-``--verify``, the IR, cost-model, and program-shape verifiers over the
-figure suite's representative compiled programs) and reports every
-finding through the shared diagnostic pipeline::
+``--verify``, the IR, cost-model, program-shape, and translation-validation
+verifiers over the figure suite's representative compiled programs) and
+reports every finding through the shared diagnostic pipeline::
 
     python -m repro.analysis src benchmarks            # lint + flow + shapes
     python -m repro.analysis --format json             # default paths, JSON
     python -m repro.analysis --format sarif            # SARIF 2.1.0 log
     python -m repro.analysis src --select REP001,REP102
-    python -m repro.analysis --verify                  # + IR & cost checks
+    python -m repro.analysis --verify                  # + IR/cost/equiv checks
+    python -m repro.analysis --jobs 4                  # shard per-file passes
     python -m repro.analysis --baseline analysis_baseline.json
 
 Exit codes: ``0`` when no error-severity findings survive suppression (and
@@ -24,6 +25,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.diagnostics import Diagnostic, has_errors, sort_diagnostics
@@ -42,8 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Static analysis for the repro stack: AST contract linter "
             "(REP0xx/REP106/REP2xx), cross-module concurrency & determinism "
             "flow analyzers (REP101-REP104), shape/dtype abstract "
-            "interpreter (VER301-VER304), and SweepProgram IR + cost-model "
-            "verifiers (VER1xx/VER2xx)."
+            "interpreter (VER301-VER304), SweepProgram IR + cost-model "
+            "verifiers (VER1xx/VER2xx), and compile-pipeline translation "
+            "validation (VER401-VER430)."
         ),
     )
     parser.add_argument(
@@ -62,15 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="CODES",
         help="comma-separated codes to run: lint rule, flow analyzer, "
-        "and/or shape analyzer codes (default: all)",
+        "shape analyzer, and/or translation-validation codes (default: all)",
     )
     parser.add_argument(
         "--verify",
         action="store_true",
         help="additionally compile the figure suite's representative "
         "SweepPrograms and run the full IR verifier, the static cost-model "
-        "verifier, and the program-shape verifier over them (JSON output "
+        "verifier, the program-shape verifier, and the VER4xx translation "
+        "validator (fused vs source programs) over them (JSON output "
         "gains a 'cost' section)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=1,
+        help="fan the per-file passes out over N ShardExecutor workers "
+        "(default: 1, serial); finding order is deterministic either way",
     )
     parser.add_argument(
         "--baseline",
@@ -99,25 +111,31 @@ def _resolve_paths(requested: Sequence[str]) -> List[str]:
 
 
 def _split_select(selected: Optional[str]):
-    """Partition ``--select`` into (lint, flow, shapes) code families.
+    """Partition ``--select`` into (lint, flow, shapes, equiv) code families.
 
     ``None`` in a slot means "run everything in that family"; an empty
-    tuple means "run nothing".  Flow and shape analyzer codes are carved
-    out first; whatever remains must be lint rule codes, so unknown codes
-    surface through :func:`select_rules`'s error.
+    tuple means "run nothing".  Flow, shape, and translation-validation
+    codes are carved out first; whatever remains must be lint rule codes,
+    so unknown codes surface through :func:`select_rules`'s error.
     """
+    from repro.analysis.equiv import EQUIV_CODES
     from repro.analysis.flow import FLOW_CODES
     from repro.analysis.shapes import SHAPE_CODES
 
     if selected is None:
-        return None, None, None
+        return None, None, None, None
     codes = [code.strip().upper() for code in selected.split(",") if code.strip()]
     flow = tuple(code for code in codes if code in FLOW_CODES)
     shapes = tuple(code for code in codes if code in SHAPE_CODES)
+    equiv = tuple(code for code in codes if code in EQUIV_CODES)
     lint = tuple(
-        code for code in codes if code not in FLOW_CODES and code not in SHAPE_CODES
+        code
+        for code in codes
+        if code not in FLOW_CODES
+        and code not in SHAPE_CODES
+        and code not in EQUIV_CODES
     )
-    return lint, flow, shapes
+    return lint, flow, shapes, equiv
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -125,17 +143,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         paths = _resolve_paths(args.paths)
-        lint_codes, flow_codes, shape_codes = _split_select(args.select)
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        lint_codes, flow_codes, shape_codes, equiv_codes = _split_select(args.select)
         rules = select_rules(list(lint_codes)) if lint_codes else select_rules(None)
         run_lint = lint_codes is None or bool(lint_codes)
         run_flow = flow_codes is None or bool(flow_codes)
         run_shapes = shape_codes is None or bool(shape_codes)
+        run_equiv = equiv_codes is None or bool(equiv_codes)
 
         diagnostics: List[Diagnostic] = []
         files_checked = 0
         suppressed_by_code: Dict[str, int] = {}
+        timings: Dict[str, float] = {"jobs": args.jobs}
         if run_lint:
-            lint_result = lint_paths(paths, rules)
+            started = time.perf_counter()
+            lint_result = lint_paths(paths, rules, jobs=args.jobs)
+            timings["lint_seconds"] = time.perf_counter() - started
             diagnostics.extend(lint_result.diagnostics)
             files_checked = lint_result.files_checked
             merge_suppression_counts(
@@ -144,7 +168,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if run_flow:
             from repro.analysis.flow import analyze_paths
 
+            # The flow analyzers work on one cross-module graph, so they do
+            # not shard per file; --jobs covers the per-file passes.
+            started = time.perf_counter()
             flow_result = analyze_paths(paths, flow_codes)
+            timings["flow_seconds"] = time.perf_counter() - started
             diagnostics.extend(flow_result.diagnostics)
             files_checked = max(files_checked, flow_result.files_checked)
             merge_suppression_counts(
@@ -153,7 +181,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if run_shapes:
             from repro.analysis.shapes import analyze_paths as analyze_shape_paths
 
+            started = time.perf_counter()
             shape_result = analyze_shape_paths(paths, shape_codes)
+            timings["shapes_seconds"] = time.perf_counter() - started
             diagnostics.extend(shape_result.diagnostics)
             files_checked = max(files_checked, shape_result.files_checked)
             merge_suppression_counts(
@@ -169,18 +199,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.analysis.shapes import verify_reference_shapes
         from repro.analysis.verify import verify_reference_suite
 
+        started = time.perf_counter()
         diagnostics.extend(verify_reference_suite())
         diagnostics.extend(verify_reference_costs())
         diagnostics.extend(verify_reference_shapes())
+        if run_equiv:
+            from repro.analysis.equiv import verify_reference_equivalence
+
+            equiv_diagnostics = verify_reference_equivalence()
+            if equiv_codes:
+                equiv_diagnostics = [
+                    diagnostic
+                    for diagnostic in equiv_diagnostics
+                    if diagnostic.code in equiv_codes
+                ]
+            diagnostics.extend(equiv_diagnostics)
+        timings["verify_seconds"] = time.perf_counter() - started
         cost_reports = [report.to_dict() for report in reference_cost_reports()]
 
     if args.write_baseline:
         from repro.analysis.baseline import write_baseline
 
-        payload = write_baseline(args.write_baseline, diagnostics)
+        payload, pruned = write_baseline(args.write_baseline, diagnostics)
         print(
             f"wrote baseline with {len(payload['findings'])} accepted "
             f"finding(s) to {args.write_baseline}"
+            f" (pruned {pruned} stale entr{'y' if pruned == 1 else 'ies'})"
         )
         return 0
 
@@ -205,6 +249,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             suppressed=suppressed,
             suppressed_by_code=suppressed_by_code,
             cost=cost_reports,
+            timings=timings,
         )
         print(json.dumps(payload, indent=2, sort_keys=True))
     elif args.format == "sarif":

@@ -16,6 +16,7 @@ format, and the subprocess round-trip is asserted in
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Sequence
 
 from repro.analysis.diagnostics import Diagnostic, Severity, sort_diagnostics
@@ -31,9 +32,15 @@ _LEVEL_OF = {
 _LEVELS = set(_LEVEL_OF.values())
 
 
+#: partialFingerprints key of the stable context hash; versioned so the hash
+#: recipe can evolve without colliding with previously uploaded results.
+FINGERPRINT_KEY = "reproContextHash/v1"
+
+
 def rule_catalogue() -> Dict[str, str]:
     """code -> one-line description across every analysis family."""
     from repro.analysis.cost import COST_CODES
+    from repro.analysis.equiv import EQUIV_CODES
     from repro.analysis.flow import FLOW_CODES
     from repro.analysis.rules import all_rules
     from repro.analysis.shapes import SHAPE_CODES
@@ -48,7 +55,28 @@ def rule_catalogue() -> Dict[str, str]:
     catalogue.update(VERIFIER_CODES)
     catalogue.update(COST_CODES)
     catalogue.update(SHAPE_CODES)
+    catalogue.update(EQUIV_CODES)
     return catalogue
+
+
+def _context_fingerprint(diagnostic: Diagnostic, occurrence: int) -> str:
+    """Stable dedup hash: rule id + file/object anchor + message context.
+
+    Deliberately excludes line/column so code-scanning dedup survives line
+    drift from unrelated edits; ``occurrence`` disambiguates repeated
+    identical findings in the same file (ordinal within the sorted run).
+    """
+    location = diagnostic.location
+    context = "|".join(
+        (
+            diagnostic.code,
+            location.file or "",
+            location.obj or "",
+            diagnostic.message,
+            str(occurrence),
+        )
+    )
+    return hashlib.sha256(context.encode("utf-8")).hexdigest()[:32]
 
 
 def sarif_payload(diagnostics: Sequence[Diagnostic]) -> dict:
@@ -66,14 +94,26 @@ def sarif_payload(diagnostics: Sequence[Diagnostic]) -> dict:
         for code in used_codes
     ]
     results = []
+    occurrences: Dict[tuple, int] = {}
     for diagnostic in ordered:
         message = diagnostic.message
         if diagnostic.hint:
             message = f"{message} (hint: {diagnostic.hint})"
+        dedup_key = (
+            diagnostic.code,
+            diagnostic.location.file or "",
+            diagnostic.location.obj or "",
+            diagnostic.message,
+        )
+        occurrence = occurrences.get(dedup_key, 0)
+        occurrences[dedup_key] = occurrence + 1
         result = {
             "ruleId": diagnostic.code,
             "level": _LEVEL_OF[diagnostic.severity],
             "message": {"text": message},
+            "partialFingerprints": {
+                FINGERPRINT_KEY: _context_fingerprint(diagnostic, occurrence)
+            },
         }
         location = diagnostic.location
         if location.file:
@@ -162,6 +202,14 @@ def validate_sarif_payload(payload: dict) -> List[str]:
         message = result.get("message")
         if not isinstance(message, dict) or not isinstance(message.get("text"), str):
             problems.append(f"results[{index}].message.text must be a string")
+        fingerprints = result.get("partialFingerprints")
+        if not isinstance(fingerprints, dict) or not isinstance(
+            fingerprints.get(FINGERPRINT_KEY), str
+        ) or not fingerprints.get(FINGERPRINT_KEY):
+            problems.append(
+                f"results[{index}].partialFingerprints must carry a non-empty "
+                f"{FINGERPRINT_KEY!r} hash"
+            )
         for l_index, loc in enumerate(result.get("locations", [])):
             physical = loc.get("physicalLocation") if isinstance(loc, dict) else None
             if physical is None:

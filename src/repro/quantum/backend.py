@@ -504,7 +504,12 @@ class NoisyBackend(Backend):
                 )
             rows.append(circuit_values)
             names.append(circuit.name)
-        program = entry.ensure_program()
+        # Fusion stays env-/simulator-default (optimize=None); the legality
+        # oracle consults the simulator's own noise model so the density
+        # engine's folded plans certify against the channels it will apply.
+        program = entry.ensure_program(
+            noise_model=getattr(self._simulator, "noise_model", None)
+        )
         stats = self._transpile_stats(entry.result)
         self.last_transpile_stats = stats
         readout = self._simulator.run_sweep_program(

@@ -43,6 +43,7 @@ without re-binding circuits at all.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
@@ -257,16 +258,111 @@ class GateStep:
     reads a bindings column (the step is *fixed* across the whole sweep);
     parametric steps build a shared or per-element matrix from the bindings
     at execution time.
+
+    ``fused_from`` is the fusion pass's provenance: the ordered source steps
+    a fused step replaced.  It is what lets :meth:`SweepProgram.binding_row`
+    and :meth:`SweepProgram.matches_structure` keep working against original
+    circuits, what the density engine composes noise from (a fused step's
+    synthetic name must never reach a name-keyed channel lookup), and what
+    the VER4xx translation validator certifies the rewrite against.
     """
 
     name: str
     qubits: Tuple[int, ...]
     slots: Tuple[Slot, ...]
     matrix: Optional[np.ndarray] = None
+    fused_from: Optional[Tuple["GateStep", ...]] = None
 
     @property
     def is_fixed(self) -> bool:
         return self.matrix is not None
+
+
+# --------------------------------------------------------------------------- #
+# Plan-time fusion
+# --------------------------------------------------------------------------- #
+
+#: Opt-in switch for plan-time fusion on the cached execution paths (the
+#: simulators' ``run_batch`` program cache and ``TranspileCache`` templates).
+#: Off by default: fusion is certified-equivalent but regroups float matrix
+#: products, so the default paths keep the seed's bit-exact guarantees.
+OPTIMIZE_PROGRAMS_ENV = "REPRO_OPTIMIZE_PROGRAMS"
+
+
+def optimization_enabled() -> bool:
+    """Whether ``REPRO_OPTIMIZE_PROGRAMS`` asks for plan-time fusion."""
+    return os.environ.get(OPTIMIZE_PROGRAMS_ENV, "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+def resolve_optimization(flag: Optional[bool]) -> bool:
+    """Resolve a three-state ``optimize`` knob (``None`` = environment)."""
+    return optimization_enabled() if flag is None else bool(flag)
+
+
+def _lift_block(block, positions: Sequence[int], total_axes: int) -> np.ndarray:
+    """Embed an operator on ``len(positions)`` binary axes into ``total_axes``.
+
+    ``block`` is a ``(2**j, 2**j)`` matrix acting on axes ``positions`` of a
+    ``2**total_axes``-dimensional space (most-significant-axis-first index
+    convention); the result acts as the identity everywhere else.  This is
+    the engines' tensor-axis idiom — the VER4xx validator rebuilds the same
+    lift independently from ``kron`` and permutation matrices.
+    """
+    j = len(positions)
+    op = arrays.as_complex(np.asarray(block)).reshape((2,) * (2 * j))
+    ident = arrays.eye(2**total_axes).reshape((2,) * (2 * total_axes))
+    out = arrays.tensordot(
+        op, ident, axes=(tuple(range(j, 2 * j)), tuple(positions))
+    )
+    out = np.moveaxis(out, tuple(range(j)), tuple(positions))
+    return out.reshape(2**total_axes, 2**total_axes)
+
+
+def lift_matrix(
+    matrix, qubits: Sequence[int], union: Sequence[int]
+) -> np.ndarray:
+    """Lift a gate matrix on ``qubits`` to the fused ``union`` register."""
+    union = tuple(union)
+    positions = [union.index(qubit) for qubit in qubits]
+    return _lift_block(matrix, positions, len(union))
+
+
+def lift_superoperator(
+    superoperator, qubits: Sequence[int], union: Sequence[int]
+) -> np.ndarray:
+    """Lift a ``(4**k, 4**k)`` superoperator on ``qubits`` to the ``union``.
+
+    A superoperator on ``vec(rho)`` has one row-index axis and one
+    column-index axis per qubit; both families lift to the same qubit
+    positions, offset by the union width on the column side.
+    """
+    union = tuple(union)
+    m = len(union)
+    positions = [union.index(qubit) for qubit in qubits]
+    return _lift_block(
+        superoperator, positions + [m + p for p in positions], 2 * m
+    )
+
+
+def _fuse_run(run: Sequence[GateStep]) -> GateStep:
+    """Merge a legal run of fixed steps into one provenance-carrying step."""
+    union = tuple(sorted({qubit for step in run for qubit in step.qubits}))
+    matrix: Optional[np.ndarray] = None
+    for step in run:
+        lifted = lift_matrix(step.matrix, step.qubits, union)
+        matrix = lifted if matrix is None else lifted @ matrix
+    return GateStep(
+        name="fused(" + "+".join(step.name for step in run) + ")",
+        qubits=union,
+        slots=(),
+        matrix=matrix,
+        fused_from=tuple(run),
+    )
 
 
 class SweepProgram:
@@ -317,8 +413,16 @@ class SweepProgram:
         bind_floats: bool,
         parameters: Optional[Sequence[Parameter]] = None,
         name: Optional[str] = None,
+        optimize: bool = False,
+        noise_model: Optional[NoiseModel] = None,
     ) -> "SweepProgram":
         """Compile one representative circuit into a sweep program.
+
+        ``optimize=True`` additionally runs the certified plan-time fusion
+        pass (:meth:`optimized`) on the result; ``noise_model`` is the model
+        the program will execute under, consulted by the fusion legality
+        oracle's channel-commutation checks (pass the density engine's model
+        for noisy sweeps, ``None`` for statevector execution).
 
         Two modes cover every consumer:
 
@@ -446,6 +550,121 @@ class SweepProgram:
         from repro.analysis.verify import verify_compilation
 
         verify_compilation(program)
+        if optimize:
+            program = program.optimized(noise_model=noise_model)
+        return program
+
+    # ------------------------------------------------------------------ #
+    # Plan-time fusion
+    # ------------------------------------------------------------------ #
+    def source_steps(self) -> Iterator[GateStep]:
+        """The original compiled steps, flattened through fusion provenance.
+
+        On an unoptimised program this is just ``iter(self.steps)``; on an
+        optimised one it re-yields the exact pre-fusion step sequence, which
+        is what keeps circuit-facing structure checks and binding extraction
+        working unchanged.
+        """
+        for step in self.steps:
+            if step.fused_from:
+                yield from step.fused_from
+            else:
+                yield step
+
+    def _with_steps(self, steps: Sequence[GateStep]) -> "SweepProgram":
+        return SweepProgram(
+            num_qubits=self.num_qubits,
+            num_clbits=self.num_clbits,
+            steps=steps,
+            measured_qubits=self.measured_qubits,
+            clbits=self.clbits,
+            num_columns=self.num_columns,
+            parameters=self.parameters,
+            column_sites=self.column_sites,
+            name=self.name,
+        )
+
+    def optimized(
+        self,
+        *,
+        noise_model: Optional[NoiseModel] = None,
+        max_fused_qubits: Optional[int] = None,
+        atol: Optional[float] = None,
+    ) -> "SweepProgram":
+        """Certified plan-time fusion: merge legal runs of fixed gates.
+
+        Walks the step sequence greedily, growing runs of fixed unitaries
+        that the :mod:`repro.analysis.equiv` legality oracle admits —
+        overlapping qubit tuples within ``max_fused_qubits``, and (under
+        ``noise_model``) only while every appended gate's conjugation
+        commutes with the run's accumulated noise superoperators, so folding
+        the noise behind one fused unitary on the density engine stays
+        exact.  Parametric bind sites always flush the current run.
+
+        Every rewrite is certified before the program is returned: the
+        VER410 translation witness plus a VER401 certificate per fused step,
+        both re-deriving the lifts through an independent code path; a
+        failed certificate raises instead of shipping a wrong plan.  Returns
+        ``self`` when nothing fuses.
+        """
+        from repro.analysis.equiv import (
+            DEFAULT_MAX_FUSED_QUBITS,
+            can_extend_fusion,
+            verify_fused_step,
+            verify_translation,
+        )
+        from repro.analysis.verify import (
+            DEFAULT_ATOL,
+            assert_clean,
+            verify_compilation,
+        )
+
+        if max_fused_qubits is None:
+            max_fused_qubits = DEFAULT_MAX_FUSED_QUBITS
+        if atol is None:
+            atol = DEFAULT_ATOL
+        steps: List[GateStep] = []
+        run: List[GateStep] = []
+
+        def admits(candidates: List[GateStep], step: GateStep) -> bool:
+            ok, _ = can_extend_fusion(
+                candidates,
+                step,
+                noise_model=noise_model,
+                max_fused_qubits=max_fused_qubits,
+                atol=atol,
+            )
+            return ok
+
+        def flush() -> None:
+            if not run:
+                return
+            steps.append(run[0] if len(run) == 1 else _fuse_run(run))
+            run.clear()
+
+        for step in self.steps:
+            if admits(run, step):
+                run.append(step)
+                continue
+            flush()
+            if admits(run, step):
+                run.append(step)
+            else:
+                steps.append(step)
+        flush()
+        if not any(step.fused_from for step in steps):
+            return self
+        program = self._with_steps(steps)
+        diagnostics = list(verify_translation(self, program, atol=atol))
+        for fused in program.steps:
+            if fused.fused_from:
+                diagnostics.extend(
+                    verify_fused_step(
+                        fused, program_name=program.name, atol=atol
+                    )
+                )
+        assert_clean(diagnostics, context=f"{self.name}: plan-time fusion")
+        verify_compilation(program)
         return program
 
     # ------------------------------------------------------------------ #
@@ -474,7 +693,7 @@ class SweepProgram:
                 "compiled gate structure"
             )
 
-        step_iter = iter(self.steps)
+        step_iter = self.source_steps()
         row: List[float] = []
         for instruction in circuit.instructions:
             if instruction.name == "barrier" or instruction.is_measurement:
@@ -504,7 +723,7 @@ class SweepProgram:
             or circuit.num_clbits != self.num_clbits
         ):
             return False
-        step_iter = iter(self.steps)
+        step_iter = self.source_steps()
         measured: List[int] = []
         bits: List[int] = []
         for instruction in circuit.instructions:
@@ -774,12 +993,50 @@ class DensitySuperoperatorEngine:
         return plans
 
     def _plan_step(self, step: GateStep):
+        if step.fused_from:
+            # Provenance first: the model's *default* channels are keyed by
+            # qubit count, so a name lookup on the fused step's synthetic
+            # name would still attach a spurious k-qubit channel.
+            return ("fixed", self._fused_superoperator(step))
         noise = gate_noise_superoperator(step.name, step.qubits, self.noise_model)
         if not step.is_fixed:
             return ("parametric", noise)
         if noise is None:
             return ("fixed", conjugation_superoperator(step.matrix))
         return ("fixed", noise @ conjugation_superoperator(step.matrix))
+
+    def _fused_superoperator(self, step: GateStep) -> np.ndarray:
+        """Fold the provenance steps' noise behind the fused unitary.
+
+        Noise is composed exclusively from the *source* steps' own channels,
+        lifted onto the fused qubit tuple in source order.  The fold is
+        certified against an independently lifted sequential composition
+        (VER402) every time it is composed — cheap at fused width, and it
+        makes a program optimised under a different noise model than this
+        engine's fail loudly instead of producing wrong sweep numbers.
+        """
+        from repro.analysis.equiv import verify_fused_superoperator_plan
+        from repro.analysis.verify import assert_clean
+
+        noise: Optional[np.ndarray] = None
+        for source in step.fused_from:
+            channel = gate_noise_superoperator(
+                source.name, source.qubits, self.noise_model
+            )
+            if channel is None:
+                continue
+            lifted = lift_superoperator(channel, source.qubits, step.qubits)
+            noise = lifted if noise is None else lifted @ noise
+        folded = conjugation_superoperator(step.matrix)
+        if noise is not None:
+            folded = noise @ folded
+        assert_clean(
+            verify_fused_superoperator_plan(
+                step, folded, self.noise_model, program_name=self.name
+            ),
+            context=f"{self.name}: folding noise into fused step '{step.name}'",
+        )
+        return folded
 
     def apply_step(self, state, step: GateStep, plan, matrix) -> None:
         kind, superop = plan

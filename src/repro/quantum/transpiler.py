@@ -402,24 +402,42 @@ class _TranspileTemplate:
     result: TranspileResult
     slots: Tuple[Parameter, ...]
     program: object = None
+    #: ``(noise_model, version, program)`` of the certified fused variant.
+    optimized: object = None
 
-    def ensure_program(self):
+    def ensure_program(self, *, optimize=None, noise_model=None):
         """Compile (once) and return the template's sweep program.
 
         The program's binding columns are ordered exactly like ``slots``, so
         the slot-value vector extracted from an incoming bound circuit is
         directly a bindings row.
-        """
-        if self.program is None:
-            from repro.quantum.program import SweepProgram
 
+        ``optimize`` is the three-state plan-time fusion knob (``None``
+        defers to ``REPRO_OPTIMIZE_PROGRAMS``); when enabled, the certified
+        fused variant for ``noise_model`` is derived once from the cached
+        source program and re-derived only when the model instance or its
+        mutation version changes.
+        """
+        from repro.quantum.program import SweepProgram, resolve_optimization
+
+        if self.program is None:
             self.program = SweepProgram.compile(
                 self.result.circuit,
                 bind_floats=False,
                 parameters=self.slots,
                 name=f"transpiled({self.result.circuit.name})",
             )
-        return self.program
+        if not resolve_optimization(optimize):
+            return self.program
+        version = getattr(noise_model, "version", 0)
+        cached = self.optimized
+        if cached is None or cached[0] is not noise_model or cached[1] != version:
+            self.optimized = (
+                noise_model,
+                version,
+                self.program.optimized(noise_model=noise_model),
+            )
+        return self.optimized[2]
 
 
 class TranspileCache:

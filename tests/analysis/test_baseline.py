@@ -77,6 +77,24 @@ class TestBaselineRoundTrip:
         write_baseline(path, [diag()])
         assert load_baseline(path) == {("REP001", "src/x.py")}
 
+    def test_rewrite_prunes_stale_entries_and_reports_count(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        _, pruned = write_baseline(
+            path, [diag(), diag(code="REP002", file="src/a.py")]
+        )
+        assert pruned == 0  # nothing pre-existing to prune
+        payload, pruned = write_baseline(path, [diag()])
+        assert pruned == 1
+        assert payload["findings"] == [{"code": "REP001", "file": "src/x.py"}]
+        assert load_baseline(path) == {("REP001", "src/x.py")}
+
+    def test_rewrite_over_unreadable_baseline_prunes_nothing(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        _, pruned = write_baseline(str(path), [diag()])
+        assert pruned == 0
+        assert load_baseline(str(path)) == {("REP001", "src/x.py")}
+
     def test_split_drops_only_baselined_findings(self):
         accepted = {("REP001", "src/x.py")}
         fresh, baselined = split_by_baseline(
@@ -128,10 +146,20 @@ class TestBaselineCli:
         wrote = self.run_cli(target, "--write-baseline", baseline)
         assert wrote.returncode == 0, wrote.stdout + wrote.stderr
         assert "1 accepted finding(s)" in wrote.stdout
+        assert "pruned 0 stale entries" in wrote.stdout
 
         clean = self.run_cli(target, "--baseline", baseline)
         assert clean.returncode == 0, clean.stdout + clean.stderr
         assert "1 baselined finding(s) ignored" in clean.stdout
+
+        # Fixing the finding and rewriting prunes its stale entry.
+        bad.write_text("import numpy as np\n")
+        rewrote = self.run_cli(target, "--write-baseline", baseline)
+        assert rewrote.returncode == 0, rewrote.stdout + rewrote.stderr
+        assert "0 accepted finding(s)" in rewrote.stdout
+        assert "pruned 1 stale entry" in rewrote.stdout
+        with open(baseline, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["findings"] == []
 
     def test_new_finding_still_gates_exit_code(self, tmp_path):
         bad = tmp_path / "src" / "bad.py"

@@ -73,6 +73,42 @@ class TestMainInProcess:
         assert "1 suppressed" in capsys.readouterr().out
 
 
+class TestJobsFanOut:
+    """Satellite: ``--jobs N`` shards the per-file passes deterministically."""
+
+    def corpus(self, tmp_path):
+        write(tmp_path, "src/repro/bad_a.py", VIOLATION)
+        write(tmp_path, "src/repro/bad_b.py", VIOLATION)
+        write(tmp_path, "src/repro/clean.py", "X = 1\n")
+        write(tmp_path, "src/repro/bad_c.py", VIOLATION)
+        return str(tmp_path)
+
+    def test_jobs_output_is_identical_to_serial(self, tmp_path, capsys):
+        target = self.corpus(tmp_path)
+        assert main([target, "--format", "json"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main([target, "--format", "json", "--jobs", "4"]) == 1
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["findings"] == serial["findings"]
+        assert sharded["summary"] == serial["summary"]
+        assert sharded["timings"]["jobs"] == 4
+        assert serial["timings"]["jobs"] == 1
+
+    def test_timings_section_is_schema_valid(self, tmp_path, capsys):
+        target = self.corpus(tmp_path)
+        main([target, "--format", "json", "--jobs", "2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_findings_payload(payload) == []
+        timings = payload["timings"]
+        for key in ("lint_seconds", "flow_seconds", "shapes_seconds"):
+            assert key in timings and timings[key] >= 0.0
+
+    def test_invalid_jobs_is_usage_error(self, tmp_path, capsys):
+        write(tmp_path, "src/ok.py", "X = 1\n")
+        assert main([str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def run_cli(self, *argv):
         env = dict(os.environ)

@@ -7,6 +7,7 @@ import sys
 
 from repro.analysis.diagnostics import Diagnostic, Location, Severity
 from repro.analysis.sarif import (
+    FINGERPRINT_KEY,
     SARIF_SCHEMA,
     SARIF_VERSION,
     rule_catalogue,
@@ -92,7 +93,7 @@ class TestSarifPayload:
     def test_catalogue_spans_all_pass_families(self):
         catalogue = rule_catalogue()
         for code in ("REP000", "REP001", "REP106", "REP101", "REP104",
-                     "VER101", "VER201"):
+                     "VER101", "VER201", "VER301", "VER401", "VER410"):
             assert code in catalogue, code
 
     def test_validator_rejects_broken_payloads(self):
@@ -107,6 +108,56 @@ class TestSarifPayload:
         bad_level = json.loads(json.dumps(good))
         bad_level["runs"][0]["results"][0]["level"] = "fatal"
         assert any("level" in problem for problem in validate_sarif_payload(bad_level))
+
+
+class TestPartialFingerprints:
+    """The stable context hash code-scanning dedup keys results by."""
+
+    def test_every_result_carries_the_versioned_fingerprint(self):
+        payload = sarif_payload([diag(), diag(code="REP101", line=9)])
+        for result in payload["runs"][0]["results"]:
+            value = result["partialFingerprints"][FINGERPRINT_KEY]
+            assert isinstance(value, str) and len(value) == 32
+
+    def test_fingerprint_survives_line_drift(self):
+        before = sarif_payload([diag(line=3, column=1)])
+        after = sarif_payload([diag(line=57, column=9)])
+        assert (
+            before["runs"][0]["results"][0]["partialFingerprints"]
+            == after["runs"][0]["results"][0]["partialFingerprints"]
+        )
+
+    def test_fingerprint_changes_with_rule_file_or_message(self):
+        base = sarif_payload([diag()])["runs"][0]["results"][0]
+        for changed in (
+            diag(code="REP002"),
+            diag(file="src/other.py"),
+            diag(message="different"),
+        ):
+            other = sarif_payload([changed])["runs"][0]["results"][0]
+            assert other["partialFingerprints"] != base["partialFingerprints"]
+
+    def test_duplicate_findings_get_distinct_occurrence_hashes(self):
+        payload = sarif_payload([diag(line=3), diag(line=8)])
+        first, second = payload["runs"][0]["results"]
+        assert first["ruleId"] == second["ruleId"] == "REP001"
+        assert (
+            first["partialFingerprints"][FINGERPRINT_KEY]
+            != second["partialFingerprints"][FINGERPRINT_KEY]
+        )
+
+    def test_validator_requires_the_fingerprint(self):
+        payload = json.loads(json.dumps(sarif_payload([diag()])))
+        del payload["runs"][0]["results"][0]["partialFingerprints"]
+        assert any(
+            FINGERPRINT_KEY in problem
+            for problem in validate_sarif_payload(payload)
+        )
+        payload = json.loads(json.dumps(sarif_payload([diag()])))
+        payload["runs"][0]["results"][0]["partialFingerprints"] = {
+            FINGERPRINT_KEY: ""
+        }
+        assert validate_sarif_payload(payload)
 
 
 class TestSarifCli:
