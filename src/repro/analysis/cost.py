@@ -98,6 +98,14 @@ class CostReport:
     superoperator_contractions: int
     #: The plan's declared budget (``None`` when undeclared).
     max_amplitudes: Optional[int]
+    #: Leading steps evolved once per tile at batch 1 and broadcast (the
+    #: VER403-certified shared trained-state prefix); 0 when not shared.
+    shared_prefix_steps: int = 0
+    #: Per-element step applications over the whole sweep.  Without prefix
+    #: sharing every element pays every step; a shared prefix pays its steps
+    #: once per tile instead of once per element, so this is the quantity
+    #: the whole-grid executor actually reduces.
+    element_contractions: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering for the analysis payload's ``cost`` section."""
@@ -131,6 +139,7 @@ def estimate_cost(
     *,
     engine: str = "statevector",
     mode: str = "circuit_sweep",
+    shared_prefix_steps: int = 0,
 ) -> CostReport:
     """Predict the execution cost of ``program`` under ``plan``.
 
@@ -139,11 +148,21 @@ def estimate_cost(
     semantics (``circuit_sweep``: contiguous element tiles of a
     ``rows x samples`` grid; ``state_overlap``: a row-state tile and a
     sample-state tile resident together, as in the analytic estimator).
+    ``shared_prefix_steps`` declares how many leading steps a
+    ``TilePlan.for_grid_sweep`` execution evolves once per tile and
+    broadcasts (:func:`repro.analysis.equiv.shared_prefix_length`); those
+    steps cost one element per tile instead of one per grid element in the
+    ``element_contractions`` account.
     """
     if engine not in _ENGINE_KINDS:
         raise ValueError(f"engine must be one of {_ENGINE_KINDS}, got {engine!r}")
     if mode not in _MODES:
         raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if shared_prefix_steps < 0 or shared_prefix_steps > len(program.steps):
+        raise ValueError(
+            f"shared_prefix_steps must lie in [0, {len(program.steps)}], "
+            f"got {shared_prefix_steps}"
+        )
     from repro.arrays import complex_itemsize
 
     element_amplitudes = _element_amplitudes(program.num_qubits, engine)
@@ -166,6 +185,10 @@ def estimate_cost(
         + readout_bytes
     )
     contractions = num_tiles * len(program.steps)
+    suffix_steps = len(program.steps) - shared_prefix_steps
+    element_contractions = (
+        num_tiles * shared_prefix_steps + sweep_elements * suffix_steps
+    )
     return CostReport(
         program=program.name,
         engine=engine,
@@ -184,6 +207,8 @@ def estimate_cost(
         contractions=contractions,
         superoperator_contractions=contractions if engine == "density" else 0,
         max_amplitudes=plan.max_amplitudes,
+        shared_prefix_steps=shared_prefix_steps,
+        element_contractions=element_contractions,
     )
 
 
@@ -202,7 +227,10 @@ def verify_cost(
     of its budget, and a VER205 warning when the budget holds a statevector
     element but not a single density (``4**n``) element — a noisy backend
     could not run the program under it at all.  Plans without a declared
-    budget verify vacuously.
+    budget verify vacuously.  Prefix-shared plans
+    (``TilePlan.for_grid_sweep``) are exempt from VER203: their single-row
+    tiles are what makes the shared trained-state prefix legal, not an
+    under-sized budget.
     """
     report = estimate_cost(program, plan, engine=engine, mode=mode)
     budget = report.max_amplitudes
@@ -249,6 +277,13 @@ def verify_cost(
         if (
             report.num_tiles > 1
             and report.peak_amplitudes < budget * UNDERUTILISATION_FRACTION
+            # Prefix-shared grid plans tile one parameter row at a time ON
+            # PURPOSE: the trained columns must be constant within a tile
+            # for the executor to evolve the trained-state prefix once and
+            # broadcast it.  Growing such a tile toward the budget would
+            # forfeit the shared prefix, so small tiles are not waste here
+            # and the under-utilisation warning would be a false positive.
+            and not getattr(plan, "shared_prefix", False)
         ):
             out.append(
                 diag(

@@ -66,6 +66,7 @@ EQUIV_CODES = {
     "VER401": "fused unitary differs from the ordered product of its sources",
     "VER402": "folded superoperator differs from the composed source channels",
     "VER403": "claimed shared prefix reads a column that varies across rows",
+    "VER404": "fused step spans a declared fusion barrier",
     "VER410": "optimised program is not a faithful translation of its source",
     "VER411": "optimisation pass was vacuous: nothing fused (warning)",
 }
@@ -480,6 +481,7 @@ def verify_translation(
         "num_columns",
         "parameters",
         "column_sites",
+        "fusion_barriers",
     ):
         before, after = getattr(source, field), getattr(optimized, field)
         if before != after:
@@ -491,7 +493,25 @@ def verify_translation(
                 )
             )
     flattened: List["GateStep"] = []
+    barriers = set(getattr(optimized, "fusion_barriers", ()) or ())
+    position = 0
     for index, step in enumerate(optimized.steps):
+        span = len(step.fused_from) if step.fused_from else 1
+        crossed = sorted(b for b in barriers if position < b < position + span)
+        if crossed:
+            out.append(
+                _diag(
+                    "VER404",
+                    f"fused step {index} ('{step.name}') spans source steps "
+                    f"[{position}, {position + span}) across declared fusion "
+                    f"barrier(s) {crossed}",
+                    obj=obj,
+                    hint="barriers mark boundaries fusion must respect — the "
+                    "whole-grid compile path barriers the trained/encoder "
+                    "seam so shared-prefix claims survive optimisation",
+                )
+            )
+        position += span
         if step.fused_from:
             if not step.is_fixed:
                 out.append(
@@ -608,7 +628,12 @@ def verify_reference_equivalence() -> List[Diagnostic]:
     (VER410 witness, VER401 per fused unitary, VER402 against the density
     engine's actual folded plans), an ideal (noise-free) fusion of the same
     program is certified for the statevector path, and a parameter-shift
-    bindings matrix is checked for shared-prefix legality (VER403).
+    bindings matrix is checked for shared-prefix legality (VER403).  The
+    whole-grid program of the same workload — trained and encoder bind
+    columns in one symbolic compile — is then fused and certified too:
+    VER404 (via the translation witness) proves fusion never crossed the
+    trained/encoder barrier, and VER403 proves a single-row grid tile
+    legally shares its trained-state prefix before and after optimisation.
     """
     from repro.core.model import QuClassi
     from repro.hardware.calibration import get_calibration
@@ -679,4 +704,52 @@ def verify_reference_equivalence() -> List[Diagnostic]:
                 source, bindings, shared_prefix_length(source, bindings)
             )
         )
+        # Whole-grid path: the symbolic discriminator compiles trained AND
+        # encoder bind columns into one program with a fusion barrier at the
+        # trained/encoder seam.  Certify that fusing it preserves the
+        # barrier (VER404 inside verify_translation) and that a grid tile —
+        # one parameter row, several samples — legally shares the trained
+        # prefix up to the barrier (VER403).
+        grid_source = SweepProgram.compile(
+            builder.symbolic_discriminator(),
+            bind_floats=False,
+            parameters=builder.grid_parameters,
+            name=f"{dataset}-{architecture}:grid",
+        )
+        try:
+            grid_optimized = grid_source.optimized()
+        except SimulationError as exc:
+            out.append(
+                _diag(
+                    "VER410",
+                    f"optimising '{grid_source.name}' failed its own "
+                    f"certification: {exc}",
+                    obj=f"program '{grid_source.name}'",
+                )
+            )
+            continue
+        if grid_optimized is not grid_source:
+            out.extend(verify_translation(grid_source, grid_optimized))
+            for step in grid_optimized.steps:
+                if step.fused_from:
+                    out.extend(
+                        verify_fused_step(step, program_name=grid_optimized.name)
+                    )
+        feature_batch = rng.uniform(0.05, 0.95, size=(4, num_features))
+        tile = builder.grid_bindings(values[None, :], feature_batch)
+        for program in (grid_source, grid_optimized):
+            prefix = shared_prefix_length(program, tile)
+            if prefix == 0:
+                out.append(
+                    _diag(
+                        "VER403",
+                        f"grid tile of '{program.name}' shares no prefix at "
+                        "all — the trained-state evolution is not constant "
+                        "across a single parameter row's samples",
+                        obj=f"program '{program.name}' shared prefix",
+                        hint="trained columns must precede every encoder "
+                        "bind site for the grid fast path to pay off",
+                    )
+                )
+            out.extend(verify_shared_prefix(program, tile, prefix))
     return out

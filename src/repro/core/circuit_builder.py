@@ -104,6 +104,11 @@ class DiscriminatorCircuitBuilder:
         # The symbolic trained-state circuit never changes; cache it so the
         # trainer's many parameter-shift evaluations only pay for binding.
         self._symbolic_trained_circuit: Optional[QuantumCircuit] = None
+        # Fully symbolic discriminator (trained parameters *and* data
+        # angles): one circuit per builder, compiled once into a whole-grid
+        # SweepProgram by the estimator's grid path.
+        self._symbolic_discriminator: Optional[QuantumCircuit] = None
+        self._data_parameters: Optional[list] = None
         # Data-bound (trained-state-symbolic) discriminators depend only on
         # the feature vector, so they are memoised (bounded LRU): a sweep of
         # hundreds of parameter shifts over the same samples re-binds the
@@ -133,6 +138,104 @@ class DiscriminatorCircuitBuilder:
                 f"expected {len(params)} parameter values, got shape {values.shape}"
             )
         return dict(zip(params, values.tolist()))
+
+    # ------------------------------------------------------------------ #
+    # Whole-grid (fully symbolic) compilation support
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_grid_compile(self) -> bool:
+        """Whether the encoder can compile its angles as bind-site columns."""
+        return bool(getattr(self.encoder, "supports_angle_columns", False))
+
+    @property
+    def data_parameters(self) -> list:
+        """Symbolic data-angle parameters, one per feature, in angle order."""
+        if self._data_parameters is None:
+            self._data_parameters = [
+                Parameter(f"__data_angle_{index}")
+                for index in range(self.num_features)
+            ]
+        return list(self._data_parameters)
+
+    @property
+    def grid_parameters(self) -> list:
+        """Column order of the whole-grid program: trained then data angles."""
+        return self.parameters + self.data_parameters
+
+    def symbolic_discriminator(self) -> QuantumCircuit:
+        """Fully symbolic discriminator: trained *and* data angles unbound.
+
+        Same instruction skeleton as :meth:`_construct_discriminator` — the
+        compiled whole-grid program is structure-identical to every bound
+        per-sample discriminator — with a barrier at the trained/encoder
+        seam so plan-time fusion never merges across the boundary a shared
+        trained-state prefix is claimed over (VER404).  Cached: the circuit
+        depends only on the model structure.  Callers must not mutate it.
+        """
+        if not self.supports_grid_compile:
+            raise ValidationError(
+                f"{type(self.encoder).__name__} does not support symbolic "
+                "angle columns; the whole-grid discriminator is unavailable"
+            )
+        if self._symbolic_discriminator is None:
+            layout = self.layout
+            qreg = QuantumRegister(layout.total_qubits, "q")
+            creg = ClassicalRegister(1, "c")
+            circuit = QuantumCircuit(qreg, creg, name="quclassi_discriminator")
+            circuit.h(layout.ancilla)
+            trained = self.layer_stack.build_circuit(
+                qubits=layout.trained_qubits,
+                total_qubits=layout.total_qubits,
+                name="trained_state",
+            )
+            circuit = circuit.compose(trained)
+            circuit.barrier(*layout.trained_qubits)
+            data = self.encoder.symbolic_encoding_circuit(
+                self.num_features,
+                self.data_parameters,
+                offset=layout.data_qubits[0],
+                total_qubits=layout.total_qubits,
+            )
+            circuit = circuit.compose(data)
+            for trained_qubit, data_qubit in zip(
+                layout.trained_qubits, layout.data_qubits
+            ):
+                circuit.cswap(layout.ancilla, trained_qubit, data_qubit)
+            circuit.h(layout.ancilla)
+            circuit.measure(layout.ancilla, 0)
+            self._symbolic_discriminator = circuit
+        return self._symbolic_discriminator
+
+    def grid_bindings(
+        self, parameter_matrix, feature_matrix
+    ) -> np.ndarray:
+        """The ``(rows x samples, columns)`` bindings of a whole-grid sweep.
+
+        Row-major grid order — row ``r * samples + s`` binds parameter-shift
+        row ``r`` and data sample ``s`` — matching the estimator's
+        per-sample circuit stream exactly.  Columns follow
+        :attr:`grid_parameters`: trained values repeated per sample, then
+        the encoder's angle matrix tiled per shift row.
+        """
+        parameter_matrix = np.asarray(parameter_matrix, dtype=float)
+        if parameter_matrix.ndim != 2 or parameter_matrix.shape[1] != self.num_parameters:
+            raise ValidationError(
+                f"expected a (rows, {self.num_parameters}) parameter matrix, "
+                f"got shape {parameter_matrix.shape}"
+            )
+        angles = self.encoder.angle_matrix(feature_matrix)
+        if angles.shape[1] != self.num_features:
+            raise ValidationError(
+                f"expected {self.num_features} angle column(s) per sample, "
+                f"got {angles.shape[1]}"
+            )
+        rows, samples = parameter_matrix.shape[0], angles.shape[0]
+        return np.hstack(
+            [
+                np.repeat(parameter_matrix, samples, axis=0),
+                np.tile(angles, (rows, 1)),
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     # Sub-circuits

@@ -148,6 +148,10 @@ class AnalyticFidelityEstimator(FidelityEstimator):
             parameters=self.builder.parameters,
             name="trained_state",
         )
+        # Compiled lazily: the symbolic data-encoder program that batches
+        # data_state_matrix (encoders without angle-column support keep the
+        # per-row loop).
+        self._encoder_program: Optional[SweepProgram] = None
 
     # ------------------------------------------------------------------ #
     def trained_statevector(self, parameter_values: Sequence[float]) -> Statevector:
@@ -177,13 +181,46 @@ class AnalyticFidelityEstimator(FidelityEstimator):
             self._data_state_cache.put(key, cached)
         return cached
 
+    def _data_encoder_program(self) -> Optional[SweepProgram]:
+        """The symbolic encoder program (``None`` without angle-column support)."""
+        if not getattr(self.builder.encoder, "supports_angle_columns", False):
+            return None
+        if self._encoder_program is None:
+            self._encoder_program = SweepProgram.compile(
+                self.builder.encoder.symbolic_encoding_circuit(
+                    self.builder.num_features,
+                    self.builder.data_parameters,
+                    offset=0,
+                    total_qubits=self.builder.layout.state_width,
+                ),
+                bind_floats=False,
+                parameters=self.builder.data_parameters,
+                name="data_state",
+            )
+        return self._encoder_program
+
     def data_state_matrix(self, feature_matrix: np.ndarray) -> np.ndarray:
-        """Stacked data-state amplitudes, one row per sample (memoised)."""
+        """Stacked data-state amplitudes, one row per sample (memoised).
+
+        Angle-column encoders evaluate the whole batch as **one** compiled
+        program pass through the :mod:`repro.arrays` kernels (no per-row
+        Python circuit walk); other encoders keep the per-row loop.  The
+        batched einsum evolution can differ from the per-row
+        :class:`~repro.quantum.statevector.Statevector` contraction at the
+        last ULP, like every other batched fast path.
+        """
         feature_matrix = np.ascontiguousarray(np.asarray(feature_matrix, dtype=float))
         key = (feature_matrix.shape, feature_matrix.tobytes())
         cached = self._data_matrix_cache.get(key)
         if cached is None:
-            cached = np.stack([self.data_statevector(row).data for row in feature_matrix])
+            program = self._data_encoder_program()
+            if program is not None and feature_matrix.shape[0]:
+                angles = self.builder.encoder.angle_matrix(feature_matrix)
+                cached = program.evolve(angles, StatevectorEngine()).amplitudes
+            else:
+                cached = np.stack(
+                    [self.data_statevector(row).data for row in feature_matrix]
+                )
             cached.flags.writeable = False
             self._data_matrix_cache.put(key, cached)
         return cached
@@ -421,6 +458,36 @@ class SwapTestFidelityEstimator(FidelityEstimator):
         self.circuits_executed += len(chunk)  # repro: noqa REP101 -- estimators are rebuilt per shard from EstimatorSpec; the parent merges counts after the sweep
         return np.concatenate(parts)
 
+    def _grid_zero_probabilities(
+        self, parameter_matrix: np.ndarray, feature_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Ancilla readouts for one sweep via the whole-grid program path.
+
+        Binds the builder's symbolic discriminator once and feeds the full
+        ``(rows x samples, columns)`` bindings matrix to
+        :meth:`~repro.quantum.backend.Backend.sweep_grid_zero_probabilities`
+        — no per-sample circuits are constructed at all.  The
+        :meth:`~repro.quantum.program.TilePlan.for_grid_sweep` plan keeps
+        every tile inside one parameter row so the executor can evolve the
+        trained-state prefix once per tile and broadcast it (certified by
+        VER403) across the tile's samples.
+        """
+        rows = parameter_matrix.shape[0]
+        samples = feature_matrix.shape[0]
+        bindings = self.builder.grid_bindings(parameter_matrix, feature_matrix)
+        plan = TilePlan.for_grid_sweep(
+            rows, samples, self._per_element_amplitudes(), self._max_batch_amplitudes
+        )
+        zeros = self.backend.sweep_grid_zero_probabilities(
+            self.builder.symbolic_discriminator(),
+            self.builder.grid_parameters,
+            bindings,
+            shots=self.shots,
+            tile_plan=plan,
+        )
+        self.circuits_executed += int(zeros.shape[0])  # repro: noqa REP101 -- estimators are rebuilt per shard from EstimatorSpec; the parent merges counts after the sweep
+        return zeros
+
     def clear_cache(self) -> None:
         """Drop the builder's memoised discriminator circuits."""
         self.builder.clear_cache()
@@ -448,9 +515,14 @@ class SwapTestFidelityEstimator(FidelityEstimator):
     ) -> np.ndarray:
         """Vectorised ``(batch, samples)`` fidelity matrix via the batch API.
 
-        Stacks the discriminator circuits of every (parameter row, sample)
-        pair — all sharing one gate structure — into backend batches, so a
-        whole parameter-shift sweep runs in a handful of vectorised calls.
+        When the backend executes whole-grid programs and the encoder
+        supports angle columns, the entire sweep routes through one
+        :meth:`_grid_zero_probabilities` call — a single compiled program
+        with the grid's bindings matrix, no per-sample circuits.  Otherwise
+        the discriminator circuits of every (parameter row, sample) pair —
+        all sharing one gate structure — stack into backend batches.  Both
+        paths walk elements in the same row-major order, so sampled sweeps
+        stay seed-identical either way.
         """
         parameter_matrix = np.asarray(parameter_matrix, dtype=float)
         if parameter_matrix.ndim != 2:
@@ -458,6 +530,19 @@ class SwapTestFidelityEstimator(FidelityEstimator):
                 f"parameter_matrix must be 2-D (batch, params), got shape {parameter_matrix.shape}"
             )
         feature_matrix = np.asarray(feature_matrix, dtype=float)
+
+        rows = parameter_matrix.shape[0]
+        samples = feature_matrix.shape[0]
+        if rows == 0 or samples == 0:
+            return np.zeros((rows, samples))
+        if (
+            self.supports_batch
+            and getattr(self.backend, "supports_grid_programs", False)
+            and self.builder.supports_grid_compile
+        ):
+            zeros = self._grid_zero_probabilities(parameter_matrix, feature_matrix)
+            fidelities = fidelities_from_swap_test_probabilities(zeros)
+            return fidelities.reshape(rows, samples)
 
         # One cache lookup per sample (shared references), not one per
         # (parameter row, sample) pair.  Binding the shared cached instances

@@ -37,11 +37,40 @@ def rotation_angle(value: float) -> float:
     return 2.0 * math.asin(math.sqrt(clipped))
 
 
+def _angle_matrix(encoder: DataEncoder, feature_matrix) -> np.ndarray:
+    """Angles for every (sample, feature) cell via the scalar angle map.
+
+    Deliberately applies :func:`rotation_angle` element by element rather
+    than a vectorised ``np.arcsin``: the two differ in the last ULP on some
+    inputs, and the whole-grid SweepProgram path must bind *bitwise* the
+    same angles as the per-sample ``encoding_circuit`` walk so grid sweeps
+    stay seed-identical to the loop they replace.
+    """
+    feature_matrix = encoder.validate_feature_matrix(feature_matrix)
+    angles = np.empty(feature_matrix.shape, dtype=float)
+    for row in range(feature_matrix.shape[0]):
+        for column in range(feature_matrix.shape[1]):
+            angles[row, column] = rotation_angle(feature_matrix[row, column])
+    return angles
+
+
+def _check_symbolic_args(num_features: int, parameters: Sequence) -> None:
+    if num_features <= 0:
+        raise EncodingError(f"num_features must be positive, got {num_features}")
+    if len(parameters) != num_features:
+        raise EncodingError(
+            f"expected one parameter per feature ({num_features}), got "
+            f"{len(parameters)}"
+        )
+
+
 class DualAngleEncoder(DataEncoder):
     """Two data dimensions per qubit via successive RY and RZ rotations."""
 
     #: Number of classical dimensions stored per qubit.
     dims_per_qubit = 2
+
+    supports_angle_columns = True
 
     def num_qubits(self, num_features: int) -> int:
         """Qubits needed: ``ceil(num_features / 2)``."""
@@ -78,11 +107,40 @@ class DualAngleEncoder(DataEncoder):
         features = self.validate_features(features)
         return np.array([rotation_angle(x) for x in features])
 
+    def symbolic_encoding_circuit(
+        self,
+        num_features: int,
+        parameters: Sequence,
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """Structure twin of :meth:`encoding_circuit`: one parameter per feature."""
+        _check_symbolic_args(num_features, parameters)
+        width = self.num_qubits(num_features)
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="dual_angle_encoding")
+        for qubit_index in range(width):
+            circuit.ry(parameters[2 * qubit_index], offset + qubit_index, label="data")
+            second_index = 2 * qubit_index + 1
+            if second_index < num_features:
+                circuit.rz(parameters[second_index], offset + qubit_index, label="data")
+        return circuit
+
+    def angle_matrix(self, feature_matrix) -> np.ndarray:
+        """Per-sample angles in feature order (RY, RZ interleaved per qubit)."""
+        return _angle_matrix(self, feature_matrix)
+
 
 class SingleAngleEncoder(DataEncoder):
     """One data dimension per qubit via an RY rotation only (ablation)."""
 
     dims_per_qubit = 1
+
+    supports_angle_columns = True
 
     def num_qubits(self, num_features: int) -> int:
         """Qubits needed: one per feature."""
@@ -108,3 +166,27 @@ class SingleAngleEncoder(DataEncoder):
         for qubit_index, value in enumerate(features):
             circuit.ry(rotation_angle(value), offset + qubit_index, label="data")
         return circuit
+
+    def symbolic_encoding_circuit(
+        self,
+        num_features: int,
+        parameters: Sequence,
+        offset: int = 0,
+        total_qubits: Optional[int] = None,
+    ) -> QuantumCircuit:
+        """Structure twin of :meth:`encoding_circuit`: one parameter per feature."""
+        _check_symbolic_args(num_features, parameters)
+        width = num_features
+        total = total_qubits if total_qubits is not None else offset + width
+        if total < offset + width:
+            raise EncodingError(
+                f"total_qubits={total} too small for {width} data qubits at offset {offset}"
+            )
+        circuit = QuantumCircuit(total, 0, name="single_angle_encoding")
+        for qubit_index in range(num_features):
+            circuit.ry(parameters[qubit_index], offset + qubit_index, label="data")
+        return circuit
+
+    def angle_matrix(self, feature_matrix) -> np.ndarray:
+        """Per-sample RY angles in feature order."""
+        return _angle_matrix(self, feature_matrix)

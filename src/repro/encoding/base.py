@@ -22,6 +22,13 @@ from repro.quantum.statevector import Statevector
 class DataEncoder(abc.ABC):
     """Translate classical feature vectors into quantum states."""
 
+    #: Whether this encoder can compile its rotation angles as symbolic
+    #: bind-site columns (:meth:`symbolic_encoding_circuit` +
+    #: :meth:`angle_matrix`).  Encoders whose circuit *structure* depends on
+    #: the feature values (amplitude/basis encodings) leave this ``False``
+    #: and the whole-grid SweepProgram path falls back to per-sample binding.
+    supports_angle_columns = False
+
     @abc.abstractmethod
     def num_qubits(self, num_features: int) -> int:
         """Number of qubits needed to encode ``num_features`` features."""
@@ -43,6 +50,58 @@ class DataEncoder(abc.ABC):
             Total width of the returned circuit; defaults to
             ``offset + num_qubits(len(features))``.
         """
+
+    def symbolic_encoding_circuit(
+        self,
+        num_features: int,
+        parameters: Sequence,
+        offset: int = 0,
+        total_qubits: int | None = None,
+    ) -> QuantumCircuit:
+        """Structure-only twin of :meth:`encoding_circuit` over ``parameters``.
+
+        One :class:`~repro.quantum.operations.Parameter` per rotation site,
+        in the same order :meth:`angle_matrix` emits columns, so compiling
+        the result with ``bind_floats=False`` yields a program whose encoder
+        columns bind straight from the angle matrix.  Only available when
+        :attr:`supports_angle_columns` is ``True``.
+        """
+        raise EncodingError(
+            f"{type(self).__name__} does not support symbolic angle columns"
+        )
+
+    def angle_matrix(self, feature_matrix) -> np.ndarray:
+        """Per-sample rotation angles, shape ``(samples, num_angle_sites)``.
+
+        Row ``i`` holds the angles :meth:`encoding_circuit` would bind for
+        ``feature_matrix[i]``, in :meth:`symbolic_encoding_circuit` parameter
+        order.  Only available when :attr:`supports_angle_columns` is
+        ``True``.
+        """
+        raise EncodingError(
+            f"{type(self).__name__} does not support symbolic angle columns"
+        )
+
+    def validate_feature_matrix(
+        self, feature_matrix, low: float = 0.0, high: float = 1.0
+    ) -> np.ndarray:
+        """Validate a ``(samples, features)`` matrix like :meth:`validate_features`."""
+        feature_matrix = np.asarray(feature_matrix, dtype=float)
+        if feature_matrix.ndim != 2:
+            raise EncodingError(
+                f"expected a 2-D feature matrix, got shape {feature_matrix.shape}"
+            )
+        if feature_matrix.shape[1] == 0:
+            raise EncodingError("feature vectors must not be empty")
+        if not np.all(np.isfinite(feature_matrix)):
+            raise EncodingError("feature matrix contains non-finite values")
+        if np.any(feature_matrix < low - 1e-9) or np.any(feature_matrix > high + 1e-9):
+            raise EncodingError(
+                f"features must lie in [{low}, {high}] — normalise the dataset "
+                f"first (got range [{feature_matrix.min():.4f}, "
+                f"{feature_matrix.max():.4f}])"
+            )
+        return np.clip(feature_matrix, low, high)
 
     def encode(self, features: Sequence[float]) -> Statevector:
         """Return the encoded state as a statevector (fast analytic path)."""

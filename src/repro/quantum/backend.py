@@ -93,6 +93,14 @@ class Backend(abc.ABC):
     #: through that path when this is set.
     supports_programs: bool = False
 
+    #: Whether :meth:`sweep_grid_zero_probabilities` executes whole-grid
+    #: programs — one *symbolic* circuit (trained parameters and data-encoder
+    #: angles unbound) compiled once, fed a ``(rows x samples, columns)``
+    #: bindings matrix.  No per-sample circuit is ever constructed or bound;
+    #: the SWAP-test estimator takes this path when the encoder supports
+    #: angle columns.
+    supports_grid_programs: bool = False
+
     @abc.abstractmethod
     def run(self, circuit: QuantumCircuit, shots: Optional[int] = None) -> SimulationResult:
         """Execute a fully bound circuit."""
@@ -165,6 +173,32 @@ class Backend(abc.ABC):
         """
         return self.ancilla_zero_probabilities(list(circuits), shots=shots)
 
+    def sweep_grid_zero_probabilities(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Sequence,
+        bindings,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """SWAP-test readouts of one whole-grid sweep — zero per-sample circuits.
+
+        ``circuit`` is a single *symbolic* representative (trained parameters
+        and data-encoder angles unbound), ``parameters`` its binding-column
+        order, ``bindings`` the ``(rows x samples, columns)`` value matrix in
+        row-major grid order.  Backends advertising
+        ``supports_grid_programs`` compile the circuit once, execute the
+        bindings straight through the tiled program executor (shared
+        trained-state prefixes evolve once per tile when ``tile_plan`` claims
+        them, certified by VER403), and return ``P(bit 0 = 0)`` per grid
+        element — draw-for-draw identical to streaming bound per-sample
+        circuits through :meth:`sweep_zero_probabilities`.
+        """
+        raise BackendError(
+            f"{self.name}: whole-grid program execution is not supported; "
+            "check supports_grid_programs before calling"
+        )
+
 
 def _statevector_sweep(
     backend: "Backend",
@@ -194,12 +228,37 @@ def _statevector_sweep(
     return readout.marginal_probabilities(0, 0)
 
 
+def _statevector_grid_sweep(
+    simulator: StatevectorSimulator,
+    circuit: QuantumCircuit,
+    parameters: Sequence,
+    bindings,
+    shots: Optional[int],
+    tile_plan: Optional[TilePlan],
+) -> np.ndarray:
+    """Shared whole-grid implementation of the statevector backends."""
+    bindings = np.asarray(bindings, dtype=float)
+    if bindings.ndim != 2:
+        raise BackendError(
+            f"grid bindings must be 2-D (elements, columns), got shape "
+            f"{bindings.shape}"
+        )
+    if bindings.shape[0] == 0:
+        return np.zeros(0)
+    program = simulator._grid_program(circuit, tuple(parameters))
+    readout = simulator.run_sweep_program(
+        program, bindings, shots=shots, tile_plan=tile_plan
+    )
+    return readout.marginal_probabilities(0, 0)
+
+
 class IdealBackend(Backend):
     """Noise-free statevector execution with exact probabilities."""
 
     name = "ideal_simulator"
     supports_batch = True
     supports_programs = True
+    supports_grid_programs = True
 
     def __init__(self, seed: RandomState = None) -> None:
         self._simulator = StatevectorSimulator(seed=seed)
@@ -225,6 +284,20 @@ class IdealBackend(Backend):
         shots = validate_shots(shots, self.name)
         return _statevector_sweep(self, self._simulator, circuits, shots, tile_plan)
 
+    def sweep_grid_zero_probabilities(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Sequence,
+        bindings,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Whole-grid compile-once sweep on the statevector engine."""
+        shots = validate_shots(shots, self.name)
+        return _statevector_grid_sweep(
+            self._simulator, circuit, parameters, bindings, shots, tile_plan
+        )
+
 
 class SampledBackend(Backend):
     """Statevector execution that always samples a finite number of shots."""
@@ -232,6 +305,7 @@ class SampledBackend(Backend):
     name = "sampled_simulator"
     supports_batch = True
     supports_programs = True
+    supports_grid_programs = True
 
     def __init__(self, shots: int = 1024, seed: RandomState = None) -> None:
         self.shots = validate_shots(shots, self.name)
@@ -264,6 +338,24 @@ class SampledBackend(Backend):
         """Tiled compile-once sweep; every element is sampled."""
         return _statevector_sweep(
             self, self._simulator, circuits, self._resolve_shots(shots), tile_plan
+        )
+
+    def sweep_grid_zero_probabilities(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Sequence,
+        bindings,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Whole-grid compile-once sweep; every element is sampled."""
+        return _statevector_grid_sweep(
+            self._simulator,
+            circuit,
+            parameters,
+            bindings,
+            self._resolve_shots(shots),
+            tile_plan,
         )
 
 
@@ -321,6 +413,7 @@ class NoisyBackend(Backend):
 
     supports_batch = True
     supports_programs = True
+    supports_grid_programs = True
 
     def __init__(
         self,
@@ -530,6 +623,71 @@ class NoisyBackend(Backend):
                     "batched": True,
                     "batch_size": len(names),
                     "program_sweep": True,
+                },
+            )
+            self._attach_metadata(result, stats)
+            self._record_job(result)
+        return readout.marginal_probabilities(0, 0)
+
+    def sweep_grid_zero_probabilities(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Sequence,
+        bindings,
+        shots: Optional[int] = None,
+        tile_plan: Optional[TilePlan] = None,
+    ) -> np.ndarray:
+        """Whole-grid compile-once sweep under the device noise model.
+
+        The symbolic representative transpiles **once** through
+        :meth:`~repro.quantum.transpiler.TranspileCache.symbolic_template`
+        (no slot twin — the circuit's own parameters are the slots) and the
+        cached template's compiled program executes the whole bindings grid
+        tile by tile.  No per-sample circuit is constructed, bound or
+        transpiled anywhere; one sweep is one provider job submission (a
+        single queue wait), with every grid element still ledgered
+        individually so job accounting matches the per-sample paths.
+        """
+        shots = self._resolve_shots(shots)
+        bindings = np.asarray(bindings, dtype=float)
+        if bindings.ndim != 2:
+            raise BackendError(
+                f"{self.name}: grid bindings must be 2-D (elements, columns), "
+                f"got shape {bindings.shape}"
+            )
+        if bindings.shape[0] == 0:
+            return np.zeros(0)
+        if circuit.num_qubits > self.properties.num_qubits:
+            raise BackendError(
+                f"{self.name} has {self.properties.num_qubits} qubits, circuit "
+                f"needs {circuit.num_qubits}"
+            )
+        self._queue_wait()
+        local_map = self._local_coupling_map(circuit.num_qubits)
+        entry = self._transpile_cache.symbolic_template(
+            circuit, parameters, local_map
+        )
+        program = entry.ensure_program(
+            noise_model=getattr(self._simulator, "noise_model", None)
+        )
+        stats = self._transpile_stats(entry.result)
+        self.last_transpile_stats = stats
+        readout = self._simulator.run_sweep_program(
+            program, bindings, shots=shots, tile_plan=tile_plan
+        )
+        for element in range(bindings.shape[0]):
+            result = SimulationResult(
+                circuit_name=f"{circuit.name}_basis_routed",
+                probabilities=readout.probabilities[element],
+                counts=readout.counts[element] if readout.counts is not None else None,
+                shots=shots,
+                metadata={
+                    "engine": self._simulator.name,
+                    "noisy": not self.properties.noise_model.is_ideal,
+                    "batched": True,
+                    "batch_size": int(bindings.shape[0]),
+                    "program_sweep": True,
+                    "grid_sweep": True,
                 },
             )
             self._attach_metadata(result, stats)

@@ -170,6 +170,28 @@ class BatchedDensityMatrix:
         """The ``(batch, 2**n, 2**n)`` density stack (a copy)."""
         return self._matrices.copy()
 
+    def broadcast_to(self, batch_size: int) -> "BatchedDensityMatrix":
+        """Repeat a single-element batch into a ``batch_size``-element one.
+
+        Counterpart of :meth:`BatchedStatevector.broadcast_to` for the noisy
+        engine's shared-prefix execution: ``np.repeat`` of one evolved
+        density matrix is bit-identical to evolving a stack of identical
+        ones, because every batched contraction is elementwise over axis 0.
+        """
+        batch_size = int(batch_size)
+        if self._batch_size != 1:
+            raise SimulationError(
+                "broadcast_to requires a single-element batch, got "
+                f"{self._batch_size}"
+            )
+        if batch_size <= 0:
+            raise SimulationError(f"batch_size must be positive, got {batch_size}")
+        state = BatchedDensityMatrix.__new__(BatchedDensityMatrix)
+        state._batch_size = batch_size
+        state._num_qubits = self._num_qubits
+        state._matrices = np.repeat(self._matrices, batch_size, axis=0)
+        return state
+
     def density_matrix(self, index: int):
         """Extract one batch element as a :class:`DensityMatrix`."""
         from repro.quantum.density_matrix import DensityMatrix

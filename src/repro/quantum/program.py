@@ -128,6 +128,13 @@ class TilePlan:
         single-row tiles so flat enumeration stays contiguous.
     max_amplitudes:
         The budget the plan was derived from (recorded for reports).
+    shared_prefix:
+        When ``True``, :meth:`SweepProgram.execute` evolves each tile's
+        shared trained-state prefix **once** and broadcasts it across the
+        tile — legal only when every binding row of a tile agrees on the
+        prefix columns, which :meth:`for_grid_sweep` guarantees by cutting
+        single-row tiles; every use is certified by the VER403
+        ``verify_shared_prefix`` gate at execution time.
     """
 
     rows: int
@@ -135,6 +142,7 @@ class TilePlan:
     row_tile: int
     sample_tile: int
     max_amplitudes: Optional[int] = None
+    shared_prefix: bool = False
 
     def __post_init__(self) -> None:
         if self.rows < 0 or self.samples < 0:
@@ -170,6 +178,34 @@ class TilePlan:
             row_tile=row_tile,
             sample_tile=sample_tile,
             max_amplitudes=int(max_amplitudes),
+        )
+
+    @classmethod
+    def for_grid_sweep(
+        cls, rows: int, samples: int, element_amplitudes: int, max_amplitudes: int
+    ) -> "TilePlan":
+        """Plan a whole-grid sweep whose tiles share a trained-state prefix.
+
+        Same element cost model as :meth:`for_circuit_sweep`, but tiles are
+        cut one *row* at a time (``row_tile=1``) so that every tile holds a
+        single parameter-shift row — within such a tile the trained-state
+        columns are constant and only the encoder columns vary, which is
+        exactly the precondition for the certified shared-prefix execution
+        path (``shared_prefix=True``).
+        """
+        if element_amplitudes <= 0 or max_amplitudes <= 0:
+            raise SimulationError(
+                "element_amplitudes and max_amplitudes must be positive, got "
+                f"{element_amplitudes} and {max_amplitudes}"
+            )
+        budget_elements = max(1, max_amplitudes // element_amplitudes)
+        return cls(
+            rows=rows,
+            samples=samples,
+            row_tile=1,
+            sample_tile=max(1, min(samples, budget_elements) or 1),
+            max_amplitudes=int(max_amplitudes),
+            shared_prefix=True,
         )
 
     @classmethod
@@ -386,6 +422,7 @@ class SweepProgram:
         parameters: Tuple[Parameter, ...],
         column_sites: Tuple[Tuple[int, int], ...],
         name: str,
+        fusion_barriers: Tuple[int, ...] = (),
     ) -> None:
         self.num_qubits = int(num_qubits)
         self.num_clbits = int(num_clbits)
@@ -400,6 +437,12 @@ class SweepProgram:
         #: positions included).  Introspection only — :meth:`binding_row`
         #: extracts by walking gates so sibling barrier placement is free.
         self.column_sites = column_sites
+        #: Source-step indices where the compiled circuit placed a barrier.
+        #: The fusion pass never merges a run across one of these — the
+        #: whole-grid compile path barriers the trained/encoder boundary so
+        #: a claimed shared prefix survives optimisation — and the VER404
+        #: translation check rejects any fused step that straddles one.
+        self.fusion_barriers: Tuple[int, ...] = tuple(fusion_barriers)
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -453,6 +496,7 @@ class SweepProgram:
                     )
                 column_of[param] = len(column_of)
         column_sites: List[Tuple[int, int]] = []
+        fusion_barriers: List[int] = []
         steps: List[GateStep] = []
         measured_qubits: List[int] = []
         measured_set: set = set()
@@ -472,6 +516,11 @@ class SweepProgram:
 
         for position, instruction in enumerate(circuit.instructions):
             if instruction.name == "barrier":
+                # Barriers compile to no step, but they *do* pin a fusion
+                # boundary: record the index of the next step so the
+                # optimisation pass never merges a run across the barrier.
+                if steps and (not fusion_barriers or fusion_barriers[-1] != len(steps)):
+                    fusion_barriers.append(len(steps))
                 continue
             check_deferred_measurement(instruction, measured_set, program_name)
             if instruction.is_measurement:
@@ -540,6 +589,9 @@ class SweepProgram:
             ),
             column_sites=tuple(column_sites),
             name=program_name,
+            fusion_barriers=tuple(
+                barrier for barrier in fusion_barriers if barrier < len(steps)
+            ),
         )
         # Static verification at the compile boundary: the cheap structural
         # subset (bind-column/qubit/read-out bounds) always runs — compiles
@@ -582,6 +634,7 @@ class SweepProgram:
             parameters=self.parameters,
             column_sites=self.column_sites,
             name=self.name,
+            fusion_barriers=self.fusion_barriers,
         )
 
     def optimized(
@@ -642,7 +695,15 @@ class SweepProgram:
             steps.append(run[0] if len(run) == 1 else _fuse_run(run))
             run.clear()
 
+        barriers = set(self.fusion_barriers)
+        position = 0
         for step in self.steps:
+            if position in barriers:
+                # A declared fusion boundary (compiled from a circuit
+                # barrier): never extend a run across it, so rewrites stay
+                # legal for the shared-prefix execution path.
+                flush()
+            position += len(step.fused_from) if step.fused_from else 1
             if admits(run, step):
                 run.append(step)
                 continue
@@ -812,24 +873,72 @@ class SweepProgram:
                 operands.append(("batched", columns))
         return operands
 
-    def _evolve_tile(self, engine, operands: List, start: int, stop: int):
-        """Evolve one contiguous tile ``[start, stop)`` of the sweep."""
-        state = engine.initial_state(stop - start, self.num_qubits)
+    def _step_matrix(self, step: GateStep, operand, start: int, stop: int):
+        """The gate matrix (shared or batched) for one tile of one step."""
+        if operand is None:
+            return step.matrix
+        if operand[0] == "shared":
+            return operand[1]
+        return gate_library.gate_matrix_batch(
+            step.name,
+            *(
+                column if np.isscalar(column) else column[start:stop]
+                for column in operand[1]
+            ),
+        )
+
+    def _evolve_tile(
+        self,
+        engine,
+        operands: List,
+        start: int,
+        stop: int,
+        *,
+        shared_bindings: Optional[np.ndarray] = None,
+    ):
+        """Evolve one contiguous tile ``[start, stop)`` of the sweep.
+
+        When ``shared_bindings`` is provided (the tile plan claims a shared
+        trained-state prefix), the longest prefix of steps whose operands are
+        constant across the tile is evolved **once** at batch size 1 and the
+        resulting state broadcast across the tile before the per-element
+        suffix runs.  Every such claim is certified by the VER403
+        ``verify_shared_prefix`` gate first — an illegal claim raises
+        :class:`~repro.exceptions.SimulationError` instead of silently
+        reusing a state the tile does not actually share.
+        """
+        batch = stop - start
         plans = engine.step_plans(self)
-        for step, plan, operand in zip(self.steps, plans, operands):
-            if operand is None:
-                matrix = step.matrix
-            elif operand[0] == "shared":
-                matrix = operand[1]
-            else:
-                matrix = gate_library.gate_matrix_batch(
-                    step.name,
-                    *(
-                        column if np.isscalar(column) else column[start:stop]
-                        for column in operand[1]
-                    ),
+        prefix = 0
+        if shared_bindings is not None and batch > 1:
+            from repro.analysis.equiv import (
+                shared_prefix_length,
+                verify_shared_prefix,
+            )
+            from repro.analysis.verify import assert_clean
+
+            tile_bindings = shared_bindings[start:stop]
+            prefix = shared_prefix_length(self, tile_bindings)
+            if prefix:
+                assert_clean(
+                    list(verify_shared_prefix(self, tile_bindings, prefix)),
+                    context=f"{self.name}: shared-prefix tile execution",
                 )
-            engine.apply_step(state, step, plan, matrix)
+        if prefix:
+            state = engine.initial_state(1, self.num_qubits)
+            for index in range(prefix):
+                step = self.steps[index]
+                matrix = self._step_matrix(
+                    step, operands[index], start, start + 1
+                )
+                engine.apply_step(state, step, plans[index], matrix)
+            state = state.broadcast_to(batch)
+        else:
+            state = engine.initial_state(batch, self.num_qubits)
+        for index in range(prefix, len(self.steps)):
+            step = self.steps[index]
+            matrix = self._step_matrix(step, operands[index], start, stop)
+            engine.apply_step(state, step, plans[index], matrix)
         return state
 
     def evolve(self, bindings, engine):
@@ -870,9 +979,12 @@ class SweepProgram:
                 )
             tiles = tile_plan.flat_tiles()
         operands = self._resolve_operands(bindings)
+        shared = bindings if (tile_plan is not None and tile_plan.shared_prefix) else None
         out = np.empty((total, 2 ** len(self.measured_qubits)), dtype=float)
         for start, stop in tiles:
-            state = self._evolve_tile(engine, operands, start, stop)
+            state = self._evolve_tile(
+                engine, operands, start, stop, shared_bindings=shared
+            )
             out[start:stop] = engine.joint_probabilities(state, self.measured_qubits)
         return out
 

@@ -321,6 +321,49 @@ class _SweepProgramCacheMixin:
             )
         return entry["optimized"][2]
 
+    def _grid_program(
+        self, reference: QuantumCircuit, parameters: Sequence
+    ) -> SweepProgram:
+        """Compile (once per structure) the program of a *symbolic* grid sweep.
+
+        ``reference`` carries genuine symbolic parameters (trained angles
+        and data-encoder sites); ``parameters`` fixes the binding-column
+        order.  Shares the LRU with :meth:`_sweep_program` under a
+        distinct-shape key — the structure key ignores parameter values, so
+        a bound sweep of the same skeleton must not collide with the
+        symbolic grid compile.
+        """
+        key = (
+            circuit_structure_key(reference),
+            tuple(param.name for param in parameters),
+        )
+        entry = self._program_cache.get(key)
+        if entry is None:
+            entry = {
+                "source": SweepProgram.compile(
+                    reference,
+                    bind_floats=False,
+                    parameters=parameters,
+                    name=f"{self.name}:grid({reference.name})",
+                )
+            }
+            self._program_cache.put(key, entry)
+            self._program_cache_misses += 1  # repro: noqa REP101 -- instrumentation counter; simulators are rebuilt per shard from specs, never shared across workers
+        else:
+            self._program_cache_hits += 1  # repro: noqa REP101 -- instrumentation counter; simulators are rebuilt per shard from specs, never shared across workers
+        if not resolve_optimization(self._optimize_programs):
+            return entry["source"]
+        noise = self._program_noise_model()
+        version = getattr(noise, "version", 0)
+        cached = entry.get("optimized")
+        if cached is None or cached[0] is not noise or cached[1] != version:
+            entry["optimized"] = (
+                noise,
+                version,
+                entry["source"].optimized(noise_model=noise),
+            )
+        return entry["optimized"][2]
+
 
 class StatevectorSimulator(_SweepProgramCacheMixin):
     """Exact pure-state simulator.

@@ -279,6 +279,18 @@ def route_circuit(
 
     for instruction in circuit.instructions:
         if instruction.name == "barrier":
+            # Barriers survive routing with their qubits mapped to the
+            # current layout: they carry fusion-boundary semantics (the
+            # whole-grid compile path barriers the trained/encoder seam)
+            # and cost nothing — compilation, binding walks and depth
+            # statistics all skip them.
+            routed.append(
+                Instruction(
+                    name="barrier",
+                    qubits=tuple(layout[q] for q in instruction.qubits),
+                    label=instruction.label,
+                )
+            )
             continue
         if instruction.num_qubits <= 1 or instruction.is_measurement:
             physical = tuple(layout[q] for q in instruction.qubits)
@@ -563,6 +575,42 @@ class TranspileCache:
             with self._stats_lock:
                 self.hits += 1
         return entry, self._parameter_values(circuit)
+
+    def symbolic_template(
+        self,
+        circuit: QuantumCircuit,
+        parameters: Sequence[Parameter],
+        coupling_map: Optional[CouplingMap] = None,
+    ) -> _TranspileTemplate:
+        """The cached template of an already-symbolic circuit.
+
+        The whole-grid seam: ``circuit`` carries genuine
+        :class:`~repro.quantum.operations.Parameter` angles (trained *and*
+        data-encoder sites) and is transpiled directly — no slot twin —
+        with ``parameters`` fixing the compiled program's binding-column
+        order, so a ``(rows x samples, columns)`` grid bindings matrix
+        executes straight from the cache.  Keyed separately from the
+        bound-circuit templates (the structure key ignores parameter
+        values, so a distinct key shape prevents collisions).
+        """
+        parameters = tuple(parameters)
+        key = (
+            "symbolic",
+            circuit_structure_key(circuit),
+            tuple(param.name for param in parameters),
+            self._map_key(coupling_map),
+        )
+        entry = self._entries.get(key)
+        if entry is None:
+            with self._stats_lock:
+                self.misses += 1
+            template = transpile(circuit, coupling_map, allow_symbolic=True)
+            entry = _TranspileTemplate(result=template, slots=parameters)
+            self._entries.put(key, entry)
+        else:
+            with self._stats_lock:
+                self.hits += 1
+        return entry
 
     def transpile(
         self,

@@ -104,6 +104,35 @@ class TestEstimateCost:
         payload = estimate_cost(program, plan).to_dict()
         for key in ("program", "engine", "mode", "peak_bytes", "contractions"):
             assert key in payload
+        assert payload["shared_prefix_steps"] == 0
+
+    def test_shared_prefix_steps_discount_element_contractions(self):
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        plan = TilePlan.for_grid_sweep(8, 4, element, element * 4)
+        baseline = estimate_cost(program, plan)
+        assert baseline.element_contractions == plan.total_elements * len(
+            program.steps
+        )
+        prefix = 3
+        shared = estimate_cost(program, plan, shared_prefix_steps=prefix)
+        assert shared.shared_prefix_steps == prefix
+        # Prefix steps cost one element per TILE instead of one per element.
+        assert shared.element_contractions == (
+            shared.num_tiles * prefix
+            + plan.total_elements * (len(program.steps) - prefix)
+        )
+        assert shared.element_contractions < baseline.element_contractions
+        # The einsum-call count is tiling-determined either way.
+        assert shared.contractions == baseline.contractions
+
+    def test_shared_prefix_steps_out_of_range_rejected(self):
+        program, _ = compile_discriminator(4)
+        plan = TilePlan.for_grid_sweep(2, 2, 2**program.num_qubits, 2**20)
+        with pytest.raises(ValueError):
+            estimate_cost(program, plan, shared_prefix_steps=-1)
+        with pytest.raises(ValueError):
+            estimate_cost(program, plan, shared_prefix_steps=len(program.steps) + 1)
 
 
 # --------------------------------------------------------------------------- #
@@ -146,6 +175,26 @@ class TestVerifyCost:
         diagnostics = verify_cost(program, plan)
         assert codes_of(diagnostics) == ["VER203"]
         assert diagnostics[0].severity is Severity.WARNING
+
+    def test_prefix_shared_grid_plan_is_exempt_from_ver203(self):
+        """Regression: grid plans' single-row tiles are deliberate, not waste.
+
+        ``TilePlan.for_grid_sweep`` tiles one parameter row at a time so the
+        executor can evolve the shared trained-state prefix once per tile —
+        the cost model used to flag exactly this shape as under-utilised.
+        The hand-built twin WITHOUT the ``shared_prefix`` claim pins the old
+        false positive: same geometry, VER203 fires.
+        """
+        program, _ = compile_discriminator(4)
+        element = 2**program.num_qubits
+        grid_plan = TilePlan.for_grid_sweep(64, 8, element, element * 512)
+        assert grid_plan.shared_prefix is True
+        assert grid_plan.row_tile == 1
+        assert verify_cost(program, grid_plan) == []
+        twin = TilePlan(
+            rows=64, samples=8, row_tile=1, sample_tile=8, max_amplitudes=element * 512
+        )
+        assert codes_of(verify_cost(program, twin)) == ["VER203"]
 
     def test_density_unrunnable_budget_is_ver205_warning(self):
         program, _ = compile_discriminator(16)  # 17-qubit MNIST discriminator

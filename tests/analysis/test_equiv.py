@@ -409,6 +409,76 @@ class TestTranslationWitness:
         assert any(f.code == "VER410" and "matrix" in f.message for f in findings)
 
 
+def barriered_program():
+    """h/t on qubit 0, a declared barrier, then h/t on qubit 1."""
+    qc = QuantumCircuit(2, 2, name="barriered")
+    qc.h(0)
+    qc.t(0)
+    qc.barrier(0, 1)
+    qc.h(1)
+    qc.t(1)
+    qc.measure_all()
+    return SweepProgram.compile(qc, bind_floats=True)
+
+
+class TestFusionBarriers:
+    def test_compile_records_barrier_positions(self):
+        program = barriered_program()
+        assert program.fusion_barriers == (2,)
+
+    def test_optimizer_flushes_at_barriers(self):
+        program = barriered_program()
+        optimized = program.optimized()
+        assert verify_translation(program, optimized) == []
+        position = 0
+        for step in optimized.steps:
+            span = len(step.fused_from) if step.fused_from else 1
+            assert not any(
+                position < barrier < position + span
+                for barrier in program.fusion_barriers
+            )
+            position += span
+
+    def test_cross_barrier_fusion_fires_ver404(self):
+        """Sabotage: hand-fuse the steps on either side of the barrier.
+
+        The fused matrix is algebraically sound (disjoint qubits), so every
+        other certificate stays clean — only the barrier straddle must fire,
+        with its exact code.
+        """
+        program = barriered_program()
+        steps = program.steps
+        sabotaged = program._with_steps(
+            (steps[0], fuse(steps[1], steps[2]), steps[3])
+        )
+        findings = verify_translation(program, sabotaged)
+        assert [finding.code for finding in findings] == ["VER404"]
+
+    def test_grid_discriminator_fusion_respects_the_seam(self):
+        """The whole-grid program's trained/encoder barrier survives fusion.
+
+        Goes through the transpiled symbolic template (as the noisy grid
+        path does): basis decomposition produces fixed steps that actually
+        fuse, and routing must carry the seam barrier through to the
+        compiled program.
+        """
+        from repro.core.model import QuClassi
+        from repro.quantum.transpiler import TranspileCache
+
+        builder = QuClassi(
+            num_features=4, num_classes=2, architecture="s", seed=7
+        ).builder
+        entry = TranspileCache().symbolic_template(
+            builder.symbolic_discriminator(), builder.grid_parameters
+        )
+        source = entry.ensure_program(optimize=False)
+        assert source.fusion_barriers  # the seam barrier survived transpile
+        optimized = source.optimized()
+        assert any(step.fused_from for step in optimized.steps)
+        assert optimized.fusion_barriers == source.fusion_barriers
+        assert verify_translation(source, optimized) == []
+
+
 class TestReferenceEquivalence:
     def test_reference_suite_certifies_clean(self):
         from repro.analysis.equiv import verify_reference_equivalence

@@ -71,7 +71,29 @@ class TestPerfBenchEntryPointsTiny:
         payload = module.run_noisy_sweep_benchmark()
         assert payload["workload"]["num_samples"] == 4
         assert payload["seed_match"] is True
-        assert payload["transpile_cache"]["hits"] > 0
+        # Whole-grid sweeps transpile one symbolic template per sweep on a
+        # fresh backend: exactly one miss, no per-element lookups.
+        assert payload["transpile_cache"]["misses"] == 1
+
+    def test_grid_sweep(self):
+        module = load_bench_module("bench_grid_sweep")
+        module.TRAIN_EPOCHS = 1
+        module.REPETITIONS = 1
+        module.SHIFT_ROWS = 2
+        module.SAMPLE_LIMIT = 4
+        payload = module.run_iris_grid_benchmark()
+        assert payload["workload"]["grid_elements"] == 8
+        assert payload["sampled"]["seed_match"] is True
+        assert payload["sampled"]["seed_match_vs_stream"] is True
+        assert payload["noisy"]["seed_match"] is True
+        memory = module.run_grid_memory_benchmark(
+            rows=2, samples=4, budget_amplitudes=2**19
+        )
+        assert memory["shared_prefix_steps"] > 0
+        assert (
+            memory["element_contractions"] < memory["element_contractions_unshared"]
+        )
+        assert memory["measured_peak_bytes"] > 0
 
     def test_shard_scaling(self):
         module = load_bench_module("bench_shard_scaling")

@@ -1,0 +1,156 @@
+"""Whole-grid SweepProgram path of the SWAP-test estimator.
+
+The tentpole guarantee: routing a ``(rows x samples)`` fidelity sweep
+through ONE compiled program — encoder angles as bind columns, trained
+prefix evolved once per tile and broadcast — must be **draw-for-draw
+bit-identical** to the per-sample circuit stream it replaces, on every
+backend, with and without certified fusion, and under any tile budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit_builder import DiscriminatorCircuitBuilder
+from repro.core.layers import LayerStack
+from repro.core.swap_test import AnalyticFidelityEstimator, SwapTestFidelityEstimator
+from repro.encoding import DualAngleEncoder, SingleAngleEncoder
+from repro.hardware import ibmq_london
+from repro.quantum.backend import IdealBackend, SampledBackend
+from repro.quantum.program import OPTIMIZE_PROGRAMS_ENV
+
+
+def make_builder(encoder=None, num_features: int = 4, architecture: str = "s"):
+    encoder = encoder if encoder is not None else DualAngleEncoder()
+    stack = LayerStack.from_architecture(architecture, encoder.num_qubits(num_features))
+    return DiscriminatorCircuitBuilder(stack, encoder, num_features)
+
+
+@pytest.fixture()
+def builder():
+    return make_builder()
+
+
+@pytest.fixture()
+def parameter_matrix(builder):
+    rng = np.random.default_rng(41)
+    return rng.uniform(0, np.pi, size=(3, builder.num_parameters))
+
+
+@pytest.fixture()
+def samples():
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.05, 0.95, size=(4, 4))
+
+
+BACKENDS = {
+    "analytic": lambda: (IdealBackend(), None),
+    "sampled": lambda: (SampledBackend(shots=200, seed=9), 200),
+    "noisy": lambda: (ibmq_london(seed=9), 128),
+}
+#: Budgets spanning one-element tiles up to the whole grid in one tile.
+BUDGETS = {
+    "tight": lambda builder: 2 ** builder.layout.total_qubits * 4,
+    "medium": lambda builder: 2 ** (2 * builder.layout.total_qubits) * 4,
+    "roomy": lambda builder: SwapTestFidelityEstimator.DEFAULT_MAX_BATCH_AMPLITUDES,
+}
+
+
+def grid_and_stream(builder, backend_key, budget, optimize):
+    """(grid estimator, stream-forced twin) with fresh same-seeded backends."""
+    estimators = []
+    for force_stream in (False, True):
+        backend, shots = BACKENDS[backend_key]()
+        estimator = SwapTestFidelityEstimator(
+            builder, backend=backend, shots=shots, max_batch_amplitudes=budget
+        )
+        if force_stream:
+            estimator.backend.supports_grid_programs = False
+        estimators.append(estimator)
+    return estimators
+
+
+class TestGridMatchesStreamBitwise:
+    @pytest.mark.parametrize("backend_key", sorted(BACKENDS))
+    @pytest.mark.parametrize("budget_key", sorted(BUDGETS))
+    @pytest.mark.parametrize("optimize", ["0", "1"])
+    def test_grid_sweep_is_bit_identical_to_stream(
+        self, builder, parameter_matrix, samples, backend_key, budget_key, optimize, monkeypatch
+    ):
+        monkeypatch.setenv(OPTIMIZE_PROGRAMS_ENV, optimize)
+        budget = BUDGETS[budget_key](builder)
+        grid, stream = grid_and_stream(builder, backend_key, budget, optimize)
+        assert grid.backend.supports_grid_programs is True
+        grid_matrix = grid.fidelity_matrix(parameter_matrix, samples)
+        stream_matrix = stream.fidelity_matrix(parameter_matrix, samples)
+        np.testing.assert_array_equal(grid_matrix, stream_matrix)
+
+    def test_single_angle_encoder_grid_matches_stream(self, monkeypatch):
+        monkeypatch.delenv(OPTIMIZE_PROGRAMS_ENV, raising=False)
+        builder = make_builder(SingleAngleEncoder())
+        rng = np.random.default_rng(43)
+        matrix = rng.uniform(0, np.pi, size=(2, builder.num_parameters))
+        features = rng.uniform(0.05, 0.95, size=(3, 4))
+        grid, stream = grid_and_stream(builder, "sampled", 2**20, "0")
+        np.testing.assert_array_equal(
+            grid.fidelity_matrix(matrix, features),
+            stream.fidelity_matrix(matrix, features),
+        )
+
+    def test_fidelities_row_delegates_to_the_grid(self, builder, samples):
+        rng = np.random.default_rng(44)
+        values = rng.uniform(0, np.pi, builder.num_parameters)
+        grid, stream = grid_and_stream(builder, "noisy", 2**23, "0")
+        np.testing.assert_array_equal(
+            grid.fidelities(values, samples), stream.fidelities(values, samples)
+        )
+
+    def test_empty_grid_short_circuits(self, builder, parameter_matrix):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        empty = estimator.fidelity_matrix(parameter_matrix, np.zeros((0, 4)))
+        assert empty.shape == (parameter_matrix.shape[0], 0)
+        assert estimator.circuits_executed == 0
+
+    def test_grid_builds_no_per_sample_circuits(self, builder, parameter_matrix, samples):
+        estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        estimator.fidelity_matrix(parameter_matrix, samples)
+        assert len(builder._data_bound_cache) == 0  # the point of the grid path
+        assert estimator.circuits_executed == parameter_matrix.shape[0] * samples.shape[0]
+
+
+class TestGridBindings:
+    def test_row_major_layout_matches_the_stream_order(self, builder, parameter_matrix, samples):
+        bindings = builder.grid_bindings(parameter_matrix, samples)
+        rows, params = parameter_matrix.shape
+        angles = builder.encoder.angle_matrix(samples)
+        assert bindings.shape == (rows * samples.shape[0], params + angles.shape[1])
+        for row in range(rows):
+            for sample in range(samples.shape[0]):
+                flat = row * samples.shape[0] + sample
+                np.testing.assert_array_equal(bindings[flat, :params], parameter_matrix[row])
+                np.testing.assert_array_equal(bindings[flat, params:], angles[sample])
+
+    def test_angle_columns_are_bitwise_the_loop_angles(self, builder, samples):
+        from repro.encoding.angle import rotation_angle
+
+        angles = builder.encoder.angle_matrix(samples)
+        for row in range(samples.shape[0]):
+            for column in range(samples.shape[1]):
+                assert angles[row, column] == rotation_angle(samples[row, column])
+
+
+class TestVectorisedDataStates:
+    def test_batched_matrix_matches_per_row_loop(self, builder, samples):
+        estimator = AnalyticFidelityEstimator(builder)
+        batched = estimator.data_state_matrix(samples)
+        loop = np.stack([estimator.data_statevector(row).data for row in samples])
+        np.testing.assert_allclose(batched, loop, atol=1e-12)
+
+    def test_non_column_encoder_falls_back_to_the_loop(self, samples):
+        class LoopOnlyEncoder(DualAngleEncoder):
+            supports_angle_columns = False
+
+        builder = make_builder(LoopOnlyEncoder())
+        estimator = AnalyticFidelityEstimator(builder)
+        batched = estimator.data_state_matrix(samples)
+        loop = np.stack([estimator.data_statevector(row).data for row in samples])
+        np.testing.assert_array_equal(batched, loop)

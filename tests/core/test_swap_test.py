@@ -176,10 +176,13 @@ class TestAnalyticBatchedPath:
 
 class TestDataStateCacheBound:
     def test_cache_is_bounded_lru(self, builder, parameters):
+        # fidelities() itself now evaluates angle-column encoders in one
+        # batched program pass, so drive the per-row cache directly.
         estimator = AnalyticFidelityEstimator(builder, data_cache_size=2)
         rng = np.random.default_rng(13)
         samples = rng.uniform(0.05, 0.95, size=(5, 4))
-        estimator.fidelities(parameters, samples)
+        for row in samples:
+            estimator.data_statevector(row)
         assert len(estimator._data_state_cache) == 2
 
     def test_recently_used_entries_survive(self, builder):
@@ -276,7 +279,12 @@ class TestSwapTestBatchedPath:
         )
         loop = np.array([loop_estimator.fidelity(parameters, row) for row in samples[:3]])
         np.testing.assert_array_equal(batched, loop)
-        assert batched_estimator.backend.transpile_cache_stats["hits"] >= 2
+        # The whole-grid path transpiles ONE symbolic template for the sweep;
+        # a second sweep reuses it from the cache.
+        stats = batched_estimator.backend.transpile_cache_stats
+        assert stats["misses"] == 1
+        batched_estimator.fidelities(parameters, samples[:3])
+        assert batched_estimator.backend.transpile_cache_stats["hits"] >= 1
 
     def test_fidelity_matrix_sampled_seed_matches_loop(self, builder, samples):
         rng = np.random.default_rng(22)
@@ -319,12 +327,14 @@ class TestSwapTestBatchedPath:
         stack = LayerStack.from_architecture("s", encoder.num_qubits(4))
         bounded = DiscriminatorCircuitBuilder(stack, encoder, 4, data_circuit_cache_size=2)
         estimator = SwapTestFidelityEstimator(bounded, backend=IdealBackend(), shots=None)
+        estimator.backend.supports_grid_programs = False  # exercise the stream path
         rng = np.random.default_rng(24)
         estimator.fidelities(parameters, rng.uniform(0.05, 0.95, size=(5, 4)))
         assert len(bounded._data_bound_cache) == 2
 
     def test_clear_cache_drops_memoised_circuits(self, builder, parameters, samples):
         estimator = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        estimator.backend.supports_grid_programs = False  # exercise the stream path
         estimator.fidelities(parameters, samples)
         assert len(builder._data_bound_cache) > 0
         estimator.clear_cache()
@@ -332,9 +342,11 @@ class TestSwapTestBatchedPath:
 
     def test_cached_discriminator_reused_across_estimators(self, builder, parameters, samples):
         first = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        first.backend.supports_grid_programs = False  # exercise the stream path
         first.fidelities(parameters, samples)
         cached = len(builder._data_bound_cache)
         second = SwapTestFidelityEstimator(builder, backend=IdealBackend(), shots=None)
+        second.backend.supports_grid_programs = False
         second.fidelities(parameters, samples)
         assert len(builder._data_bound_cache) == cached
 

@@ -1,0 +1,163 @@
+"""Shared-prefix grid execution of compiled SweepPrograms.
+
+Unit-level coverage of the whole-grid executor machinery:
+``TilePlan.for_grid_sweep`` geometry, ``broadcast_to`` on both batched
+state classes, prefix-shared tile evolution (bit-identical to the plain
+tiled path), and the fail-closed VER403 certification gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import Parameter, QuantumCircuit
+from repro.quantum.program import (
+    DensitySuperoperatorEngine,
+    StatevectorEngine,
+    SweepProgram,
+    TilePlan,
+)
+
+
+def grid_program(num_trained: int = 2, num_data: int = 2):
+    """Two-qubit program: trained columns, a seam barrier, data columns."""
+    trained = [Parameter(f"theta_{i}") for i in range(num_trained)]
+    data = [Parameter(f"x_{i}") for i in range(num_data)]
+    qc = QuantumCircuit(2, 2, name="grid")
+    qc.h(0)
+    qc.ry(trained[0], 0)
+    qc.rz(trained[1], 0)
+    qc.barrier(0, 1)
+    qc.ry(data[0], 1)
+    qc.rz(data[1], 1)
+    qc.cx(0, 1)
+    qc.measure_all()
+    return SweepProgram.compile(
+        qc, bind_floats=False, parameters=trained + data, name="grid"
+    )
+
+
+def grid_bindings(rows: int = 3, samples: int = 4, seed: int = 5):
+    """Row-major grid: trained columns constant within each row's block."""
+    rng = np.random.default_rng(seed)
+    trained = rng.uniform(0, np.pi, size=(rows, 2))
+    data = rng.uniform(0, np.pi, size=(samples, 2))
+    return np.hstack(
+        [np.repeat(trained, samples, axis=0), np.tile(data, (rows, 1))]
+    )
+
+
+class TestForGridSweep:
+    def test_single_row_tiles_with_shared_prefix(self):
+        plan = TilePlan.for_grid_sweep(8, 16, 4, 64)
+        assert plan.shared_prefix is True
+        assert plan.row_tile == 1
+        assert plan.sample_tile == 16  # budget holds 16 elements
+        assert plan.max_amplitudes == 64
+
+    def test_sample_tile_clamped_by_budget(self):
+        plan = TilePlan.for_grid_sweep(4, 100, 4, 64)
+        assert plan.sample_tile == 16
+        assert plan.num_tiles == 4 * 7  # ceil(100 / 16) tiles per row
+
+    def test_budget_below_one_element_still_progresses(self):
+        plan = TilePlan.for_grid_sweep(2, 3, 16, 8)
+        assert plan.sample_tile == 1
+
+    def test_default_plans_do_not_claim_sharing(self):
+        assert TilePlan.for_circuit_sweep(4, 4, 4, 64).shared_prefix is False
+        assert TilePlan(rows=2, samples=2, row_tile=1, sample_tile=2).shared_prefix is False
+
+
+class TestBroadcastTo:
+    @pytest.mark.parametrize("engine", [StatevectorEngine(), DensitySuperoperatorEngine()])
+    def test_broadcast_equals_evolving_identical_rows(self, engine):
+        program = grid_program()
+        row = grid_bindings(rows=1, samples=1)[0]
+        single = program.evolve(row[None, :], engine)
+        repeated = program.evolve(np.tile(row, (5, 1)), engine)
+        broadcast = single.broadcast_to(5)
+        np.testing.assert_array_equal(
+            broadcast.probabilities(), repeated.probabilities()
+        )
+
+    def test_broadcast_requires_singleton_batch(self):
+        program = grid_program()
+        state = program.evolve(grid_bindings(rows=1, samples=2), StatevectorEngine())
+        with pytest.raises(SimulationError):
+            state.broadcast_to(3)
+
+    def test_broadcast_size_must_be_positive(self):
+        program = grid_program()
+        state = program.evolve(grid_bindings(rows=1, samples=1), StatevectorEngine())
+        with pytest.raises(SimulationError):
+            state.broadcast_to(0)
+
+
+class TestSharedPrefixExecution:
+    @pytest.mark.parametrize("engine", [StatevectorEngine(), DensitySuperoperatorEngine()])
+    @pytest.mark.parametrize("sample_budget", [1, 2, 4])
+    def test_shared_execution_is_bit_identical_to_plain_tiling(
+        self, engine, sample_budget
+    ):
+        program = grid_program()
+        bindings = grid_bindings(rows=3, samples=4)
+        element = 2**program.num_qubits
+        shared_plan = TilePlan.for_grid_sweep(3, 4, element, element * sample_budget)
+        plain = program.execute(bindings, engine)
+        shared = program.execute(bindings, engine, tile_plan=shared_plan)
+        np.testing.assert_array_equal(shared, plain)
+
+    def test_prefix_certification_runs_for_every_shared_tile(self, monkeypatch):
+        import repro.analysis.equiv as equiv
+
+        calls = []
+        real = equiv.verify_shared_prefix
+
+        def counting(program, bindings, prefix_steps):
+            calls.append(prefix_steps)
+            return real(program, bindings, prefix_steps)
+
+        monkeypatch.setattr(equiv, "verify_shared_prefix", counting)
+        program = grid_program()
+        bindings = grid_bindings(rows=3, samples=4)
+        element = 2**program.num_qubits
+        plan = TilePlan.for_grid_sweep(3, 4, element, element * 4)
+        program.execute(bindings, StatevectorEngine(), tile_plan=plan)
+        # One certified claim per multi-element tile (3 rows = 3 tiles),
+        # each covering the fixed h + the two trained steps.
+        assert calls == [3, 3, 3]
+
+    def test_illegal_claim_raises_simulation_error(self, monkeypatch):
+        import repro.analysis.equiv as equiv
+
+        real = equiv.verify_shared_prefix
+
+        def sabotaged(program, bindings, prefix_steps):
+            return real(program, bindings, len(program.steps) + 1)
+
+        monkeypatch.setattr(equiv, "verify_shared_prefix", sabotaged)
+        program = grid_program()
+        bindings = grid_bindings(rows=2, samples=3)
+        element = 2**program.num_qubits
+        plan = TilePlan.for_grid_sweep(2, 3, element, element * 3)
+        with pytest.raises(SimulationError, match="shared-prefix tile execution"):
+            program.execute(bindings, StatevectorEngine(), tile_plan=plan)
+
+    def test_row_varying_tile_falls_back_to_full_evolution(self):
+        """A tile spanning rows shares only the fixed prefix — still exact."""
+        program = grid_program()
+        bindings = grid_bindings(rows=3, samples=2)
+        element = 2**program.num_qubits
+        # Hand-built shared-prefix plan whose tiles span parameter rows.
+        plan = TilePlan(
+            rows=3,
+            samples=2,
+            row_tile=3,
+            sample_tile=2,
+            max_amplitudes=element * 6,
+            shared_prefix=True,
+        )
+        plain = program.execute(bindings, StatevectorEngine())
+        shared = program.execute(bindings, StatevectorEngine(), tile_plan=plan)
+        np.testing.assert_array_equal(shared, plain)
